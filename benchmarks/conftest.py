@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Each benchmark file regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Benchmarks run their driver once
+under pytest-benchmark (``rounds=1`` — these are experiments, not
+microbenchmarks), print the regenerated data series to stdout, and
+assert the *shape* the paper reports.  Run with:
+
+    pytest benchmarks/ --benchmark-only        # timings + shape assertions
+    pytest benchmarks/ --benchmark-only -s     # also print every data series
+
+(`python examples/reproduce_paper.py` prints the same series without
+pytest, and `repro experiment <id> --save out.json` persists them.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run a figure/table driver once under the benchmark fixture and
+    print its rendered series."""
+
+    def run(driver, **kwargs):
+        result = benchmark.pedantic(driver, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return run

@@ -1,0 +1,30 @@
+"""Figure 10: sensitivity to class imbalance (beta in {0.125 .. 2.0}).
+
+Paper's claim: SUPG outperforms uniform sampling in every scenario and
+the advantage grows as positives get rarer (up to ~47x).
+"""
+
+from repro.experiments import figure10
+
+TRIALS = 6
+BETAS = (0.125, 0.5, 2.0)
+
+
+def test_fig10_imbalance(run_experiment):
+    result = run_experiment(figure10, trials=TRIALS, betas=BETAS, seed=0)
+
+    ratios = {}
+    for beta in BETAS:
+        supg = result.summaries[f"rt|{beta}|SUPG"].mean_quality
+        uci = result.summaries[f"rt|{beta}|U-CI"].mean_quality
+        assert supg >= uci, (beta, supg, uci)
+        ratios[beta] = supg / max(uci, 1e-6)
+
+        supg_pt = result.summaries[f"pt|{beta}|SUPG"].mean_quality
+        uci_pt = result.summaries[f"pt|{beta}|U-CI"].mean_quality
+        assert supg_pt >= uci_pt, (beta, supg_pt, uci_pt)
+
+    # The advantage grows with imbalance: the rarest-positive setting
+    # (largest beta) shows a bigger RT improvement factor than the most
+    # balanced one.
+    assert ratios[BETAS[-1]] >= ratios[BETAS[0]]

@@ -1,0 +1,29 @@
+"""Figure 11: sensitivity to algorithm parameters (m and mixing ratio).
+
+Paper's claim: SUPG performs well across the whole parameter range —
+the candidate step and defensive-mixing ratio are easy to set.
+"""
+
+import numpy as np
+
+from repro.experiments import figure11
+
+TRIALS = 6
+STEPS = (100, 300, 500)
+MIXING = (0.1, 0.3, 0.5)
+
+
+def test_fig11_params(run_experiment):
+    result = run_experiment(
+        figure11, trials=TRIALS, steps=STEPS, mixing_ratios=MIXING, seed=0
+    )
+
+    step_quality = [result.summaries[f"step|{m}"].mean_quality for m in STEPS]
+    mix_quality = [result.summaries[f"mixing|{x}"].mean_quality for x in MIXING]
+
+    # Flatness: no setting collapses relative to the best one.
+    assert min(step_quality) >= 0.4 * max(step_quality)
+    assert min(mix_quality) >= 0.4 * max(mix_quality)
+    # And the targets stay respected across the sweep.
+    failure_rates = [s.failure_rate for s in result.summaries.values()]
+    assert np.mean(failure_rates) <= 0.06

@@ -1,0 +1,27 @@
+"""Figure 12: importance-weight exponent vs precision (RT setting).
+
+Paper's claim: exponents 0 (uniform) and 1 (proportional) do not
+perform well; square-root weighting (0.5) is close to optimal.
+"""
+
+from repro.experiments import figure12
+
+TRIALS = 8
+EXPONENTS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig12_exponent(run_experiment):
+    result = run_experiment(figure12, trials=TRIALS, exponents=EXPONENTS, seed=0)
+
+    quality = {e: result.summaries[str(e)].mean_quality for e in EXPONENTS}
+    failures = {e: result.summaries[str(e)].failure_rate for e in EXPONENTS}
+
+    # The curve rises from exponent 0 toward the middle: sqrt beats
+    # uniform sampling decisively.
+    assert quality[0.5] > quality[0.0]
+    # Validity: sqrt respects the target at least as well as prop.
+    assert failures[0.5] <= failures[1.0] + 1e-9
+    # Mid-range exponents (0.25-0.75) are the performant region.
+    mid = max(quality[0.25], quality[0.5], quality[0.75])
+    assert mid >= quality[0.0]
+    assert mid >= quality[1.0] - 0.1

@@ -1,0 +1,34 @@
+"""Figure 13: confidence-interval method comparison (U-CI-R and IS-CI-R).
+
+Paper's claim: the normal approximation matches or outperforms the
+alternatives within error margins; Hoeffding's inequality ignores the
+variance and returns vacuous (overly conservative) results.
+"""
+
+from repro.experiments import figure13
+
+TRIALS = 8
+
+
+def test_fig13_ci_methods(run_experiment):
+    result = run_experiment(figure13, trials=TRIALS, seed=0)
+
+    margin = 0.05
+    for sampler, methods in (
+        ("uniform", ("clopper-pearson", "bootstrap", "hoeffding")),
+        ("supg", ("bootstrap", "hoeffding")),
+    ):
+        normal = result.summaries[f"{sampler}|normal"].mean_quality
+        for method in methods:
+            other = result.summaries[f"{sampler}|{method}"].mean_quality
+            assert normal >= other - margin, (sampler, method, normal, other)
+
+    # Hoeffding is never the best method for SUPG (vacuous bounds).
+    supg_normal = result.summaries["supg|normal"].mean_quality
+    supg_hoeffding = result.summaries["supg|hoeffding"].mean_quality
+    assert supg_normal >= supg_hoeffding
+
+    # Every method still respects the recall target (validity does not
+    # depend on the CI method, only quality does).
+    failure_rates = [s.failure_rate for s in result.summaries.values()]
+    assert max(failure_rates) <= 0.06 + 0.2  # generous trial-noise slack

@@ -1,0 +1,38 @@
+"""Figure 15 (appendix): joint-target queries, oracle usage.
+
+Paper's claim: for JT queries the SUPG (importance-sampling) subroutine
+generally uses fewer total oracle calls than the uniform one, because
+its tighter thresholds shrink the candidate set that stage 3 must
+exhaustively label.
+"""
+
+import numpy as np
+
+from repro.experiments import figure15
+
+TRIALS = 3
+TARGETS = (0.6, 0.75, 0.9)
+DATASETS = ("imagenet", "beta(0.01,1)", "beta(0.01,2)")
+
+
+def test_fig15_joint(run_experiment):
+    result = run_experiment(
+        figure15, trials=TRIALS, targets=TARGETS, datasets=DATASETS, seed=0
+    )
+
+    wins = 0
+    cells = 0
+    for dataset in DATASETS:
+        for gamma in TARGETS:
+            supg = result.summaries[f"{dataset}|{gamma}|SUPG"]
+            uniform = result.summaries[f"{dataset}|{gamma}|U-CI"]
+            cells += 1
+            if supg <= uniform:
+                wins += 1
+
+    # "Generally outperforms": SUPG uses no more oracle calls in the
+    # large majority of settings.
+    assert wins / cells >= 0.6, f"SUPG won only {wins}/{cells} cells"
+
+    # Oracle usage is positive and finite everywhere.
+    assert all(np.isfinite(v) and v > 0 for v in result.summaries.values())

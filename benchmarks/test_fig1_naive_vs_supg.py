@@ -1,0 +1,26 @@
+"""Figure 1: achieved precision of naive sampling vs SUPG on ImageNet.
+
+Paper's claim: targeting 90% precision over repeated runs, the naive
+algorithm (NoScope / probabilistic-predicates style) returns precisions
+far below target for a large fraction of runs, while SUPG respects the
+target with probability >= 1 - delta.
+"""
+
+from repro.experiments import figure1
+
+DELTA = 0.05
+TRIALS = 30
+
+
+def test_fig1_naive_vs_supg(run_experiment):
+    result = run_experiment(figure1, trials=TRIALS, delta=DELTA, seed=0)
+    naive = result.summaries["naive (U-NoCI)"]
+    supg = result.summaries["SUPG (IS-CI-P)"]
+
+    # SUPG's empirical failure rate stays within delta (plus binomial
+    # slack over TRIALS runs); the naive baseline fails well above it.
+    assert supg.failure_rate <= DELTA + 0.1
+    assert naive.failure_rate > supg.failure_rate
+    assert naive.failure_rate > 2 * DELTA
+    # The naive failures are severe, not marginal (paper: down to ~20%).
+    assert naive.min_target < 0.8

@@ -1,0 +1,25 @@
+"""Figure 5: precision of U-NoCI vs SUPG, PT 90%, all six datasets.
+
+Paper's claim: U-NoCI fails up to ~75% of the time with precisions as
+low as 20%; SUPG's failure rate stays within delta on every workload.
+"""
+
+from repro.experiments import figure5
+
+DELTA = 0.05
+TRIALS = 20
+
+
+def test_fig5_precision_failures(run_experiment):
+    result = run_experiment(figure5, trials=TRIALS, delta=DELTA, seed=0)
+    panels = result.summaries
+
+    supg_failures = [panel["SUPG"].failure_rate for panel in panels.values()]
+    naive_failures = [panel["U-NoCI"].failure_rate for panel in panels.values()]
+
+    # SUPG within delta (+ trial noise) on every dataset.
+    assert max(supg_failures) <= DELTA + 0.1
+    # The naive baseline fails broadly: on most datasets, far above delta.
+    above_delta = sum(1 for rate in naive_failures if rate > 2 * DELTA)
+    assert above_delta >= 4, f"naive failed on only {above_delta}/6 datasets"
+    assert max(naive_failures) >= 0.3

@@ -1,0 +1,25 @@
+"""Figure 6: recall of U-NoCI vs SUPG, RT 90%, all six datasets.
+
+Paper's claim: U-NoCI fails up to ~50% of the time and catastrophically
+on ImageNet (recalls as low as 20%); SUPG stays within delta everywhere.
+"""
+
+from repro.experiments import figure6
+
+DELTA = 0.05
+TRIALS = 20
+
+
+def test_fig6_recall_failures(run_experiment):
+    result = run_experiment(figure6, trials=TRIALS, delta=DELTA, seed=0)
+    panels = result.summaries
+
+    supg_failures = [panel["SUPG"].failure_rate for panel in panels.values()]
+    naive_failures = [panel["U-NoCI"].failure_rate for panel in panels.values()]
+
+    assert max(supg_failures) <= DELTA + 0.1
+    above_delta = sum(1 for rate in naive_failures if rate > 2 * DELTA)
+    assert above_delta >= 4, f"naive failed on only {above_delta}/6 datasets"
+    # The catastrophic ImageNet failure mode: some run misses most of
+    # the positives entirely.
+    assert panels["imagenet"]["U-NoCI"].min_target < 0.5

@@ -1,0 +1,42 @@
+"""Figure 7: precision-target sweep vs achieved recall.
+
+Paper's claims: both importance-sampling methods outperform U-CI in all
+cases, and the two-stage algorithm outperforms or matches one-stage
+(the paper notes ImageNet as the parity case).
+"""
+
+import numpy as np
+
+from repro.experiments import figure7
+
+TRIALS = 6
+TARGETS = (0.75, 0.8, 0.9, 0.95)
+DATASETS = ("imagenet", "night-street", "beta(0.01,1)", "beta(0.01,2)")
+
+
+def test_fig7_precision_sweep(run_experiment):
+    result = run_experiment(
+        figure7, trials=TRIALS, targets=TARGETS, datasets=DATASETS, seed=0
+    )
+
+    def mean_quality(dataset, method):
+        return np.mean(
+            [
+                result.summaries[f"{dataset}|{g}|{method}"].mean_quality
+                for g in TARGETS
+            ]
+        )
+
+    for dataset in DATASETS:
+        uci = mean_quality(dataset, "U-CI")
+        one = mean_quality(dataset, "IS one-stage")
+        two = mean_quality(dataset, "SUPG (two-stage)")
+        # Importance sampling dominates uniform on every workload.
+        assert one >= uci, (dataset, one, uci)
+        assert two >= uci, (dataset, two, uci)
+        # Two-stage matches or beats one-stage (within trial noise).
+        assert two >= one - 0.1, (dataset, two, one)
+
+    # All guaranteed methods respect the precision target.
+    failure_rates = [s.failure_rate for s in result.summaries.values()]
+    assert np.mean(failure_rates) <= 0.06

@@ -1,0 +1,65 @@
+"""Quickstart: run recall- and precision-target SUPG queries.
+
+Builds the simulated ImageNet hummingbird workload (50,000 records,
+0.1% positives — Table 2 of the paper), then answers:
+
+1. an RT query — "return at least 90% of all hummingbird frames, with
+   probability 95%, using at most 1,000 oracle labels"; and
+2. a PT query — "return a set that is at least 90% hummingbirds".
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    dataset = repro.datasets.make_imagenet(seed=0)
+    print(dataset.describe())
+    print()
+
+    # --- Recall-target query: don't miss hummingbirds -----------------------
+    rt_query = repro.ApproxQuery.recall_target(gamma=0.90, delta=0.05, budget=1_000)
+    rt_selector = repro.default_selector(rt_query)  # IS-CI-R, the SUPG method
+    rt_result = rt_selector.select(dataset, seed=1)
+    rt_quality = repro.evaluate_selection(rt_result.indices, dataset.labels)
+    print("Recall-target query (gamma=0.90, delta=0.05, budget=1000)")
+    print(f"  returned {rt_result.size} records at threshold tau={rt_result.tau:.4f}")
+    print(f"  achieved recall    = {rt_quality.recall:.3f}  (guaranteed >= 0.90 w.p. 0.95)")
+    print(f"  achieved precision = {rt_quality.precision:.3f}  (the quality metric)")
+    print(f"  oracle labels used = {rt_result.oracle_calls} / {rt_query.budget}")
+    print()
+
+    # --- Precision-target query: what you return should be right ------------
+    pt_query = repro.ApproxQuery.precision_target(gamma=0.90, delta=0.05, budget=1_000)
+    pt_selector = repro.default_selector(pt_query)  # two-stage IS-CI-P
+    pt_result = pt_selector.select(dataset, seed=2)
+    pt_quality = repro.evaluate_selection(pt_result.indices, dataset.labels)
+    print("Precision-target query (gamma=0.90, delta=0.05, budget=1000)")
+    print(f"  returned {pt_result.size} records at threshold tau={pt_result.tau:.4f}")
+    print(f"  achieved precision = {pt_quality.precision:.3f}  (guaranteed >= 0.90 w.p. 0.95)")
+    print(f"  achieved recall    = {pt_quality.recall:.3f}  (the quality metric)")
+    print(f"  oracle labels used = {pt_result.oracle_calls} / {pt_query.budget}")
+    print()
+
+    # --- The same RT query through the SQL dialect ---------------------------
+    engine = repro.SupgEngine()
+    engine.register_table("hummingbird_video", dataset)
+    execution = engine.execute(
+        """
+        SELECT * FROM hummingbird_video
+        WHERE HUMMINGBIRD_PRESENT(frame) = True
+        ORACLE LIMIT 1,000
+        USING DNN_CLASSIFIER(frame) = "hummingbird"
+        RECALL TARGET 90%
+        WITH PROBABILITY 95%
+        """,
+        seed=3,
+    )
+    sql_quality = repro.evaluate_selection(execution.result.indices, dataset.labels)
+    print(f"SQL dialect ({execution.method}): recall={sql_quality.recall:.3f}, "
+          f"precision={sql_quality.precision:.3f}, |R|={execution.result.size}")
+
+
+if __name__ == "__main__":
+    main()

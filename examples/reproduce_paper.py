@@ -1,0 +1,49 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Prints the data series behind Figures 1, 5-13 and 15 and Tables 4-5,
+at laptop-fast scale by default.  Pass ``--paper-scale`` for the full
+dataset sizes and budgets (slower), or name specific experiments:
+
+    python examples/reproduce_paper.py
+    python examples/reproduce_paper.py fig7 fig8
+    python examples/reproduce_paper.py --paper-scale fig5
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[[], *sorted(ALL_EXPERIMENTS)],
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="full dataset sizes and budgets (slower)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or sorted(ALL_EXPERIMENTS)
+    for name in names:
+        driver = ALL_EXPERIMENTS[name]
+        kwargs = {}
+        if args.paper_scale and "paper_scale" in driver.__code__.co_varnames:
+            kwargs["paper_scale"] = True
+        start = time.perf_counter()
+        result = driver(**kwargs)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"({elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

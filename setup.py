@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+This repository targets offline environments without the ``wheel``
+package, where PEP 660 editable installs fail with "invalid command
+'bdist_wheel'".  Keeping a setup.py (and omitting ``[build-system]``
+from pyproject.toml) lets ``pip install -e .`` use the legacy
+``setup.py develop`` code path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""repro: a reproduction of "Approximate Selection with Guarantees using
+Proxies" (SUPG; Kang, Gan, Bailis, Hashimoto, Zaharia — VLDB 2020).
+
+SUPG answers approximate selection queries — "find all records matching
+an expensive predicate" — using a limited budget of expensive *oracle*
+labels plus cheap *proxy* confidence scores, while guaranteeing a
+minimum recall or precision with bounded failure probability.
+
+Quickstart::
+
+    import repro
+
+    dataset = repro.datasets.make_imagenet(seed=0)
+    query = repro.ApproxQuery.recall_target(gamma=0.9, delta=0.05, budget=1000)
+    result = repro.default_selector(query).select(dataset, seed=1)
+    quality = repro.evaluate_selection(result.indices, dataset.labels)
+    print(quality.recall, quality.precision)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from __future__ import annotations
+
+from . import bounds, calibrate, core, datasets, experiments, oracle, proxy, query, sampling
+from .core import (
+    ApproxQuery,
+    BudgetPlan,
+    FixedThresholdSelector,
+    ImportanceCIPrecisionOneStage,
+    ImportanceCIPrecisionTwoStage,
+    ImportanceCIRecall,
+    JointQuery,
+    JointSelector,
+    SelectionResult,
+    Selector,
+    TargetType,
+    UniformCIPrecision,
+    UniformCIRecall,
+    UniformNoCIPrecision,
+    UniformNoCIRecall,
+    available_selectors,
+    calibration_report,
+    default_selector,
+    make_selector,
+    plan_budget,
+)
+from .datasets import Dataset, load_dataset
+from .metrics import SelectionQuality, evaluate_selection, f1_score, precision, recall
+from .oracle import BudgetedOracle, BudgetExhaustedError, oracle_from_labels
+from .query import SupgEngine, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "bounds",
+    "calibrate",
+    "core",
+    "datasets",
+    "experiments",
+    "oracle",
+    "proxy",
+    "query",
+    "sampling",
+    # query & result types
+    "ApproxQuery",
+    "SelectionResult",
+    "TargetType",
+    "JointQuery",
+    # selectors
+    "Selector",
+    "UniformNoCIRecall",
+    "UniformNoCIPrecision",
+    "UniformCIRecall",
+    "UniformCIPrecision",
+    "ImportanceCIRecall",
+    "ImportanceCIPrecisionOneStage",
+    "ImportanceCIPrecisionTwoStage",
+    "JointSelector",
+    "FixedThresholdSelector",
+    "available_selectors",
+    "make_selector",
+    "default_selector",
+    "calibration_report",
+    "BudgetPlan",
+    "plan_budget",
+    # data & oracle
+    "Dataset",
+    "load_dataset",
+    "BudgetedOracle",
+    "BudgetExhaustedError",
+    "oracle_from_labels",
+    # metrics
+    "precision",
+    "recall",
+    "f1_score",
+    "SelectionQuality",
+    "evaluate_selection",
+    # SQL layer
+    "SupgEngine",
+    "parse_query",
+]

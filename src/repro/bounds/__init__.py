@@ -1,0 +1,69 @@
+"""Confidence-interval substrate for SUPG's statistical guarantees.
+
+The default method is the normal approximation of the paper's Lemma 1
+(:class:`NormalBound`); :func:`get_bound` resolves the method names used
+in the Figure 13 ablation.
+"""
+
+from __future__ import annotations
+
+from .base import ConfidenceBound, SampleSummary, half_width_normal, summarize, validate_delta
+from .bootstrap import BootstrapBound
+from .clopper_pearson import (
+    ClopperPearsonBound,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+)
+from .hoeffding import HoeffdingBound, hoeffding_half_width
+from .normal import NormalBound, lower_bound, upper_bound
+
+__all__ = [
+    "ConfidenceBound",
+    "SampleSummary",
+    "summarize",
+    "validate_delta",
+    "half_width_normal",
+    "NormalBound",
+    "upper_bound",
+    "lower_bound",
+    "HoeffdingBound",
+    "hoeffding_half_width",
+    "ClopperPearsonBound",
+    "clopper_pearson_lower",
+    "clopper_pearson_upper",
+    "BootstrapBound",
+    "get_bound",
+    "available_bounds",
+]
+
+_BOUND_FACTORIES = {
+    NormalBound.name: NormalBound,
+    HoeffdingBound.name: HoeffdingBound,
+    ClopperPearsonBound.name: ClopperPearsonBound,
+    BootstrapBound.name: BootstrapBound,
+}
+
+
+def available_bounds() -> tuple[str, ...]:
+    """Names of all registered confidence-bound methods."""
+    return tuple(sorted(_BOUND_FACTORIES))
+
+
+def get_bound(name: str, **kwargs) -> ConfidenceBound:
+    """Instantiate a confidence-bound method by name.
+
+    Args:
+        name: one of :func:`available_bounds` (e.g. ``"normal"``,
+            ``"hoeffding"``, ``"clopper-pearson"``, ``"bootstrap"``).
+        **kwargs: forwarded to the method's constructor.
+
+    Raises:
+        KeyError: for unknown names, listing the valid options.
+    """
+    try:
+        factory = _BOUND_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown confidence bound {name!r}; available: {', '.join(available_bounds())}"
+        ) from None
+    return factory(**kwargs)

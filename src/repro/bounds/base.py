@@ -1,0 +1,120 @@
+"""Confidence-bound interfaces shared by all interval methods.
+
+SUPG's validity arguments (Section 5.2 of the paper) rest on one-sided
+confidence bounds for the mean of an i.i.d. sample: an upper bound ``UB``
+that exceeds the sample mean with probability at most ``delta``, and a
+lower bound ``LB`` that undershoots it with probability at most ``delta``.
+The paper's Lemma 1 instantiates these with a normal approximation;
+Section 6.4 compares against Hoeffding, Clopper-Pearson, and the
+bootstrap.  Every method in :mod:`repro.bounds` implements the interface
+defined here so the core algorithms can swap interval methods freely
+(the fig13 ablation does exactly that).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConfidenceBound",
+    "SampleSummary",
+    "summarize",
+    "validate_delta",
+]
+
+
+def validate_delta(delta: float) -> float:
+    """Check that ``delta`` is a usable failure probability.
+
+    Returns the value unchanged so callers can validate inline.
+
+    Raises:
+        ValueError: if ``delta`` is not in the open interval (0, 1).
+    """
+    if not (0.0 < delta < 1.0):
+        raise ValueError(f"failure probability delta must be in (0, 1), got {delta}")
+    return delta
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Sufficient statistics of a sample used by analytic bounds.
+
+    Attributes:
+        mean: sample mean.
+        std: sample standard deviation (ddof=0; the plug-in estimate the
+            paper uses in Algorithms 2-5).
+        count: number of observations.
+    """
+
+    mean: float
+    std: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"sample count must be non-negative, got {self.count}")
+        if self.std < 0:
+            raise ValueError(f"sample std must be non-negative, got {self.std}")
+
+
+def summarize(values: np.ndarray) -> SampleSummary:
+    """Compute the :class:`SampleSummary` of a 1-D array of observations."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D sample, got shape {arr.shape}")
+    if arr.size == 0:
+        return SampleSummary(mean=0.0, std=0.0, count=0)
+    return SampleSummary(mean=float(arr.mean()), std=float(arr.std()), count=int(arr.size))
+
+
+class ConfidenceBound(abc.ABC):
+    """One-sided confidence bounds for the mean of an i.i.d. sample.
+
+    Implementations must satisfy, for samples of mean ``mu``:
+
+    - ``Pr[mu > upper(sample, delta)] <= delta`` (asymptotically for the
+      normal approximation and bootstrap, exactly for Hoeffding and
+      Clopper-Pearson), and symmetrically for ``lower``.
+    """
+
+    #: Short machine-readable name used in registries and benchmark output.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def upper(self, values: np.ndarray, delta: float) -> float:
+        """Upper confidence bound on the population mean at level ``delta``."""
+
+    @abc.abstractmethod
+    def lower(self, values: np.ndarray, delta: float) -> float:
+        """Lower confidence bound on the population mean at level ``delta``."""
+
+    def interval(self, values: np.ndarray, delta: float) -> tuple[float, float]:
+        """Two-sided interval with total failure probability ``delta``.
+
+        Splits the budget evenly between the two tails, matching the
+        paper's use of ``delta / 2`` per side in Algorithm 2.
+        """
+        validate_delta(delta)
+        half = delta / 2.0
+        return self.lower(values, half), self.upper(values, half)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def half_width_normal(std: float, count: int, delta: float) -> float:
+    """Half-width ``(sigma / sqrt(s)) * sqrt(2 log(1/delta))`` from Lemma 1.
+
+    This is the deviation term in the paper's UB/LB helper functions
+    (Equations 7-8).  A zero-size sample yields an infinite half-width so
+    that bounds degrade to vacuous rather than misleadingly tight values.
+    """
+    validate_delta(delta)
+    if count <= 0:
+        return math.inf
+    return (std / math.sqrt(count)) * math.sqrt(2.0 * math.log(1.0 / delta))

@@ -1,0 +1,62 @@
+"""Percentile-bootstrap confidence bounds.
+
+The bootstrap estimates the sampling distribution of the mean by
+resampling the observed data with replacement and taking empirical
+quantiles of the resampled means.  The paper compares it in the
+Figure 13 ablation, where it performs comparably to the normal
+approximation but costs ``n_resamples`` times more computation.
+
+The implementation is vectorized: all resamples are drawn as one
+``(n_resamples, n)`` index matrix and reduced along the last axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ConfidenceBound, validate_delta
+
+__all__ = ["BootstrapBound"]
+
+
+class BootstrapBound(ConfidenceBound):
+    """Percentile bootstrap for the sample mean.
+
+    Args:
+        n_resamples: number of bootstrap resamples.  The paper does not
+            specify; 1000 is the conventional default.
+        seed: seed for the internal resampling generator.  Bounds are a
+            deterministic function of (sample, delta) for a fixed seed,
+            which keeps the SUPG guarantee analysis well-defined and the
+            tests reproducible.
+    """
+
+    name = "bootstrap"
+
+    def __init__(self, n_resamples: int = 1000, seed: int = 0) -> None:
+        if n_resamples < 1:
+            raise ValueError(f"n_resamples must be positive, got {n_resamples}")
+        self.n_resamples = n_resamples
+        self.seed = seed
+
+    def _resampled_means(self, values: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        n = values.size
+        idx = rng.integers(0, n, size=(self.n_resamples, n))
+        return values[idx].mean(axis=1)
+
+    def upper(self, values: np.ndarray, delta: float) -> float:
+        validate_delta(delta)
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return float("inf")
+        means = self._resampled_means(arr)
+        return float(np.quantile(means, 1.0 - delta))
+
+    def lower(self, values: np.ndarray, delta: float) -> float:
+        validate_delta(delta)
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return float("-inf")
+        means = self._resampled_means(arr)
+        return float(np.quantile(means, delta))

@@ -1,0 +1,87 @@
+"""Clopper-Pearson ("exact") binomial confidence bounds.
+
+The Clopper-Pearson interval inverts the Binomial CDF to obtain bounds on
+a Bernoulli success probability that hold exactly at every sample size.
+The one-sided bounds in terms of the Beta distribution are, for ``k``
+successes in ``n`` trials:
+
+    lower = BetaInv(delta;     k,     n - k + 1)
+    upper = BetaInv(1 - delta; k + 1, n - k)
+
+with the conventions ``lower = 0`` when ``k = 0`` and ``upper = 1`` when
+``k = n``.
+
+The paper includes Clopper-Pearson in its Figure 13 ablation but notes it
+only applies to *uniform* sampling: importance-sampled estimates are
+weighted averages of non-identically-ranged terms, not Binomial counts.
+:class:`ClopperPearsonBound` therefore rejects non-binary inputs loudly
+rather than returning a silently wrong interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from .base import ConfidenceBound, validate_delta
+
+__all__ = ["clopper_pearson_lower", "clopper_pearson_upper", "ClopperPearsonBound"]
+
+
+def clopper_pearson_lower(successes: int, trials: int, delta: float) -> float:
+    """One-sided lower Clopper-Pearson bound on a Binomial proportion."""
+    validate_delta(delta)
+    _validate_counts(successes, trials)
+    if trials == 0:
+        return 0.0
+    if successes == 0:
+        return 0.0
+    return float(scipy_stats.beta.ppf(delta, successes, trials - successes + 1))
+
+
+def clopper_pearson_upper(successes: int, trials: int, delta: float) -> float:
+    """One-sided upper Clopper-Pearson bound on a Binomial proportion."""
+    validate_delta(delta)
+    _validate_counts(successes, trials)
+    if trials == 0:
+        return 1.0
+    if successes == trials:
+        return 1.0
+    return float(scipy_stats.beta.ppf(1.0 - delta, successes + 1, trials - successes))
+
+
+def _validate_counts(successes: int, trials: int) -> None:
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if not (0 <= successes <= trials or trials == 0 and successes == 0):
+        raise ValueError(f"successes must be in [0, trials], got {successes}/{trials}")
+
+
+class ClopperPearsonBound(ConfidenceBound):
+    """Exact binomial bounds; valid only for 0/1 observations.
+
+    Raises:
+        ValueError: if the sample contains values other than 0 and 1,
+            since the exact interval has no meaning for reweighted
+            (importance-sampled) observations.
+    """
+
+    name = "clopper-pearson"
+
+    @staticmethod
+    def _counts(values: np.ndarray) -> tuple[int, int]:
+        arr = np.asarray(values, dtype=float)
+        if arr.size and not np.all(np.isin(arr, (0.0, 1.0))):
+            raise ValueError(
+                "Clopper-Pearson applies only to binary (0/1) samples; "
+                "use the normal approximation for importance-weighted data"
+            )
+        return int(arr.sum()), int(arr.size)
+
+    def upper(self, values: np.ndarray, delta: float) -> float:
+        successes, trials = self._counts(values)
+        return clopper_pearson_upper(successes, trials, delta)
+
+    def lower(self, values: np.ndarray, delta: float) -> float:
+        successes, trials = self._counts(values)
+        return clopper_pearson_lower(successes, trials, delta)

@@ -1,0 +1,79 @@
+"""Proxy-score calibration substrate.
+
+SUPG's result *validity* never depends on proxy calibration, but its
+sample efficiency does (Theorem 1 assumes a calibrated proxy).  This
+subpackage provides pilot-sample recalibration — parametric
+(:class:`PlattScaler`) and non-parametric monotone
+(:class:`IsotonicCalibrator`) — plus a convenience wrapper that spends
+a slice of the oracle budget on a calibration pilot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import Dataset
+from ..oracle import BudgetedOracle
+from ..sampling import uniform_sample
+from .isotonic import IsotonicCalibrator, pava
+from .platt import PlattScaler
+
+__all__ = ["PlattScaler", "IsotonicCalibrator", "pava", "calibrate_dataset"]
+
+
+def calibrate_dataset(
+    dataset: Dataset,
+    oracle: BudgetedOracle,
+    pilot_size: int,
+    rng: np.random.Generator,
+    method: str = "platt",
+    floor: float = 1e-3,
+) -> Dataset:
+    """Recalibrate a workload's proxy scores using a labeled pilot.
+
+    Draws a uniform pilot of ``pilot_size`` records, labels it through
+    the (budget-enforcing) oracle, fits the requested calibrator, and
+    returns a dataset whose scores are the calibrated probabilities.
+    The pilot labels stay cached in the oracle, so a subsequent SUPG
+    run over the same oracle does not pay for them twice.
+
+    Why recalibrate at all: a badly *under-confident* proxy makes the
+    sqrt importance weights over-aggressive, biasing the sampled
+    positives toward the top of the score range and silently degrading
+    the finite-sample recall guarantee (measured in
+    ``benchmarks/test_ablation_calibration.py``).  Recalibration
+    restores the calibrated-proxy regime Theorem 1 assumes.
+
+    Method choice: Platt (the default) is strictly monotone, so it
+    preserves the full score ordering.  Isotonic fits a step function
+    whose lowest plateau can collapse to exactly 0, erasing ordering
+    information in the tail a small pilot never saw — fine for quality
+    diagnostics, riskier as the sampling score for RT queries; prefer
+    it only with large pilots.  ``floor`` keeps every record minimally
+    sampleable either way.
+
+    Args:
+        dataset: the workload to recalibrate.
+        oracle: budgeted oracle; the pilot consumes part of its budget.
+        pilot_size: number of pilot labels.
+        rng: randomness for the pilot draw.
+        method: ``"platt"`` (default) or ``"isotonic"``.
+        floor: lower clamp applied to the calibrated scores.
+
+    Returns:
+        A new dataset with calibrated proxy scores (labels unchanged).
+    """
+    if method == "isotonic":
+        calibrator = IsotonicCalibrator()
+    elif method == "platt":
+        calibrator = PlattScaler()
+    else:
+        raise ValueError(f"unknown calibration method {method!r}; use 'platt' or 'isotonic'")
+    if not (0.0 <= floor < 1.0):
+        raise ValueError(f"floor must be in [0, 1), got {floor}")
+
+    pilot = uniform_sample(dataset.size, pilot_size, rng, replace=False)
+    labels = oracle.query(pilot)
+    calibrator.fit(dataset.proxy_scores[pilot], labels)
+    calibrated = np.clip(calibrator.transform(dataset.proxy_scores), floor, 1.0)
+    return dataset.with_scores(calibrated, name=f"{dataset.name}|{method}")

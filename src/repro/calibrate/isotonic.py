@@ -1,0 +1,104 @@
+"""Isotonic regression: non-parametric monotone calibration.
+
+Fits the least-squares *monotone non-decreasing* map from proxy scores
+to match probabilities via the Pool Adjacent Violators Algorithm
+(PAVA), in pure numpy.  Isotonic calibration is the natural companion
+to SUPG's threshold selection: Section 4.2 of the paper argues
+thresholding is optimal precisely when the true match probability is
+monotone in the proxy score, and the isotonic fit is the maximum-
+likelihood monotone estimate of that relationship.
+
+Compared to Platt scaling it needs more pilot labels (it fits a step
+function, not 2 parameters) but makes no sigmoid shape assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IsotonicCalibrator", "pava"]
+
+
+def pava(values: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Pool Adjacent Violators: the non-decreasing least-squares fit.
+
+    Args:
+        values: observations ordered by the predictor.
+        weights: optional positive observation weights.
+
+    Returns:
+        The fitted non-decreasing sequence (same shape as ``values``).
+    """
+    y = np.asarray(values, dtype=float)
+    if y.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {y.shape}")
+    if y.size == 0:
+        return y.copy()
+    w = np.ones_like(y) if weights is None else np.asarray(weights, dtype=float)
+    if w.shape != y.shape:
+        raise ValueError("weights must align with values")
+    if np.any(w <= 0):
+        raise ValueError("weights must be positive")
+
+    # Blocks are maintained as (mean, weight, count) and merged backward
+    # whenever a new block violates monotonicity.
+    means: list[float] = []
+    block_weights: list[float] = []
+    counts: list[int] = []
+    for value, weight in zip(y, w):
+        means.append(float(value))
+        block_weights.append(float(weight))
+        counts.append(1)
+        while len(means) > 1 and means[-2] > means[-1]:
+            total = block_weights[-2] + block_weights[-1]
+            merged = (means[-2] * block_weights[-2] + means[-1] * block_weights[-1]) / total
+            means[-2:] = [merged]
+            block_weights[-2:] = [total]
+            counts[-2:] = [counts[-2] + counts[-1]]
+    return np.repeat(means, counts)
+
+
+@dataclass
+class IsotonicCalibrator:
+    """Monotone score-to-probability calibration via PAVA.
+
+    Predictions for scores outside the pilot's range are clamped to the
+    boundary fit values; in-range scores are linearly interpolated
+    between the pilot's fitted points.
+    """
+
+    x_: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    y_: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def fit(self, scores: np.ndarray, labels: np.ndarray) -> "IsotonicCalibrator":
+        """Fit the monotone map on a labeled pilot sample."""
+        a = np.asarray(scores, dtype=float)
+        y = np.asarray(labels, dtype=float)
+        if a.shape != y.shape or a.ndim != 1 or a.size == 0:
+            raise ValueError("scores and labels must be aligned non-empty 1-D arrays")
+        order = np.argsort(a, kind="stable")
+        fitted = pava(y[order])
+        # Collapse duplicate scores to a single (x, mean-y) knot so the
+        # interpolator is a function.
+        xs = a[order]
+        unique_x, first = np.unique(xs, return_index=True)
+        knots = []
+        for i, start in enumerate(first):
+            end = first[i + 1] if i + 1 < len(first) else xs.size
+            knots.append(fitted[start:end].mean())
+        self.x_ = unique_x
+        self.y_ = np.asarray(knots)
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map raw scores through the fitted monotone function."""
+        if self.x_ is None:
+            raise RuntimeError("IsotonicCalibrator.transform called before fit")
+        a = np.asarray(scores, dtype=float)
+        return np.clip(np.interp(a, self.x_, self.y_), 0.0, 1.0)
+
+    def fit_transform(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Fit on the pilot and return its calibrated scores."""
+        return self.fit(scores, labels).transform(scores)

@@ -1,0 +1,135 @@
+"""Command-line interface for the SUPG reproduction.
+
+Subcommands:
+
+- ``repro datasets`` — list the bundled workloads with their stats;
+- ``repro query``    — run a SUPG dialect query against a workload;
+- ``repro plan``     — recommend an oracle budget for a query;
+- ``repro experiment`` — regenerate a paper table/figure (optionally
+  saving its data series as JSON).
+
+The CLI exists so the reproduction can be driven without writing
+Python; every capability it exposes is a thin wrapper over the public
+library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.planning import plan_budget
+from .core.types import ApproxQuery
+from .datasets import available_datasets, load_dataset
+from .experiments import ALL_EXPERIMENTS
+from .experiments.io import save_result
+from .metrics import evaluate_selection
+from .query import SupgEngine
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SUPG: approximate selection with statistical guarantees",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list bundled workloads")
+
+    query = commands.add_parser("query", help="run a SUPG dialect query")
+    query.add_argument("--dataset", required=True, choices=available_datasets())
+    query.add_argument("--sql", help="query text (inline)")
+    query.add_argument("--sql-file", type=Path, help="file containing the query")
+    query.add_argument("--method", default=None, help="selector registry name")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--size", type=int, default=None, help="dataset size override")
+
+    plan = commands.add_parser("plan", help="recommend an oracle budget")
+    plan.add_argument("--dataset", required=True, choices=available_datasets())
+    plan.add_argument("--target", required=True, choices=["recall", "precision"])
+    plan.add_argument("--gamma", type=float, required=True)
+    plan.add_argument("--delta", type=float, default=0.05)
+    plan.add_argument("--size", type=int, default=None)
+    plan.add_argument("--seed", type=int, default=0)
+
+    experiment = commands.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS))
+    experiment.add_argument("--save", type=Path, help="write the data series as JSON")
+
+    return parser
+
+
+def _cmd_datasets(out) -> int:
+    for name in available_datasets():
+        dataset = load_dataset(name, seed=0)
+        print(dataset.describe(), file=out)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    if bool(args.sql) == bool(args.sql_file):
+        print("provide exactly one of --sql / --sql-file", file=sys.stderr)
+        return 2
+    sql = args.sql if args.sql else args.sql_file.read_text()
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    engine = SupgEngine()
+    engine.register_table(args.dataset, dataset)
+    # Dataset names like "beta(0.01,1)" are not valid dialect
+    # identifiers, so also register a sanitized alias the SQL can use.
+    alias = "".join(c if c.isalnum() else "_" for c in args.dataset)
+    engine.register_table(alias, dataset)
+    execution = engine.execute(sql, seed=args.seed, method=args.method)
+    quality = evaluate_selection(execution.result.indices, dataset.labels)
+    print(f"method    : {execution.method}", file=out)
+    print(f"returned  : {execution.result.size} records (tau={execution.result.tau:.4f})", file=out)
+    print(f"oracle    : {execution.result.oracle_calls} labels", file=out)
+    print(f"precision : {quality.precision:.4f}", file=out)
+    print(f"recall    : {quality.recall:.4f}", file=out)
+    return 0
+
+
+def _cmd_plan(args, out) -> int:
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    # The planner ignores the query's budget field; any positive value works.
+    query = ApproxQuery(args.target, args.gamma, args.delta, budget=1)
+    plan = plan_budget(query, dataset.proxy_scores)
+    print(f"workload            : {dataset.describe()}", file=out)
+    print(f"recommended budget  : {plan.recommended_budget}", file=out)
+    print(f"hard minimum        : {plan.minimum_budget}", file=out)
+    print(f"expected positives  : {plan.expected_positive_draws:.1f}", file=out)
+    print(f"positive fraction   : {plan.positive_fraction:.4f}", file=out)
+    print(f"rationale           : {plan.rationale}", file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    driver = ALL_EXPERIMENTS[args.id]
+    result = driver()
+    print(result.render(), file=out)
+    if args.save is not None:
+        written = save_result(result, args.save)
+        print(f"saved: {written}", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets(out)
+    if args.command == "query":
+        return _cmd_query(args, out)
+    if args.command == "plan":
+        return _cmd_plan(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Core SUPG algorithms: the paper's primary contribution."""
+
+from __future__ import annotations
+
+from .audit import AuditReport, audit_precision, audit_recall, audit_result
+from .base import Selector
+from .baselines import FixedThresholdSelector, UniformNoCIPrecision, UniformNoCIRecall
+from .calibration import CalibrationReport, calibration_report
+from .importance import (
+    ImportanceCIPrecisionOneStage,
+    ImportanceCIPrecisionTwoStage,
+    ImportanceCIRecall,
+)
+from .joint import JointQuery, JointSelector
+from .multiproxy import (
+    LogisticFuser,
+    MaxFuser,
+    MeanFuser,
+    ProxyFuser,
+    fuse_proxies,
+)
+from .planning import BudgetPlan, expected_positive_fraction, plan_budget
+from .registry import available_selectors, default_selector, make_selector
+from .theory import (
+    estimator_variance_term,
+    optimal_weights,
+    variance_gap_uniform_vs_sqrt,
+    variance_proportional,
+    variance_sqrt,
+    variance_uniform,
+)
+from .thresholds import (
+    SELECT_EVERYTHING,
+    SELECT_NOTHING,
+    empirical_precision,
+    empirical_recall,
+    max_recall_threshold,
+    min_precision_threshold,
+    precision_lower_bound,
+)
+from .types import ApproxQuery, SelectionResult, TargetType
+from .uniform import (
+    DEFAULT_CANDIDATE_STEP,
+    UniformCIPrecision,
+    UniformCIRecall,
+    conservative_recall_target,
+    minimum_positive_draws,
+    precision_candidate_scan,
+)
+
+__all__ = [
+    "ApproxQuery",
+    "SelectionResult",
+    "TargetType",
+    "Selector",
+    "UniformNoCIRecall",
+    "UniformNoCIPrecision",
+    "FixedThresholdSelector",
+    "UniformCIRecall",
+    "UniformCIPrecision",
+    "ImportanceCIRecall",
+    "ImportanceCIPrecisionOneStage",
+    "ImportanceCIPrecisionTwoStage",
+    "JointQuery",
+    "JointSelector",
+    "ProxyFuser",
+    "MeanFuser",
+    "MaxFuser",
+    "LogisticFuser",
+    "fuse_proxies",
+    "BudgetPlan",
+    "plan_budget",
+    "expected_positive_fraction",
+    "available_selectors",
+    "make_selector",
+    "default_selector",
+    "SELECT_EVERYTHING",
+    "SELECT_NOTHING",
+    "max_recall_threshold",
+    "min_precision_threshold",
+    "precision_lower_bound",
+    "empirical_recall",
+    "empirical_precision",
+    "conservative_recall_target",
+    "precision_candidate_scan",
+    "DEFAULT_CANDIDATE_STEP",
+    "minimum_positive_draws",
+    "optimal_weights",
+    "estimator_variance_term",
+    "variance_uniform",
+    "variance_proportional",
+    "variance_sqrt",
+    "variance_gap_uniform_vs_sqrt",
+    "CalibrationReport",
+    "calibration_report",
+    "AuditReport",
+    "audit_precision",
+    "audit_recall",
+    "audit_result",
+]

@@ -1,0 +1,110 @@
+"""Selector base class implementing Algorithm 1 of the paper.
+
+Every SUPG method shares the same outer loop::
+
+    S   <- SampleOracle(D)          # consume the oracle budget
+    tau <- EstimateTau(S)           # method-specific
+    R1  <- {x in S : O(x) = 1}      # labeled positives are free
+    R2  <- {x in D : A(x) >= tau}   # thresholded proxy selection
+    return R1 | R2
+
+Subclasses implement :meth:`Selector._estimate_tau`, which receives the
+dataset, a budget-enforcing oracle, and a random generator, and returns
+the threshold plus optional diagnostics.  The base class assembles the
+final :class:`~repro.core.types.SelectionResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+import numpy as np
+
+from ..bounds import ConfidenceBound, NormalBound
+from ..datasets import Dataset
+from ..oracle import BudgetedOracle, oracle_from_labels
+from .types import ApproxQuery, SelectionResult, TargetType
+
+__all__ = ["Selector"]
+
+
+class Selector(abc.ABC):
+    """Base class for SUPG threshold-selection algorithms.
+
+    Args:
+        query: the approximate-selection query to answer.
+        bound: confidence-bound method; defaults to the paper's normal
+            approximation.  Baselines without guarantees ignore it.
+
+    Attributes:
+        name: registry name of the algorithm; subclasses override.
+        target_type: which query type (RT/PT) the algorithm serves;
+            ``None`` means both.
+    """
+
+    name: str = "abstract"
+    target_type: TargetType | None = None
+
+    def __init__(self, query: ApproxQuery, bound: ConfidenceBound | None = None) -> None:
+        if self.target_type is not None and query.target_type != self.target_type:
+            raise ValueError(
+                f"{type(self).__name__} answers {self.target_type.value}-target queries, "
+                f"got a {query.target_type.value}-target query"
+            )
+        self.query = query
+        self.bound = bound if bound is not None else NormalBound()
+
+    @abc.abstractmethod
+    def _estimate_tau(
+        self,
+        dataset: Dataset,
+        oracle: BudgetedOracle,
+        rng: np.random.Generator,
+    ) -> tuple[float, Mapping[str, object]]:
+        """Sample with the oracle and estimate the proxy threshold.
+
+        Returns:
+            ``(tau, details)`` where ``details`` carries diagnostics
+            surfaced in :attr:`SelectionResult.details`.
+        """
+
+    def select(
+        self,
+        dataset: Dataset,
+        seed: int | np.random.Generator = 0,
+        oracle: BudgetedOracle | None = None,
+    ) -> SelectionResult:
+        """Run the full Algorithm 1 pipeline on a dataset.
+
+        Args:
+            dataset: workload with proxy scores and hidden labels.
+            seed: integer seed or generator driving all sampling.
+            oracle: optionally, a pre-built oracle (e.g. shared across
+                the stages of the joint-target algorithm).  By default a
+                fresh budget-enforcing oracle is built from the dataset's
+                ground truth with the query's budget.
+
+        Returns:
+            The selected record set with diagnostics.
+        """
+        rng = np.random.default_rng(seed)
+        if oracle is None:
+            oracle = oracle_from_labels(dataset.labels, budget=self.query.budget)
+
+        tau, details = self._estimate_tau(dataset, oracle, rng)
+
+        positives = oracle.known_positives()
+        above = dataset.select_above(tau)
+        combined = np.union1d(positives, above)
+        sampled = oracle.labeled_indices()
+        return SelectionResult(
+            indices=combined,
+            tau=tau,
+            oracle_calls=oracle.calls_used,
+            sampled_indices=sampled,
+            details=dict(details),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(query={self.query!r})"

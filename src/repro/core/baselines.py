@@ -1,0 +1,125 @@
+"""Baselines without statistical guarantees (Section 5.1 of the paper).
+
+U-NoCI ("uniform, no confidence intervals") is the strategy used by
+prior systems — NoScope and probabilistic predicates [44, 47]: label a
+uniform sample with the oracle and pick the threshold that achieves the
+target *empirically on the sample* (Equations 5-6).  Because sampling
+variance is ignored, roughly half of the runs land on the wrong side of
+the target — the failure mode Figures 1, 5 and 6 of the paper document.
+
+This module also provides :class:`FixedThresholdSelector`, the
+"pre-set threshold" deployment mode those systems use in production:
+the threshold is fit once on a training dataset (here, with unlimited
+labels, the most charitable variant) and then reused on shifted data.
+Table 4 of the paper shows this fails deterministically under drift.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..datasets import Dataset
+from ..oracle import BudgetedOracle
+from ..sampling import uniform_sample
+from .base import Selector
+from .thresholds import max_recall_threshold, min_precision_threshold
+from .types import ApproxQuery, SelectionResult, TargetType
+
+__all__ = ["UniformNoCIRecall", "UniformNoCIPrecision", "FixedThresholdSelector"]
+
+
+def _uniform_labeled_sample(
+    dataset: Dataset, oracle: BudgetedOracle, budget: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw a uniform sample of ``budget`` records and label them."""
+    indices = uniform_sample(dataset.size, budget, rng, replace=True)
+    labels = oracle.query(indices)
+    return dataset.proxy_scores[indices], labels
+
+
+class UniformNoCIRecall(Selector):
+    """U-NoCI-R: the no-guarantee recall-target baseline (Equation 6).
+
+    Picks ``tau = max{tau : Recall_S(tau) >= gamma}`` on a uniform
+    sample.  The sample recall is an unbiased but noisy estimate, so
+    the achieved dataset recall falls below the target roughly half the
+    time — this baseline exists to reproduce that failure.
+    """
+
+    name = "u-noci-r"
+    target_type = TargetType.RECALL
+
+    def _estimate_tau(
+        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    ) -> tuple[float, Mapping[str, object]]:
+        scores, labels = _uniform_labeled_sample(dataset, oracle, self.query.budget, rng)
+        mass = np.ones_like(scores)
+        tau = max_recall_threshold(scores, labels, mass, self.query.gamma)
+        return tau, {"method": self.name}
+
+
+class UniformNoCIPrecision(Selector):
+    """U-NoCI-P: the no-guarantee precision-target baseline (Equation 5).
+
+    Picks ``tau = min{tau : Precision_S(tau) >= gamma}`` on a uniform
+    sample, ignoring sampling variance.
+    """
+
+    name = "u-noci-p"
+    target_type = TargetType.PRECISION
+
+    def _estimate_tau(
+        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    ) -> tuple[float, Mapping[str, object]]:
+        scores, labels = _uniform_labeled_sample(dataset, oracle, self.query.budget, rng)
+        tau = min_precision_threshold(scores, labels, self.query.gamma)
+        return tau, {"method": self.name}
+
+
+class FixedThresholdSelector:
+    """Reuse a threshold fit on one dataset to select on another.
+
+    Models the deployment pattern of prior systems under data drift
+    (Section 6.2, Table 4): the proxy threshold is chosen ahead of time
+    on training data — here with *full* oracle access, the most
+    favorable case — and then applied verbatim to a shifted dataset
+    without any fresh labels.
+
+    This is not a :class:`Selector` because it consumes no oracle budget
+    at query time; its interface mirrors ``select`` for the drift
+    experiments.
+    """
+
+    name = "fixed-threshold"
+
+    def __init__(self, query: ApproxQuery) -> None:
+        self.query = query
+        self.tau_: float | None = None
+
+    def fit(self, train: Dataset) -> "FixedThresholdSelector":
+        """Choose the empirical-best threshold with full training labels."""
+        mass = np.ones(train.size)
+        if self.query.target_type is TargetType.RECALL:
+            self.tau_ = max_recall_threshold(
+                train.proxy_scores, train.labels, mass, self.query.gamma
+            )
+        else:
+            self.tau_ = min_precision_threshold(
+                train.proxy_scores, train.labels, self.query.gamma
+            )
+        return self
+
+    def select(self, dataset: Dataset) -> SelectionResult:
+        """Apply the frozen threshold to (possibly shifted) data."""
+        if self.tau_ is None:
+            raise RuntimeError("FixedThresholdSelector.select called before fit")
+        above = dataset.select_above(self.tau_)
+        return SelectionResult(
+            indices=above,
+            tau=self.tau_,
+            oracle_calls=0,
+            sampled_indices=np.zeros(0, dtype=np.intp),
+            details={"method": self.name},
+        )

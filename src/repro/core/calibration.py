@@ -1,0 +1,108 @@
+"""Proxy-calibration diagnostics (Section 4.2 of the paper).
+
+SUPG's threshold strategy is optimal when proxy scores grow
+monotonically with the probability of matching the predicate.  The
+paper verifies this "in practice ... by computing empirical match rates
+for bucketed ranges of the proxy scores"; this module implements that
+diagnostic so users can audit a proxy before trusting it for result
+*quality* (validity never depends on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CalibrationReport", "calibration_report"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Bucketed empirical match rates for a scored, labeled sample.
+
+    Attributes:
+        bin_edges: boundaries of the score buckets (length ``k + 1``).
+        match_rates: empirical positive rate per bucket; NaN for empty
+            buckets.
+        counts: number of records per bucket.
+        expected_calibration_error: count-weighted mean absolute gap
+            between each bucket's mean score and its match rate (ECE).
+    """
+
+    bin_edges: np.ndarray
+    match_rates: np.ndarray
+    counts: np.ndarray
+    expected_calibration_error: float
+
+    @property
+    def monotonicity_violations(self) -> int:
+        """Number of adjacent non-empty bucket pairs where the match
+        rate *decreases* as scores increase.
+
+        Zero means the proxy is empirically consistent with the
+        monotone-proxy assumption of Section 4.2.
+        """
+        rates = self.match_rates[self.counts > 0]
+        if rates.size < 2:
+            return 0
+        return int(np.sum(np.diff(rates) < 0))
+
+    def is_approximately_monotone(self, tolerance: float = 0.05) -> bool:
+        """Whether match rates increase up to ``tolerance`` per step."""
+        rates = self.match_rates[self.counts > 0]
+        if rates.size < 2:
+            return True
+        return bool(np.all(np.diff(rates) >= -tolerance))
+
+
+def calibration_report(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    num_bins: int = 10,
+) -> CalibrationReport:
+    """Compute the bucketed calibration diagnostic.
+
+    Args:
+        scores: proxy scores in [0, 1] for a labeled sample.
+        labels: ground-truth 0/1 labels aligned with ``scores``.
+        num_bins: number of equal-width score buckets.
+
+    Returns:
+        A :class:`CalibrationReport`.
+
+    Raises:
+        ValueError: for misaligned inputs or a non-positive bin count.
+    """
+    a = np.asarray(scores, dtype=float)
+    o = np.asarray(labels, dtype=float)
+    if a.shape != o.shape or a.ndim != 1:
+        raise ValueError(f"scores and labels must be aligned 1-D arrays, got {a.shape}, {o.shape}")
+    if num_bins <= 0:
+        raise ValueError(f"num_bins must be positive, got {num_bins}")
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    # Right-closed last bin so score 1.0 lands in the top bucket.
+    which = np.clip(np.digitize(a, edges[1:-1], right=False), 0, num_bins - 1)
+
+    counts = np.bincount(which, minlength=num_bins).astype(int)
+    positive = np.bincount(which, weights=o, minlength=num_bins)
+    score_sums = np.bincount(which, weights=a, minlength=num_bins)
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rates = np.where(counts > 0, positive / np.maximum(counts, 1), np.nan)
+        mean_scores = np.where(counts > 0, score_sums / np.maximum(counts, 1), np.nan)
+
+    occupied = counts > 0
+    if occupied.any():
+        gaps = np.abs(mean_scores[occupied] - rates[occupied])
+        ece = float(np.average(gaps, weights=counts[occupied]))
+    else:  # pragma: no cover - empty input is rejected upstream
+        ece = 0.0
+
+    return CalibrationReport(
+        bin_edges=edges,
+        match_rates=rates,
+        counts=counts,
+        expected_calibration_error=ece,
+    )

@@ -1,0 +1,249 @@
+"""Importance-sampling algorithms (Section 5.3 of the paper).
+
+The IS-CI estimators replace uniform sampling with defensive
+importance sampling weighted by ``sqrt(A(x))`` (optimal for calibrated
+proxies by Theorem 1), concentrating oracle labels on the records that
+carry information about the threshold:
+
+- **IS-CI-R** (Algorithm 4): weighted recall-target estimation, using
+  the same inflated-target construction as Algorithm 2 but over
+  reweighted samples.
+- **IS-CI-P one-stage**: weighted version of the Algorithm 3 candidate
+  scan.
+- **IS-CI-P two-stage** (Algorithm 5): spends half the budget on an
+  upper bound for the number of matches ``n_match``, restricts the
+  candidate region to the top ``n_match / gamma`` proxy scores (no
+  smaller threshold can reach precision ``gamma``), and scans candidates
+  with the second half of the budget inside that region.
+
+Weight construction (exponent and defensive-mixing ratio) is exposed so
+the paper's fig11/fig12 ablations can sweep it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..bounds import ConfidenceBound
+from ..datasets import Dataset
+from ..oracle import BudgetedOracle
+from ..sampling import (
+    DEFAULT_EXPONENT,
+    DEFAULT_MIXING,
+    ess_ratio,
+    proxy_sampling_weights,
+    weighted_sample,
+)
+from .base import Selector
+from .thresholds import SELECT_EVERYTHING, max_recall_threshold
+from .types import ApproxQuery, TargetType
+from .uniform import (
+    DEFAULT_CANDIDATE_STEP,
+    conservative_recall_target,
+    minimum_positive_draws,
+    precision_candidate_scan,
+)
+
+__all__ = [
+    "ImportanceCIRecall",
+    "ImportanceCIPrecisionOneStage",
+    "ImportanceCIPrecisionTwoStage",
+]
+
+
+class _ImportanceSelector(Selector):
+    """Shared weight configuration for the IS-CI selectors."""
+
+    def __init__(
+        self,
+        query: ApproxQuery,
+        bound: ConfidenceBound | None = None,
+        weight_exponent: float = DEFAULT_EXPONENT,
+        mixing: float = DEFAULT_MIXING,
+        saturation_guard: bool = True,
+    ) -> None:
+        super().__init__(query, bound)
+        self.weight_exponent = weight_exponent
+        self.mixing = mixing
+        self.saturation_guard = saturation_guard
+
+    def _weights(self, dataset: Dataset) -> np.ndarray:
+        return proxy_sampling_weights(
+            dataset.proxy_scores, exponent=self.weight_exponent, mixing=self.mixing
+        )
+
+
+class ImportanceCIRecall(_ImportanceSelector):
+    """IS-CI-R: importance sampling with recall guarantees (Algorithm 4).
+
+    With ``weight_exponent=0.5`` this is the paper's SUPG method; with
+    ``weight_exponent=1.0`` it is the "Importance, prop" baseline of
+    Figure 8, and the fig12 ablation sweeps the exponent.
+    """
+
+    name = "is-ci-r"
+    target_type = TargetType.RECALL
+
+    def _estimate_tau(
+        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    ) -> tuple[float, Mapping[str, object]]:
+        weights = self._weights(dataset)
+        sample = weighted_sample(weights, self.query.budget, rng)
+        labels = oracle.query(sample.indices)
+        scores = dataset.proxy_scores[sample.indices]
+        mass = sample.mass
+
+        tau_hat = max_recall_threshold(scores, labels, mass, self.query.gamma)
+        if tau_hat == SELECT_EVERYTHING:
+            return SELECT_EVERYTHING, {"gamma_prime": 1.0, "tau_hat": tau_hat}
+
+        gamma_prime = conservative_recall_target(
+            scores, labels, mass, tau_hat, self.query.delta, self.bound
+        )
+        positive_draws = int(np.sum(labels > 0))
+        if (
+            self.saturation_guard
+            and gamma_prime >= 1.0 - 1e-9
+            and positive_draws < minimum_positive_draws(self.query.gamma, self.query.delta)
+        ):
+            # Saturation guard (see minimum_positive_draws): with too few
+            # positive draws, "keep every sampled positive" alone would
+            # exceed the failure budget, so return everything instead.
+            return SELECT_EVERYTHING, {
+                "gamma_prime": gamma_prime,
+                "tau_hat": tau_hat,
+                "saturation_guard": True,
+                "positive_draws": positive_draws,
+            }
+        tau = max_recall_threshold(scores, labels, mass, gamma_prime)
+        return tau, {
+            "gamma_prime": gamma_prime,
+            "tau_hat": tau_hat,
+            "positive_draws": positive_draws,
+            "ess_ratio": ess_ratio(mass),
+        }
+
+
+class ImportanceCIPrecisionOneStage(_ImportanceSelector):
+    """One-stage weighted precision-target estimation.
+
+    The full budget is importance-sampled from the whole dataset and
+    fed to the candidate scan of Algorithm 3 with reweighted precision
+    bounds.  Compared in Figure 7 against the two-stage method.
+    """
+
+    name = "is-ci-p-one-stage"
+    target_type = TargetType.PRECISION
+
+    def __init__(
+        self,
+        query: ApproxQuery,
+        bound: ConfidenceBound | None = None,
+        weight_exponent: float = DEFAULT_EXPONENT,
+        mixing: float = DEFAULT_MIXING,
+        step: int = DEFAULT_CANDIDATE_STEP,
+    ) -> None:
+        super().__init__(query, bound, weight_exponent, mixing)
+        if step <= 0:
+            raise ValueError(f"candidate step must be positive, got {step}")
+        self.step = step
+
+    def _estimate_tau(
+        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    ) -> tuple[float, Mapping[str, object]]:
+        weights = self._weights(dataset)
+        sample = weighted_sample(weights, self.query.budget, rng)
+        labels = oracle.query(sample.indices)
+        scores = dataset.proxy_scores[sample.indices]
+        tau, details = precision_candidate_scan(
+            scores,
+            labels,
+            sample.mass,
+            gamma=self.query.gamma,
+            delta=self.query.delta,
+            bound=self.bound,
+            step=self.step,
+        )
+        return tau, details
+
+
+class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
+    """IS-CI-P: two-stage weighted precision estimation (Algorithm 5).
+
+    Stage 1 (half the budget) upper-bounds the number of matching
+    records ``n_match`` at level ``delta / 2``; any threshold below the
+    ``ceil(n_match / gamma)``-th highest proxy score then provably
+    cannot reach precision ``gamma``, so stage 2 (the other half)
+    samples only from that top region and runs the candidate scan with
+    the remaining ``delta / 2`` failure budget.
+    """
+
+    name = "is-ci-p"
+    target_type = TargetType.PRECISION
+
+    def __init__(
+        self,
+        query: ApproxQuery,
+        bound: ConfidenceBound | None = None,
+        weight_exponent: float = DEFAULT_EXPONENT,
+        mixing: float = DEFAULT_MIXING,
+        step: int = DEFAULT_CANDIDATE_STEP,
+    ) -> None:
+        super().__init__(query, bound, weight_exponent, mixing)
+        if step <= 0:
+            raise ValueError(f"candidate step must be positive, got {step}")
+        if query.budget < 2:
+            raise ValueError("the two-stage algorithm needs a budget of at least 2")
+        self.step = step
+
+    def _estimate_tau(
+        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    ) -> tuple[float, Mapping[str, object]]:
+        stage1_budget = self.query.budget // 2
+        stage2_budget = self.query.budget - stage1_budget
+        weights = self._weights(dataset)
+
+        # Stage 1: importance-sampled upper bound on the match count.
+        stage1 = weighted_sample(weights, stage1_budget, rng)
+        labels1 = oracle.query(stage1.indices)
+        z = labels1 * stage1.mass
+        match_rate_ub = self.bound.upper(z, self.query.delta / 2.0)
+        n_match_ub = dataset.size * max(match_rate_ub, 0.0)
+
+        # Thresholds below the (n_match / gamma)-th highest score cannot
+        # reach precision gamma even if every match lands above them.
+        cut_rank = min(dataset.size, max(1, math.ceil(n_match_ub / self.query.gamma)))
+        sorted_desc = np.sort(dataset.proxy_scores)[::-1]
+        tau_min = float(sorted_desc[cut_rank - 1])
+        region = np.flatnonzero(dataset.proxy_scores >= tau_min)
+
+        # Stage 2: candidate scan over a weighted sample from the region.
+        # Reweighting is relative to uniform-over-region, which preserves
+        # precision estimands because {A >= tau} is a subset of the
+        # region for every candidate tau >= tau_min.
+        region_weights = weights[region]
+        region_sample = weighted_sample(region_weights, stage2_budget, rng)
+        sampled_global = region[region_sample.indices]
+        labels2 = oracle.query(sampled_global)
+        scores2 = dataset.proxy_scores[sampled_global]
+
+        tau, scan_details = precision_candidate_scan(
+            scores2,
+            labels2,
+            region_sample.mass,
+            gamma=self.query.gamma,
+            delta=self.query.delta / 2.0,
+            bound=self.bound,
+            step=self.step,
+        )
+        tau = max(tau, tau_min)
+        details = {
+            "n_match_upper_bound": n_match_ub,
+            "tau_min": tau_min,
+            "region_size": int(region.size),
+            **scan_details,
+        }
+        return tau, details

@@ -1,0 +1,201 @@
+"""Multiple proxy models (Section 8 of the paper, future work).
+
+The paper develops SUPG for a single proxy and names multi-proxy
+support as future work: "many scenarios naturally can have multiple
+proxy models ... we believe these algorithms can improve statistical
+rates relative to single proxy models".  The autonomous-vehicle use
+case (Section 2.2) is explicit: camera-based detections plus LIDAR
+detections.
+
+This module implements the natural composition: fuse the K proxy score
+vectors into a single score, then run the unmodified SUPG machinery on
+the fused score.  Because SUPG's *validity* never depends on proxy
+quality, any fusion rule preserves the guarantees; fusion only affects
+sample efficiency, which is exactly where a second proxy can help.
+
+Fusers:
+
+- :class:`MeanFuser` / :class:`MaxFuser`: label-free baselines.
+- :class:`LogisticFuser`: pilot-trained stacking — a logistic
+  regression on the proxies' logits (pure numpy Newton-Raphson), which
+  both weighs proxies by usefulness and recalibrates the output, the
+  property Theorem 1 wants.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import Dataset
+from ..oracle import BudgetedOracle
+from ..sampling import uniform_sample
+
+__all__ = [
+    "ProxyFuser",
+    "MeanFuser",
+    "MaxFuser",
+    "LogisticFuser",
+    "fuse_proxies",
+]
+
+_EPS = 1e-7
+
+
+def _validate_matrix(proxy_scores: np.ndarray) -> np.ndarray:
+    scores = np.asarray(proxy_scores, dtype=float)
+    if scores.ndim != 2 or scores.shape[1] == 0 or scores.shape[0] == 0:
+        raise ValueError(
+            f"proxy_scores must be a (records x proxies) matrix, got shape {scores.shape}"
+        )
+    if np.any(scores < 0) or np.any(scores > 1):
+        raise ValueError("proxy scores must lie in [0, 1]")
+    return scores
+
+
+class ProxyFuser(abc.ABC):
+    """Combine a (records x proxies) score matrix into one score vector."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def fuse(self, proxy_scores: np.ndarray) -> np.ndarray:
+        """Return the fused scores in [0, 1], one per record."""
+
+
+class MeanFuser(ProxyFuser):
+    """Unweighted average of the proxies — the label-free default."""
+
+    name = "mean"
+
+    def fuse(self, proxy_scores: np.ndarray) -> np.ndarray:
+        return _validate_matrix(proxy_scores).mean(axis=1)
+
+
+class MaxFuser(ProxyFuser):
+    """Maximum over proxies — a recall-oriented OR of the detectors.
+
+    Appropriate when each proxy covers a different modality (e.g. the
+    paper's camera + LIDAR example) and a record matching *either*
+    detector is likely a true match.
+    """
+
+    name = "max"
+
+    def fuse(self, proxy_scores: np.ndarray) -> np.ndarray:
+        return _validate_matrix(proxy_scores).max(axis=1)
+
+
+@dataclass
+class LogisticFuser(ProxyFuser):
+    """Pilot-trained logistic stacking of proxy logits.
+
+    Fits ``p = sigmoid(sum_k w_k logit(a_k) + b)`` by Newton-Raphson on
+    a labeled pilot.  An uninformative proxy gets weight ~0, an
+    anti-correlated one a negative weight — so fusion is robust to one
+    of the proxies being broken, which simple averaging is not.
+
+    Attributes:
+        max_iter: Newton iteration cap.
+        tol: convergence threshold on the step norm.
+        l2: ridge term keeping the Hessian well-conditioned.
+    """
+
+    name = "logistic"
+    max_iter: int = 100
+    tol: float = 1e-8
+    l2: float = 1e-3
+    coef_: np.ndarray | None = None
+
+    @staticmethod
+    def _features(scores: np.ndarray) -> np.ndarray:
+        logits = np.log(np.clip(scores, _EPS, 1 - _EPS) / (1 - np.clip(scores, _EPS, 1 - _EPS)))
+        return np.column_stack([logits, np.ones(scores.shape[0])])
+
+    def fit(self, proxy_scores: np.ndarray, labels: np.ndarray) -> "LogisticFuser":
+        """Fit stacking weights on a labeled pilot sample.
+
+        Args:
+            proxy_scores: (pilot x proxies) score matrix.
+            labels: 0/1 pilot labels.
+        """
+        scores = _validate_matrix(proxy_scores)
+        y = np.asarray(labels, dtype=float)
+        if y.shape != (scores.shape[0],):
+            raise ValueError("labels must align with the pilot rows")
+
+        features = self._features(scores)
+        coef = np.zeros(features.shape[1])
+        for _ in range(self.max_iter):
+            z = features @ coef
+            p = 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+            gradient = features.T @ (p - y) + self.l2 * coef
+            s = p * (1.0 - p)
+            hessian = (features * s[:, None]).T @ features + self.l2 * np.eye(coef.size)
+            try:
+                step = np.linalg.solve(hessian, gradient)
+            except np.linalg.LinAlgError:  # pragma: no cover - l2 prevents this
+                break
+            coef -= step
+            if float(np.abs(step).sum()) < self.tol:
+                break
+        self.coef_ = coef
+        return self
+
+    def fuse(self, proxy_scores: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("LogisticFuser.fuse called before fit")
+        scores = _validate_matrix(proxy_scores)
+        z = self._features(scores) @ self.coef_
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+
+
+def fuse_proxies(
+    dataset: Dataset,
+    proxy_scores: np.ndarray,
+    fuser: ProxyFuser | None = None,
+    oracle: BudgetedOracle | None = None,
+    pilot_size: int = 0,
+    rng: np.random.Generator | None = None,
+) -> Dataset:
+    """Build a single-proxy workload from a multi-proxy score matrix.
+
+    For label-free fusers (mean, max), just applies the fusion.  For
+    trainable fusers (logistic), draws a uniform pilot of
+    ``pilot_size`` records, labels it through the budgeted oracle, and
+    fits before fusing.  The returned dataset plugs directly into any
+    SUPG selector.
+
+    Args:
+        dataset: workload supplying ground truth (its own proxy_scores
+            are ignored in favor of the matrix).
+        proxy_scores: (records x proxies) score matrix.
+        fuser: fusion rule; defaults to :class:`MeanFuser`.
+        oracle: required when the fuser needs fitting.
+        pilot_size: pilot labels for trainable fusers.
+        rng: randomness for the pilot draw.
+
+    Returns:
+        A dataset whose proxy scores are the fused vector.
+    """
+    scores = _validate_matrix(proxy_scores)
+    if scores.shape[0] != dataset.size:
+        raise ValueError(
+            f"score matrix has {scores.shape[0]} rows for a dataset of {dataset.size} records"
+        )
+    if fuser is None:
+        fuser = MeanFuser()
+
+    if isinstance(fuser, LogisticFuser) and fuser.coef_ is None:
+        if oracle is None or pilot_size <= 0 or rng is None:
+            raise ValueError(
+                "a trainable fuser needs an oracle, a positive pilot_size, and an rng"
+            )
+        pilot = uniform_sample(dataset.size, pilot_size, rng, replace=False)
+        labels = oracle.query(pilot)
+        fuser.fit(scores[pilot], labels)
+
+    fused = np.clip(fuser.fuse(scores), 0.0, 1.0)
+    return dataset.with_scores(fused, name=f"{dataset.name}|fused-{fuser.name}")

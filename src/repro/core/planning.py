@@ -1,0 +1,155 @@
+"""Oracle-budget planning (Section 8 of the paper, future work).
+
+The paper analyzes its algorithms asymptotically and names
+finite-sample complexity as future work.  This module provides the
+practical half of that program: *before* spending the oracle budget,
+estimate how large it must be for the SUPG machinery to produce a
+non-trivial result.
+
+The binding finite-sample constraint for recall-target queries is the
+positive-draw count (see
+:func:`repro.core.uniform.minimum_positive_draws`): the estimator needs
+roughly ``log(delta)/log(gamma)`` positive draws before any threshold
+can be certified, and useful quality needs a multiple of that.  Given
+the (cheap, always available) proxy scores, the expected positive
+fraction of a weighted draw is computable in closed form for a
+calibrated proxy — ``q = sum_x w(x) A(x)`` — so the planner inverts it.
+
+For precision-target queries, the binding constraint is the candidate
+scan: at least one full candidate step of labels must land above the
+eventual threshold, and the per-candidate confidence level
+``delta / M`` must leave the normal bound non-vacuous.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sampling import DEFAULT_EXPONENT, DEFAULT_MIXING, proxy_sampling_weights
+from .types import ApproxQuery, TargetType
+from .uniform import DEFAULT_CANDIDATE_STEP, minimum_positive_draws
+
+__all__ = ["BudgetPlan", "plan_budget", "expected_positive_fraction"]
+
+
+def expected_positive_fraction(
+    proxy_scores: np.ndarray,
+    exponent: float = DEFAULT_EXPONENT,
+    mixing: float = DEFAULT_MIXING,
+) -> float:
+    """Expected fraction of weighted draws that hit a true positive.
+
+    Treats the proxy as calibrated (``Pr[O=1|A] = A``), which is the
+    same assumption under which the sqrt weights are optimal; the
+    planner's callers should recalibrate first (:mod:`repro.calibrate`)
+    when the proxy is known to be skewed.
+
+    ``exponent=0`` with ``mixing=0`` gives the uniform-sampling rate,
+    i.e. the dataset's (estimated) true-positive rate.
+    """
+    scores = np.asarray(proxy_scores, dtype=float)
+    weights = proxy_sampling_weights(scores, exponent=exponent, mixing=mixing)
+    return float(np.sum(weights * scores))
+
+
+@dataclass(frozen=True)
+class BudgetPlan:
+    """A planner's answer: the budget and the reasoning behind it.
+
+    Attributes:
+        recommended_budget: smallest budget the planner considers safe.
+        minimum_budget: hard floor below which the algorithm returns
+            only trivial results (whole dataset / labeled positives).
+        expected_positive_draws: positives the recommended budget is
+            expected to label.
+        positive_fraction: expected per-draw positive probability under
+            the planned sampling weights.
+        rationale: one-line human-readable explanation.
+    """
+
+    recommended_budget: int
+    minimum_budget: int
+    expected_positive_draws: float
+    positive_fraction: float
+    rationale: str
+
+    def sufficient(self, budget: int) -> bool:
+        """Whether a proposed budget meets the recommended level."""
+        return budget >= self.recommended_budget
+
+
+def plan_budget(
+    query: ApproxQuery,
+    proxy_scores: np.ndarray,
+    exponent: float = DEFAULT_EXPONENT,
+    mixing: float = DEFAULT_MIXING,
+    safety_factor: float = 3.0,
+    step: int = DEFAULT_CANDIDATE_STEP,
+) -> BudgetPlan:
+    """Estimate the oracle budget a query needs.
+
+    Args:
+        query: the RT or PT query (its ``budget`` field is ignored —
+            this function exists to choose it).
+        proxy_scores: full score vector (cheap to compute, per §4.1).
+        exponent, mixing: the sampling-weight configuration the
+            selector will use.
+        safety_factor: multiple of the bare minimum to recommend;
+            covers draw variance and the quality (not just validity)
+            of the result.
+        step: candidate step of the PT scan.
+
+    Returns:
+        A :class:`BudgetPlan`.
+    """
+    if safety_factor < 1.0:
+        raise ValueError(f"safety_factor must be >= 1, got {safety_factor}")
+    q = expected_positive_fraction(proxy_scores, exponent=exponent, mixing=mixing)
+
+    if query.target_type is TargetType.RECALL:
+        k_min = minimum_positive_draws(query.gamma, query.delta)
+        if math.isinf(k_min) or q <= 0.0:
+            return BudgetPlan(
+                recommended_budget=int(np.asarray(proxy_scores).size),
+                minimum_budget=int(np.asarray(proxy_scores).size),
+                expected_positive_draws=0.0,
+                positive_fraction=q,
+                rationale=(
+                    "gamma=1 (or a proxy with no positive mass) cannot be certified "
+                    "from samples; only exhaustive labeling guarantees full recall"
+                ),
+            )
+        minimum = math.ceil(k_min / q)
+        recommended = math.ceil(safety_factor * minimum)
+        rationale = (
+            f"recall target {query.gamma} at delta {query.delta} needs >= {k_min:.0f} "
+            f"positive draws; expected positive fraction per draw is {q:.4f}"
+        )
+    else:
+        # PT: the scan needs at least one candidate step of labels in the
+        # high-score region, and the two-stage split halves the budget.
+        minimum = 2 * step
+        # Enough retained labels that a perfect retained sample can
+        # certify precision gamma at level delta/M: width ~ sqrt(2
+        # log(M/delta)/n) must fit inside (1 - gamma).
+        margin = max(1.0 - query.gamma, 1e-3)
+        n_certify = math.ceil(2.0 * math.log(10.0 / query.delta) / margin**2)
+        minimum = max(minimum, 2 * n_certify)
+        recommended = math.ceil(safety_factor * minimum)
+        rationale = (
+            f"precision target {query.gamma} at delta {query.delta} needs ~{n_certify} "
+            f"retained labels per certified candidate (margin {margin:.2f}), with the "
+            f"two-stage split doubling the total"
+        )
+
+    expected_positives = recommended * q
+    return BudgetPlan(
+        recommended_budget=recommended,
+        minimum_budget=minimum,
+        expected_positive_draws=expected_positives,
+        positive_fraction=q,
+        rationale=rationale,
+    )

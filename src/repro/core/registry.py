@@ -1,0 +1,74 @@
+"""Selector registry: map the paper's method names to implementations.
+
+The evaluation section compares methods by short names (U-NoCI, U-CI,
+SUPG / IS-CI, one-stage, prop).  This registry lets experiment drivers
+and the query engine construct selectors from those names.
+"""
+
+from __future__ import annotations
+
+from .base import Selector
+from .baselines import UniformNoCIPrecision, UniformNoCIRecall
+from .importance import (
+    ImportanceCIPrecisionOneStage,
+    ImportanceCIPrecisionTwoStage,
+    ImportanceCIRecall,
+)
+from .types import ApproxQuery, TargetType
+from .uniform import UniformCIPrecision, UniformCIRecall
+
+__all__ = ["available_selectors", "make_selector", "default_selector"]
+
+_RECALL_SELECTORS: dict[str, type[Selector]] = {
+    UniformNoCIRecall.name: UniformNoCIRecall,
+    UniformCIRecall.name: UniformCIRecall,
+    ImportanceCIRecall.name: ImportanceCIRecall,
+}
+
+_PRECISION_SELECTORS: dict[str, type[Selector]] = {
+    UniformNoCIPrecision.name: UniformNoCIPrecision,
+    UniformCIPrecision.name: UniformCIPrecision,
+    ImportanceCIPrecisionOneStage.name: ImportanceCIPrecisionOneStage,
+    ImportanceCIPrecisionTwoStage.name: ImportanceCIPrecisionTwoStage,
+}
+
+
+def available_selectors(target_type: TargetType | str | None = None) -> tuple[str, ...]:
+    """Names of registered selectors, optionally filtered by query type."""
+    if target_type is None:
+        return tuple(sorted({**_RECALL_SELECTORS, **_PRECISION_SELECTORS}))
+    target = TargetType(target_type)
+    table = _RECALL_SELECTORS if target is TargetType.RECALL else _PRECISION_SELECTORS
+    return tuple(sorted(table))
+
+
+def make_selector(name: str, query: ApproxQuery, **kwargs) -> Selector:
+    """Construct a selector by registry name for the given query.
+
+    Args:
+        name: a method name such as ``"is-ci-r"`` or ``"u-ci-p"``.
+        query: the query; its target type must match the method's.
+        **kwargs: forwarded to the selector constructor (``bound``,
+            ``weight_exponent``, ``mixing``, ``step``...).
+
+    Raises:
+        KeyError: unknown method name.
+        ValueError: method/query target-type mismatch (raised by the
+            selector constructor).
+    """
+    table = {**_RECALL_SELECTORS, **_PRECISION_SELECTORS}
+    try:
+        cls = table[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown selector {name!r}; available: {', '.join(available_selectors())}"
+        ) from None
+    return cls(query, **kwargs)
+
+
+def default_selector(query: ApproxQuery, **kwargs) -> Selector:
+    """The SUPG method for a query type: IS-CI-R for RT, two-stage
+    IS-CI-P for PT — the configurations the paper labels "SUPG"."""
+    if query.target_type is TargetType.RECALL:
+        return ImportanceCIRecall(query, **kwargs)
+    return ImportanceCIPrecisionTwoStage(query, **kwargs)

@@ -1,0 +1,234 @@
+"""Threshold-curve machinery shared by every SUPG selector.
+
+All SUPG algorithms reduce to choosing a proxy-score threshold ``tau``
+from a labeled sample.  This module implements the curve computations
+they share:
+
+- :func:`max_recall_threshold`: the largest ``tau`` whose (reweighted)
+  sample recall still meets a target — used by the RT algorithms
+  (Algorithms 2 and 4 of the paper);
+- :func:`min_precision_threshold`: the smallest ``tau`` whose empirical
+  sample precision meets a target — used by the no-guarantee PT
+  baseline (U-NoCI-P, Equation 5);
+- :func:`precision_lower_bound`: a high-probability lower bound on the
+  *population* precision of the records above a threshold, valid for
+  both uniform and importance samples — the candidate test inside
+  Algorithms 3 and 5.
+
+Samples are represented as aligned arrays ``(scores, labels, mass)``
+where ``mass`` holds the reweighting factors ``m(x) = u(x) / w(x)``
+(all ones for uniform samples), so one code path serves both sampling
+regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bounds import ConfidenceBound
+
+__all__ = [
+    "SELECT_NOTHING",
+    "SELECT_EVERYTHING",
+    "max_recall_threshold",
+    "min_precision_threshold",
+    "precision_lower_bound",
+    "empirical_recall",
+    "empirical_precision",
+]
+
+#: Threshold above every score: ``D(tau)`` is empty.
+SELECT_NOTHING = float("inf")
+
+#: Threshold below every score: ``D(tau)`` is the whole dataset.
+SELECT_EVERYTHING = 0.0
+
+
+def _validate_sample(
+    scores: np.ndarray, labels: np.ndarray, mass: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    a = np.asarray(scores, dtype=float)
+    o = np.asarray(labels, dtype=float)
+    m = np.asarray(mass, dtype=float)
+    if not (a.shape == o.shape == m.shape) or a.ndim != 1:
+        raise ValueError(
+            f"scores, labels, mass must be aligned 1-D arrays, "
+            f"got {a.shape}, {o.shape}, {m.shape}"
+        )
+    return a, o, m
+
+
+def empirical_recall(
+    scores: np.ndarray, labels: np.ndarray, mass: np.ndarray, tau: float
+) -> float:
+    """Reweighted sample recall at threshold ``tau`` (Equation 11)."""
+    a, o, m = _validate_sample(scores, labels, mass)
+    denom = float(np.sum(o * m))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum((a >= tau) * o * m) / denom)
+
+
+def empirical_precision(
+    scores: np.ndarray, labels: np.ndarray, mass: np.ndarray, tau: float
+) -> float:
+    """Reweighted sample precision at threshold ``tau`` (Equation 12)."""
+    a, o, m = _validate_sample(scores, labels, mass)
+    above = a >= tau
+    denom = float(np.sum(above * m))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(above * o * m) / denom)
+
+
+def max_recall_threshold(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    mass: np.ndarray,
+    gamma: float,
+) -> float:
+    """``max{tau : Recall_S(tau) >= gamma}`` over the sample.
+
+    The recall curve is a decreasing step function of ``tau`` with steps
+    only at positive-sample scores, so the maximizer is the score of the
+    k-th highest positive where the cumulative (weighted) positive mass
+    first reaches ``gamma`` of the total.
+
+    Degenerate cases are resolved in the *safe* direction for recall
+    guarantees: with no sampled positives the curve is identically 1 but
+    carries no information, so we return :data:`SELECT_EVERYTHING`
+    (recall of the full dataset is always 1); a ``gamma`` above 1 is
+    unattainable and also maps to :data:`SELECT_EVERYTHING`.
+
+    Args:
+        scores: sampled proxy scores.
+        labels: sampled oracle labels.
+        mass: reweighting factors (ones for uniform samples).
+        gamma: recall target, typically in (0, 1].
+
+    Returns:
+        The maximizing threshold.
+    """
+    a, o, m = _validate_sample(scores, labels, mass)
+    if gamma > 1.0:
+        return SELECT_EVERYTHING
+    positive = o > 0
+    pos_scores = a[positive]
+    pos_mass = m[positive]
+    if pos_scores.size == 0 or float(pos_mass.sum()) == 0.0:
+        return SELECT_EVERYTHING
+    if gamma <= 0.0:
+        return SELECT_NOTHING
+
+    order = np.argsort(pos_scores)[::-1]
+    sorted_scores = pos_scores[order]
+    cum = np.cumsum(pos_mass[order])
+    total = cum[-1]
+    # First index where the retained positive mass reaches gamma * total.
+    # A tiny relative tolerance absorbs floating-point round-off so that
+    # e.g. gamma=1.0 never overshoots past the last positive.
+    target = gamma * total * (1.0 - 1e-12)
+    k = int(np.searchsorted(cum, target, side="left"))
+    k = min(k, sorted_scores.size - 1)
+    return float(sorted_scores[k])
+
+
+def min_precision_threshold(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    gamma: float,
+) -> float:
+    """``min{tau : Precision_S(tau) >= gamma}`` over a uniform sample.
+
+    Precision is not monotone in ``tau``, so the curve is evaluated at
+    every sampled score (every point where it can change) and the
+    smallest qualifying score is returned.  If no threshold meets the
+    target — e.g. even the single highest-scored sample is a negative —
+    :data:`SELECT_NOTHING` is returned, matching the PT semantics where
+    the empty set is always valid.
+
+    This is the no-guarantee baseline rule (Equation 5); the guaranteed
+    algorithms replace the empirical precision test with
+    :func:`precision_lower_bound`.
+    """
+    a = np.asarray(scores, dtype=float)
+    o = np.asarray(labels, dtype=float)
+    if a.shape != o.shape or a.ndim != 1:
+        raise ValueError(f"scores and labels must be aligned 1-D arrays, got {a.shape}, {o.shape}")
+    if a.size == 0:
+        return SELECT_NOTHING
+
+    order = np.argsort(a, kind="stable")
+    sorted_scores = a[order]
+    sorted_labels = o[order]
+    # Suffix counts: positives and totals among samples with score >= the
+    # i-th smallest.  Thresholding at sorted_scores[i] retains at least
+    # the suffix starting at the first occurrence of that score value.
+    suffix_pos = np.cumsum(sorted_labels[::-1])[::-1]
+    suffix_cnt = np.arange(a.size, 0, -1, dtype=float)
+    # For tied scores the threshold tau retains the whole tie group, so
+    # evaluate each distinct score at its first (lowest) position.
+    first_of_value = np.ones(a.size, dtype=bool)
+    first_of_value[1:] = sorted_scores[1:] != sorted_scores[:-1]
+    prec = suffix_pos / suffix_cnt
+    ok = (prec >= gamma) & first_of_value
+    idx = np.flatnonzero(ok)
+    if idx.size == 0:
+        return SELECT_NOTHING
+    return float(sorted_scores[idx[0]])
+
+
+def precision_lower_bound(
+    labels: np.ndarray,
+    mass: np.ndarray,
+    delta: float,
+    bound: ConfidenceBound,
+) -> float:
+    """High-probability lower bound on population precision.
+
+    For the records of a sample retained at some threshold, with labels
+    ``O(x)`` and reweighting factors ``m(x)``, the population precision
+    is ``E[O m] / E[m]``.  For uniform samples ``m`` is constant and this
+    reduces to the plain lower confidence bound on the Bernoulli mean —
+    exactly the candidate test of Algorithm 3.  For importance samples
+    we bound the ratio conservatively by ``LB(O m) / UB(m)``, splitting
+    ``delta`` across the two bounds; this mirrors the two-sided ratio
+    construction Algorithm 4 uses for recall.
+
+    Args:
+        labels: oracle labels of the retained sampled records.
+        mass: their reweighting factors.
+        delta: failure probability allocated to this candidate.
+        bound: confidence-bound method.
+
+    Returns:
+        A value in [0, 1]; 0 when the retained sample is empty.
+    """
+    o = np.asarray(labels, dtype=float)
+    m = np.asarray(mass, dtype=float)
+    if o.shape != m.shape or o.ndim != 1:
+        raise ValueError(f"labels and mass must be aligned 1-D arrays, got {o.shape}, {m.shape}")
+    if o.size == 0:
+        return 0.0
+
+    # Variance regularization: a small retained sample that happens to be
+    # all-positive has plug-in sigma = 0, which would certify precision 1
+    # from a handful of observations and silently break the delta
+    # guarantee.  Appending one pseudo-negative (weighted by the mean
+    # mass) floors the variance; the effect decays as 1/n so large
+    # samples match the paper's pseudocode exactly.
+    pseudo_mass = float(m.mean())
+    o = np.append(o, 0.0)
+    m = np.append(m, pseudo_mass)
+
+    if np.all(m == m[0]):
+        # Constant mass: the ratio is exactly the Bernoulli mean, so the
+        # full delta goes to a single bound (Algorithm 3's test).
+        lower = bound.lower(o, delta)
+        return float(np.clip(lower, 0.0, 1.0))
+
+    numerator_lb = bound.lower(o * m, delta / 2.0)
+    denominator_ub = bound.upper(m, delta / 2.0)
+    if denominator_ub <= 0.0:
+        return 0.0
+    return float(np.clip(max(numerator_lb, 0.0) / denominator_ub, 0.0, 1.0))

@@ -1,0 +1,56 @@
+"""Dataset substrate: workload container, synthetics, simulated
+real-world datasets (Table 2), and drift generators (Table 3)."""
+
+from __future__ import annotations
+
+from .base import Dataset
+from .drift import (
+    DRIFT_PAIRS,
+    apply_fog,
+    make_beta_drift_pair,
+    make_drift_pair,
+    make_imagenet_drift_pair,
+    make_night_street_drift_pair,
+)
+from .realworld import (
+    IMAGENET,
+    NIGHT_STREET,
+    ONTONOTES,
+    REAL_WORKLOADS,
+    TACRED,
+    WorkloadSpec,
+    make_imagenet,
+    make_night_street,
+    make_ontonotes,
+    make_tacred,
+    make_workload,
+)
+from .registry import EVALUATION_DATASETS, available_datasets, load_dataset
+from .synthetic import DEFAULT_BETA_SIZE, add_proxy_noise, make_beta_dataset
+
+__all__ = [
+    "Dataset",
+    "make_beta_dataset",
+    "add_proxy_noise",
+    "DEFAULT_BETA_SIZE",
+    "WorkloadSpec",
+    "IMAGENET",
+    "NIGHT_STREET",
+    "ONTONOTES",
+    "TACRED",
+    "REAL_WORKLOADS",
+    "make_workload",
+    "make_imagenet",
+    "make_night_street",
+    "make_ontonotes",
+    "make_tacred",
+    "apply_fog",
+    "make_drift_pair",
+    "make_imagenet_drift_pair",
+    "make_night_street_drift_pair",
+    "make_beta_drift_pair",
+    "DRIFT_PAIRS",
+    "available_datasets",
+    "load_dataset",
+    "EVALUATION_DATASETS",
+]

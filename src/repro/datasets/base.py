@@ -1,0 +1,114 @@
+"""Dataset container shared by all workloads.
+
+SUPG's algorithms interact with data exclusively through two arrays: the
+proxy scores ``A(x)`` (cheap, precomputed over the whole dataset, per
+Section 4.1 of the paper) and the oracle labels ``O(x)`` (expensive,
+revealed only through a budgeted oracle).  A :class:`Dataset` stores
+both; evaluation code may read ``labels`` directly to score results,
+while algorithm code must only touch labels through
+:class:`repro.oracle.BudgetedOracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Records with proxy scores and ground-truth oracle labels.
+
+    Attributes:
+        proxy_scores: array of proxy confidences ``A(x)`` in [0, 1], one
+            per record.
+        labels: array of ground-truth oracle bits ``O(x)`` in {0, 1},
+            aligned with ``proxy_scores``.
+        name: human-readable workload name (e.g. ``"imagenet"``).
+        metadata: free-form provenance (generator parameters, drift
+            descriptions) recorded so experiments are self-describing.
+    """
+
+    proxy_scores: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        scores = np.asarray(self.proxy_scores, dtype=float)
+        labels = np.asarray(self.labels)
+        if scores.ndim != 1:
+            raise ValueError(f"proxy_scores must be 1-D, got shape {scores.shape}")
+        if scores.shape != labels.shape:
+            raise ValueError(
+                f"proxy_scores and labels must be aligned, got {scores.shape} vs {labels.shape}"
+            )
+        if scores.size == 0:
+            raise ValueError("a dataset must contain at least one record")
+        if np.any(scores < 0) or np.any(scores > 1):
+            raise ValueError("proxy scores must lie in [0, 1]")
+        if not np.all(np.isin(labels, (0, 1))):
+            raise ValueError("labels must be binary (0/1)")
+        # Normalize dtypes once; frozen dataclass requires object.__setattr__.
+        object.__setattr__(self, "proxy_scores", scores)
+        object.__setattr__(self, "labels", labels.astype(np.int8))
+
+    def __len__(self) -> int:
+        return int(self.proxy_scores.size)
+
+    @property
+    def size(self) -> int:
+        """Number of records ``|D|``."""
+        return len(self)
+
+    @property
+    def positive_count(self) -> int:
+        """Number of records matching the oracle predicate ``|O+|``."""
+        return int(self.labels.sum())
+
+    @property
+    def positive_rate(self) -> float:
+        """True-positive rate of the workload (Table 2's TPR column)."""
+        return self.positive_count / self.size
+
+    @property
+    def positive_indices(self) -> np.ndarray:
+        """Indices of the matching records ``O+``."""
+        return np.flatnonzero(self.labels == 1)
+
+    def select_above(self, tau: float) -> np.ndarray:
+        """Indices of ``D(tau) = {x : A(x) >= tau}``."""
+        return np.flatnonzero(self.proxy_scores >= tau)
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        """A new dataset restricted to ``indices`` (order preserved)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return replace(
+            self,
+            proxy_scores=self.proxy_scores[idx],
+            labels=self.labels[idx],
+            name=name if name is not None else f"{self.name}[subset]",
+        )
+
+    def with_scores(self, proxy_scores: np.ndarray, name: str | None = None) -> "Dataset":
+        """A new dataset with the same labels but replaced proxy scores.
+
+        Used by the drift generators, which corrupt the proxy while
+        keeping ground truth fixed.
+        """
+        return replace(
+            self,
+            proxy_scores=np.asarray(proxy_scores, dtype=float),
+            name=name if name is not None else self.name,
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by examples and experiment logs."""
+        return (
+            f"{self.name}: {self.size} records, "
+            f"{self.positive_count} positives ({100 * self.positive_rate:.3f}%)"
+        )

@@ -1,0 +1,173 @@
+"""Distribution-shift generators (Table 3 and Section 6.2 of the paper).
+
+The paper's model-drift study trains a fixed threshold on one dataset
+and evaluates it on a shifted one:
+
+- ImageNet -> ImageNet-C fog: the same images corrupted by synthetic
+  fog, which degrades the proxy's confidence.  We simulate fog as a
+  contraction of proxy scores toward the uninformative middle plus
+  additive noise, applied to *scores only* (ground truth is unchanged
+  because fog does not move hummingbirds).
+- night-street -> day 2: a different day of the same camera.  We
+  simulate this by regenerating the workload with perturbed
+  class-conditional parameters and a fresh seed: same scene statistics,
+  slightly different score distributions.
+- Beta(0.01, 1) -> Beta(0.01, 2): the paper's synthetic shift,
+  reproduced exactly by regenerating with the shifted parameter.
+
+Each generator returns a ``(train, test)`` pair so drift experiments
+can fit on ``train`` and evaluate on ``test``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .base import Dataset
+from .realworld import NIGHT_STREET, make_imagenet, make_night_street, make_workload
+from .synthetic import make_beta_dataset
+
+__all__ = [
+    "apply_fog",
+    "make_imagenet_drift_pair",
+    "make_night_street_drift_pair",
+    "make_beta_drift_pair",
+    "DRIFT_PAIRS",
+    "make_drift_pair",
+]
+
+
+def apply_fog(
+    dataset: Dataset,
+    severity: float = 0.35,
+    noise_std: float = 0.05,
+    hallucination_fraction: float = 0.003,
+    seed: int | np.random.Generator = 0,
+) -> Dataset:
+    """Simulate ImageNet-C fog corruption of the proxy scores.
+
+    Fog degrades a classifier in two ways.  Confidences on real content
+    move toward uncertainty — modeled as a convex contraction toward
+    0.5 plus Gaussian noise, clipped to [0, 1]:
+
+        A'(x) = clip((1 - severity) * A(x) + severity * 0.5 + noise)
+
+    and fog patches get *hallucinated* as objects, producing confident
+    false positives — modeled by re-drawing a small fraction of
+    negative records' scores from a high Beta(2, 1) component.  The
+    hallucinations are what break precision-target thresholds frozen on
+    clean data (Table 4 of the paper); the contraction is what breaks
+    recall-target ones.  Ground truth is unchanged throughout (fog does
+    not move hummingbirds).
+
+    Args:
+        dataset: the clean workload.
+        severity: contraction strength in [0, 1]; 0 is no corruption.
+        noise_std: standard deviation of the additive noise.
+        hallucination_fraction: fraction of negatives whose scores are
+            re-drawn from the confident-false-positive component.
+        seed: integer seed or generator.
+    """
+    if not (0.0 <= severity <= 1.0):
+        raise ValueError(f"severity must be in [0, 1], got {severity}")
+    if noise_std < 0:
+        raise ValueError(f"noise_std must be non-negative, got {noise_std}")
+    if not (0.0 <= hallucination_fraction <= 1.0):
+        raise ValueError(
+            f"hallucination_fraction must be in [0, 1], got {hallucination_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    shifted = (1.0 - severity) * dataset.proxy_scores + severity * 0.5
+    shifted = shifted + rng.normal(0.0, noise_std, size=dataset.size)
+    shifted = np.clip(shifted, 0.0, 1.0)
+    if hallucination_fraction > 0.0:
+        negatives = dataset.labels == 0
+        hallucinated = negatives & (rng.random(dataset.size) < hallucination_fraction)
+        n_hall = int(hallucinated.sum())
+        if n_hall:
+            shifted[hallucinated] = rng.beta(2.0, 1.0, size=n_hall)
+    return Dataset(
+        proxy_scores=shifted,
+        labels=dataset.labels,
+        name=f"{dataset.name}-fog",
+        metadata={
+            **dict(dataset.metadata),
+            "drift": "fog",
+            "severity": severity,
+            "noise_std": noise_std,
+            "hallucination_fraction": hallucination_fraction,
+        },
+    )
+
+
+def make_imagenet_drift_pair(
+    size: int | None = None,
+    seed: int = 0,
+    severity: float = 0.35,
+) -> tuple[Dataset, Dataset]:
+    """ImageNet (train) and ImageNet-C fog (test), per Table 3."""
+    clean = make_imagenet(size=size, seed=seed)
+    foggy = apply_fog(clean, severity=severity, seed=seed + 1)
+    return clean, foggy
+
+
+def make_night_street_drift_pair(
+    size: int | None = None,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """night-street day 1 (train) and day 2 (test), per Table 3.
+
+    Day 2 keeps the same scene but perturbs the class-conditional score
+    distributions: the proxy is a little less confident on positives and
+    slightly more confused by negatives (different lighting/traffic).
+    """
+    day1 = make_night_street(size=size, seed=seed)
+    day2_spec = replace(
+        NIGHT_STREET,
+        name="night-street-day2",
+        pos_alpha=NIGHT_STREET.pos_alpha * 0.8,
+        pos_beta=NIGHT_STREET.pos_beta * 1.25,
+        neg_alpha=NIGHT_STREET.neg_alpha * 1.4,
+        neg_beta=NIGHT_STREET.neg_beta * 0.85,
+    )
+    day2 = make_workload(day2_spec, size=size, seed=seed + 1)
+    return day1, day2
+
+
+def make_beta_drift_pair(
+    size: int = 100_000,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """Beta(0.01, 1) (train) shifted to Beta(0.01, 2) (test), per Table 3."""
+    train = make_beta_dataset(0.01, 1.0, size=size, seed=seed)
+    test = make_beta_dataset(0.01, 2.0, size=size, seed=seed + 1)
+    return train, test
+
+
+#: Drift scenarios keyed by the paper's Table 3 rows.
+DRIFT_PAIRS = {
+    "imagenet": make_imagenet_drift_pair,
+    "night-street": make_night_street_drift_pair,
+    "beta": make_beta_drift_pair,
+}
+
+
+def make_drift_pair(name: str, **kwargs) -> tuple[Dataset, Dataset]:
+    """Build a (train, test) drift pair by scenario name.
+
+    Args:
+        name: one of ``"imagenet"``, ``"night-street"``, ``"beta"``.
+        **kwargs: forwarded to the scenario factory (``size``, ``seed``).
+
+    Raises:
+        KeyError: for unknown scenario names.
+    """
+    try:
+        factory = DRIFT_PAIRS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown drift scenario {name!r}; available: {', '.join(sorted(DRIFT_PAIRS))}"
+        ) from None
+    return factory(**kwargs)

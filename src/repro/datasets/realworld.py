@@ -1,0 +1,252 @@
+"""Simulated real-world workloads (Table 2, rows 1-4 of the paper).
+
+The paper evaluates on two image datasets (ImageNet hummingbirds,
+night-street cars) and two text datasets (OntoNotes city relations,
+TACRED employee relations).  The raw data, human labels, and DNN proxy
+models are proprietary or too heavy for this environment, so we simulate
+each workload *at the proxy-score level* — the only interface the SUPG
+algorithms observe (see DESIGN.md, "Substitutions").
+
+Each simulated workload fixes the exact number of positives from
+Table 2 and draws proxy scores class-conditionally:
+
+    A(x) | O(x)=1  ~  Beta(pos_alpha, pos_beta)            (mass near 1)
+    A(x) | O(x)=0  ~  (1-h) Beta(neg_alpha, neg_beta)      (mass near 0)
+                      +  h  Beta(hard_alpha, hard_beta)    (hard negatives)
+
+The small *hard-negative* component models the confident false
+positives every real proxy produces (e.g. other birds scored as
+hummingbirds); without it no threshold rule could ever be
+precision-unsafe, contradicting the failure behavior the paper
+documents for naive baselines (Figures 1 and 5).  The bulk negative
+component stays sharply concentrated near zero, matching the paper's
+observation that these proxies are well calibrated and that importance
+sampling obtains "many positive draws".
+
+The induced ``Pr[O(x)=1 | A(x)=a]`` is monotone increasing in ``a``
+except for the (measure-tiny) hard-negative overlap — consistent with
+the approximate monotonicity Section 4.2 of the paper observes
+empirically for real proxies.  Component parameters are chosen per the
+paper's qualitative description of each proxy: the ImageNet ResNet-50
+proxy is sharp and highly calibrated, the night-street proxy good but
+noisier, the OntoNotes LSTM baseline weakest, and the TACRED SpanBERT
+proxy strong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Dataset
+
+__all__ = [
+    "WorkloadSpec",
+    "IMAGENET",
+    "NIGHT_STREET",
+    "ONTONOTES",
+    "TACRED",
+    "REAL_WORKLOADS",
+    "make_workload",
+    "make_imagenet",
+    "make_night_street",
+    "make_ontonotes",
+    "make_tacred",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Generative recipe for one simulated real-world workload.
+
+    Attributes:
+        name: workload name matching the paper's Table 2.
+        size: number of records at paper scale.
+        positive_count: exact number of matching records at paper scale.
+        pos_alpha, pos_beta: Beta parameters of the positive-class proxy
+            score distribution.
+        neg_alpha, neg_beta: Beta parameters of the bulk negative-class
+            proxy score distribution.
+        oracle: description of the paper's oracle (provenance only).
+        proxy: description of the paper's proxy model (provenance only).
+        task: one-line task description from Table 2.
+        hard_neg_fraction: fraction of negatives drawn from the
+            hard-negative (confident false positive) component.
+        hard_alpha, hard_beta: Beta parameters of that component.
+    """
+
+    name: str
+    size: int
+    positive_count: int
+    pos_alpha: float
+    pos_beta: float
+    neg_alpha: float
+    neg_beta: float
+    oracle: str
+    proxy: str
+    task: str
+    hard_neg_fraction: float = 0.0
+    hard_alpha: float = 2.0
+    hard_beta: float = 1.5
+
+    @property
+    def positive_rate(self) -> float:
+        """Designed true-positive rate (Table 2's TPR column)."""
+        return self.positive_count / self.size
+
+
+#: ImageNet validation set: 50 hummingbirds in 50,000 images (0.1% TPR).
+#: The ResNet-50 proxy is described as sharp and highly calibrated: the
+#: paper notes this workload is "especially favorable" to importance
+#: sampling because the proxy yields "many positive draws".  The very
+#: small neg_alpha concentrates negative scores near zero, so the
+#: sqrt-weight mass on the 49,950 negatives stays comparable to that of
+#: the 50 positives and weighted sampling reaches most true positives.
+IMAGENET = WorkloadSpec(
+    name="imagenet",
+    size=50_000,
+    positive_count=50,
+    pos_alpha=4.0,
+    pos_beta=0.7,
+    neg_alpha=0.01,
+    neg_beta=5.0,
+    oracle="Human labels",
+    proxy="ResNet-50",
+    task="Finding hummingbirds in the ImageNet validation set",
+    hard_neg_fraction=0.002,
+    hard_alpha=2.0,
+    hard_beta=1.2,
+)
+
+#: night-street video, resampled to 4% car frames.  Oracle is Mask R-CNN.
+NIGHT_STREET = WorkloadSpec(
+    name="night-street",
+    size=100_000,
+    positive_count=4_000,
+    pos_alpha=3.0,
+    pos_beta=1.2,
+    neg_alpha=0.25,
+    neg_beta=6.0,
+    oracle="Mask R-CNN",
+    proxy="ResNet-50",
+    task="Finding cars in the night-street video",
+    hard_neg_fraction=0.01,
+    hard_alpha=2.0,
+    hard_beta=1.5,
+)
+
+#: OntoNotes fine-grained entity relations, 2.5% city relations.  The
+#: LSTM baseline proxy is the weakest of the four.
+ONTONOTES = WorkloadSpec(
+    name="ontonotes",
+    size=40_000,
+    positive_count=1_000,
+    pos_alpha=1.8,
+    pos_beta=1.0,
+    neg_alpha=0.35,
+    neg_beta=5.0,
+    oracle="Human labels",
+    proxy="LSTM",
+    task="Finding city relationships",
+    hard_neg_fraction=0.015,
+    hard_alpha=1.5,
+    hard_beta=1.5,
+)
+
+#: TACRED relation extraction, 2.4% employee relations.  SpanBERT is a
+#: strong, state-of-the-art proxy.
+TACRED = WorkloadSpec(
+    name="tacred",
+    size=42_000,
+    positive_count=1_008,
+    pos_alpha=4.0,
+    pos_beta=1.0,
+    neg_alpha=0.2,
+    neg_beta=6.0,
+    oracle="Human labels",
+    proxy="SpanBERT",
+    task="Finding employees relationships",
+    hard_neg_fraction=0.008,
+    hard_alpha=2.0,
+    hard_beta=1.5,
+)
+
+#: All four simulated real-world workloads, keyed by name.
+REAL_WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (IMAGENET, NIGHT_STREET, ONTONOTES, TACRED)
+}
+
+
+def make_workload(
+    spec: WorkloadSpec,
+    size: int | None = None,
+    seed: int | np.random.Generator = 0,
+) -> Dataset:
+    """Materialize one simulated workload.
+
+    Args:
+        spec: the workload recipe.
+        size: optional override of the record count; the positive count
+            is scaled proportionally (at least one positive is kept so
+            the workload remains non-degenerate).  Tests use small sizes.
+        seed: integer seed or generator.
+
+    Returns:
+        A dataset with exactly the designed number of positives, with
+        records shuffled so indices carry no class information.
+    """
+    rng = np.random.default_rng(seed)
+    n = spec.size if size is None else size
+    if n <= 0:
+        raise ValueError(f"size must be positive, got {n}")
+    n_pos = max(1, round(n * spec.positive_rate))
+    if n_pos > n:
+        raise ValueError(f"positive count {n_pos} exceeds dataset size {n}")
+    n_neg = n - n_pos
+
+    pos_scores = rng.beta(spec.pos_alpha, spec.pos_beta, size=n_pos)
+    neg_scores = rng.beta(spec.neg_alpha, spec.neg_beta, size=n_neg)
+    if spec.hard_neg_fraction > 0.0 and n_neg > 0:
+        hard = rng.random(n_neg) < spec.hard_neg_fraction
+        n_hard = int(hard.sum())
+        if n_hard:
+            neg_scores[hard] = rng.beta(spec.hard_alpha, spec.hard_beta, size=n_hard)
+    scores = np.concatenate([pos_scores, neg_scores])
+    labels = np.concatenate([np.ones(n_pos, dtype=np.int8), np.zeros(n_neg, dtype=np.int8)])
+
+    order = rng.permutation(n)
+    return Dataset(
+        proxy_scores=scores[order],
+        labels=labels[order],
+        name=spec.name,
+        metadata={
+            "generator": "realworld",
+            "spec": spec.name,
+            "oracle": spec.oracle,
+            "proxy": spec.proxy,
+            "task": spec.task,
+            "size": n,
+            "positive_count": n_pos,
+        },
+    )
+
+
+def make_imagenet(size: int | None = None, seed: int | np.random.Generator = 0) -> Dataset:
+    """Simulated ImageNet hummingbird workload (0.1% TPR)."""
+    return make_workload(IMAGENET, size=size, seed=seed)
+
+
+def make_night_street(size: int | None = None, seed: int | np.random.Generator = 0) -> Dataset:
+    """Simulated night-street car workload (4% TPR)."""
+    return make_workload(NIGHT_STREET, size=size, seed=seed)
+
+
+def make_ontonotes(size: int | None = None, seed: int | np.random.Generator = 0) -> Dataset:
+    """Simulated OntoNotes city-relation workload (2.5% TPR)."""
+    return make_workload(ONTONOTES, size=size, seed=seed)
+
+
+def make_tacred(size: int | None = None, seed: int | np.random.Generator = 0) -> Dataset:
+    """Simulated TACRED employee-relation workload (2.4% TPR)."""
+    return make_workload(TACRED, size=size, seed=seed)

@@ -1,0 +1,79 @@
+"""Name-based dataset registry used by experiments and benchmarks.
+
+Maps the dataset names from Table 2 of the paper to generator
+functions, so experiment drivers can be written against workload names
+("imagenet", "beta(0.01,1)", ...) instead of constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import Dataset
+from .realworld import make_imagenet, make_night_street, make_ontonotes, make_tacred
+from .synthetic import make_beta_dataset
+
+__all__ = ["available_datasets", "load_dataset", "EVALUATION_DATASETS"]
+
+_Factory = Callable[..., Dataset]
+
+
+def _beta_factory(alpha: float, beta: float) -> _Factory:
+    def make(size: int | None = None, seed: int | np.random.Generator = 0) -> Dataset:
+        kwargs = {"seed": seed}
+        if size is not None:
+            kwargs["size"] = size
+        return make_beta_dataset(alpha, beta, **kwargs)
+
+    return make
+
+
+_FACTORIES: dict[str, _Factory] = {
+    "imagenet": make_imagenet,
+    "night-street": make_night_street,
+    "ontonotes": make_ontonotes,
+    "tacred": make_tacred,
+    "beta(0.01,1)": _beta_factory(0.01, 1.0),
+    "beta(0.01,2)": _beta_factory(0.01, 2.0),
+}
+
+#: The six workloads of the paper's evaluation (Table 2), in table order.
+EVALUATION_DATASETS: tuple[str, ...] = (
+    "imagenet",
+    "night-street",
+    "ontonotes",
+    "tacred",
+    "beta(0.01,1)",
+    "beta(0.01,2)",
+)
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names of all registered workloads."""
+    return tuple(sorted(_FACTORIES))
+
+
+def load_dataset(
+    name: str,
+    size: int | None = None,
+    seed: int | np.random.Generator = 0,
+) -> Dataset:
+    """Materialize a workload by name.
+
+    Args:
+        name: one of :func:`available_datasets`.
+        size: optional record-count override (smaller for tests).
+        seed: integer seed or generator.
+
+    Raises:
+        KeyError: for unknown workload names.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        ) from None
+    return factory(size=size, seed=seed)

@@ -1,0 +1,71 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each driver returns an :class:`ExperimentResult` whose ``render()``
+prints the data series behind the paper's artifact.  See DESIGN.md for
+the experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+"""
+
+from __future__ import annotations
+
+from .figures import (
+    ExperimentResult,
+    figure1,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure15,
+)
+from .io import load_result, save_result, save_results
+from .results import MethodSummary, TrialRecord, render_table, summarize_trials
+from .runner import compare_methods, run_trials, sweep
+from .tables import table4, table5
+
+__all__ = [
+    "ExperimentResult",
+    "MethodSummary",
+    "TrialRecord",
+    "summarize_trials",
+    "render_table",
+    "save_result",
+    "load_result",
+    "save_results",
+    "run_trials",
+    "compare_methods",
+    "sweep",
+    "figure1",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure15",
+    "table4",
+    "table5",
+]
+
+#: All experiment drivers keyed by the paper artifact they regenerate.
+ALL_EXPERIMENTS = {
+    "fig1": figure1,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "fig13": figure13,
+    "fig15": figure15,
+    "tab4": table4,
+    "tab5": table5,
+}

@@ -1,0 +1,79 @@
+"""Persistence for experiment results.
+
+Experiment runs are expensive (hundreds of selections); saving their
+:class:`~repro.experiments.figures.ExperimentResult` data series lets
+reports be regenerated, diffed across code versions, and archived
+alongside EXPERIMENTS.md.  Only the rows/headers are persisted — the
+raw per-trial summaries hold numpy objects and are reconstructible by
+re-running the driver with the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .figures import ExperimentResult
+
+__all__ = ["save_result", "load_result", "save_results"]
+
+_FORMAT_VERSION = 1
+
+
+def _to_jsonable(value: object) -> object:
+    """Coerce numpy scalars to plain Python for JSON serialization."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one experiment's data series as JSON.
+
+    Args:
+        result: the driver output.
+        path: destination file (parent directories are created).
+
+    Returns:
+        The written path.
+    """
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "experiment_id": result.experiment_id,
+        "description": result.description,
+        "headers": list(result.headers),
+        "rows": [[_to_jsonable(cell) for cell in row] for row in result.rows],
+    }
+    destination.write_text(json.dumps(payload, indent=2))
+    return destination
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Read an experiment's data series back from JSON.
+
+    The ``summaries`` mapping is not persisted and loads empty.
+
+    Raises:
+        ValueError: on unknown format versions or missing fields.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported experiment-file version {version!r}")
+    try:
+        return ExperimentResult(
+            experiment_id=payload["experiment_id"],
+            description=payload["description"],
+            headers=tuple(payload["headers"]),
+            rows=tuple(tuple(row) for row in payload["rows"]),
+        )
+    except KeyError as missing:
+        raise ValueError(f"experiment file is missing field {missing}") from None
+
+
+def save_results(results: dict[str, ExperimentResult], directory: str | Path) -> list[Path]:
+    """Save a batch of results as ``<directory>/<experiment_id>.json``."""
+    base = Path(directory)
+    return [save_result(result, base / f"{result.experiment_id}.json") for result in results.values()]

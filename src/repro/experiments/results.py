@@ -1,0 +1,147 @@
+"""Result records and text rendering for the experiment harness.
+
+Experiments produce :class:`MethodSummary` objects — one per (method,
+workload, target) cell — which aggregate per-trial qualities into the
+statistics the paper reports: achieved-metric quantiles (the box plots
+of Figures 5-6), mean qualities (the sweep curves of Figures 7-12), and
+empirical failure rates against the ``delta`` guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics import SelectionQuality
+
+__all__ = ["TrialRecord", "MethodSummary", "summarize_trials", "render_table"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One selection run's outcome.
+
+    Attributes:
+        method: selector registry name.
+        dataset: workload name.
+        gamma: the query target.
+        target_metric: achieved value of the *guaranteed* metric
+            (recall for RT, precision for PT).
+        quality_metric: achieved value of the *quality* metric
+            (precision for RT, recall for PT — Definition 1).
+        oracle_calls: oracle budget consumed.
+        result_size: number of returned records.
+        seed: trial seed, for reproducibility.
+    """
+
+    method: str
+    dataset: str
+    gamma: float
+    target_metric: float
+    quality_metric: float
+    oracle_calls: int
+    result_size: int
+    seed: int
+
+    @property
+    def valid(self) -> bool:
+        """Whether the guaranteed metric met the target (with a hair of
+        float tolerance, since e.g. 45/50 == 0.9 exactly)."""
+        return self.target_metric >= self.gamma - 1e-9
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """Aggregate of one method's trials at one experimental setting."""
+
+    method: str
+    dataset: str
+    gamma: float
+    trials: int
+    failure_rate: float
+    target_quantiles: tuple[float, float, float, float, float]
+    mean_quality: float
+    mean_oracle_calls: float
+    records: tuple[TrialRecord, ...] = field(repr=False, default=())
+
+    @property
+    def min_target(self) -> float:
+        """Worst achieved guaranteed metric across trials."""
+        return self.target_quantiles[0]
+
+    @property
+    def median_target(self) -> float:
+        """Median achieved guaranteed metric across trials."""
+        return self.target_quantiles[2]
+
+
+def summarize_trials(records: Sequence[TrialRecord]) -> MethodSummary:
+    """Aggregate trial records for one (method, dataset, gamma) cell."""
+    if not records:
+        raise ValueError("cannot summarize an empty trial list")
+    methods = {r.method for r in records}
+    datasets = {r.dataset for r in records}
+    gammas = {r.gamma for r in records}
+    if len(methods) != 1 or len(datasets) != 1 or len(gammas) != 1:
+        raise ValueError(
+            "summarize_trials expects records from a single (method, dataset, gamma) cell"
+        )
+    targets = np.array([r.target_metric for r in records])
+    qualities = np.array([r.quality_metric for r in records])
+    calls = np.array([r.oracle_calls for r in records], dtype=float)
+    quantiles = tuple(
+        float(q) for q in np.quantile(targets, [0.0, 0.25, 0.5, 0.75, 1.0])
+    )
+    failures = sum(1 for r in records if not r.valid)
+    return MethodSummary(
+        method=records[0].method,
+        dataset=records[0].dataset,
+        gamma=records[0].gamma,
+        trials=len(records),
+        failure_rate=failures / len(records),
+        target_quantiles=quantiles,  # type: ignore[arg-type]
+        mean_quality=float(qualities.mean()),
+        mean_oracle_calls=float(calls.mean()),
+        records=tuple(records),
+    )
+
+
+def quality_of(
+    quality: SelectionQuality, target_type: str
+) -> tuple[float, float]:
+    """Split a quality record into (guaranteed metric, quality metric).
+
+    For RT queries the guaranteed metric is recall and the quality
+    metric precision; for PT queries the reverse (Definition 1).
+    """
+    if target_type == "recall":
+        return quality.recall, quality.precision
+    if target_type == "precision":
+        return quality.precision, quality.recall
+    raise ValueError(f"unknown target type {target_type!r}")
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table (benchmark output)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for j, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if j == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,103 @@
+"""Trial runner: repeated selections with fresh randomness.
+
+The paper's headline claims are distributional — "over 100 runs, the
+naive method misses its target half the time; SUPG fails at most a
+delta fraction" — so every experiment is a loop of independent trials
+with distinct seeds.  :func:`run_trials` executes that loop for one
+method and :func:`compare_methods` for a method panel, producing the
+summaries the figure drivers render.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..core.base import Selector
+from ..core.types import ApproxQuery
+from ..datasets import Dataset
+from ..metrics import evaluate_selection
+from .results import MethodSummary, TrialRecord, quality_of, summarize_trials
+
+__all__ = ["run_trials", "compare_methods", "sweep", "SelectorFactory"]
+
+#: A factory producing a fresh selector per trial (selectors are
+#: stateless, but fresh construction keeps ablation parameters obvious).
+SelectorFactory = Callable[[], Selector]
+
+
+def run_trials(
+    factory: SelectorFactory,
+    dataset: Dataset,
+    trials: int,
+    base_seed: int = 0,
+    method_name: str | None = None,
+) -> MethodSummary:
+    """Run ``trials`` independent selections and summarize them.
+
+    Args:
+        factory: builds the selector (encodes query + ablation knobs).
+        dataset: the workload.
+        trials: number of independent runs.
+        base_seed: trial ``t`` uses seed ``base_seed + t``.
+        method_name: label for the summary; defaults to the selector's
+            registry name.
+
+    Returns:
+        A :class:`MethodSummary` over all trials.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    records = []
+    for t in range(trials):
+        selector = factory()
+        query: ApproxQuery = selector.query
+        result = selector.select(dataset, seed=base_seed + t)
+        quality = evaluate_selection(result.indices, dataset.labels)
+        target_metric, quality_metric = quality_of(quality, query.target_type.value)
+        records.append(
+            TrialRecord(
+                method=method_name or selector.name,
+                dataset=dataset.name,
+                gamma=query.gamma,
+                target_metric=target_metric,
+                quality_metric=quality_metric,
+                oracle_calls=result.oracle_calls,
+                result_size=quality.size,
+                seed=base_seed + t,
+            )
+        )
+    return summarize_trials(records)
+
+
+def compare_methods(
+    factories: Mapping[str, SelectorFactory],
+    dataset: Dataset,
+    trials: int,
+    base_seed: int = 0,
+) -> dict[str, MethodSummary]:
+    """Run a panel of methods on one workload.
+
+    Every method sees the same sequence of seeds, so differences are
+    attributable to the algorithms rather than sampling luck.
+    """
+    return {
+        label: run_trials(factory, dataset, trials, base_seed, method_name=label)
+        for label, factory in factories.items()
+    }
+
+
+def sweep(
+    factory_for_gamma: Callable[[float], SelectorFactory],
+    gammas: Sequence[float],
+    dataset: Dataset,
+    trials: int,
+    base_seed: int = 0,
+    method_name: str | None = None,
+) -> list[MethodSummary]:
+    """Run one method across a target sweep (the Figure 7/8 x-axes)."""
+    return [
+        run_trials(
+            factory_for_gamma(gamma), dataset, trials, base_seed, method_name=method_name
+        )
+        for gamma in gammas
+    ]

@@ -1,0 +1,87 @@
+"""Result-quality metrics for selection queries (Section 3 of the paper).
+
+Precision and recall of a returned set ``R`` against the true matching
+set ``O+``:
+
+    Precision(R) = |R ∩ O+| / |R|        Recall(R) = |R ∩ O+| / |O+|
+
+Conventions for degenerate cases follow the query semantics: an empty
+result is vacuously precise (precision 1) and a dataset with no
+positives is vacuously recalled (recall 1); both conventions make the
+"always valid" results of Section 3.3 (empty set for PT, full dataset
+for RT) behave as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["precision", "recall", "f1_score", "SelectionQuality", "evaluate_selection"]
+
+
+def _as_index_set(indices: np.ndarray) -> np.ndarray:
+    arr = np.asarray(indices, dtype=np.intp).ravel()
+    return np.unique(arr)
+
+
+def precision(selected: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of selected records that truly match.
+
+    Args:
+        selected: indices of the returned set ``R`` (duplicates ignored).
+        labels: full ground-truth label array over the dataset.
+    """
+    sel = _as_index_set(selected)
+    if sel.size == 0:
+        return 1.0
+    lab = np.asarray(labels)
+    return float(lab[sel].sum() / sel.size)
+
+
+def recall(selected: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of true matches that were returned."""
+    lab = np.asarray(labels)
+    total = int(lab.sum())
+    if total == 0:
+        return 1.0
+    sel = _as_index_set(selected)
+    if sel.size == 0:
+        return 0.0
+    return float(lab[sel].sum() / total)
+
+
+def f1_score(selected: np.ndarray, labels: np.ndarray) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    p = precision(selected, labels)
+    r = recall(selected, labels)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+@dataclass(frozen=True)
+class SelectionQuality:
+    """Precision/recall/size summary of one returned set."""
+
+    precision: float
+    recall: float
+    size: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of the stored precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def evaluate_selection(selected: np.ndarray, labels: np.ndarray) -> SelectionQuality:
+    """Score a returned set against ground truth."""
+    sel = _as_index_set(selected)
+    return SelectionQuality(
+        precision=precision(sel, labels),
+        recall=recall(sel, labels),
+        size=int(sel.size),
+    )

@@ -1,0 +1,26 @@
+"""Oracle substrate: budgeted label access and cost accounting."""
+
+from __future__ import annotations
+
+from .base import BudgetedOracle, BudgetExhaustedError, oracle_from_labels
+from .labeling import LabelingStats, SimulatedLabelingService
+from .cost import (
+    DATASET_COST_MODELS,
+    GPU_HOURLY_COST,
+    HUMAN_LABEL_COST,
+    CostBreakdown,
+    CostModel,
+)
+
+__all__ = [
+    "BudgetedOracle",
+    "BudgetExhaustedError",
+    "oracle_from_labels",
+    "CostModel",
+    "CostBreakdown",
+    "DATASET_COST_MODELS",
+    "HUMAN_LABEL_COST",
+    "GPU_HOURLY_COST",
+    "SimulatedLabelingService",
+    "LabelingStats",
+]

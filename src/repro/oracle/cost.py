@@ -1,0 +1,117 @@
+"""Cost model reproducing the paper's Section 6.5 / Table 5 analysis.
+
+The paper prices each pipeline component:
+
+- **oracle labels**: Scale API public price, $0.08 per human label; for
+  night-street the oracle is an expensive DNN (Mask R-CNN) priced by
+  GPU time instead;
+- **proxy inference** and **SUPG sampling/threshold computation**: AWS
+  p3.2xlarge (one V100) at $3.06/hour, multiplied by throughput.
+
+Table 5 compares SUPG's total cost against exhaustively labeling the
+entire dataset.  We reproduce the accounting with documented throughput
+constants; the absolute dollar figures depend on the authors' measured
+throughputs, but the structure (oracle cost dominates; SUPG query
+processing is negligible; SUPG is orders of magnitude below exhaustive)
+is what the table demonstrates and what our benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "CostBreakdown", "DATASET_COST_MODELS"]
+
+#: Scale API public price per human label (the paper's constant).
+HUMAN_LABEL_COST = 0.08
+
+#: AWS p3.2xlarge on-demand price per hour (the paper's constant).
+GPU_HOURLY_COST = 3.06
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollar cost of one SUPG query, itemized as in Table 5.
+
+    Attributes:
+        sampling: cost of SUPG's own query processing (CPU time for
+            sampling and threshold estimation).
+        proxy: cost of running the proxy model over the full dataset.
+        oracle: cost of the budgeted oracle labels.
+    """
+
+    sampling: float
+    proxy: float
+    oracle: float
+
+    @property
+    def total(self) -> float:
+        """Total query cost (the Table 5 "Total" column)."""
+        return self.sampling + self.proxy + self.oracle
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices one workload's pipeline components.
+
+    Attributes:
+        oracle_unit_cost: dollars per oracle label.  $0.08 for human
+            oracles; for DNN oracles, GPU seconds per record times the
+            hourly rate.
+        proxy_throughput: proxy records scored per GPU-second.
+        sampling_throughput: records processed per CPU-second by SUPG's
+            sampling + threshold estimation (it is a few numpy passes
+            over the score array, hence very high).
+    """
+
+    oracle_unit_cost: float
+    proxy_throughput: float = 2_000.0
+    sampling_throughput: float = 5_000_000.0
+
+    def oracle_cost(self, num_labels: int) -> float:
+        """Cost of ``num_labels`` oracle invocations."""
+        if num_labels < 0:
+            raise ValueError(f"num_labels must be non-negative, got {num_labels}")
+        return num_labels * self.oracle_unit_cost
+
+    def proxy_cost(self, num_records: int) -> float:
+        """Cost of scoring ``num_records`` with the proxy on a GPU."""
+        if num_records < 0:
+            raise ValueError(f"num_records must be non-negative, got {num_records}")
+        gpu_seconds = num_records / self.proxy_throughput
+        return gpu_seconds / 3600.0 * GPU_HOURLY_COST
+
+    def sampling_cost(self, num_records: int) -> float:
+        """Cost of SUPG's own query processing over ``num_records``."""
+        if num_records < 0:
+            raise ValueError(f"num_records must be non-negative, got {num_records}")
+        cpu_seconds = num_records / self.sampling_throughput
+        return cpu_seconds / 3600.0 * GPU_HOURLY_COST
+
+    def supg_query(self, num_records: int, oracle_budget: int) -> CostBreakdown:
+        """Itemized cost of a SUPG query (Table 5, SUPG columns)."""
+        return CostBreakdown(
+            sampling=self.sampling_cost(num_records),
+            proxy=self.proxy_cost(num_records),
+            oracle=self.oracle_cost(oracle_budget),
+        )
+
+    def exhaustive_cost(self, num_records: int) -> float:
+        """Cost of labeling every record (Table 5, Exhaustive column)."""
+        return self.oracle_cost(num_records)
+
+
+def _dnn_oracle_unit_cost(records_per_second: float) -> float:
+    """Per-record cost of a GPU-hosted DNN oracle (e.g. Mask R-CNN)."""
+    return GPU_HOURLY_COST / 3600.0 / records_per_second
+
+
+#: Per-dataset cost models matching Table 5's setting: human oracles for
+#: all datasets except night-street, whose oracle is Mask R-CNN at
+#: roughly 3 frames/second on a V100.
+DATASET_COST_MODELS: dict[str, CostModel] = {
+    "imagenet": CostModel(oracle_unit_cost=HUMAN_LABEL_COST),
+    "night-street": CostModel(oracle_unit_cost=_dnn_oracle_unit_cost(3.0)),
+    "ontonotes": CostModel(oracle_unit_cost=HUMAN_LABEL_COST, proxy_throughput=500.0),
+    "tacred": CostModel(oracle_unit_cost=HUMAN_LABEL_COST, proxy_throughput=150.0),
+}

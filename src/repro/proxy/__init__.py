@@ -1,0 +1,23 @@
+"""Proxy-model substrate: feature tasks, trainable models, distillation.
+
+Supports the full deployment pipeline of the paper's Section 4.1:
+features -> oracle-labeled training sample -> small proxy model ->
+proxy scores -> SUPG selection, all under one oracle budget.
+"""
+
+from __future__ import annotations
+
+from .features import FeatureDataset, make_gaussian_task, make_temporal_task
+from .models import LogisticProxy, MlpProxy
+from .training import ProxyModel, TrainedProxy, train_proxy
+
+__all__ = [
+    "FeatureDataset",
+    "make_gaussian_task",
+    "make_temporal_task",
+    "LogisticProxy",
+    "MlpProxy",
+    "ProxyModel",
+    "TrainedProxy",
+    "train_proxy",
+]

@@ -1,0 +1,149 @@
+"""Trainable proxy models (pure numpy).
+
+Small models standing in for the paper's proxy networks (ResNet-50,
+LSTM, SpanBERT): cheap to evaluate over the whole dataset, trained on a
+limited number of oracle labels.  Two capacities:
+
+- :class:`LogisticProxy`: linear logistic regression fit by
+  Newton-Raphson — the "specialized model" at its smallest;
+- :class:`MlpProxy`: one-hidden-layer network with tanh units trained
+  by full-batch gradient descent with momentum — enough capacity for
+  non-linear tasks while staying dependency-free and fast.
+
+Both expose ``fit(X, y)`` / ``predict_proba(X)`` and produce scores in
+[0, 1] ready to serve as SUPG's ``A(x)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LogisticProxy", "MlpProxy"]
+
+
+def _validate_xy(features: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(features, dtype=float)
+    y = np.asarray(labels, dtype=float)
+    if x.ndim != 2 or y.shape != (x.shape[0],):
+        raise ValueError(
+            f"features must be (n x d) with aligned labels, got {x.shape} and {y.shape}"
+        )
+    if x.shape[0] == 0:
+        raise ValueError("cannot fit a proxy on an empty training set")
+    return x, y
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+
+
+@dataclass
+class LogisticProxy:
+    """L2-regularized logistic regression via Newton-Raphson.
+
+    Attributes:
+        l2: ridge strength (also keeps the Hessian invertible).
+        max_iter: Newton iteration cap.
+        tol: convergence threshold on the step norm.
+    """
+
+    l2: float = 1e-3
+    max_iter: int = 50
+    tol: float = 1e-8
+    coef_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticProxy":
+        """Fit on oracle-labeled training records."""
+        x, y = _validate_xy(features, labels)
+        design = np.column_stack([x, np.ones(x.shape[0])])
+        coef = np.zeros(design.shape[1])
+        for _ in range(self.max_iter):
+            p = _sigmoid(design @ coef)
+            gradient = design.T @ (p - y) + self.l2 * coef
+            s = np.clip(p * (1 - p), 1e-9, None)
+            hessian = (design * s[:, None]).T @ design + self.l2 * np.eye(coef.size)
+            step = np.linalg.solve(hessian, gradient)
+            coef -= step
+            if float(np.abs(step).sum()) < self.tol:
+                break
+        self.coef_ = coef
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Score records; returns probabilities in [0, 1]."""
+        if self.coef_ is None:
+            raise RuntimeError("LogisticProxy.predict_proba called before fit")
+        x = np.asarray(features, dtype=float)
+        design = np.column_stack([x, np.ones(x.shape[0])])
+        return _sigmoid(design @ self.coef_)
+
+
+@dataclass
+class MlpProxy:
+    """One-hidden-layer tanh network trained by gradient descent.
+
+    Attributes:
+        hidden: hidden-layer width.
+        learning_rate: gradient-descent step size.
+        momentum: classical momentum coefficient.
+        epochs: full-batch passes.
+        l2: weight decay.
+        seed: weight-initialization seed.
+    """
+
+    hidden: int = 16
+    learning_rate: float = 0.1
+    momentum: float = 0.9
+    epochs: int = 300
+    l2: float = 1e-4
+    seed: int = 0
+    w1_: np.ndarray | None = None
+    b1_: np.ndarray | None = None
+    w2_: np.ndarray | None = None
+    b2_: float | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MlpProxy":
+        """Fit on oracle-labeled training records."""
+        x, y = _validate_xy(features, labels)
+        n, d = x.shape
+        rng = np.random.default_rng(self.seed)
+        w1 = rng.normal(0, 1.0 / np.sqrt(d), size=(d, self.hidden))
+        b1 = np.zeros(self.hidden)
+        w2 = rng.normal(0, 1.0 / np.sqrt(self.hidden), size=self.hidden)
+        b2 = 0.0
+        v_w1 = np.zeros_like(w1)
+        v_b1 = np.zeros_like(b1)
+        v_w2 = np.zeros_like(w2)
+        v_b2 = 0.0
+
+        for _ in range(self.epochs):
+            hidden_act = np.tanh(x @ w1 + b1)
+            p = _sigmoid(hidden_act @ w2 + b2)
+            residual = (p - y) / n
+            grad_w2 = hidden_act.T @ residual + self.l2 * w2
+            grad_b2 = float(residual.sum())
+            back = np.outer(residual, w2) * (1.0 - hidden_act**2)
+            grad_w1 = x.T @ back + self.l2 * w1
+            grad_b1 = back.sum(axis=0)
+
+            v_w2 = self.momentum * v_w2 - self.learning_rate * grad_w2
+            v_b2 = self.momentum * v_b2 - self.learning_rate * grad_b2
+            v_w1 = self.momentum * v_w1 - self.learning_rate * grad_w1
+            v_b1 = self.momentum * v_b1 - self.learning_rate * grad_b1
+            w2 = w2 + v_w2
+            b2 = b2 + v_b2
+            w1 = w1 + v_w1
+            b1 = b1 + v_b1
+
+        self.w1_, self.b1_, self.w2_, self.b2_ = w1, b1, w2, b2
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Score records; returns probabilities in [0, 1]."""
+        if self.w1_ is None:
+            raise RuntimeError("MlpProxy.predict_proba called before fit")
+        x = np.asarray(features, dtype=float)
+        hidden_act = np.tanh(x @ self.w1_ + self.b1_)
+        return _sigmoid(hidden_act @ self.w2_ + self.b2_)

@@ -1,0 +1,17 @@
+"""SQL-like query layer for the SUPG dialect (Figures 3 and 14)."""
+
+from __future__ import annotations
+
+from .ast import ParsedQuery, QueryKind, UdfCall
+from .engine import QueryExecution, SupgEngine
+from .parser import QuerySyntaxError, parse_query
+
+__all__ = [
+    "ParsedQuery",
+    "QueryKind",
+    "UdfCall",
+    "parse_query",
+    "QuerySyntaxError",
+    "SupgEngine",
+    "QueryExecution",
+]

@@ -1,0 +1,141 @@
+"""Abstract syntax tree for the SUPG query dialect.
+
+Figure 3 of the paper defines the budgeted single-target syntax::
+
+    SELECT * FROM table_name
+    WHERE filter_predicate
+    ORACLE LIMIT o
+    USING proxy_estimates
+    [RECALL | PRECISION] TARGET t
+    WITH PROBABILITY p
+
+and Figure 14 the joint-target variant (both targets, no budget)::
+
+    SELECT * FROM table_name
+    WHERE filter_predicate
+    USING proxy_estimates
+    RECALL TARGET tr
+    PRECISION TARGET tp
+    WITH PROBABILITY p
+
+The AST captures both shapes in one dataclass; :meth:`ParsedQuery.kind`
+distinguishes them and the ``to_*`` converters produce the core query
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.joint import JointQuery
+from ..core.types import ApproxQuery, TargetType
+
+__all__ = ["UdfCall", "ParsedQuery", "QueryKind"]
+
+
+@dataclass(frozen=True)
+class UdfCall:
+    """A user-defined-function reference in a query.
+
+    The dialect's predicates look like ``HUMMINGBIRD_PRESENT(frame) =
+    True`` or ``DNN_CLASSIFIER(frame) = "hummingbird"``; SUPG treats
+    them as opaque callbacks (Section 4.1), so the AST keeps just the
+    resolvable name, the argument text, and the optional comparison
+    literal.
+
+    Attributes:
+        name: the UDF identifier.
+        argument: the raw argument expression text (may be empty).
+        comparison: the right-hand-side literal text, if any.
+    """
+
+    name: str
+    argument: str = ""
+    comparison: str | None = None
+
+    def render(self) -> str:
+        """Reconstruct the predicate's surface syntax."""
+        text = f"{self.name}({self.argument})"
+        if self.comparison is not None:
+            text += f" = {self.comparison}"
+        return text
+
+
+class QueryKind:
+    """The two query shapes of the dialect."""
+
+    SINGLE = "single"
+    JOINT = "joint"
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed SUPG query, covering Figure 3 and Figure 14 shapes.
+
+    Attributes:
+        table: the FROM table name.
+        predicate: the oracle predicate UDF (WHERE clause).
+        proxy: the proxy UDF (USING clause).
+        oracle_limit: the oracle budget; None for joint-target queries.
+        recall_target: RT gamma, if present.
+        precision_target: PT gamma, if present.
+        probability: the success probability ``p`` (so delta = 1 - p).
+    """
+
+    table: str
+    predicate: UdfCall
+    proxy: UdfCall
+    oracle_limit: int | None
+    recall_target: float | None
+    precision_target: float | None
+    probability: float
+
+    @property
+    def kind(self) -> str:
+        """``QueryKind.SINGLE`` or ``QueryKind.JOINT``."""
+        if self.recall_target is not None and self.precision_target is not None:
+            return QueryKind.JOINT
+        return QueryKind.SINGLE
+
+    @property
+    def delta(self) -> float:
+        """Failure probability ``1 - p``."""
+        return 1.0 - self.probability
+
+    def to_approx_query(self) -> ApproxQuery:
+        """Convert a single-target parse to an :class:`ApproxQuery`.
+
+        Raises:
+            ValueError: for joint-target queries (use
+                :meth:`to_joint_query`) or missing budget.
+        """
+        if self.kind == QueryKind.JOINT:
+            raise ValueError("joint-target queries convert via to_joint_query()")
+        if self.oracle_limit is None:
+            raise ValueError("single-target queries require an ORACLE LIMIT budget")
+        if self.recall_target is not None:
+            return ApproxQuery(
+                TargetType.RECALL, self.recall_target, self.delta, self.oracle_limit
+            )
+        if self.precision_target is not None:
+            return ApproxQuery(
+                TargetType.PRECISION, self.precision_target, self.delta, self.oracle_limit
+            )
+        raise ValueError("query specifies neither a recall nor a precision target")
+
+    def to_joint_query(self, stage_budget: int) -> JointQuery:
+        """Convert a joint-target parse to a :class:`JointQuery`.
+
+        Args:
+            stage_budget: the optimistic stage-1/2 allocation ``B``
+                (Appendix A); the dialect itself specifies no budget.
+        """
+        if self.kind != QueryKind.JOINT:
+            raise ValueError("single-target queries convert via to_approx_query()")
+        assert self.recall_target is not None and self.precision_target is not None
+        return JointQuery(
+            recall_gamma=self.recall_target,
+            precision_gamma=self.precision_target,
+            delta=self.delta,
+            stage_budget=stage_budget,
+        )

@@ -1,0 +1,174 @@
+"""Execution engine for SUPG dialect queries.
+
+Ties the query layer to the core selectors: tables are registered
+datasets, and the WHERE / USING clauses name user-defined functions
+(callbacks, per Section 4.1 of the paper) that produce oracle labels
+and proxy scores.  When no UDF is registered under a clause's name the
+engine falls back to the dataset's built-in ground truth and proxy
+scores, which is the common case for the bundled workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.joint import JointSelector
+from ..core.registry import default_selector, make_selector
+from ..core.types import SelectionResult
+from ..datasets import Dataset
+from ..oracle import BudgetedOracle
+from .ast import ParsedQuery, QueryKind
+from .parser import parse_query
+
+__all__ = ["SupgEngine", "QueryExecution"]
+
+#: An oracle UDF maps (dataset, record indices) to 0/1 labels.
+OracleUdf = Callable[[Dataset, np.ndarray], np.ndarray]
+
+#: A proxy UDF maps a dataset to a full vector of proxy scores.
+ProxyUdf = Callable[[Dataset], np.ndarray]
+
+
+@dataclass(frozen=True)
+class QueryExecution:
+    """The outcome of one engine run.
+
+    Attributes:
+        parsed: the query AST.
+        result: the selection result (indices, threshold, oracle usage).
+        dataset: the table the query ran against (post proxy-UDF).
+        method: registry name of the selector that executed the query.
+    """
+
+    parsed: ParsedQuery
+    result: SelectionResult
+    dataset: Dataset
+    method: str
+
+
+class SupgEngine:
+    """Registry of tables and UDFs plus a query executor.
+
+    Example::
+
+        engine = SupgEngine()
+        engine.register_table("hummingbird_video", dataset)
+        execution = engine.execute('''
+            SELECT * FROM hummingbird_video
+            WHERE HUMMINGBIRD_PRESENT(frame) = True
+            ORACLE LIMIT 1000
+            USING DNN_CLASSIFIER(frame) = "hummingbird"
+            RECALL TARGET 95%
+            WITH PROBABILITY 95%
+        ''', seed=0)
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Dataset] = {}
+        self._oracle_udfs: dict[str, OracleUdf] = {}
+        self._proxy_udfs: dict[str, ProxyUdf] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register_table(self, name: str, dataset: Dataset) -> None:
+        """Register a dataset under a table name."""
+        if not name:
+            raise ValueError("table name must be non-empty")
+        self._tables[name] = dataset
+
+    def register_oracle_udf(self, name: str, fn: OracleUdf) -> None:
+        """Register a WHERE-clause oracle predicate by UDF name."""
+        self._oracle_udfs[name.upper()] = fn
+
+    def register_proxy_udf(self, name: str, fn: ProxyUdf) -> None:
+        """Register a USING-clause proxy scorer by UDF name."""
+        self._proxy_udfs[name.upper()] = fn
+
+    def tables(self) -> tuple[str, ...]:
+        """Registered table names."""
+        return tuple(sorted(self._tables))
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        seed: int | np.random.Generator = 0,
+        method: str | None = None,
+        stage_budget: int = 1000,
+        **selector_kwargs,
+    ) -> QueryExecution:
+        """Parse and run a SUPG dialect query.
+
+        Args:
+            sql: query text (Figure 3 or Figure 14 shape).
+            seed: randomness for sampling.
+            method: selector registry name; defaults to the SUPG method
+                for the query type (IS-CI-R / two-stage IS-CI-P).  For
+                joint queries, one of ``"is"``, ``"uniform"``, ``"noci"``.
+            stage_budget: stage-1/2 budget for joint-target queries.
+            **selector_kwargs: forwarded to the selector constructor.
+
+        Returns:
+            A :class:`QueryExecution`.
+
+        Raises:
+            KeyError: unknown table.
+            repro.query.parser.QuerySyntaxError: malformed query text.
+        """
+        parsed = parse_query(sql)
+        dataset = self._resolve_table(parsed)
+        dataset = self._apply_proxy_udf(parsed, dataset)
+
+        if parsed.kind == QueryKind.JOINT:
+            joint_query = parsed.to_joint_query(stage_budget=stage_budget)
+            selector = JointSelector(joint_query, method=method or "is", **selector_kwargs)
+            result = selector.select(dataset, seed=seed)
+            return QueryExecution(
+                parsed=parsed,
+                result=result,
+                dataset=dataset,
+                method=f"joint-{method or 'is'}",
+            )
+
+        query = parsed.to_approx_query()
+        if method is None:
+            selector = default_selector(query, **selector_kwargs)
+        else:
+            selector = make_selector(method, query, **selector_kwargs)
+        oracle = self._build_oracle(parsed, dataset, query.budget)
+        result = selector.select(dataset, seed=seed, oracle=oracle)
+        return QueryExecution(
+            parsed=parsed, result=result, dataset=dataset, method=selector.name
+        )
+
+    # -- resolution helpers ---------------------------------------------------
+
+    def _resolve_table(self, parsed: ParsedQuery) -> Dataset:
+        try:
+            return self._tables[parsed.table]
+        except KeyError:
+            raise KeyError(
+                f"unknown table {parsed.table!r}; registered: {', '.join(self.tables()) or '-'}"
+            ) from None
+
+    def _apply_proxy_udf(self, parsed: ParsedQuery, dataset: Dataset) -> Dataset:
+        udf = self._proxy_udfs.get(parsed.proxy.name.upper())
+        if udf is None:
+            return dataset
+        scores = np.asarray(udf(dataset), dtype=float)
+        return dataset.with_scores(scores, name=f"{dataset.name}|{parsed.proxy.name}")
+
+    def _build_oracle(
+        self, parsed: ParsedQuery, dataset: Dataset, budget: int | None
+    ) -> BudgetedOracle | None:
+        udf = self._oracle_udfs.get(parsed.predicate.name.upper())
+        if udf is None:
+            return None  # the selector builds one from dataset labels
+        def lookup(indices: np.ndarray) -> np.ndarray:
+            return np.asarray(udf(dataset, indices))
+
+        return BudgetedOracle(lookup, budget=budget)

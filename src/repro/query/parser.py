@@ -1,0 +1,266 @@
+"""Parser for the SUPG query dialect (Figures 3 and 14 of the paper).
+
+A small hand-written tokenizer and recursive-descent parser.  The
+dialect is deliberately tiny — one table, one predicate, one proxy, and
+a fixed clause order — so the parser favors clear error messages over
+grammar generality.  Keywords are case-insensitive; identifiers and
+literals preserve case.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .ast import ParsedQuery, UdfCall
+
+__all__ = ["parse_query", "QuerySyntaxError"]
+
+
+class QuerySyntaxError(ValueError):
+    """Raised when a query does not match the SUPG dialect."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?%?)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<symbol>[*(),=])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise QuerySyntaxError(f"unexpected character {sql[pos]!r} at offset {pos}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind=kind, text=match.group(), position=pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.index = 0
+
+    # -- token-stream helpers -------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def _expect_keyword(self, *keywords: str) -> str:
+        token = self._next()
+        if token.kind != "ident" or token.text.upper() not in keywords:
+            expected = " ".join(keywords)
+            raise QuerySyntaxError(
+                f"expected keyword {expected!r} at offset {token.position}, got {token.text!r}"
+            )
+        return token.text.upper()
+
+    def _expect_symbol(self, symbol: str) -> None:
+        token = self._next()
+        if token.kind != "symbol" or token.text != symbol:
+            raise QuerySyntaxError(
+                f"expected {symbol!r} at offset {token.position}, got {token.text!r}"
+            )
+
+    def _at_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "ident" and token.text.upper() == keyword
+
+    # -- grammar productions ---------------------------------------------------
+
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("SELECT")
+        self._expect_symbol("*")
+        self._expect_keyword("FROM")
+        table = self._identifier("table name")
+
+        self._expect_keyword("WHERE")
+        predicate = self._udf_call()
+
+        oracle_limit: int | None = None
+        if self._at_keyword("ORACLE"):
+            self._next()
+            self._expect_keyword("LIMIT")
+            oracle_limit = self._integer("oracle limit")
+
+        self._expect_keyword("USING")
+        proxy = self._udf_call()
+
+        recall_target: float | None = None
+        precision_target: float | None = None
+        while self._at_keyword("RECALL") or self._at_keyword("PRECISION"):
+            which = self._next().text.upper()
+            self._expect_keyword("TARGET")
+            value = self._fraction(f"{which.lower()} target")
+            if which == "RECALL":
+                if recall_target is not None:
+                    raise QuerySyntaxError("duplicate RECALL TARGET clause")
+                recall_target = value
+            else:
+                if precision_target is not None:
+                    raise QuerySyntaxError("duplicate PRECISION TARGET clause")
+                precision_target = value
+        if recall_target is None and precision_target is None:
+            raise QuerySyntaxError("query must specify a RECALL or PRECISION TARGET")
+
+        self._expect_keyword("WITH")
+        self._expect_keyword("PROBABILITY")
+        probability = self._fraction("probability")
+
+        trailing = self._peek()
+        if trailing is not None:
+            raise QuerySyntaxError(
+                f"unexpected trailing input at offset {trailing.position}: {trailing.text!r}"
+            )
+
+        joint = recall_target is not None and precision_target is not None
+        if joint and oracle_limit is not None:
+            raise QuerySyntaxError(
+                "joint-target queries take no ORACLE LIMIT (Figure 14 of the paper); "
+                "the oracle may be queried an unbounded number of times"
+            )
+        if not joint and oracle_limit is None:
+            raise QuerySyntaxError("single-target queries require an ORACLE LIMIT clause")
+
+        return ParsedQuery(
+            table=table,
+            predicate=predicate,
+            proxy=proxy,
+            oracle_limit=oracle_limit,
+            recall_target=recall_target,
+            precision_target=precision_target,
+            probability=probability,
+        )
+
+    def _identifier(self, what: str) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise QuerySyntaxError(
+                f"expected {what} at offset {token.position}, got {token.text!r}"
+            )
+        return token.text
+
+    def _integer(self, what: str) -> int:
+        token = self._next()
+        cleaned = token.text.replace(",", "")
+        if token.kind != "number" or "%" in token.text or "." in token.text:
+            raise QuerySyntaxError(
+                f"expected integer {what} at offset {token.position}, got {token.text!r}"
+            )
+        value = int(cleaned)
+        # The dialect allows comma-grouped numbers like 10,000: the
+        # tokenizer splits them, so absorb following ,ddd groups.
+        while self._is_comma_group():
+            self._next()  # the comma
+            group = self._next()
+            value = value * 1000 + int(group.text)
+        if value <= 0:
+            raise QuerySyntaxError(f"{what} must be positive, got {value}")
+        return value
+
+    def _is_comma_group(self) -> bool:
+        comma = self._peek()
+        if comma is None or comma.kind != "symbol" or comma.text != ",":
+            return False
+        if self.index + 1 >= len(self.tokens):
+            return False
+        group = self.tokens[self.index + 1]
+        return group.kind == "number" and len(group.text) == 3 and group.text.isdigit()
+
+    def _fraction(self, what: str) -> float:
+        token = self._next()
+        if token.kind != "number":
+            raise QuerySyntaxError(
+                f"expected {what} at offset {token.position}, got {token.text!r}"
+            )
+        text = token.text
+        if text.endswith("%"):
+            value = float(text[:-1]) / 100.0
+        else:
+            value = float(text)
+            # Bare numbers above 1 are read as percentages ("TARGET 95").
+            if value > 1.0:
+                value /= 100.0
+        if not (0.0 < value <= 1.0):
+            raise QuerySyntaxError(f"{what} must be in (0, 1], got {token.text!r}")
+        return value
+
+    def _udf_call(self) -> UdfCall:
+        name = self._identifier("UDF name")
+        argument = ""
+        comparison: str | None = None
+
+        token = self._peek()
+        if token is not None and token.kind == "symbol" and token.text == "(":
+            self._next()
+            parts: list[str] = []
+            depth = 1
+            while depth > 0:
+                inner = self._next()
+                if inner.kind == "symbol" and inner.text == "(":
+                    depth += 1
+                elif inner.kind == "symbol" and inner.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                parts.append(inner.text)
+            argument = " ".join(parts)
+
+        token = self._peek()
+        if token is not None and token.kind == "symbol" and token.text == "=":
+            self._next()
+            literal = self._next()
+            if literal.kind not in ("ident", "string", "number"):
+                raise QuerySyntaxError(
+                    f"expected literal after '=' at offset {literal.position}, "
+                    f"got {literal.text!r}"
+                )
+            comparison = literal.text
+
+        return UdfCall(name=name, argument=argument, comparison=comparison)
+
+
+def parse_query(sql: str) -> ParsedQuery:
+    """Parse a SUPG dialect query string.
+
+    Args:
+        sql: query text in the Figure 3 (single-target) or Figure 14
+            (joint-target) shape.
+
+    Returns:
+        The parsed AST.
+
+    Raises:
+        QuerySyntaxError: with offset information on any mismatch.
+    """
+    return _Parser(sql).parse()

@@ -1,0 +1,49 @@
+"""Importance-sampling diagnostics.
+
+The classical effective sample size (Kish's ESS) of a weighted sample
+with reweighting factors ``m_i = u(x_i) / w(x_i)``:
+
+    ESS = (sum_i m_i)^2 / sum_i m_i^2
+
+ESS equals the number of draws when all factors are equal (uniform
+sampling) and collapses toward 1 when a few draws dominate the
+estimate.  A low ESS/draws ratio is the practical signature of the
+proxy-weight pathologies studied in the ablations (anti-correlated or
+badly mis-calibrated proxies), so the IS selectors surface it in their
+result details.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["effective_sample_size", "ess_ratio"]
+
+
+def effective_sample_size(mass: np.ndarray) -> float:
+    """Kish's effective sample size of a set of reweighting factors.
+
+    Args:
+        mass: the ``m(x) = u(x)/w(x)`` factors of the drawn sample.
+
+    Returns:
+        ESS in ``[0, len(mass)]``; 0 for an empty or all-zero sample.
+    """
+    m = np.asarray(mass, dtype=float)
+    if m.ndim != 1:
+        raise ValueError(f"mass must be 1-D, got shape {m.shape}")
+    if np.any(m < 0):
+        raise ValueError("reweighting mass must be non-negative")
+    total_sq = float(m.sum()) ** 2
+    denom = float(np.sum(m * m))
+    if denom == 0.0:
+        return 0.0
+    return total_sq / denom
+
+
+def ess_ratio(mass: np.ndarray) -> float:
+    """ESS as a fraction of the draw count (1.0 = uniform-equivalent)."""
+    m = np.asarray(mass, dtype=float)
+    if m.size == 0:
+        return 0.0
+    return effective_sample_size(m) / m.size

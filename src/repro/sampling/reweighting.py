@@ -1,0 +1,106 @@
+"""Reweighted estimators over importance samples.
+
+Implements the reweighting identity (Equation 10 of the paper)
+
+    E_{x~u}[f(x)] = E_{x~w}[f(x) * u(x) / w(x)]
+
+and the reweighted recall and precision estimates (Equations 11-12) used
+by the IS-CI threshold estimators.  A uniform sample is the special case
+``m(x) = 1`` throughout, so the core algorithms use these functions for
+both sampling regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "reweighted_mean",
+    "reweighted_total",
+    "weighted_recall",
+    "weighted_precision",
+]
+
+
+def _validate_aligned(values: np.ndarray, mass: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    v = np.asarray(values, dtype=float)
+    m = np.asarray(mass, dtype=float)
+    if v.shape != m.shape or v.ndim != 1:
+        raise ValueError(
+            f"values and mass must be aligned 1-D arrays, got {v.shape} and {m.shape}"
+        )
+    if np.any(m < 0):
+        raise ValueError("reweighting mass must be non-negative")
+    return v, m
+
+
+def reweighted_mean(values: np.ndarray, mass: np.ndarray) -> float:
+    """Unbiased estimate of the uniform-population mean of ``values``.
+
+    ``mean(values * mass)`` where ``mass = u(x)/w(x)``; for a uniform
+    sample pass ``mass = 1`` and this reduces to the sample mean.
+    """
+    v, m = _validate_aligned(values, mass)
+    if v.size == 0:
+        return 0.0
+    return float(np.mean(v * m))
+
+
+def reweighted_total(values: np.ndarray, mass: np.ndarray, population_size: int) -> float:
+    """Estimate of the population *total* ``sum_x f(x)``.
+
+    Used by stage 1 of Algorithm 5 to estimate the number of matching
+    records ``n_match = |D| * E_u[O(x)]``.
+    """
+    if population_size <= 0:
+        raise ValueError(f"population_size must be positive, got {population_size}")
+    return population_size * reweighted_mean(values, mass)
+
+
+def weighted_recall(
+    above: np.ndarray,
+    labels: np.ndarray,
+    mass: np.ndarray,
+) -> float:
+    """Reweighted recall estimate (Equation 11).
+
+    Args:
+        above: boolean/0-1 array, 1 where ``A(x) >= tau`` for the sampled
+            records.
+        labels: oracle labels ``O(x)`` for the sampled records.
+        mass: reweighting factors ``m(x)``; pass ones for uniform samples.
+
+    Returns:
+        ``sum(above * labels * mass) / sum(labels * mass)``; defined as
+        1.0 when the sample contains no (weighted) positives, since every
+        threshold then vacuously retains all sampled matches.
+    """
+    a = np.asarray(above, dtype=float)
+    o, m = _validate_aligned(labels, mass)
+    if a.shape != o.shape:
+        raise ValueError("above and labels must be aligned")
+    denom = float(np.sum(o * m))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(a * o * m) / denom)
+
+
+def weighted_precision(
+    above: np.ndarray,
+    labels: np.ndarray,
+    mass: np.ndarray,
+) -> float:
+    """Reweighted precision estimate (Equation 12) among retained records.
+
+    Precision of the records with ``A(x) >= tau``:
+    ``sum(above * labels * mass) / sum(above * mass)``; defined as 1.0
+    when nothing is retained (the empty set is vacuously precise).
+    """
+    a = np.asarray(above, dtype=float)
+    o, m = _validate_aligned(labels, mass)
+    if a.shape != o.shape:
+        raise ValueError("above and labels must be aligned")
+    denom = float(np.sum(a * m))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(a * o * m) / denom)

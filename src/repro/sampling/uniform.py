@@ -1,0 +1,55 @@
+"""Uniform sampling over record indices.
+
+The baseline samplers used by U-NoCI and U-CI (Algorithms 2-3 of the
+paper).  All samplers in :mod:`repro.sampling` operate on integer record
+indices rather than payloads: SUPG only ever needs proxy scores and
+oracle labels, both of which are indexable arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_sample", "uniform_weights"]
+
+
+def uniform_sample(
+    population_size: int,
+    sample_size: int,
+    rng: np.random.Generator,
+    replace: bool = True,
+) -> np.ndarray:
+    """Draw a uniform sample of record indices.
+
+    Args:
+        population_size: number of records in the dataset ``|D|``.
+        sample_size: number of draws ``s`` (the oracle budget).
+        rng: NumPy random generator; all randomness in the library is
+            routed through explicit generators for reproducibility.
+        replace: draw with replacement (the i.i.d. setting Lemma 1
+            assumes) or without.  Defaults to with-replacement so uniform
+            and importance samples are directly comparable.
+
+    Returns:
+        Array of ``sample_size`` indices into the population.
+
+    Raises:
+        ValueError: for an empty population, a non-positive sample size,
+            or a without-replacement request larger than the population.
+    """
+    if population_size <= 0:
+        raise ValueError(f"population_size must be positive, got {population_size}")
+    if sample_size <= 0:
+        raise ValueError(f"sample_size must be positive, got {sample_size}")
+    if not replace and sample_size > population_size:
+        raise ValueError(
+            f"cannot draw {sample_size} without replacement from {population_size} records"
+        )
+    return rng.choice(population_size, size=sample_size, replace=replace)
+
+
+def uniform_weights(population_size: int) -> np.ndarray:
+    """The base distribution ``u(x) = 1 / |D|`` as an explicit vector."""
+    if population_size <= 0:
+        raise ValueError(f"population_size must be positive, got {population_size}")
+    return np.full(population_size, 1.0 / population_size)

@@ -1,0 +1,60 @@
+"""Shared fixtures: small, seeded workloads so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import ApproxQuery
+from repro.datasets import Dataset, make_beta_dataset, make_imagenet, make_night_street
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def beta_dataset() -> Dataset:
+    """A mid-sized calibrated synthetic workload (Beta(0.01, 1))."""
+    return make_beta_dataset(0.01, 1.0, size=50_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def beta2_dataset() -> Dataset:
+    """The rarer-positive synthetic workload (Beta(0.01, 2))."""
+    return make_beta_dataset(0.01, 2.0, size=50_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def imagenet_small() -> Dataset:
+    """Reduced simulated ImageNet (extreme class imbalance)."""
+    return make_imagenet(size=20_000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def night_street_small() -> Dataset:
+    """Reduced simulated night-street (4% positives)."""
+    return make_night_street(size=20_000, seed=3)
+
+
+@pytest.fixture
+def rt_query() -> ApproxQuery:
+    return ApproxQuery.recall_target(gamma=0.9, delta=0.05, budget=500)
+
+
+@pytest.fixture
+def pt_query() -> ApproxQuery:
+    return ApproxQuery.precision_target(gamma=0.9, delta=0.05, budget=500)
+
+
+@pytest.fixture
+def tiny_dataset() -> Dataset:
+    """A hand-built 10-record dataset with known structure.
+
+    Scores descend from 0.95 to 0.05 in steps of 0.1; the top four
+    records are positive, the rest negative.
+    """
+    scores = np.array([0.95, 0.85, 0.75, 0.65, 0.55, 0.45, 0.35, 0.25, 0.15, 0.05])
+    labels = np.array([1, 1, 1, 1, 0, 0, 0, 0, 0, 0])
+    return Dataset(proxy_scores=scores, labels=labels, name="tiny")

@@ -1,0 +1,132 @@
+"""Tests for post-hoc result auditing (certified quality bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxQuery, ImportanceCIRecall
+from repro.core.audit import audit_precision, audit_recall, audit_result
+from repro.metrics import precision, recall
+from repro.oracle import oracle_from_labels
+
+
+@pytest.fixture
+def selection(beta_dataset):
+    """A real SUPG selection over the shared beta workload."""
+    query = ApproxQuery.recall_target(0.9, 0.05, 1_500)
+    result = ImportanceCIRecall(query).select(beta_dataset, seed=3)
+    return result
+
+
+class TestAuditPrecision:
+    def test_lower_bound_below_truth(self, beta_dataset, selection):
+        oracle = oracle_from_labels(beta_dataset.labels, budget=None)
+        lower, point, _ = audit_precision(
+            selection.indices, oracle, delta=0.05, budget=500,
+            rng=np.random.default_rng(0),
+        )
+        true_precision = precision(selection.indices, beta_dataset.labels)
+        assert lower <= true_precision + 0.02
+        assert 0.0 <= lower <= point <= 1.0
+
+    def test_coverage_over_trials(self, beta_dataset, selection):
+        true_precision = precision(selection.indices, beta_dataset.labels)
+        misses = 0
+        trials = 40
+        for t in range(trials):
+            oracle = oracle_from_labels(beta_dataset.labels, budget=None)
+            lower, _, _ = audit_precision(
+                selection.indices, oracle, delta=0.1, budget=300,
+                rng=np.random.default_rng(t),
+            )
+            if lower > true_precision:
+                misses += 1
+        assert misses / trials <= 0.1 + 0.1  # delta + trial noise
+
+    def test_empty_selection_rejected(self, beta_dataset):
+        oracle = oracle_from_labels(beta_dataset.labels, budget=None)
+        with pytest.raises(ValueError, match="empty"):
+            audit_precision(
+                np.array([], dtype=int), oracle, 0.05, 100, np.random.default_rng(0)
+            )
+
+    def test_budget_validated(self, beta_dataset, selection):
+        oracle = oracle_from_labels(beta_dataset.labels, budget=None)
+        with pytest.raises(ValueError):
+            audit_precision(selection.indices, oracle, 0.05, 0, np.random.default_rng(0))
+
+
+class TestAuditRecall:
+    def test_lower_bound_below_truth(self, beta_dataset, selection):
+        oracle = oracle_from_labels(beta_dataset.labels, budget=None)
+        prec_lb, _, _ = audit_precision(
+            selection.indices, oracle, 0.025, 400, np.random.default_rng(1)
+        )
+        recall_lb, missed_ub = audit_recall(
+            beta_dataset, selection.indices, prec_lb, oracle,
+            delta=0.025, budget=600, rng=np.random.default_rng(2),
+        )
+        true_recall = recall(selection.indices, beta_dataset.labels)
+        true_missed = beta_dataset.positive_count - int(
+            beta_dataset.labels[selection.indices].sum()
+        )
+        assert recall_lb <= true_recall + 0.02
+        assert missed_ub >= true_missed * 0.5  # the UB covers the truth
+        assert 0.0 <= recall_lb <= 1.0
+
+    def test_full_dataset_has_recall_one(self, beta_dataset):
+        oracle = oracle_from_labels(beta_dataset.labels, budget=None)
+        recall_lb, missed_ub = audit_recall(
+            beta_dataset, np.arange(beta_dataset.size), 0.9, oracle,
+            delta=0.05, budget=100, rng=np.random.default_rng(0),
+        )
+        assert recall_lb == 1.0
+        assert missed_ub == 0.0
+
+    def test_zero_precision_bound_gives_zero_recall_bound(self, beta_dataset, selection):
+        oracle = oracle_from_labels(beta_dataset.labels, budget=None)
+        recall_lb, _ = audit_recall(
+            beta_dataset, selection.indices, 0.0, oracle,
+            delta=0.05, budget=100, rng=np.random.default_rng(0),
+        )
+        assert recall_lb == 0.0
+
+
+class TestAuditResult:
+    def test_joint_certificate(self, beta_dataset, selection):
+        oracle = oracle_from_labels(beta_dataset.labels, budget=2_000)
+        report = audit_result(
+            beta_dataset, selection.indices, oracle, delta=0.05, budget=1_000, seed=5
+        )
+        true_p = precision(selection.indices, beta_dataset.labels)
+        true_r = recall(selection.indices, beta_dataset.labels)
+        assert report.precision_lower <= true_p + 0.02
+        assert report.recall_lower <= true_r + 0.02
+        assert report.labels_used <= 1_000
+        assert "precision >=" in report.summary()
+        assert "recall >=" in report.summary()
+
+    def test_certificate_is_informative(self, beta_dataset, selection):
+        """With a decent audit budget the bounds are far from vacuous."""
+        oracle = oracle_from_labels(beta_dataset.labels, budget=None)
+        report = audit_result(
+            beta_dataset, selection.indices, oracle, delta=0.05, budget=2_000, seed=6
+        )
+        assert report.precision_lower > 0.1
+        assert report.recall_lower > 0.5
+
+    def test_budget_validated(self, beta_dataset, selection):
+        oracle = oracle_from_labels(beta_dataset.labels, budget=None)
+        with pytest.raises(ValueError):
+            audit_result(beta_dataset, selection.indices, oracle, 0.05, budget=1)
+
+    def test_selection_labels_are_free(self, beta_dataset):
+        """Records labeled during selection do not re-charge the audit."""
+        query = ApproxQuery.recall_target(0.9, 0.05, 1_000)
+        oracle = oracle_from_labels(beta_dataset.labels, budget=3_000)
+        result = ImportanceCIRecall(query).select(beta_dataset, seed=0, oracle=oracle)
+        used_by_selection = oracle.calls_used
+        report = audit_result(
+            beta_dataset, result.indices, oracle, delta=0.05, budget=1_500, seed=1
+        )
+        assert report.labels_used <= 1_500
+        assert oracle.calls_used <= used_by_selection + 1_500

@@ -1,0 +1,96 @@
+"""Unit tests for the normal-approximation bounds (Lemma 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds import NormalBound, half_width_normal, lower_bound, summarize, upper_bound
+
+
+class TestHelperFunctions:
+    def test_upper_bound_formula(self):
+        # UB = mu + (sigma / sqrt(s)) * sqrt(2 log(1/delta))
+        expected = 0.5 + (0.2 / math.sqrt(100)) * math.sqrt(2 * math.log(1 / 0.05))
+        assert upper_bound(0.5, 0.2, 100, 0.05) == pytest.approx(expected)
+
+    def test_lower_bound_formula(self):
+        expected = 0.5 - (0.2 / math.sqrt(100)) * math.sqrt(2 * math.log(1 / 0.05))
+        assert lower_bound(0.5, 0.2, 100, 0.05) == pytest.approx(expected)
+
+    def test_bounds_symmetric_about_mean(self):
+        ub = upper_bound(0.3, 0.1, 50, 0.1)
+        lb = lower_bound(0.3, 0.1, 50, 0.1)
+        assert ub - 0.3 == pytest.approx(0.3 - lb)
+
+    def test_zero_variance_collapses_to_mean(self):
+        assert upper_bound(0.7, 0.0, 10, 0.05) == 0.7
+        assert lower_bound(0.7, 0.0, 10, 0.05) == 0.7
+
+    def test_width_shrinks_with_sample_size(self):
+        w_small = half_width_normal(0.5, 100, 0.05)
+        w_large = half_width_normal(0.5, 10_000, 0.05)
+        assert w_large == pytest.approx(w_small / 10)
+
+    def test_width_grows_as_delta_shrinks(self):
+        assert half_width_normal(0.5, 100, 0.01) > half_width_normal(0.5, 100, 0.1)
+
+    def test_empty_sample_gives_infinite_width(self):
+        assert half_width_normal(0.5, 0, 0.05) == math.inf
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValueError):
+            half_width_normal(0.5, 100, 0.0)
+        with pytest.raises(ValueError):
+            half_width_normal(0.5, 100, 1.0)
+
+
+class TestNormalBound:
+    def test_bounds_bracket_sample_mean(self):
+        values = np.array([0.0, 1.0, 1.0, 0.0, 1.0] * 30)
+        bound = NormalBound()
+        assert bound.lower(values, 0.05) < values.mean() < bound.upper(values, 0.05)
+
+    def test_uses_plugin_std(self):
+        values = np.array([0.0, 1.0] * 100)
+        stats = summarize(values)
+        bound = NormalBound()
+        assert bound.upper(values, 0.05) == pytest.approx(
+            upper_bound(stats.mean, stats.std, stats.count, 0.05)
+        )
+
+    def test_interval_splits_delta(self):
+        values = np.linspace(0, 1, 200)
+        bound = NormalBound()
+        lo, hi = bound.interval(values, 0.1)
+        assert lo == pytest.approx(bound.lower(values, 0.05))
+        assert hi == pytest.approx(bound.upper(values, 0.05))
+
+    def test_coverage_upper_one_sided(self, rng):
+        """UB should exceed the true mean in >= 1 - delta of resamples."""
+        population_mean = 0.3
+        delta = 0.1
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            sample = (rng.random(400) < population_mean).astype(float)
+            if NormalBound().upper(sample, delta) >= population_mean:
+                covered += 1
+        # Allow slack for the asymptotic approximation and trial noise.
+        assert covered / trials >= 1 - delta - 0.03
+
+    def test_coverage_lower_one_sided(self, rng):
+        population_mean = 0.3
+        delta = 0.1
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            sample = (rng.random(400) < population_mean).astype(float)
+            if NormalBound().lower(sample, delta) <= population_mean:
+                covered += 1
+        assert covered / trials >= 1 - delta - 0.03
+
+    def test_empty_sample_vacuous(self):
+        bound = NormalBound()
+        assert bound.upper(np.array([]), 0.05) == math.inf
+        assert bound.lower(np.array([]), 0.05) == -math.inf

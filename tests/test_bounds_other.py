@@ -1,0 +1,150 @@
+"""Unit tests for Hoeffding, Clopper-Pearson, and bootstrap bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    BootstrapBound,
+    ClopperPearsonBound,
+    HoeffdingBound,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+    get_bound,
+    available_bounds,
+    hoeffding_half_width,
+)
+
+
+class TestHoeffding:
+    def test_half_width_formula(self):
+        expected = math.sqrt(math.log(1 / 0.05) / (2 * 100))
+        assert hoeffding_half_width(100, 0.05) == pytest.approx(expected)
+
+    def test_width_scales_with_range(self):
+        assert hoeffding_half_width(100, 0.05, value_range=2.0) == pytest.approx(
+            2 * hoeffding_half_width(100, 0.05, value_range=1.0)
+        )
+
+    def test_ignores_variance(self):
+        """Hoeffding pays the full range even for near-constant data —
+        the reason the paper calls it vacuous for rare positives."""
+        nearly_constant = np.zeros(1000)
+        nearly_constant[0] = 1.0
+        spread = np.tile([0.0, 1.0], 500).astype(float)
+        bound = HoeffdingBound()
+        width_constant = bound.upper(nearly_constant, 0.05) - nearly_constant.mean()
+        width_spread = bound.upper(spread, 0.05) - spread.mean()
+        assert width_constant == pytest.approx(width_spread)
+
+    def test_wider_than_normal_for_rare_positives(self, rng):
+        from repro.bounds import NormalBound
+
+        sample = (rng.random(1000) < 0.01).astype(float)
+        hoeff = HoeffdingBound().upper(sample, 0.05)
+        normal = NormalBound().upper(sample, 0.05)
+        assert hoeff > normal
+
+    def test_estimated_range_from_sample(self):
+        bound = HoeffdingBound(value_range=None)
+        values = np.array([0.0, 4.0, 2.0, 4.0])
+        width = bound.upper(values, 0.05) - values.mean()
+        assert width == pytest.approx(4.0 * hoeffding_half_width(4, 0.05))
+
+    def test_finite_sample_coverage_exact(self, rng):
+        """Hoeffding is non-asymptotic: coverage must hold at tiny n."""
+        delta = 0.1
+        covered = sum(
+            HoeffdingBound().upper((rng.random(20) < 0.5).astype(float), delta) >= 0.5
+            for _ in range(300)
+        )
+        assert covered / 300 >= 1 - delta
+
+
+class TestClopperPearson:
+    def test_known_value_zero_successes(self):
+        assert clopper_pearson_lower(0, 100, 0.05) == 0.0
+
+    def test_known_value_all_successes(self):
+        assert clopper_pearson_upper(100, 100, 0.05) == 1.0
+
+    def test_rule_of_three(self):
+        """With 0/n successes, the upper bound is ~3/n at delta=0.05."""
+        assert clopper_pearson_upper(0, 100, 0.05) == pytest.approx(3 / 100, rel=0.05)
+
+    def test_bounds_bracket_proportion(self):
+        lower = clopper_pearson_lower(30, 100, 0.05)
+        upper = clopper_pearson_upper(30, 100, 0.05)
+        assert lower < 0.3 < upper
+
+    def test_all_positive_sample_does_not_certify_one(self):
+        """Unlike a zero-variance normal bound, CP keeps a margin."""
+        values = np.ones(20)
+        assert ClopperPearsonBound().lower(values, 0.05) < 1.0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            ClopperPearsonBound().lower(np.array([0.5, 1.0]), 0.05)
+
+    def test_empty_sample_vacuous(self):
+        assert ClopperPearsonBound().lower(np.array([]), 0.05) == 0.0
+        assert ClopperPearsonBound().upper(np.array([]), 0.05) == 1.0
+
+    def test_exact_coverage(self, rng):
+        delta = 0.1
+        p = 0.25
+        covered = sum(
+            clopper_pearson_upper(int((rng.random(50) < p).sum()), 50, delta) >= p
+            for _ in range(300)
+        )
+        # CP guarantees coverage >= 1 - delta in expectation; allow
+        # empirical trial noise on top.
+        assert covered / 300 >= 1 - delta - 0.03
+
+
+class TestBootstrap:
+    def test_bounds_bracket_mean(self, rng):
+        values = rng.random(500)
+        bound = BootstrapBound(seed=1)
+        assert bound.lower(values, 0.05) < values.mean() < bound.upper(values, 0.05)
+
+    def test_deterministic_given_seed(self):
+        values = np.linspace(0, 1, 100)
+        b = BootstrapBound(seed=42)
+        assert b.upper(values, 0.05) == b.upper(values, 0.05)
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        small = rng.random(50)
+        large = rng.random(5000)
+        b = BootstrapBound(seed=0)
+        width_small = b.upper(small, 0.05) - small.mean()
+        width_large = b.upper(large, 0.05) - large.mean()
+        assert width_large < width_small
+
+    def test_rejects_bad_resample_count(self):
+        with pytest.raises(ValueError):
+            BootstrapBound(n_resamples=0)
+
+    def test_empty_sample_vacuous(self):
+        b = BootstrapBound()
+        assert b.upper(np.array([]), 0.05) == math.inf
+        assert b.lower(np.array([]), 0.05) == -math.inf
+
+
+class TestRegistry:
+    def test_all_methods_registered(self):
+        assert set(available_bounds()) == {
+            "normal",
+            "hoeffding",
+            "clopper-pearson",
+            "bootstrap",
+        }
+
+    def test_get_bound_constructs(self):
+        assert get_bound("normal").name == "normal"
+        assert get_bound("bootstrap", n_resamples=10).n_resamples == 10
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="normal"):
+            get_bound("does-not-exist")

@@ -1,0 +1,98 @@
+"""Property-based tests for the confidence-bound substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bounds import (
+    BootstrapBound,
+    ClopperPearsonBound,
+    HoeffdingBound,
+    NormalBound,
+)
+
+samples = arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+binary_samples = arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.sampled_from([0.0, 1.0]),
+)
+
+deltas = st.floats(min_value=0.001, max_value=0.4)
+
+ANALYTIC_BOUNDS = [NormalBound(), HoeffdingBound()]
+
+
+@given(values=samples, delta=deltas)
+@settings(max_examples=60, deadline=None)
+def test_analytic_bounds_bracket_sample_mean(values, delta):
+    """For the analytic methods, LB <= sample mean <= UB always."""
+    mean = values.mean()
+    for bound in ANALYTIC_BOUNDS:
+        assert bound.lower(values, delta) <= mean + 1e-12
+        assert bound.upper(values, delta) >= mean - 1e-12
+
+
+@given(values=samples, delta=deltas)
+@settings(max_examples=40, deadline=None)
+def test_bootstrap_interval_is_ordered(values, delta):
+    """The percentile bootstrap need not bracket the sample mean for
+    skewed tiny samples at large delta, but its quantiles are ordered."""
+    bound = BootstrapBound(n_resamples=50)
+    assert bound.lower(values, delta) <= bound.upper(values, delta) + 1e-12
+
+
+@given(values=samples, delta=deltas)
+@settings(max_examples=60, deadline=None)
+def test_width_monotone_in_delta(values, delta):
+    """Smaller delta (more confidence) must not shrink the interval."""
+    tighter = delta
+    looser = min(0.45, delta * 2)
+    for bound in [NormalBound(), HoeffdingBound()]:
+        assert bound.upper(values, tighter) >= bound.upper(values, looser) - 1e-12
+        assert bound.lower(values, tighter) <= bound.lower(values, looser) + 1e-12
+
+
+@given(values=binary_samples, delta=deltas)
+@settings(max_examples=60, deadline=None)
+def test_clopper_pearson_brackets_proportion(values, delta):
+    bound = ClopperPearsonBound()
+    mean = values.mean()
+    assert bound.lower(values, delta) <= mean + 1e-12
+    assert bound.upper(values, delta) >= mean - 1e-12
+    assert 0.0 <= bound.lower(values, delta) <= 1.0
+    assert 0.0 <= bound.upper(values, delta) <= 1.0
+
+
+@given(values=binary_samples, delta=deltas)
+@settings(max_examples=60, deadline=None)
+def test_hoeffding_at_least_as_wide_as_normal_on_binary(values, delta):
+    """Hoeffding ignores variance, so on [0,1] data it is never tighter
+    than the variance-aware normal bound (plug-in sigma <= 1/2)."""
+    hoeff = HoeffdingBound()
+    normal = NormalBound()
+    # sqrt(log(1/d)/2) >= sigma * sqrt(2 log(1/d)) iff sigma <= 1/2,
+    # which holds for any [0,1]-valued sample.
+    assert hoeff.upper(values, delta) >= normal.upper(values, delta) - 1e-9
+
+
+@given(
+    shift=st.floats(min_value=-5.0, max_value=5.0),
+    values=samples,
+    delta=deltas,
+)
+@settings(max_examples=60, deadline=None)
+def test_normal_bound_translation_equivariant(shift, values, delta):
+    """Shifting every observation shifts both bounds by the same amount."""
+    bound = NormalBound()
+    base_u = bound.upper(values, delta)
+    base_l = bound.lower(values, delta)
+    shifted = values + shift
+    np.testing.assert_allclose(bound.upper(shifted, delta), base_u + shift, rtol=1e-9, atol=1e-9)
+    np.testing.assert_allclose(bound.lower(shifted, delta), base_l + shift, rtol=1e-9, atol=1e-9)

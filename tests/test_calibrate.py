@@ -1,0 +1,146 @@
+"""Tests for the proxy-recalibration substrate (Platt / isotonic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.calibrate import IsotonicCalibrator, PlattScaler, calibrate_dataset, pava
+from repro.core.calibration import calibration_report
+from repro.datasets import Dataset, make_beta_dataset
+from repro.oracle import oracle_from_labels
+
+
+def _skewed_dataset(size=30_000, seed=0):
+    """A workload whose proxy is informative but badly mis-calibrated:
+    the raw score is the square root of the true match probability."""
+    rng = np.random.default_rng(seed)
+    prob = rng.beta(0.05, 2.0, size=size)
+    labels = (rng.random(size) < prob).astype(np.int8)
+    return Dataset(proxy_scores=np.sqrt(prob), labels=labels, name="skewed"), prob
+
+
+class TestPava:
+    def test_already_monotone_unchanged(self):
+        y = np.array([0.1, 0.2, 0.2, 0.9])
+        np.testing.assert_allclose(pava(y), y)
+
+    def test_simple_violation_pooled(self):
+        y = np.array([0.5, 0.1])
+        np.testing.assert_allclose(pava(y), [0.3, 0.3])
+
+    def test_weighted_pooling(self):
+        y = np.array([1.0, 0.0])
+        w = np.array([3.0, 1.0])
+        np.testing.assert_allclose(pava(y, w), [0.75, 0.75])
+
+    def test_empty_input(self):
+        assert pava(np.array([])).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pava(np.array([1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            pava(np.ones((2, 2)))
+
+    @given(
+        values=arrays(dtype=float, shape=st.integers(1, 60), elements=st.floats(0, 1)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_output_monotone_and_mean_preserving(self, values):
+        fitted = pava(values)
+        assert np.all(np.diff(fitted) >= -1e-12)
+        assert fitted.mean() == pytest.approx(values.mean())
+
+    @given(
+        values=arrays(dtype=float, shape=st.integers(2, 40), elements=st.floats(0, 1)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pava_is_projection(self, values):
+        """Applying PAVA twice changes nothing (it is a projection)."""
+        once = pava(values)
+        np.testing.assert_allclose(pava(once), once, atol=1e-12)
+
+
+class TestPlattScaler:
+    def test_recovers_calibration_on_skewed_proxy(self):
+        dataset, prob = _skewed_dataset()
+        pilot = np.arange(5_000)
+        scaler = PlattScaler().fit(dataset.proxy_scores[pilot], dataset.labels[pilot])
+        recalibrated = scaler.transform(dataset.proxy_scores)
+        before = calibration_report(dataset.proxy_scores, dataset.labels)
+        after = calibration_report(recalibrated, dataset.labels)
+        assert after.expected_calibration_error < before.expected_calibration_error / 2
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            PlattScaler().transform(np.array([0.5]))
+
+    def test_identity_when_already_calibrated(self):
+        ds = make_beta_dataset(0.5, 0.5, size=20_000, seed=1)
+        scaler = PlattScaler().fit(ds.proxy_scores, ds.labels)
+        out = scaler.transform(np.array([0.1, 0.5, 0.9]))
+        np.testing.assert_allclose(out, [0.1, 0.5, 0.9], atol=0.08)
+
+    def test_outputs_are_probabilities(self):
+        dataset, _ = _skewed_dataset(size=2_000)
+        out = PlattScaler().fit_transform(dataset.proxy_scores, dataset.labels)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlattScaler().fit(np.array([0.5]), np.array([1, 0]))
+
+
+class TestIsotonicCalibrator:
+    def test_monotone_output(self):
+        dataset, _ = _skewed_dataset(size=5_000)
+        cal = IsotonicCalibrator().fit(dataset.proxy_scores, dataset.labels)
+        grid = np.linspace(0, 1, 200)
+        out = cal.transform(grid)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_improves_calibration(self):
+        dataset, _ = _skewed_dataset()
+        pilot = np.arange(8_000)
+        cal = IsotonicCalibrator().fit(dataset.proxy_scores[pilot], dataset.labels[pilot])
+        recalibrated = cal.transform(dataset.proxy_scores)
+        before = calibration_report(dataset.proxy_scores, dataset.labels)
+        after = calibration_report(recalibrated, dataset.labels)
+        assert after.expected_calibration_error < before.expected_calibration_error / 2
+
+    def test_out_of_range_scores_clamped(self):
+        cal = IsotonicCalibrator().fit(np.array([0.3, 0.6]), np.array([0, 1]))
+        out = cal.transform(np.array([0.0, 1.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            IsotonicCalibrator().transform(np.array([0.5]))
+
+
+class TestCalibrateDataset:
+    @pytest.mark.parametrize("method", ["isotonic", "platt"])
+    def test_pipeline(self, method):
+        dataset, _ = _skewed_dataset(size=10_000)
+        oracle = oracle_from_labels(dataset.labels, budget=3_000)
+        rng = np.random.default_rng(0)
+        calibrated = calibrate_dataset(dataset, oracle, pilot_size=2_000, rng=rng, method=method)
+        assert calibrated.name.endswith(f"|{method}")
+        assert oracle.calls_used == 2_000
+        np.testing.assert_array_equal(calibrated.labels, dataset.labels)
+
+    def test_pilot_respects_budget(self):
+        dataset, _ = _skewed_dataset(size=5_000)
+        oracle = oracle_from_labels(dataset.labels, budget=100)
+        rng = np.random.default_rng(0)
+        with pytest.raises(Exception, match="budget"):
+            calibrate_dataset(dataset, oracle, pilot_size=200, rng=rng)
+
+    def test_unknown_method_rejected(self):
+        dataset, _ = _skewed_dataset(size=1_000)
+        oracle = oracle_from_labels(dataset.labels, budget=None)
+        with pytest.raises(ValueError, match="isotonic"):
+            calibrate_dataset(dataset, oracle, 100, np.random.default_rng(0), method="magic")

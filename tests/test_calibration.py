@@ -1,0 +1,51 @@
+"""Tests for the proxy-calibration diagnostics (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibration_report
+from repro.datasets import make_beta_dataset
+
+
+class TestCalibrationReport:
+    def test_calibrated_proxy_scores_low_ece(self):
+        ds = make_beta_dataset(0.5, 0.5, size=50_000, seed=0)
+        report = calibration_report(ds.proxy_scores, ds.labels)
+        assert report.expected_calibration_error < 0.02
+        assert report.monotonicity_violations == 0
+        assert report.is_approximately_monotone()
+
+    def test_anticorrelated_proxy_flagged(self):
+        ds = make_beta_dataset(0.5, 0.5, size=50_000, seed=0)
+        report = calibration_report(1.0 - ds.proxy_scores, ds.labels)
+        assert report.monotonicity_violations > 0
+        assert not report.is_approximately_monotone()
+        assert report.expected_calibration_error > 0.3
+
+    def test_bucket_structure(self):
+        scores = np.array([0.05, 0.15, 0.95, 1.0])
+        labels = np.array([0, 0, 1, 1])
+        report = calibration_report(scores, labels, num_bins=10)
+        assert report.counts.sum() == 4
+        assert report.counts[0] == 1
+        assert report.counts[9] == 2  # score 1.0 lands in the top bucket
+        assert report.match_rates[9] == 1.0
+
+    def test_empty_buckets_are_nan(self):
+        scores = np.array([0.05, 0.95])
+        labels = np.array([0, 1])
+        report = calibration_report(scores, labels, num_bins=10)
+        assert np.isnan(report.match_rates[5])
+
+    def test_single_bucket_trivially_monotone(self):
+        scores = np.full(10, 0.5)
+        labels = np.zeros(10, dtype=int)
+        report = calibration_report(scores, labels, num_bins=1)
+        assert report.monotonicity_violations == 0
+        assert report.is_approximately_monotone()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="aligned"):
+            calibration_report(np.array([0.5]), np.array([1, 0]))
+        with pytest.raises(ValueError, match="num_bins"):
+            calibration_report(np.array([0.5]), np.array([1]), num_bins=0)

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+RT_SQL = (
+    "SELECT * FROM imagenet WHERE PRESENT(frame) = True "
+    "ORACLE LIMIT 500 USING SCORE(frame) RECALL TARGET 90% WITH PROBABILITY 95%"
+)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestDatasets:
+    def test_lists_all_workloads(self):
+        code, output = run_cli(["datasets"])
+        assert code == 0
+        for name in ("imagenet", "night-street", "ontonotes", "tacred"):
+            assert name in output
+
+
+class TestQuery:
+    def test_inline_sql(self):
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000", "--sql", RT_SQL]
+        )
+        assert code == 0
+        assert "recall" in output and "oracle" in output
+
+    def test_sql_file(self, tmp_path):
+        sql_file = tmp_path / "q.sql"
+        sql_file.write_text(RT_SQL)
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000", "--sql-file", str(sql_file)]
+        )
+        assert code == 0
+        assert "is-ci-r" in output
+
+    def test_method_override(self):
+        code, output = run_cli(
+            [
+                "query", "--dataset", "imagenet", "--size", "10000",
+                "--sql", RT_SQL, "--method", "u-noci-r",
+            ]
+        )
+        assert code == 0
+        assert "u-noci-r" in output
+
+    def test_both_sql_sources_rejected(self, tmp_path):
+        sql_file = tmp_path / "q.sql"
+        sql_file.write_text(RT_SQL)
+        code, _ = run_cli(
+            [
+                "query", "--dataset", "imagenet",
+                "--sql", RT_SQL, "--sql-file", str(sql_file),
+            ]
+        )
+        assert code == 2
+
+    def test_sanitized_alias_for_beta(self):
+        sql = RT_SQL.replace("FROM imagenet", "FROM beta_0_01_1_")
+        code, output = run_cli(
+            ["query", "--dataset", "beta(0.01,1)", "--size", "20000", "--sql", sql]
+        )
+        assert code == 0
+
+
+class TestPlan:
+    def test_recall_plan(self):
+        code, output = run_cli(
+            ["plan", "--dataset", "beta(0.01,1)", "--target", "recall",
+             "--gamma", "0.9", "--size", "50000"]
+        )
+        assert code == 0
+        assert "recommended budget" in output
+        assert "positive draws" in output
+
+    def test_precision_plan(self):
+        code, output = run_cli(
+            ["plan", "--dataset", "imagenet", "--target", "precision",
+             "--gamma", "0.95", "--size", "10000"]
+        )
+        assert code == 0
+        assert "recommended budget" in output
+
+
+class TestExperiment:
+    def test_tab5_renders_and_saves(self, tmp_path):
+        save_path = tmp_path / "tab5.json"
+        code, output = run_cli(["experiment", "tab5", "--save", str(save_path)])
+        assert code == 0
+        assert "[tab5]" in output
+        payload = json.loads(save_path.read_text())
+        assert payload["experiment_id"] == "tab5"

@@ -1,0 +1,71 @@
+"""Tests for importance-sampling diagnostics (effective sample size)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import ApproxQuery, ImportanceCIRecall
+from repro.sampling import effective_sample_size, ess_ratio
+
+
+class TestEffectiveSampleSize:
+    def test_uniform_mass_is_full_size(self):
+        assert effective_sample_size(np.ones(50)) == pytest.approx(50.0)
+
+    def test_single_dominant_draw_collapses(self):
+        mass = np.array([100.0, 0.001, 0.001, 0.001])
+        assert effective_sample_size(mass) == pytest.approx(1.0, abs=0.01)
+
+    def test_empty_and_zero(self):
+        assert effective_sample_size(np.array([])) == 0.0
+        assert effective_sample_size(np.zeros(5)) == 0.0
+        assert ess_ratio(np.array([])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_sample_size(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            effective_sample_size(np.ones((2, 2)))
+
+    @given(
+        mass=arrays(
+            dtype=float,
+            shape=st.integers(1, 80),
+            elements=st.floats(min_value=0.001, max_value=100.0),
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_ess_bounded_by_draw_count(self, mass):
+        """Property: 1 <= ESS <= n for strictly positive factors, with
+        equality at n exactly for constant mass."""
+        ess = effective_sample_size(mass)
+        assert 1.0 - 1e-9 <= ess <= mass.size + 1e-9
+        assert 0.0 < ess_ratio(mass) <= 1.0 + 1e-12
+
+    @given(scale=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariant(self, scale):
+        mass = np.array([0.5, 1.0, 2.0, 4.0])
+        assert effective_sample_size(mass * scale) == pytest.approx(
+            effective_sample_size(mass)
+        )
+
+
+class TestSelectorIntegration:
+    def test_ess_reported_in_details(self, beta_dataset):
+        query = ApproxQuery.recall_target(0.9, 0.05, 800)
+        result = ImportanceCIRecall(query).select(beta_dataset, seed=0)
+        assert 0.0 < result.details["ess_ratio"] <= 1.0
+
+    def test_uniform_exponent_has_high_ess(self, beta_dataset):
+        """Exponent 0 (uniform weights) gives near-perfect ESS; sqrt
+        weighting on sharp scores trades ESS for positive draws."""
+        query = ApproxQuery.recall_target(0.9, 0.05, 800)
+        uniform_like = ImportanceCIRecall(query, weight_exponent=0.0).select(
+            beta_dataset, seed=1
+        )
+        weighted = ImportanceCIRecall(query).select(beta_dataset, seed=1)
+        if "ess_ratio" in uniform_like.details and "ess_ratio" in weighted.details:
+            assert uniform_like.details["ess_ratio"] > weighted.details["ess_ratio"]

@@ -1,0 +1,157 @@
+"""Tests for the experiment harness and every figure/table driver.
+
+Drivers run at tiny scale here; the benchmarks run them at reporting
+scale.  Each test checks the *shape* the paper reports, not absolute
+numbers (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxQuery, ImportanceCIRecall, UniformNoCIRecall
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    compare_methods,
+    figure1,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure15,
+    render_table,
+    run_trials,
+    summarize_trials,
+    table4,
+    table5,
+)
+from repro.experiments.results import TrialRecord
+
+
+class TestRunner:
+    def test_run_trials_aggregates(self, beta_dataset, rt_query):
+        summary = run_trials(
+            lambda: ImportanceCIRecall(rt_query), beta_dataset, trials=5, base_seed=0
+        )
+        assert summary.trials == 5
+        assert summary.method == "is-ci-r"
+        assert 0.0 <= summary.failure_rate <= 1.0
+        assert len(summary.records) == 5
+
+    def test_compare_methods_shares_seeds(self, beta_dataset, rt_query):
+        panel = compare_methods(
+            {
+                "a": lambda: UniformNoCIRecall(rt_query),
+                "b": lambda: UniformNoCIRecall(rt_query),
+            },
+            beta_dataset,
+            trials=3,
+        )
+        # Identical factories + identical seeds -> identical records.
+        assert [r.target_metric for r in panel["a"].records] == [
+            r.target_metric for r in panel["b"].records
+        ]
+
+    def test_zero_trials_rejected(self, beta_dataset, rt_query):
+        with pytest.raises(ValueError):
+            run_trials(lambda: ImportanceCIRecall(rt_query), beta_dataset, trials=0)
+
+    def test_summarize_rejects_mixed_cells(self):
+        a = TrialRecord("m1", "d", 0.9, 0.9, 0.5, 10, 5, 0)
+        b = TrialRecord("m2", "d", 0.9, 0.9, 0.5, 10, 5, 1)
+        with pytest.raises(ValueError, match="single"):
+            summarize_trials([a, b])
+
+    def test_render_table_alignment(self):
+        text = render_table(["x", "metric"], [["a", 0.5], ["bb", 1.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.5000" in lines[2]
+
+
+class TestDrivers:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig15", "tab4", "tab5",
+        }
+
+    def test_figure1_shape(self):
+        """SUPG's failure rate must not exceed the naive baseline's."""
+        result = figure1(trials=8, seed=0)
+        assert result.experiment_id == "fig1"
+        panel = result.summaries
+        assert panel["SUPG (IS-CI-P)"].failure_rate <= panel["naive (U-NoCI)"].failure_rate
+        assert "precision" in result.render()
+
+    def test_figure5_and_6_single_dataset(self):
+        for driver, experiment_id in ((figure5, "fig5"), (figure6, "fig6")):
+            result = driver(trials=4, datasets=("beta(0.01,1)",), seed=0)
+            assert result.experiment_id == experiment_id
+            assert {row[0] for row in result.rows} == {"beta(0.01,1)"}
+            assert {row[1] for row in result.rows} == {"U-NoCI", "SUPG"}
+
+    def test_figure7_sweep_structure(self):
+        result = figure7(trials=2, targets=(0.8,), datasets=("beta(0.01,1)",), seed=0)
+        methods = {row[2] for row in result.rows}
+        assert methods == {"U-CI", "IS one-stage", "SUPG (two-stage)"}
+
+    def test_figure8_sweep_structure(self):
+        result = figure8(trials=2, targets=(0.8,), datasets=("beta(0.01,1)",), seed=0)
+        methods = {row[2] for row in result.rows}
+        assert methods == {"U-CI", "Importance, prop", "SUPG (sqrt)"}
+
+    def test_figure9_noise_axis(self):
+        result = figure9(trials=2, noise_levels=(0.02,), size=50_000, seed=0)
+        assert {row[0] for row in result.rows} == {"precision-target", "recall-target"}
+        assert all(row[1] == 0.02 for row in result.rows)
+
+    def test_figure10_reports_tpr(self):
+        result = figure10(trials=2, betas=(1.0,), size=50_000, seed=0)
+        tprs = {row[2] for row in result.rows}
+        assert all(0.001 < tpr < 0.05 for tpr in tprs)
+
+    def test_figure11_runs(self):
+        result = figure11(trials=2, steps=(100, 200), mixing_ratios=(0.1, 0.3), size=50_000)
+        assert len(result.rows) == 4
+
+    def test_figure12_exponent_axis(self):
+        result = figure12(trials=2, exponents=(0.0, 0.5, 1.0), size=50_000)
+        exponents = [row[0] for row in result.rows]
+        assert exponents == [0.0, 0.5, 1.0]
+
+    def test_figure13_clopper_pearson_only_uniform(self):
+        result = figure13(trials=2, size=50_000)
+        samplers = {(row[0], row[1]) for row in result.rows}
+        assert ("uniform", "clopper-pearson") in samplers
+        assert ("supg", "clopper-pearson") not in samplers
+
+    def test_figure15_reports_oracle_usage(self):
+        result = figure15(trials=1, targets=(0.6,), datasets=("beta(0.01,1)",))
+        assert all(row[3] > 0 for row in result.rows)
+
+    def test_table4_shapes(self):
+        result = table4(trials=3, size=20_000, scenarios=("beta",))
+        # SUPG's mean accuracy should beat the frozen threshold's on the
+        # shifted data for at least the recall row.
+        by_key = result.summaries
+        assert by_key["beta|recall|supg"] >= by_key["beta|recall|naive"]
+
+    def test_table5_qualitative_claims(self):
+        result = table5()
+        for row in result.rows:
+            supg_total, exhaustive = row[4], row[5]
+            assert supg_total < exhaustive
+        by_key = result.summaries
+        # Paper: ImageNet exhaustive labeling costs $4,000.
+        assert by_key["imagenet|exhaustive"] == pytest.approx(4_000.0)
+
+    def test_render_is_plain_text(self):
+        result = table5()
+        text = result.render()
+        assert text.startswith("[tab5]")
+        assert "exhaustive" in text

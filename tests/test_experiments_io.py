@@ -1,0 +1,68 @@
+"""Tests for experiment-result persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments import load_result, save_result, save_results, table5
+from repro.experiments.figures import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return table5()
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "tab5.json")
+        loaded = load_result(path)
+        assert loaded.experiment_id == result.experiment_id
+        assert loaded.description == result.description
+        assert loaded.headers == result.headers
+        assert len(loaded.rows) == len(result.rows)
+        for original, restored in zip(result.rows, loaded.rows):
+            for a, b in zip(original, restored):
+                if isinstance(a, float):
+                    assert b == pytest.approx(a)
+                else:
+                    assert b == a
+
+    def test_render_survives_round_trip(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "x.json"))
+        assert loaded.render().startswith("[tab5]")
+
+    def test_parent_directories_created(self, result, tmp_path):
+        path = save_result(result, tmp_path / "deep" / "nested" / "tab5.json")
+        assert path.exists()
+
+    def test_file_is_plain_json(self, result, tmp_path):
+        path = save_result(result, tmp_path / "tab5.json")
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["experiment_id"] == "tab5"
+
+    def test_save_results_batch(self, result, tmp_path):
+        other = ExperimentResult(
+            experiment_id="custom",
+            description="d",
+            headers=("a",),
+            rows=((1,),),
+        )
+        written = save_results({"x": result, "y": other}, tmp_path)
+        names = sorted(p.name for p in written)
+        assert names == ["custom.json", "tab5.json"]
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            load_result(bad)
+
+    def test_missing_field_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format_version": 1, "experiment_id": "x"}))
+        with pytest.raises(ValueError, match="missing"):
+            load_result(bad)

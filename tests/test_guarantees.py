@@ -1,0 +1,226 @@
+"""Integration tests: the paper's probabilistic guarantees, end to end.
+
+These are the load-bearing tests of the reproduction: over repeated
+seeded runs, every CI-based selector must miss its target at most a
+~delta fraction of the time (Equations 1-2), on calibrated data, on
+heavily imbalanced data, and under failure injection (uninformative or
+adversarial proxies) — while the no-guarantee baselines demonstrably
+fail, reproducing the paper's Figures 1, 5 and 6.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproxQuery,
+    ImportanceCIPrecisionOneStage,
+    ImportanceCIPrecisionTwoStage,
+    ImportanceCIRecall,
+    UniformCIPrecision,
+    UniformCIRecall,
+    UniformNoCIRecall,
+)
+from repro.datasets import Dataset, make_beta_dataset
+from repro.metrics import precision, recall
+
+TRIALS = 30
+GAMMA = 0.9
+DELTA = 0.05
+#: Empirical failure allowance: delta plus binomial noise over TRIALS.
+ALLOWED = DELTA + 2 * np.sqrt(DELTA * (1 - DELTA) / TRIALS)
+
+
+def _failure_rate(selector_factory, dataset, metric_fn, gamma, trials=TRIALS):
+    failures = 0
+    for t in range(trials):
+        result = selector_factory().select(dataset, seed=1_000 + t)
+        if metric_fn(result.indices, dataset.labels) < gamma - 1e-9:
+            failures += 1
+    return failures / trials
+
+
+class TestRecallGuarantees:
+    @pytest.mark.parametrize("cls", [UniformCIRecall, ImportanceCIRecall])
+    def test_calibrated_beta(self, cls, beta_dataset):
+        query = ApproxQuery.recall_target(GAMMA, DELTA, 1_000)
+        rate = _failure_rate(lambda: cls(query), beta_dataset, recall, GAMMA)
+        assert rate <= ALLOWED
+
+    def test_extreme_imbalance(self, imagenet_small):
+        query = ApproxQuery.recall_target(GAMMA, DELTA, 800)
+        rate = _failure_rate(
+            lambda: ImportanceCIRecall(query), imagenet_small, recall, GAMMA
+        )
+        assert rate <= ALLOWED
+
+    def test_baseline_fails_where_supg_holds(self, imagenet_small):
+        """The Figure 6 contrast: U-NoCI misses the recall target far
+        more often than delta on the rare-positive workload."""
+        query = ApproxQuery.recall_target(GAMMA, DELTA, 800)
+        baseline_rate = _failure_rate(
+            lambda: UniformNoCIRecall(query), imagenet_small, recall, GAMMA
+        )
+        supg_rate = _failure_rate(
+            lambda: ImportanceCIRecall(query), imagenet_small, recall, GAMMA
+        )
+        assert baseline_rate > 0.2
+        assert supg_rate <= ALLOWED
+
+    def test_uninformative_proxy_still_valid(self, rng):
+        """Failure injection: proxy scores independent of labels.  The
+        result quality collapses but the guarantee must survive."""
+        labels = (rng.random(30_000) < 0.02).astype(np.int8)
+        dataset = Dataset(
+            proxy_scores=rng.random(30_000), labels=labels, name="uninformative"
+        )
+        query = ApproxQuery.recall_target(GAMMA, DELTA, 1_000)
+        rate = _failure_rate(
+            lambda: ImportanceCIRecall(query), dataset, recall, GAMMA, trials=20
+        )
+        assert rate <= DELTA + 2 * np.sqrt(DELTA * (1 - DELTA) / 20)
+
+    def test_adversarial_proxy_still_valid(self, rng):
+        """Failure injection: proxy anti-correlated with the oracle.
+
+        Anti-correlated weights bias the sampled positives above the
+        true threshold, so the guarantee here is the paper's asymptotic
+        one — it needs a budget large enough for the defensive-mixing
+        component to see the positive tail (2,000 labels at this TPR).
+        """
+        true_prob = rng.beta(0.05, 1.0, size=30_000)
+        labels = (rng.random(30_000) < true_prob).astype(np.int8)
+        dataset = Dataset(
+            proxy_scores=1.0 - true_prob, labels=labels, name="adversarial"
+        )
+        query = ApproxQuery.recall_target(GAMMA, DELTA, 2_000)
+        rate = _failure_rate(
+            lambda: ImportanceCIRecall(query), dataset, recall, GAMMA, trials=20
+        )
+        assert rate <= DELTA + 2 * np.sqrt(DELTA * (1 - DELTA) / 20)
+
+
+class TestPrecisionGuarantees:
+    @pytest.mark.parametrize(
+        "cls",
+        [UniformCIPrecision, ImportanceCIPrecisionOneStage, ImportanceCIPrecisionTwoStage],
+    )
+    def test_calibrated_beta(self, cls, beta_dataset):
+        query = ApproxQuery.precision_target(GAMMA, DELTA, 1_000)
+        rate = _failure_rate(lambda: cls(query), beta_dataset, precision, GAMMA)
+        assert rate <= ALLOWED
+
+    def test_extreme_imbalance(self, imagenet_small):
+        query = ApproxQuery.precision_target(GAMMA, DELTA, 800)
+        rate = _failure_rate(
+            lambda: ImportanceCIPrecisionTwoStage(query), imagenet_small, precision, GAMMA
+        )
+        assert rate <= ALLOWED
+
+    def test_uninformative_proxy_still_valid(self, rng):
+        labels = (rng.random(30_000) < 0.02).astype(np.int8)
+        dataset = Dataset(
+            proxy_scores=rng.random(30_000), labels=labels, name="uninformative"
+        )
+        query = ApproxQuery.precision_target(GAMMA, DELTA, 1_000)
+        rate = _failure_rate(
+            lambda: ImportanceCIPrecisionTwoStage(query),
+            dataset,
+            precision,
+            GAMMA,
+            trials=20,
+        )
+        assert rate <= DELTA + 2 * np.sqrt(DELTA * (1 - DELTA) / 20)
+
+
+class TestQualityOrdering:
+    """The paper's efficiency claims, as coarse statistical assertions."""
+
+    def test_importance_beats_uniform_recall_setting(self, beta2_dataset):
+        """Figure 8: at a recall target, IS-CI-R returns higher-precision
+        sets than U-CI-R."""
+        query = ApproxQuery.recall_target(0.9, DELTA, 1_000)
+        is_prec = np.mean(
+            [
+                precision(
+                    ImportanceCIRecall(query).select(beta2_dataset, seed=t).indices,
+                    beta2_dataset.labels,
+                )
+                for t in range(10)
+            ]
+        )
+        u_prec = np.mean(
+            [
+                precision(
+                    UniformCIRecall(query).select(beta2_dataset, seed=t).indices,
+                    beta2_dataset.labels,
+                )
+                for t in range(10)
+            ]
+        )
+        assert is_prec > u_prec
+
+    def test_two_stage_beats_uniform_precision_setting(self, beta2_dataset):
+        """Figure 7: at a precision target, IS-CI-P returns higher-recall
+        sets than U-CI-P."""
+        query = ApproxQuery.precision_target(0.9, DELTA, 1_000)
+        is_rec = np.mean(
+            [
+                recall(
+                    ImportanceCIPrecisionTwoStage(query).select(beta2_dataset, seed=t).indices,
+                    beta2_dataset.labels,
+                )
+                for t in range(10)
+            ]
+        )
+        u_rec = np.mean(
+            [
+                recall(
+                    UniformCIPrecision(query).select(beta2_dataset, seed=t).indices,
+                    beta2_dataset.labels,
+                )
+                for t in range(10)
+            ]
+        )
+        assert is_rec > u_rec
+
+    def test_sqrt_weights_beat_uniform_exponent(self, beta2_dataset):
+        """Figure 12: exponent 0.5 far exceeds exponent 0 (uniform)."""
+        query = ApproxQuery.recall_target(0.9, DELTA, 1_000)
+        sqrt_prec = np.mean(
+            [
+                precision(
+                    ImportanceCIRecall(query).select(beta2_dataset, seed=t).indices,
+                    beta2_dataset.labels,
+                )
+                for t in range(10)
+            ]
+        )
+        exp0_prec = np.mean(
+            [
+                precision(
+                    ImportanceCIRecall(query, weight_exponent=0.0)
+                    .select(beta2_dataset, seed=t)
+                    .indices,
+                    beta2_dataset.labels,
+                )
+                for t in range(10)
+            ]
+        )
+        assert sqrt_prec > exp0_prec
+
+    def test_sqrt_weights_no_less_valid_than_proportional(self, beta2_dataset):
+        """Figure 12's other half: proportional weights trade validity
+        for aggressiveness; sqrt must fail no more often than prop."""
+        query = ApproxQuery.recall_target(0.9, DELTA, 1_000)
+        def failures(exponent):
+            return sum(
+                recall(
+                    ImportanceCIRecall(query, weight_exponent=exponent)
+                    .select(beta2_dataset, seed=t)
+                    .indices,
+                    beta2_dataset.labels,
+                )
+                < 0.9
+                for t in range(15)
+            )
+        assert failures(0.5) <= failures(1.0)

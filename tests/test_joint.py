@@ -1,0 +1,74 @@
+"""Tests for joint-target (JT) queries (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import JointQuery, JointSelector
+from repro.metrics import evaluate_selection
+
+
+class TestJointQuery:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="recall_gamma"):
+            JointQuery(recall_gamma=0.0, precision_gamma=0.9, delta=0.05, stage_budget=100)
+        with pytest.raises(ValueError, match="precision_gamma"):
+            JointQuery(recall_gamma=0.9, precision_gamma=1.2, delta=0.05, stage_budget=100)
+        with pytest.raises(ValueError, match="delta"):
+            JointQuery(recall_gamma=0.9, precision_gamma=0.9, delta=1.0, stage_budget=100)
+        with pytest.raises(ValueError, match="stage_budget"):
+            JointQuery(recall_gamma=0.9, precision_gamma=0.9, delta=0.05, stage_budget=0)
+
+
+class TestJointSelector:
+    @pytest.fixture
+    def joint_query(self):
+        return JointQuery(recall_gamma=0.8, precision_gamma=0.9, delta=0.05, stage_budget=500)
+
+    def test_unknown_subroutine_rejected(self, joint_query):
+        with pytest.raises(ValueError, match="subroutine"):
+            JointSelector(joint_query, method="magic")
+
+    def test_precision_always_one_after_exhaustive_filter(self, joint_query, beta_dataset):
+        """Stage 3 keeps only oracle-confirmed positives."""
+        result = JointSelector(joint_query, method="is").select(beta_dataset, seed=0)
+        quality = evaluate_selection(result.indices, beta_dataset.labels)
+        assert quality.precision == 1.0
+
+    def test_recall_target_met_with_high_probability(self, joint_query, beta_dataset):
+        successes = 0
+        trials = 10
+        for t in range(trials):
+            result = JointSelector(joint_query, method="is").select(beta_dataset, seed=t)
+            quality = evaluate_selection(result.indices, beta_dataset.labels)
+            if quality.recall >= joint_query.recall_gamma:
+                successes += 1
+        assert successes >= 9
+
+    def test_oracle_usage_counts_all_stages(self, joint_query, beta_dataset):
+        result = JointSelector(joint_query, method="is").select(beta_dataset, seed=1)
+        assert result.oracle_calls >= result.details["stage2_oracle_calls"]
+        # Exhaustive filtering of the candidate set adds to the count,
+        # but records labeled in stage 2 are not re-charged.
+        assert result.oracle_calls <= (
+            result.details["stage2_oracle_calls"] + result.details["candidate_size"]
+        )
+
+    def test_importance_uses_fewer_calls_than_uniform(self, beta_dataset):
+        """The Figure 15 shape: the IS subroutine's tighter candidate
+        sets translate into fewer total oracle calls."""
+        query = JointQuery(recall_gamma=0.8, precision_gamma=0.8, delta=0.05, stage_budget=1_000)
+        is_calls = []
+        uniform_calls = []
+        for t in range(5):
+            is_calls.append(
+                JointSelector(query, method="is").select(beta_dataset, seed=t).oracle_calls
+            )
+            uniform_calls.append(
+                JointSelector(query, method="uniform").select(beta_dataset, seed=t).oracle_calls
+            )
+        assert np.mean(is_calls) < np.mean(uniform_calls)
+
+    def test_details_expose_stage2(self, joint_query, beta_dataset):
+        result = JointSelector(joint_query, method="is").select(beta_dataset, seed=2)
+        assert result.details["method"] == "joint-is"
+        assert result.details["candidate_size"] >= result.size

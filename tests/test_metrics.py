@@ -1,0 +1,85 @@
+"""Unit tests for selection-quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import SelectionQuality, evaluate_selection, f1_score, precision, recall
+
+LABELS = np.array([1, 1, 0, 0, 1, 0, 0, 0, 0, 0])
+
+
+class TestPrecisionRecall:
+    def test_perfect_selection(self):
+        selected = np.array([0, 1, 4])
+        assert precision(selected, LABELS) == 1.0
+        assert recall(selected, LABELS) == 1.0
+
+    def test_partial_selection(self):
+        selected = np.array([0, 2])  # one true positive, one false
+        assert precision(selected, LABELS) == pytest.approx(0.5)
+        assert recall(selected, LABELS) == pytest.approx(1 / 3)
+
+    def test_empty_selection_conventions(self):
+        empty = np.array([], dtype=int)
+        assert precision(empty, LABELS) == 1.0  # vacuously precise
+        assert recall(empty, LABELS) == 0.0
+
+    def test_no_positives_in_dataset(self):
+        labels = np.zeros(5, dtype=int)
+        assert recall(np.array([0]), labels) == 1.0  # vacuous recall
+        assert precision(np.array([0]), labels) == 0.0
+
+    def test_duplicates_ignored(self):
+        selected = np.array([0, 0, 0, 2])
+        assert precision(selected, LABELS) == pytest.approx(0.5)
+
+    def test_full_dataset_selection(self):
+        everything = np.arange(10)
+        assert recall(everything, LABELS) == 1.0
+        assert precision(everything, LABELS) == pytest.approx(0.3)
+
+
+class TestF1AndQuality:
+    def test_f1_harmonic_mean(self):
+        selected = np.array([0, 2])  # P=0.5, R=1/3
+        expected = 2 * 0.5 * (1 / 3) / (0.5 + 1 / 3)
+        assert f1_score(selected, LABELS) == pytest.approx(expected)
+
+    def test_f1_zero_when_nothing_right(self):
+        labels = np.array([1, 0])
+        assert f1_score(np.array([1]), labels) == 0.0
+
+    def test_evaluate_selection_bundle(self):
+        quality = evaluate_selection(np.array([0, 1, 2]), LABELS)
+        assert quality == SelectionQuality(precision=2 / 3, recall=2 / 3, size=3)
+        assert quality.f1 == pytest.approx(2 / 3)
+
+    def test_quality_f1_zero_case(self):
+        assert SelectionQuality(precision=0.0, recall=0.0, size=5).f1 == 0.0
+
+
+@given(
+    labels=arrays(dtype=np.int8, shape=st.integers(1, 50), elements=st.sampled_from([0, 1])),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_metrics_bounded_and_consistent(labels, data):
+    """Property: metrics in [0,1]; singling out all positives is perfect."""
+    n = labels.size
+    k = data.draw(st.integers(0, n), label="k")
+    selected = data.draw(
+        st.permutations(list(range(n))).map(lambda p: np.array(p[:k], dtype=int)),
+        label="selected",
+    )
+    p = precision(selected, labels)
+    r = recall(selected, labels)
+    assert 0.0 <= p <= 1.0
+    assert 0.0 <= r <= 1.0
+
+    exact = np.flatnonzero(labels == 1)
+    assert recall(exact, labels) == 1.0
+    if exact.size:
+        assert precision(exact, labels) == 1.0

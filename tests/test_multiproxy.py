@@ -1,0 +1,121 @@
+"""Tests for multi-proxy fusion (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproxQuery,
+    ImportanceCIRecall,
+    LogisticFuser,
+    MaxFuser,
+    MeanFuser,
+    fuse_proxies,
+)
+from repro.datasets import Dataset
+from repro.metrics import precision, recall
+from repro.oracle import oracle_from_labels
+
+
+def _two_proxy_workload(size=30_000, seed=0):
+    """Ground truth with two complementary noisy proxies plus the
+    matrix [good_proxy, weak_proxy]."""
+    rng = np.random.default_rng(seed)
+    prob = rng.beta(0.05, 1.5, size=size)
+    labels = (rng.random(size) < prob).astype(np.int8)
+    good = np.clip(prob + rng.normal(0, 0.05, size), 0, 1)
+    weak = np.clip(prob + rng.normal(0, 0.4, size), 0, 1)
+    dataset = Dataset(proxy_scores=good, labels=labels, name="multiproxy")
+    return dataset, np.column_stack([good, weak])
+
+
+class TestSimpleFusers:
+    def test_mean(self):
+        matrix = np.array([[0.2, 0.4], [1.0, 0.0]])
+        np.testing.assert_allclose(MeanFuser().fuse(matrix), [0.3, 0.5])
+
+    def test_max(self):
+        matrix = np.array([[0.2, 0.4], [1.0, 0.0]])
+        np.testing.assert_allclose(MaxFuser().fuse(matrix), [0.4, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="matrix"):
+            MeanFuser().fuse(np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            MeanFuser().fuse(np.array([[1.5]]))
+
+
+class TestLogisticFuser:
+    def test_downweights_uninformative_proxy(self):
+        rng = np.random.default_rng(0)
+        prob = rng.beta(0.2, 1.0, size=20_000)
+        labels = (rng.random(20_000) < prob).astype(float)
+        noise = rng.random(20_000)
+        matrix = np.column_stack([prob, noise])
+        fuser = LogisticFuser().fit(matrix, labels)
+        informative_w, noise_w, _ = fuser.coef_
+        assert informative_w > 4 * abs(noise_w)
+
+    def test_flips_anticorrelated_proxy(self):
+        rng = np.random.default_rng(1)
+        prob = rng.beta(0.2, 1.0, size=20_000)
+        labels = (rng.random(20_000) < prob).astype(float)
+        matrix = np.column_stack([1.0 - prob])
+        fuser = LogisticFuser().fit(matrix, labels)
+        assert fuser.coef_[0] < 0  # negative weight rescues the proxy
+        fused = fuser.fuse(matrix)
+        # Fused scores correlate positively with the truth again.
+        assert np.corrcoef(fused, prob)[0, 1] > 0.8
+
+    def test_fuse_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogisticFuser().fuse(np.array([[0.5]]))
+
+    def test_label_alignment_validated(self):
+        with pytest.raises(ValueError, match="align"):
+            LogisticFuser().fit(np.array([[0.5], [0.6]]), np.array([1.0]))
+
+
+class TestFuseProxies:
+    def test_label_free_path(self):
+        dataset, matrix = _two_proxy_workload()
+        fused = fuse_proxies(dataset, matrix)
+        assert fused.name.endswith("fused-mean")
+        assert fused.size == dataset.size
+
+    def test_trainable_path_requires_oracle(self):
+        dataset, matrix = _two_proxy_workload(size=1_000)
+        with pytest.raises(ValueError, match="oracle"):
+            fuse_proxies(dataset, matrix, fuser=LogisticFuser())
+
+    def test_row_mismatch_rejected(self):
+        dataset, matrix = _two_proxy_workload(size=1_000)
+        with pytest.raises(ValueError, match="rows"):
+            fuse_proxies(dataset, matrix[:500])
+
+    def test_fused_workload_runs_supg_with_guarantee(self):
+        """End to end: logistic fusion + IS-CI-R keeps the recall
+        guarantee and improves quality over the weak proxy alone."""
+        dataset, matrix = _two_proxy_workload()
+        oracle = oracle_from_labels(dataset.labels, budget=None)
+        fused = fuse_proxies(
+            dataset,
+            matrix,
+            fuser=LogisticFuser(),
+            oracle=oracle,
+            pilot_size=1_000,
+            rng=np.random.default_rng(0),
+        )
+        query = ApproxQuery.recall_target(0.9, 0.05, 2_000)
+
+        fused_recalls, fused_precisions = [], []
+        weak_precisions = []
+        weak = dataset.with_scores(matrix[:, 1], name="weak-only")
+        for t in range(10):
+            r = ImportanceCIRecall(query).select(fused, seed=t)
+            fused_recalls.append(recall(r.indices, dataset.labels))
+            fused_precisions.append(precision(r.indices, dataset.labels))
+            w = ImportanceCIRecall(query).select(weak, seed=t)
+            weak_precisions.append(precision(w.indices, dataset.labels))
+
+        assert np.mean([r >= 0.9 for r in fused_recalls]) >= 0.9
+        assert np.mean(fused_precisions) > np.mean(weak_precisions)

@@ -1,0 +1,115 @@
+"""Unit tests for the budgeted oracle and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.oracle import (
+    BudgetedOracle,
+    BudgetExhaustedError,
+    CostModel,
+    DATASET_COST_MODELS,
+    HUMAN_LABEL_COST,
+    oracle_from_labels,
+)
+
+
+class TestBudgetedOracle:
+    def test_returns_ground_truth(self):
+        labels = np.array([0, 1, 0, 1, 1])
+        oracle = oracle_from_labels(labels, budget=5)
+        np.testing.assert_array_equal(oracle.query(np.array([1, 3, 0])), [1, 1, 0])
+
+    def test_budget_enforced(self):
+        oracle = oracle_from_labels(np.zeros(100, dtype=int), budget=3)
+        oracle.query(np.array([0, 1, 2]))
+        with pytest.raises(BudgetExhaustedError):
+            oracle.query(np.array([3]))
+
+    def test_budget_checked_before_revealing(self):
+        oracle = oracle_from_labels(np.ones(10, dtype=int), budget=2)
+        with pytest.raises(BudgetExhaustedError):
+            oracle.query(np.array([0, 1, 2]))
+        # The failed call leaked nothing and consumed nothing.
+        assert oracle.calls_used == 0
+        assert oracle.labeled_count == 0
+
+    def test_duplicates_free_by_default(self):
+        """Re-querying a labeled record is free (per-record labeling)."""
+        oracle = oracle_from_labels(np.ones(10, dtype=int), budget=2)
+        oracle.query(np.array([4, 4, 4, 4]))
+        assert oracle.calls_used == 1
+        oracle.query(np.array([4, 5]))
+        assert oracle.calls_used == 2
+        assert oracle.remaining() == 0
+
+    def test_strict_mode_charges_duplicates(self):
+        oracle = oracle_from_labels(np.ones(10, dtype=int), budget=3, charge_duplicates=True)
+        oracle.query(np.array([4, 4, 4]))
+        assert oracle.calls_used == 3
+        with pytest.raises(BudgetExhaustedError):
+            oracle.query(np.array([4]))
+
+    def test_unlimited_budget(self):
+        oracle = oracle_from_labels(np.ones(10, dtype=int), budget=None)
+        oracle.query(np.arange(10))
+        assert oracle.remaining() is None
+        assert oracle.labeled_count == 10
+
+    def test_known_positives_sorted(self):
+        labels = np.array([1, 0, 1, 0, 1])
+        oracle = oracle_from_labels(labels, budget=None)
+        oracle.query(np.array([4, 1, 0]))
+        np.testing.assert_array_equal(oracle.known_positives(), [0, 4])
+
+    def test_labeled_indices(self):
+        oracle = oracle_from_labels(np.zeros(10, dtype=int), budget=None)
+        oracle.query(np.array([7, 2, 2]))
+        np.testing.assert_array_equal(oracle.labeled_indices(), [2, 7])
+
+    def test_empty_query_is_free(self):
+        oracle = oracle_from_labels(np.zeros(5, dtype=int), budget=1)
+        result = oracle.query(np.array([], dtype=int))
+        assert result.size == 0
+        assert oracle.calls_used == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetedOracle(lambda idx: idx, budget=-1)
+
+    def test_misbehaving_label_fn_detected(self):
+        oracle = BudgetedOracle(lambda idx: np.zeros(idx.size + 1), budget=None)
+        with pytest.raises(ValueError, match="one label per"):
+            oracle.query(np.array([0, 1]))
+
+
+class TestCostModel:
+    def test_oracle_cost_linear(self):
+        model = CostModel(oracle_unit_cost=HUMAN_LABEL_COST)
+        assert model.oracle_cost(1_000) == pytest.approx(80.0)
+
+    def test_exhaustive_matches_paper_imagenet(self):
+        """Table 5: exhaustively labeling ImageNet costs $4,000."""
+        model = DATASET_COST_MODELS["imagenet"]
+        assert model.exhaustive_cost(50_000) == pytest.approx(4_000.0)
+
+    def test_supg_breakdown_structure(self):
+        model = DATASET_COST_MODELS["imagenet"]
+        cost = model.supg_query(num_records=50_000, oracle_budget=1_000)
+        # Table 5's qualitative claims: oracle dominates, sampling is
+        # negligible, and SUPG is far below exhaustive labeling.
+        assert cost.oracle > cost.proxy > cost.sampling
+        assert cost.total < model.exhaustive_cost(50_000) / 10
+        assert cost.total == pytest.approx(cost.sampling + cost.proxy + cost.oracle)
+
+    def test_dnn_oracle_cheaper_per_label_than_human(self):
+        night = DATASET_COST_MODELS["night-street"]
+        assert night.oracle_unit_cost < HUMAN_LABEL_COST
+
+    def test_negative_counts_rejected(self):
+        model = CostModel(oracle_unit_cost=0.08)
+        with pytest.raises(ValueError):
+            model.oracle_cost(-1)
+        with pytest.raises(ValueError):
+            model.proxy_cost(-1)
+        with pytest.raises(ValueError):
+            model.sampling_cost(-1)

@@ -1,0 +1,66 @@
+"""Paper-scale smoke tests: the pipeline at the sizes the paper uses.
+
+Most tests run at reduced scale for speed; these verify nothing breaks
+(or slows pathologically) at the paper's actual dataset sizes —
+10**6-record synthetics and the full 50,000-record ImageNet simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxQuery, ImportanceCIPrecisionTwoStage, ImportanceCIRecall
+from repro.datasets import DEFAULT_BETA_SIZE, make_beta_dataset, make_imagenet
+from repro.metrics import evaluate_selection
+
+
+@pytest.fixture(scope="module")
+def paper_beta():
+    """The paper's Beta(0.01, 1) workload at its full 10**6 records."""
+    return make_beta_dataset(0.01, 1.0, seed=0)
+
+
+class TestPaperScale:
+    def test_default_size_is_one_million(self, paper_beta):
+        assert DEFAULT_BETA_SIZE == 1_000_000
+        assert paper_beta.size == 1_000_000
+
+    def test_tpr_matches_table2(self, paper_beta):
+        # Beta(0.01, 1) has mean ~0.0099; Table 2 lists ~1% / 0.5% for
+        # the two synthetic rows.
+        assert paper_beta.positive_rate == pytest.approx(0.0099, abs=0.002)
+
+    def test_rt_query_at_paper_budget(self, paper_beta):
+        query = ApproxQuery.recall_target(0.9, 0.05, 10_000)
+        result = ImportanceCIRecall(query).select(paper_beta, seed=1)
+        quality = evaluate_selection(result.indices, paper_beta.labels)
+        assert quality.recall >= 0.9 - 1e-9
+        assert result.oracle_calls <= 10_000
+
+    def test_pt_query_at_paper_budget(self, paper_beta):
+        query = ApproxQuery.precision_target(0.9, 0.05, 10_000)
+        result = ImportanceCIPrecisionTwoStage(query).select(paper_beta, seed=2)
+        quality = evaluate_selection(result.indices, paper_beta.labels)
+        assert quality.precision >= 0.9 - 1e-9
+        # At paper scale the quality is far from vacuous.
+        assert quality.recall > 0.2
+
+    def test_full_imagenet_simulation(self):
+        dataset = make_imagenet(seed=0)
+        assert dataset.size == 50_000
+        assert dataset.positive_count == 50
+        query = ApproxQuery.recall_target(0.9, 0.05, 1_000)
+        result = ImportanceCIRecall(query).select(dataset, seed=3)
+        quality = evaluate_selection(result.indices, dataset.labels)
+        assert quality.recall >= 0.9 - 1e-9
+
+    def test_selection_is_fast_at_scale(self, paper_beta):
+        """One selection over 10**6 records stays well under a second of
+        numpy time (the paper's Table 5 'sampling' row is negligible)."""
+        import time
+
+        query = ApproxQuery.recall_target(0.9, 0.05, 10_000)
+        selector = ImportanceCIRecall(query)
+        start = time.perf_counter()
+        selector.select(paper_beta, seed=4)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0

@@ -1,0 +1,106 @@
+"""Property-based tests for the query parser: generated valid queries
+always parse back to their generating parameters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import QueryKind, parse_query
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,12}", fullmatch=True).filter(
+    # Keywords would change the parse; exclude them (case-insensitive).
+    lambda s: s.upper()
+    not in {
+        "SELECT", "FROM", "WHERE", "ORACLE", "LIMIT", "USING",
+        "RECALL", "PRECISION", "TARGET", "WITH", "PROBABILITY",
+    }
+)
+
+percentages = st.integers(min_value=1, max_value=99)
+budgets = st.integers(min_value=1, max_value=10_000_000)
+
+
+@given(
+    table=identifiers,
+    predicate=identifiers,
+    proxy=identifiers,
+    argument=identifiers,
+    budget=budgets,
+    target=percentages,
+    probability=percentages,
+    use_recall=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_single_target_round_trip(
+    table, predicate, proxy, argument, budget, target, probability, use_recall
+):
+    kind = "RECALL" if use_recall else "PRECISION"
+    sql = (
+        f"SELECT * FROM {table} "
+        f"WHERE {predicate}({argument}) = True "
+        f"ORACLE LIMIT {budget} "
+        f"USING {proxy}({argument}) "
+        f"{kind} TARGET {target}% "
+        f"WITH PROBABILITY {probability}%"
+    )
+    parsed = parse_query(sql)
+    assert parsed.table == table
+    assert parsed.predicate.name == predicate
+    assert parsed.proxy.name == proxy
+    assert parsed.oracle_limit == budget
+    assert parsed.probability == pytest.approx(probability / 100)
+    expected = target / 100
+    if use_recall:
+        assert parsed.recall_target == pytest.approx(expected)
+        assert parsed.precision_target is None
+    else:
+        assert parsed.precision_target == pytest.approx(expected)
+        assert parsed.recall_target is None
+    approx = parsed.to_approx_query()
+    assert approx.budget == budget
+    assert approx.delta == pytest.approx(1 - probability / 100)
+
+
+@given(
+    table=identifiers,
+    predicate=identifiers,
+    proxy=identifiers,
+    recall_target=percentages,
+    precision_target=percentages,
+    probability=percentages,
+    stage_budget=st.integers(min_value=1, max_value=100_000),
+)
+@settings(max_examples=80, deadline=None)
+def test_joint_target_round_trip(
+    table, predicate, proxy, recall_target, precision_target, probability, stage_budget
+):
+    sql = (
+        f"SELECT * FROM {table} "
+        f"WHERE {predicate}(x) "
+        f"USING {proxy}(x) "
+        f"RECALL TARGET {recall_target}% "
+        f"PRECISION TARGET {precision_target}% "
+        f"WITH PROBABILITY {probability}%"
+    )
+    parsed = parse_query(sql)
+    assert parsed.kind == QueryKind.JOINT
+    assert parsed.oracle_limit is None
+    joint = parsed.to_joint_query(stage_budget=stage_budget)
+    assert joint.recall_gamma == pytest.approx(recall_target / 100)
+    assert joint.precision_gamma == pytest.approx(precision_target / 100)
+    assert joint.stage_budget == stage_budget
+
+
+@given(
+    whitespace=st.lists(st.sampled_from([" ", "\n", "\t", "  "]), min_size=8, max_size=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_whitespace_insensitive(whitespace):
+    w = whitespace
+    sql = (
+        f"SELECT{w[0]}*{w[1]}FROM{w[2]}t{w[3]}WHERE{w[4]}P(x){w[5]}"
+        f"ORACLE LIMIT 10{w[6]}USING A(x){w[7]}RECALL TARGET 90% WITH PROBABILITY 95%"
+    )
+    parsed = parse_query(sql)
+    assert parsed.table == "t"
+    assert parsed.oracle_limit == 10

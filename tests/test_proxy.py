@@ -1,0 +1,138 @@
+"""Tests for the proxy-training substrate (features, models, distillation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxQuery, ImportanceCIRecall
+from repro.metrics import recall
+from repro.oracle import oracle_from_labels
+from repro.proxy import (
+    FeatureDataset,
+    LogisticProxy,
+    MlpProxy,
+    make_gaussian_task,
+    make_temporal_task,
+    train_proxy,
+)
+
+
+class TestFeatureDatasets:
+    def test_gaussian_task_shape_and_rate(self):
+        task = make_gaussian_task(size=20_000, dims=6, positive_rate=0.05, seed=0)
+        assert task.size == 20_000
+        assert task.dims == 6
+        assert task.positive_rate == pytest.approx(0.05, abs=0.01)
+
+    def test_separation_moves_positive_mean(self):
+        task = make_gaussian_task(size=20_000, separation=3.0, seed=0)
+        pos_norm = np.linalg.norm(task.features[task.labels == 1].mean(axis=0))
+        neg_norm = np.linalg.norm(task.features[task.labels == 0].mean(axis=0))
+        assert pos_norm > neg_norm + 2.0
+
+    def test_temporal_task_is_bursty(self):
+        """Positives must arrive in runs, not independently."""
+        task = make_temporal_task(size=30_000, event_rate=0.001, mean_event_length=50, seed=1)
+        y = task.labels.astype(int)
+        transitions = int(np.sum(np.abs(np.diff(y))))
+        positives = int(y.sum())
+        # Independent positives at the same rate would have ~2*positives
+        # transitions; runs have far fewer.
+        assert positives > 0
+        assert transitions < positives
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            FeatureDataset(features=np.zeros(3), labels=np.zeros(3, dtype=int))
+        with pytest.raises(ValueError, match="align"):
+            FeatureDataset(features=np.zeros((3, 2)), labels=np.zeros(2, dtype=int))
+        with pytest.raises(ValueError, match="binary"):
+            FeatureDataset(features=np.zeros((2, 2)), labels=np.array([0, 2]))
+        with pytest.raises(ValueError):
+            make_gaussian_task(positive_rate=0.0)
+        with pytest.raises(ValueError):
+            make_temporal_task(mean_event_length=0.5)
+
+
+class TestModels:
+    @pytest.mark.parametrize("model_cls", [LogisticProxy, lambda: MlpProxy(epochs=150)])
+    def test_learns_separable_task(self, model_cls):
+        task = make_gaussian_task(size=5_000, positive_rate=0.3, separation=3.0, seed=2)
+        model = model_cls() if callable(model_cls) else model_cls
+        model.fit(task.features, task.labels)
+        scores = model.predict_proba(task.features)
+        assert np.all((scores >= 0) & (scores <= 1))
+        auc_proxy = scores[task.labels == 1].mean() - scores[task.labels == 0].mean()
+        assert auc_proxy > 0.5
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogisticProxy().predict_proba(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            MlpProxy().predict_proba(np.zeros((2, 2)))
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            LogisticProxy().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            MlpProxy().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_mlp_beats_logistic_on_nonlinear_task(self):
+        """An XOR-ish task is unlearnable linearly but easy for the MLP."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4_000, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(np.int8)
+        linear = LogisticProxy().fit(x, y).predict_proba(x)
+        mlp = MlpProxy(hidden=16, epochs=400, seed=0).fit(x, y).predict_proba(x)
+        gap_linear = linear[y == 1].mean() - linear[y == 0].mean()
+        gap_mlp = mlp[y == 1].mean() - mlp[y == 0].mean()
+        assert gap_mlp > gap_linear + 0.2
+
+
+class TestTrainProxy:
+    def test_budget_accounting_shared_with_selection(self):
+        task = make_gaussian_task(size=20_000, positive_rate=0.02, separation=2.5, seed=0)
+        oracle = oracle_from_labels(task.labels, budget=3_000)
+        trained = train_proxy(task, oracle, train_budget=1_000, rng=np.random.default_rng(1))
+        assert trained.training_labels_used <= 1_000
+        remaining = oracle.remaining()
+        query = ApproxQuery.recall_target(0.9, 0.05, remaining)
+        result = ImportanceCIRecall(query).select(trained.dataset, seed=2, oracle=oracle)
+        assert oracle.calls_used <= 3_000
+        assert recall(result.indices, task.labels) >= 0.9 - 1e-9
+
+    def test_stratified_training_finds_more_positives(self):
+        task = make_gaussian_task(size=40_000, positive_rate=0.005, separation=2.5, seed=4)
+
+        def positives_seen(stratify):
+            oracle = oracle_from_labels(task.labels, budget=None)
+            train_proxy(
+                task, oracle, train_budget=1_000,
+                rng=np.random.default_rng(5), stratify=stratify,
+            )
+            labeled = oracle.labeled_indices()
+            return int(task.labels[labeled].sum())
+
+        assert positives_seen(True) > positives_seen(False)
+
+    def test_no_positives_yields_safe_constant_proxy(self):
+        task = FeatureDataset(
+            features=np.random.default_rng(0).normal(size=(2_000, 3)),
+            labels=np.zeros(2_000, dtype=np.int8),
+            name="all-negative",
+        )
+        oracle = oracle_from_labels(task.labels, budget=None)
+        trained = train_proxy(task, oracle, 200, np.random.default_rng(1))
+        assert np.all(trained.dataset.proxy_scores == 0.5)
+
+    def test_invalid_budget_rejected(self):
+        task = make_gaussian_task(size=1_000, seed=0)
+        oracle = oracle_from_labels(task.labels, budget=None)
+        with pytest.raises(ValueError):
+            train_proxy(task, oracle, 0, np.random.default_rng(0))
+
+    def test_trained_dataset_keeps_ground_truth(self):
+        task = make_gaussian_task(size=5_000, seed=6)
+        oracle = oracle_from_labels(task.labels, budget=None)
+        trained = train_proxy(task, oracle, 500, np.random.default_rng(7))
+        np.testing.assert_array_equal(trained.dataset.labels, task.labels)
+        assert trained.dataset.metadata["proxy_model"] == "LogisticProxy"

@@ -1,0 +1,103 @@
+"""End-to-end tests for the query engine."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import evaluate_selection
+from repro.query import SupgEngine
+
+RT_SQL = """
+SELECT * FROM video
+WHERE CONTAINS_EVENT(frame) = True
+ORACLE LIMIT 500
+USING PROXY_SCORE(frame)
+RECALL TARGET 90%
+WITH PROBABILITY 95%
+"""
+
+PT_SQL = RT_SQL.replace("RECALL TARGET 90%", "PRECISION TARGET 90%")
+
+JT_SQL = """
+SELECT * FROM video
+WHERE CONTAINS_EVENT(frame) = True
+USING PROXY_SCORE(frame)
+RECALL TARGET 80%
+PRECISION TARGET 80%
+WITH PROBABILITY 95%
+"""
+
+
+@pytest.fixture
+def engine(beta_dataset):
+    eng = SupgEngine()
+    eng.register_table("video", beta_dataset)
+    return eng
+
+
+class TestExecution:
+    def test_rt_defaults_to_supg(self, engine, beta_dataset):
+        execution = engine.execute(RT_SQL, seed=0)
+        assert execution.method == "is-ci-r"
+        quality = evaluate_selection(execution.result.indices, beta_dataset.labels)
+        assert quality.recall >= 0.8  # sanity; the guarantee is probabilistic
+
+    def test_pt_defaults_to_two_stage(self, engine):
+        execution = engine.execute(PT_SQL, seed=0)
+        assert execution.method == "is-ci-p"
+        assert execution.result.oracle_calls <= 500
+
+    def test_method_override(self, engine):
+        execution = engine.execute(RT_SQL, seed=0, method="u-ci-r")
+        assert execution.method == "u-ci-r"
+
+    def test_selector_kwargs_forwarded(self, engine):
+        execution = engine.execute(RT_SQL, seed=0, method="is-ci-r", weight_exponent=1.0)
+        assert execution.method == "is-ci-r"
+
+    def test_joint_query_runs(self, engine, beta_dataset):
+        execution = engine.execute(JT_SQL, seed=0, stage_budget=400)
+        assert execution.method == "joint-is"
+        quality = evaluate_selection(execution.result.indices, beta_dataset.labels)
+        assert quality.precision == 1.0
+
+    def test_unknown_table_rejected(self, engine):
+        with pytest.raises(KeyError, match="registered"):
+            engine.execute(RT_SQL.replace("FROM video", "FROM nope"))
+
+    def test_tables_listing(self, engine):
+        assert engine.tables() == ("video",)
+
+
+class TestUdfs:
+    def test_proxy_udf_overrides_scores(self, engine, beta_dataset):
+        """A registered proxy UDF replaces the dataset's scores."""
+        engine.register_proxy_udf("PROXY_SCORE", lambda ds: 1.0 - ds.proxy_scores)
+        execution = engine.execute(RT_SQL, seed=0)
+        assert execution.dataset.name.endswith("|PROXY_SCORE")
+        # The anti-correlated proxy forces a conservative (tiny)
+        # threshold to keep the recall guarantee -> huge result set.
+        assert execution.result.size > beta_dataset.size * 0.5
+
+    def test_oracle_udf_used_for_labels(self, beta_dataset):
+        eng = SupgEngine()
+        eng.register_table("video", beta_dataset)
+        calls = {"n": 0}
+
+        def oracle(ds, indices):
+            calls["n"] += 1
+            return ds.labels[indices]
+
+        eng.register_oracle_udf("CONTAINS_EVENT", oracle)
+        execution = eng.execute(RT_SQL, seed=0)
+        assert calls["n"] > 0
+        assert execution.result.oracle_calls <= 500
+
+    def test_udf_names_case_insensitive(self, engine, beta_dataset):
+        engine.register_proxy_udf("proxy_score", lambda ds: ds.proxy_scores)
+        execution = engine.execute(RT_SQL, seed=0)
+        assert execution.dataset.name.endswith("|PROXY_SCORE")
+
+    def test_empty_table_name_rejected(self):
+        eng = SupgEngine()
+        with pytest.raises(ValueError):
+            eng.register_table("", None)

@@ -1,0 +1,139 @@
+"""Tests for the SUPG dialect parser (Figures 3 and 14)."""
+
+import pytest
+
+from repro.core.types import TargetType
+from repro.query import QueryKind, QuerySyntaxError, parse_query
+
+RT_SQL = """
+SELECT * FROM hummingbird_video
+WHERE HUMMINGBIRD_PRESENT(frame) = True
+ORACLE LIMIT 10,000
+USING DNN_CLASSIFIER(frame) = "hummingbird"
+RECALL TARGET 95%
+WITH PROBABILITY 95%
+"""
+
+PT_SQL = """
+SELECT * FROM docs
+WHERE IS_PRIVILEGED(doc)
+ORACLE LIMIT 500
+USING BERT_SCORE(doc)
+PRECISION TARGET 0.8
+WITH PROBABILITY 0.9
+"""
+
+JT_SQL = """
+SELECT * FROM table_name
+WHERE PRED(x) = True
+USING PROXY(x)
+RECALL TARGET 90%
+PRECISION TARGET 80%
+WITH PROBABILITY 95%
+"""
+
+
+class TestSingleTargetParsing:
+    def test_figure3_example(self):
+        q = parse_query(RT_SQL)
+        assert q.table == "hummingbird_video"
+        assert q.predicate.name == "HUMMINGBIRD_PRESENT"
+        assert q.predicate.argument == "frame"
+        assert q.predicate.comparison == "True"
+        assert q.proxy.name == "DNN_CLASSIFIER"
+        assert q.proxy.comparison == '"hummingbird"'
+        assert q.oracle_limit == 10_000
+        assert q.recall_target == pytest.approx(0.95)
+        assert q.precision_target is None
+        assert q.probability == pytest.approx(0.95)
+        assert q.kind == QueryKind.SINGLE
+
+    def test_precision_target_fractions(self):
+        q = parse_query(PT_SQL)
+        assert q.precision_target == pytest.approx(0.8)
+        assert q.probability == pytest.approx(0.9)
+        assert q.oracle_limit == 500
+
+    def test_to_approx_query(self):
+        approx = parse_query(RT_SQL).to_approx_query()
+        assert approx.target_type is TargetType.RECALL
+        assert approx.gamma == pytest.approx(0.95)
+        assert approx.delta == pytest.approx(0.05)
+        assert approx.budget == 10_000
+
+    def test_bare_percent_numbers(self):
+        q = parse_query(RT_SQL.replace("95%", "95"))
+        assert q.recall_target == pytest.approx(0.95)
+
+    def test_keywords_case_insensitive(self):
+        q = parse_query(RT_SQL.lower().replace("hummingbird_present(frame) = true",
+                                               "HUMMINGBIRD_PRESENT(frame) = True"))
+        assert q.oracle_limit == 10_000
+
+    def test_round_trip_predicate_render(self):
+        q = parse_query(RT_SQL)
+        assert q.predicate.render() == "HUMMINGBIRD_PRESENT(frame) = True"
+
+
+class TestJointParsing:
+    def test_figure14_example(self):
+        q = parse_query(JT_SQL)
+        assert q.kind == QueryKind.JOINT
+        assert q.recall_target == pytest.approx(0.9)
+        assert q.precision_target == pytest.approx(0.8)
+        assert q.oracle_limit is None
+
+    def test_to_joint_query(self):
+        joint = parse_query(JT_SQL).to_joint_query(stage_budget=750)
+        assert joint.recall_gamma == pytest.approx(0.9)
+        assert joint.precision_gamma == pytest.approx(0.8)
+        assert joint.stage_budget == 750
+
+    def test_joint_with_budget_rejected(self):
+        bad = JT_SQL.replace("USING PROXY(x)", "ORACLE LIMIT 10\nUSING PROXY(x)")
+        with pytest.raises(QuerySyntaxError, match="no ORACLE LIMIT"):
+            parse_query(bad)
+
+    def test_single_conversion_guards(self):
+        with pytest.raises(ValueError, match="to_joint_query"):
+            parse_query(JT_SQL).to_approx_query()
+        with pytest.raises(ValueError, match="to_approx_query"):
+            parse_query(RT_SQL).to_joint_query(stage_budget=10)
+
+
+class TestSyntaxErrors:
+    def test_missing_target(self):
+        bad = "SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) WITH PROBABILITY 95%"
+        with pytest.raises(QuerySyntaxError, match="TARGET"):
+            parse_query(bad)
+
+    def test_missing_budget_single_target(self):
+        bad = "SELECT * FROM t WHERE P(x) USING A(x) RECALL TARGET 90% WITH PROBABILITY 95%"
+        with pytest.raises(QuerySyntaxError, match="ORACLE LIMIT"):
+            parse_query(bad)
+
+    def test_duplicate_target_clause(self):
+        bad = JT_SQL.replace("PRECISION TARGET 80%", "RECALL TARGET 80%")
+        with pytest.raises(QuerySyntaxError, match="duplicate"):
+            parse_query(bad)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QuerySyntaxError, match="trailing"):
+            parse_query(RT_SQL + " EXTRA")
+
+    def test_target_out_of_range(self):
+        bad = RT_SQL.replace("RECALL TARGET 95%", "RECALL TARGET 0")
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError, match="unexpected character"):
+            parse_query("SELECT * FROM t; DROP TABLE t")
+
+    def test_error_reports_offset(self):
+        try:
+            parse_query("SELECT * FROM")
+        except QuerySyntaxError as err:
+            assert "end of query" in str(err)
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")

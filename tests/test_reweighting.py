@@ -1,0 +1,108 @@
+"""Tests for reweighted estimators, including the Equation 10 identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sampling import (
+    proxy_sampling_weights,
+    reweighted_mean,
+    reweighted_total,
+    weighted_precision,
+    weighted_recall,
+    weighted_sample,
+)
+
+
+class TestReweightedMean:
+    def test_uniform_mass_reduces_to_sample_mean(self):
+        values = np.array([1.0, 0.0, 1.0, 1.0])
+        assert reweighted_mean(values, np.ones(4)) == pytest.approx(0.75)
+
+    def test_empty_sample_is_zero(self):
+        assert reweighted_mean(np.array([]), np.array([])) == 0.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            reweighted_mean(np.ones(3), np.ones(4))
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValueError):
+            reweighted_mean(np.ones(2), np.array([1.0, -1.0]))
+
+    def test_unbiased_under_importance_sampling(self, rng):
+        """Equation 10: E_w[f(x) u/w] == E_u[f(x)], checked empirically."""
+        scores = rng.random(2_000)
+        f = (scores > 0.8).astype(float)  # the quantity to estimate
+        true_mean = f.mean()
+        weights = proxy_sampling_weights(scores)
+        estimates = []
+        for trial in range(40):
+            sample = weighted_sample(weights, 1_500, np.random.default_rng(trial))
+            estimates.append(reweighted_mean(f[sample.indices], sample.mass))
+        assert np.mean(estimates) == pytest.approx(true_mean, rel=0.1)
+
+    def test_total_scales_mean(self):
+        values = np.array([1.0, 0.0])
+        mass = np.array([2.0, 2.0])
+        assert reweighted_total(values, mass, population_size=100) == pytest.approx(100.0)
+
+    def test_total_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            reweighted_total(np.ones(2), np.ones(2), population_size=0)
+
+
+class TestWeightedRecallPrecision:
+    def test_recall_all_above(self):
+        above = np.array([1, 1, 1])
+        labels = np.array([1, 0, 1])
+        assert weighted_recall(above, labels, np.ones(3)) == 1.0
+
+    def test_recall_half_of_positive_mass(self):
+        above = np.array([1, 0])
+        labels = np.array([1, 1])
+        mass = np.array([1.0, 1.0])
+        assert weighted_recall(above, labels, mass) == pytest.approx(0.5)
+
+    def test_recall_weighted_by_mass(self):
+        above = np.array([1, 0])
+        labels = np.array([1, 1])
+        mass = np.array([3.0, 1.0])
+        assert weighted_recall(above, labels, mass) == pytest.approx(0.75)
+
+    def test_recall_no_positives_vacuous(self):
+        assert weighted_recall(np.array([0]), np.array([0]), np.ones(1)) == 1.0
+
+    def test_precision_counts_only_retained(self):
+        above = np.array([1, 1, 0])
+        labels = np.array([1, 0, 1])
+        assert weighted_precision(above, labels, np.ones(3)) == pytest.approx(0.5)
+
+    def test_precision_empty_retained_vacuous(self):
+        assert weighted_precision(np.array([0, 0]), np.array([1, 1]), np.ones(2)) == 1.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_recall(np.ones(2), np.ones(3), np.ones(3))
+
+
+@given(
+    labels=arrays(dtype=np.int8, shape=st.integers(1, 60), elements=st.sampled_from([0, 1])),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_recall_precision_bounded(labels, data):
+    """Property: reweighted recall/precision always land in [0, 1]."""
+    n = labels.size
+    above = data.draw(
+        arrays(dtype=np.int8, shape=n, elements=st.sampled_from([0, 1])), label="above"
+    )
+    mass = data.draw(
+        arrays(dtype=float, shape=n, elements=st.floats(0.01, 10.0)), label="mass"
+    )
+    recall = weighted_recall(above, labels, mass)
+    precision = weighted_precision(above, labels, mass)
+    assert 0.0 <= recall <= 1.0
+    assert 0.0 <= precision <= 1.0

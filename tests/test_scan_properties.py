@@ -1,0 +1,114 @@
+"""Property-based tests for the precision candidate scan and the
+conservative recall target — the two CI constructions at the heart of
+the guaranteed algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bounds import NormalBound
+from repro.core.thresholds import SELECT_NOTHING, empirical_precision
+from repro.core.uniform import conservative_recall_target, precision_candidate_scan
+
+BOUND = NormalBound()
+
+
+@given(
+    data=st.data(),
+    gamma=st.floats(min_value=0.1, max_value=0.99),
+    delta=st.floats(min_value=0.01, max_value=0.2),
+)
+@settings(max_examples=60, deadline=None)
+def test_scan_accepts_only_high_empirical_precision(data, gamma, delta):
+    """Any accepted candidate's *empirical* precision must already
+    exceed the target — the confidence bound only subtracts."""
+    n = data.draw(st.integers(5, 120), label="n")
+    scores = data.draw(
+        arrays(dtype=float, shape=n, elements=st.floats(0.0, 1.0)), label="scores"
+    )
+    labels = data.draw(
+        arrays(dtype=np.int8, shape=n, elements=st.sampled_from([0, 1])), label="labels"
+    )
+    ones = np.ones(n)
+    tau, details = precision_candidate_scan(
+        scores, labels, ones, gamma=gamma, delta=delta, bound=BOUND, step=10
+    )
+    assert details["accepted"] <= details["candidates"]
+    if tau != SELECT_NOTHING:
+        assert empirical_precision(scores, labels, ones, tau) >= gamma
+
+
+@given(
+    data=st.data(),
+    gamma=st.floats(min_value=0.1, max_value=0.99),
+)
+@settings(max_examples=60, deadline=None)
+def test_scan_monotone_in_delta(data, gamma):
+    """Loosening delta (easier bound) never *shrinks* the accepted set,
+    so the returned threshold can only move down (more records)."""
+    n = data.draw(st.integers(10, 100), label="n")
+    scores = data.draw(
+        arrays(dtype=float, shape=n, elements=st.floats(0.0, 1.0)), label="scores"
+    )
+    labels = data.draw(
+        arrays(dtype=np.int8, shape=n, elements=st.sampled_from([0, 1])), label="labels"
+    )
+    ones = np.ones(n)
+    tau_strict, _ = precision_candidate_scan(
+        scores, labels, ones, gamma=gamma, delta=0.01, bound=BOUND, step=10
+    )
+    tau_loose, _ = precision_candidate_scan(
+        scores, labels, ones, gamma=gamma, delta=0.2, bound=BOUND, step=10
+    )
+    assert tau_loose <= tau_strict
+
+
+@given(
+    data=st.data(),
+    tau_hat=st.floats(min_value=0.0, max_value=1.0),
+    delta=st.floats(min_value=0.01, max_value=0.2),
+)
+@settings(max_examples=80, deadline=None)
+def test_conservative_recall_target_in_unit_interval(data, tau_hat, delta):
+    """gamma' is always a usable target: within (0, 1], and at least as
+    large as the empirical recall at tau_hat (the inflation direction)."""
+    n = data.draw(st.integers(3, 120), label="n")
+    scores = data.draw(
+        arrays(dtype=float, shape=n, elements=st.floats(0.0, 1.0)), label="scores"
+    )
+    labels = data.draw(
+        arrays(dtype=np.int8, shape=n, elements=st.sampled_from([0, 1])), label="labels"
+    )
+    mass = data.draw(
+        arrays(dtype=float, shape=n, elements=st.floats(0.1, 5.0)), label="mass"
+    )
+    gamma_prime = conservative_recall_target(scores, labels, mass, tau_hat, delta, BOUND)
+    assert 0.0 < gamma_prime <= 1.0
+
+    kept = float(np.sum((scores >= tau_hat) * labels * mass))
+    total = float(np.sum(labels * mass))
+    if total > 0:
+        empirical = kept / total
+        assert gamma_prime >= empirical - 1e-9
+
+
+@given(delta=st.floats(min_value=0.01, max_value=0.2))
+@settings(max_examples=20, deadline=None)
+def test_conservative_target_tightens_with_sample_size(delta):
+    """More data shrinks the inflation: gamma' approaches the empirical
+    recall as the sample grows."""
+    rng = np.random.default_rng(0)
+
+    def gamma_prime_at(n):
+        scores = rng.random(n)
+        labels = (rng.random(n) < 0.3).astype(float)
+        mass = np.ones(n)
+        return conservative_recall_target(scores, labels, mass, 0.3, delta, BOUND)
+
+    small = gamma_prime_at(60)
+    large = gamma_prime_at(20_000)
+    # The empirical recall at tau=0.3 is ~0.7; with more data the
+    # conservative target should sit much closer to it.
+    assert large < small or small == pytest.approx(large, abs=0.02)

@@ -1,0 +1,175 @@
+"""Behavioral tests for every selector (Algorithm 1 pipeline + each
+threshold-estimation routine)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproxQuery,
+    FixedThresholdSelector,
+    ImportanceCIPrecisionOneStage,
+    ImportanceCIPrecisionTwoStage,
+    ImportanceCIRecall,
+    UniformCIPrecision,
+    UniformCIRecall,
+    UniformNoCIPrecision,
+    UniformNoCIRecall,
+)
+from repro.metrics import evaluate_selection, recall
+from repro.oracle import oracle_from_labels
+
+RT_SELECTORS = [UniformNoCIRecall, UniformCIRecall, ImportanceCIRecall]
+PT_SELECTORS = [
+    UniformNoCIPrecision,
+    UniformCIPrecision,
+    ImportanceCIPrecisionOneStage,
+    ImportanceCIPrecisionTwoStage,
+]
+
+
+class TestAlgorithmOnePipeline:
+    @pytest.mark.parametrize("cls", RT_SELECTORS + PT_SELECTORS)
+    def test_budget_respected(self, cls, beta_dataset):
+        query_type = "recall" if cls in RT_SELECTORS else "precision"
+        query = ApproxQuery(query_type, 0.9, 0.05, 300)
+        result = cls(query).select(beta_dataset, seed=0)
+        assert result.oracle_calls <= 300
+        assert result.sampled_indices.size <= 300
+
+    @pytest.mark.parametrize("cls", RT_SELECTORS + PT_SELECTORS)
+    def test_labeled_positives_always_returned(self, cls, beta_dataset):
+        """R1 in Algorithm 1: every sampled record with O(x)=1 is in R."""
+        query_type = "recall" if cls in RT_SELECTORS else "precision"
+        query = ApproxQuery(query_type, 0.9, 0.05, 300)
+        result = cls(query).select(beta_dataset, seed=1)
+        sampled_positive = result.sampled_indices[
+            beta_dataset.labels[result.sampled_indices] == 1
+        ]
+        assert np.isin(sampled_positive, result.indices).all()
+
+    @pytest.mark.parametrize("cls", RT_SELECTORS + PT_SELECTORS)
+    def test_thresholded_records_returned(self, cls, beta_dataset):
+        """R2 in Algorithm 1: everything at or above tau is in R."""
+        query_type = "recall" if cls in RT_SELECTORS else "precision"
+        query = ApproxQuery(query_type, 0.9, 0.05, 300)
+        result = cls(query).select(beta_dataset, seed=2)
+        above = beta_dataset.select_above(result.tau)
+        assert np.isin(above, result.indices).all()
+
+    @pytest.mark.parametrize("cls", RT_SELECTORS + PT_SELECTORS)
+    def test_deterministic_given_seed(self, cls, beta_dataset):
+        query_type = "recall" if cls in RT_SELECTORS else "precision"
+        query = ApproxQuery(query_type, 0.9, 0.05, 300)
+        r1 = cls(query).select(beta_dataset, seed=7)
+        r2 = cls(query).select(beta_dataset, seed=7)
+        np.testing.assert_array_equal(r1.indices, r2.indices)
+        assert r1.tau == r2.tau
+
+    def test_target_type_enforced(self, pt_query):
+        with pytest.raises(ValueError, match="recall-target"):
+            UniformCIRecall(pt_query)
+
+    def test_external_oracle_reused(self, beta_dataset, rt_query):
+        oracle = oracle_from_labels(beta_dataset.labels, budget=rt_query.budget)
+        result = ImportanceCIRecall(rt_query).select(beta_dataset, seed=0, oracle=oracle)
+        assert oracle.calls_used == result.oracle_calls
+
+
+class TestRecallSelectors:
+    def test_ci_threshold_not_above_noci(self, beta_dataset, rt_query):
+        """The CI correction can only lower the threshold (more records,
+        safer recall) relative to the empirical rule on the same sample."""
+        noci = UniformNoCIRecall(rt_query).select(beta_dataset, seed=3)
+        ci = UniformCIRecall(rt_query).select(beta_dataset, seed=3)
+        assert ci.tau <= noci.tau + 1e-12
+
+    def test_gamma_prime_at_least_gamma(self, beta_dataset, rt_query):
+        result = UniformCIRecall(rt_query).select(beta_dataset, seed=4)
+        assert result.details["gamma_prime"] >= rt_query.gamma - 1e-9
+
+    def test_importance_details_present(self, beta_dataset, rt_query):
+        result = ImportanceCIRecall(rt_query).select(beta_dataset, seed=4)
+        assert "gamma_prime" in result.details and "tau_hat" in result.details
+
+    def test_higher_target_returns_more_records(self, beta_dataset):
+        sizes = []
+        for gamma in (0.5, 0.9, 0.99):
+            query = ApproxQuery.recall_target(gamma, 0.05, 1_000)
+            sizes.append(ImportanceCIRecall(query).select(beta_dataset, seed=5).size)
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_no_sampled_positives_returns_everything(self):
+        """With zero positives observed, the safe RT answer is all of D."""
+        from repro.datasets import Dataset
+
+        rng = np.random.default_rng(0)
+        dataset = Dataset(
+            proxy_scores=rng.random(2_000) * 0.5,
+            labels=np.zeros(2_000, dtype=np.int8),
+            name="all-negative",
+        )
+        query = ApproxQuery.recall_target(0.9, 0.05, 100)
+        result = UniformCIRecall(query).select(dataset, seed=0)
+        assert result.size == dataset.size
+
+
+class TestPrecisionSelectors:
+    def test_no_candidates_returns_only_labeled_positives(self):
+        """When nothing can be certified, R2 is empty and the result is
+        exactly the labeled positives (always precision-valid)."""
+        from repro.datasets import Dataset
+
+        rng = np.random.default_rng(0)
+        scores = rng.random(5_000)
+        labels = (rng.random(5_000) < 0.01).astype(np.int8)  # uncorrelated proxy
+        dataset = Dataset(proxy_scores=scores, labels=labels, name="uncorrelated")
+        query = ApproxQuery.precision_target(0.99, 0.05, 200)
+        result = UniformCIPrecision(query).select(dataset, seed=1)
+        quality = evaluate_selection(result.indices, labels)
+        assert quality.precision == 1.0
+
+    def test_two_stage_details(self, beta_dataset, pt_query):
+        result = ImportanceCIPrecisionTwoStage(pt_query).select(beta_dataset, seed=2)
+        assert result.details["n_match_upper_bound"] > 0
+        assert 0.0 <= result.details["tau_min"] <= 1.0
+        assert result.details["region_size"] <= beta_dataset.size
+
+    def test_two_stage_requires_budget_two(self):
+        query = ApproxQuery.precision_target(0.9, 0.05, 1)
+        with pytest.raises(ValueError, match="at least 2"):
+            ImportanceCIPrecisionTwoStage(query)
+
+    def test_stage1_bound_covers_match_count(self, beta_dataset):
+        query = ApproxQuery.precision_target(0.9, 0.05, 2_000)
+        covered = 0
+        trials = 20
+        for t in range(trials):
+            result = ImportanceCIPrecisionTwoStage(query).select(beta_dataset, seed=t)
+            if result.details["n_match_upper_bound"] >= beta_dataset.positive_count:
+                covered += 1
+        assert covered / trials >= 0.9
+
+    def test_candidate_step_validated(self, pt_query):
+        with pytest.raises(ValueError):
+            UniformCIPrecision(pt_query, step=0)
+        with pytest.raises(ValueError):
+            ImportanceCIPrecisionOneStage(pt_query, step=-5)
+
+
+class TestFixedThreshold:
+    def test_fit_then_select(self, beta_dataset, rt_query):
+        selector = FixedThresholdSelector(rt_query).fit(beta_dataset)
+        result = selector.select(beta_dataset)
+        # With full labels on the same data the threshold is exact.
+        assert recall(result.indices, beta_dataset.labels) >= rt_query.gamma
+        assert result.oracle_calls == 0
+
+    def test_select_before_fit_rejected(self, beta_dataset, rt_query):
+        with pytest.raises(RuntimeError, match="before fit"):
+            FixedThresholdSelector(rt_query).select(beta_dataset)
+
+    def test_precision_mode(self, beta_dataset, pt_query):
+        selector = FixedThresholdSelector(pt_query).fit(beta_dataset)
+        result = selector.select(beta_dataset)
+        quality = evaluate_selection(result.indices, beta_dataset.labels)
+        assert quality.precision >= pt_query.gamma - 1e-9

@@ -1,0 +1,107 @@
+"""Tests for Theorem 1 and the Section 10.2 variance comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.theory import (
+    estimator_variance_term,
+    optimal_weights,
+    variance_gap_uniform_vs_sqrt,
+    variance_proportional,
+    variance_sqrt,
+    variance_uniform,
+)
+
+scores_arrays = arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=100),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+class TestOptimalWeights:
+    def test_proportional_to_sqrt(self):
+        scores = np.array([0.04, 0.16, 0.64])
+        w = optimal_weights(scores)
+        np.testing.assert_allclose(w, [0.2 / 1.4, 0.4 / 1.4, 0.8 / 1.4])
+
+    def test_all_zero_scores_uniform(self):
+        np.testing.assert_allclose(optimal_weights(np.zeros(4)), [0.25] * 4)
+
+    def test_invalid_scores_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_weights(np.array([1.5]))
+
+
+class TestVarianceFormulas:
+    def test_closed_forms_match_generic_term(self):
+        """The Section 10.2 closed forms equal V1(w) evaluated at the
+        corresponding weight vectors."""
+        rng = np.random.default_rng(0)
+        a = rng.random(50)
+        n = a.size
+        uniform = np.full(n, 1.0 / n)
+        prop = a / a.sum()
+        sqrtw = np.sqrt(a) / np.sqrt(a).sum()
+        assert estimator_variance_term(a, uniform) == pytest.approx(variance_uniform(a))
+        assert estimator_variance_term(a, prop) == pytest.approx(variance_proportional(a))
+        assert estimator_variance_term(a, sqrtw) == pytest.approx(variance_sqrt(a))
+
+    def test_gap_formula(self):
+        rng = np.random.default_rng(1)
+        a = rng.random(200)
+        gap = variance_uniform(a) - variance_sqrt(a)
+        assert gap == pytest.approx(variance_gap_uniform_vs_sqrt(a))
+
+    def test_zero_weight_on_active_record_infinite(self):
+        a = np.array([0.5, 0.5])
+        w = np.array([1.0, 0.0])
+        assert estimator_variance_term(a, w) == float("inf")
+
+    def test_sqrt_optimal_among_exponents(self):
+        """Theorem 1: among power weights, exponent 0.5 minimizes V1."""
+        rng = np.random.default_rng(2)
+        a = rng.beta(0.5, 0.5, size=300)
+        def v1(exponent):
+            w = np.power(a, exponent)
+            w = w / w.sum()
+            return estimator_variance_term(a, w)
+        v_half = v1(0.5)
+        for exponent in (0.0, 0.25, 0.75, 1.0):
+            assert v_half <= v1(exponent) + 1e-12
+
+    def test_sharp_scores_give_large_gap(self):
+        """The paper: the reduction is 'significant when the proxy
+        confidences are concentrated near 0 and 1'."""
+        sharp = np.array([0.0] * 500 + [1.0] * 500)
+        flat = np.full(1000, 0.5)
+        assert variance_gap_uniform_vs_sqrt(sharp) > 0.2
+        assert variance_gap_uniform_vs_sqrt(flat) == pytest.approx(0.0)
+
+
+@given(scores=scores_arrays)
+@settings(max_examples=100, deadline=None)
+def test_variance_ordering_property(scores):
+    """Section 10.2's chain: V1_sqrt <= V1_prop <= V1_uniform, for any
+    score vector (Hölder's inequality made executable)."""
+    v_u = variance_uniform(scores)
+    v_p = variance_proportional(scores)
+    v_s = variance_sqrt(scores)
+    assert v_s <= v_p + 1e-12
+    assert v_p <= v_u + 1e-12
+
+
+@given(scores=scores_arrays)
+@settings(max_examples=60, deadline=None)
+def test_optimal_weights_minimize_over_random_alternatives(scores):
+    """Theorem 1's optimality against arbitrary random distributions."""
+    w_opt = optimal_weights(scores)
+    v_opt = estimator_variance_term(scores, w_opt)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        alt = rng.random(scores.size) + 1e-9
+        v_alt = estimator_variance_term(scores, alt / alt.sum())
+        assert v_opt <= v_alt + 1e-12

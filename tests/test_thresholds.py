@@ -1,0 +1,177 @@
+"""Unit and property tests for the shared threshold machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bounds import NormalBound
+from repro.core.thresholds import (
+    SELECT_EVERYTHING,
+    SELECT_NOTHING,
+    empirical_precision,
+    empirical_recall,
+    max_recall_threshold,
+    min_precision_threshold,
+    precision_lower_bound,
+)
+
+SCORES = np.array([0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05])
+LABELS = np.array([1, 1, 0, 1, 0, 1, 0, 0, 0, 0])
+ONES = np.ones(10)
+
+
+class TestEmpiricalCurves:
+    def test_recall_at_extremes(self):
+        assert empirical_recall(SCORES, LABELS, ONES, 0.0) == 1.0
+        assert empirical_recall(SCORES, LABELS, ONES, 1.0) == 0.0
+
+    def test_recall_midpoint(self):
+        # Positives at scores .9, .8, .6, .4; threshold .5 keeps 3 of 4.
+        assert empirical_recall(SCORES, LABELS, ONES, 0.5) == pytest.approx(0.75)
+
+    def test_precision_midpoint(self):
+        # Threshold .5 retains 5 samples of which 3 positive.
+        assert empirical_precision(SCORES, LABELS, ONES, 0.5) == pytest.approx(0.6)
+
+    def test_precision_empty_retained(self):
+        assert empirical_precision(SCORES, LABELS, ONES, 0.99) == 1.0
+
+
+class TestMaxRecallThreshold:
+    def test_full_recall_keeps_lowest_positive(self):
+        tau = max_recall_threshold(SCORES, LABELS, ONES, 1.0)
+        assert tau == pytest.approx(0.4)
+
+    def test_three_quarters_recall(self):
+        tau = max_recall_threshold(SCORES, LABELS, ONES, 0.75)
+        assert tau == pytest.approx(0.6)
+        assert empirical_recall(SCORES, LABELS, ONES, tau) >= 0.75
+
+    def test_no_positives_selects_everything(self):
+        tau = max_recall_threshold(SCORES, np.zeros(10), ONES, 0.9)
+        assert tau == SELECT_EVERYTHING
+
+    def test_target_above_one_selects_everything(self):
+        assert max_recall_threshold(SCORES, LABELS, ONES, 1.5) == SELECT_EVERYTHING
+
+    def test_zero_target_selects_nothing(self):
+        assert max_recall_threshold(SCORES, LABELS, ONES, 0.0) == SELECT_NOTHING
+
+    def test_mass_shifts_threshold(self):
+        # Up-weighting the lowest positive forces the threshold down for
+        # the same recall target.
+        mass = ONES.copy()
+        mass[5] = 10.0  # the positive at score 0.4
+        tau_weighted = max_recall_threshold(SCORES, LABELS, mass, 0.75)
+        tau_uniform = max_recall_threshold(SCORES, LABELS, ONES, 0.75)
+        assert tau_weighted < tau_uniform
+
+
+class TestMinPrecisionThreshold:
+    def test_known_curve(self):
+        # At tau=0.8 retained = {.9:1, .8:1} precision 1.0 -> but lower
+        # thresholds that keep precision >= 0.75: tau=0.6 gives 3/4.
+        tau = min_precision_threshold(SCORES, LABELS, 0.75)
+        assert tau == pytest.approx(0.6)
+
+    def test_unachievable_target_selects_nothing(self):
+        scores = np.array([0.9, 0.8])
+        labels = np.array([0, 0])
+        assert min_precision_threshold(scores, labels, 0.5) == SELECT_NOTHING
+
+    def test_all_positive_sample(self):
+        scores = np.array([0.2, 0.6])
+        labels = np.array([1, 1])
+        assert min_precision_threshold(scores, labels, 0.9) == pytest.approx(0.2)
+
+    def test_ties_evaluated_as_group(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.9])
+        labels = np.array([0, 0, 0, 1])
+        # Thresholding at 0.5 retains all four records (precision 1/4),
+        # so only 0.9 qualifies at target 0.9.
+        assert min_precision_threshold(scores, labels, 0.9) == pytest.approx(0.9)
+
+    def test_empty_sample(self):
+        assert min_precision_threshold(np.array([]), np.array([]), 0.9) == SELECT_NOTHING
+
+
+class TestPrecisionLowerBound:
+    def test_empty_sample_zero(self):
+        assert precision_lower_bound(np.array([]), np.array([]), 0.05, NormalBound()) == 0.0
+
+    def test_below_empirical_mean(self):
+        labels = np.array([1.0] * 80 + [0.0] * 20)
+        lb = precision_lower_bound(labels, np.ones(100), 0.05, NormalBound())
+        assert 0.0 < lb < 0.8
+
+    def test_small_all_positive_sample_not_certified(self):
+        """The pseudo-negative regularization: 10 straight positives must
+        not certify precision ~1 (plug-in sigma would be 0)."""
+        labels = np.ones(10)
+        lb = precision_lower_bound(labels, np.ones(10), 0.01, NormalBound())
+        assert lb < 0.9
+
+    def test_large_sample_approaches_mean(self):
+        labels = np.ones(100_000)
+        lb = precision_lower_bound(labels, np.ones(100_000), 0.05, NormalBound())
+        assert lb > 0.99
+
+    def test_weighted_bound_is_conservative(self, rng):
+        labels = (rng.random(500) < 0.7).astype(float)
+        mass = rng.uniform(0.5, 2.0, size=500)
+        lb = precision_lower_bound(labels, mass, 0.05, NormalBound())
+        weighted_mean = float(np.sum(labels * mass) / np.sum(mass))
+        assert lb <= weighted_mean
+        assert 0.0 <= lb <= 1.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            precision_lower_bound(np.ones(3), np.ones(4), 0.05, NormalBound())
+
+
+@given(
+    data=st.data(),
+    gamma=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_max_recall_threshold_is_valid_and_maximal(data, gamma):
+    """Property: the returned tau achieves the recall target on the
+    sample, and recall decreases monotonically in tau."""
+    n = data.draw(st.integers(2, 60), label="n")
+    scores = data.draw(
+        arrays(dtype=float, shape=n, elements=st.floats(0.0, 1.0)), label="scores"
+    )
+    labels = data.draw(
+        arrays(dtype=np.int8, shape=n, elements=st.sampled_from([0, 1])), label="labels"
+    )
+    mass = data.draw(
+        arrays(dtype=float, shape=n, elements=st.floats(0.1, 5.0)), label="mass"
+    )
+    tau = max_recall_threshold(scores, labels, mass, gamma)
+    if tau not in (SELECT_EVERYTHING, SELECT_NOTHING):
+        assert empirical_recall(scores, labels, mass, tau) >= gamma - 1e-9
+    # Monotonicity: any smaller threshold has at least the same recall.
+    lower = empirical_recall(scores, labels, mass, min(tau, 1.0) - 0.05)
+    at_tau = empirical_recall(scores, labels, mass, min(tau, 1.0))
+    assert lower >= at_tau - 1e-9
+
+
+@given(
+    data=st.data(),
+    gamma=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_min_precision_threshold_achieves_target_on_sample(data, gamma):
+    n = data.draw(st.integers(1, 60), label="n")
+    scores = data.draw(
+        arrays(dtype=float, shape=n, elements=st.floats(0.0, 1.0)), label="scores"
+    )
+    labels = data.draw(
+        arrays(dtype=np.int8, shape=n, elements=st.sampled_from([0, 1])), label="labels"
+    )
+    tau = min_precision_threshold(scores, labels, gamma)
+    if tau != SELECT_NOTHING:
+        ones = np.ones(n)
+        assert empirical_precision(scores, labels, ones, tau) >= gamma - 1e-9
