@@ -1,0 +1,88 @@
+"""Microbenchmarks: parallel trial runner and cached dataset statistics.
+
+Marked ``perf`` (run with ``pytest -m perf benchmarks/``).  The
+parallel-runner correctness contract (bit-identical records) is pinned
+by tier-1 tests; here we measure the wall-clock behaviour and the
+cache's elimination of per-trial re-sorting, with assertions loose
+enough for single-core CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.importance import ImportanceCIPrecisionTwoStage
+from repro.core.types import ApproxQuery
+from repro.datasets import make_beta_dataset
+from repro.experiments.runner import run_trials
+
+pytestmark = pytest.mark.perf
+
+
+def test_parallel_runner_overhead_and_parity():
+    """n_jobs=2 must match n_jobs=1 bit-for-bit and, even on a
+    single-core box, cost at most ~2x the sequential wall time
+    (pool setup + pickling of returned records)."""
+    dataset = make_beta_dataset(0.01, 1.0, size=100_000, seed=2)
+    query = ApproxQuery.precision_target(gamma=0.9, delta=0.05, budget=2_000)
+    factory = lambda: ImportanceCIPrecisionTwoStage(query)
+
+    start = time.perf_counter()
+    sequential = run_trials(factory, dataset, trials=8, base_seed=1, n_jobs=1)
+    seq_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_trials(factory, dataset, trials=8, base_seed=1, n_jobs=2)
+    par_seconds = time.perf_counter() - start
+
+    print(f"\nsequential {seq_seconds:.2f}s, n_jobs=2 {par_seconds:.2f}s")
+    assert parallel == sequential
+    assert par_seconds < seq_seconds * 2.0 + 1.0
+
+
+def test_dataset_cache_amortizes_sort_and_weights():
+    """Trial 2..N of the two-stage selector must not pay the O(n log n)
+    sort or the O(n) weight build again: repeated trials on a warmed
+    dataset must beat equally many cold single-trial datasets."""
+    size = 500_000
+    trials = 6
+    query = ApproxQuery.precision_target(gamma=0.9, delta=0.05, budget=2_000)
+
+    cold_seconds = 0.0
+    for t in range(trials):
+        dataset = make_beta_dataset(0.01, 1.0, size=size, seed=3)
+        start = time.perf_counter()
+        ImportanceCIPrecisionTwoStage(query).select(dataset, seed=t)
+        cold_seconds += time.perf_counter() - start
+
+    warm_dataset = make_beta_dataset(0.01, 1.0, size=size, seed=3)
+    start = time.perf_counter()
+    for t in range(trials):
+        ImportanceCIPrecisionTwoStage(query).select(warm_dataset, seed=t)
+    warm_seconds = time.perf_counter() - start
+
+    print(f"\ncold datasets {cold_seconds:.2f}s, warm cache {warm_seconds:.2f}s")
+    assert warm_seconds < cold_seconds
+
+
+def test_cached_sort_faster_than_resort():
+    """Reading the cached descending order statistic must be orders of
+    magnitude cheaper than the full sort it replaced."""
+    dataset = make_beta_dataset(0.01, 1.0, size=1_000_000, seed=5)
+    _ = dataset.descending_scores  # warm
+
+    start = time.perf_counter()
+    for _ in range(20):
+        float(dataset.descending_scores[12_345])
+    cached = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(20):
+        float(np.sort(dataset.proxy_scores)[::-1][12_345])
+    resort = time.perf_counter() - start
+
+    print(f"\ncached reads {cached * 1e3:.2f} ms, full sorts {resort * 1e3:.2f} ms")
+    assert cached < resort / 50.0

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Perf smoke run: record selector throughput to a BENCH_*.json file.
+
+Runs every guaranteed selector at paper scale (n = 1M synthetic
+Beta(0.01, 1) records, oracle budget 10k) for a handful of trials,
+records the median per-trial latency, and times the vectorized
+candidate scan against its loop-based reference.  The output file
+(``BENCH_PR1.json`` by default) is the start of the repo's performance
+trajectory — future PRs append ``BENCH_PR<k>.json`` files and should
+beat (or at least not regress) these numbers.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_smoke.py [--output BENCH_PR1.json]
+        [--size 1000000] [--budget 10000] [--trials 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.bounds import NormalBound
+from repro.core.importance import (
+    ImportanceCIPrecisionOneStage,
+    ImportanceCIPrecisionTwoStage,
+    ImportanceCIRecall,
+)
+from repro.core.types import ApproxQuery
+from repro.core.uniform import (
+    UniformCIPrecision,
+    UniformCIRecall,
+    precision_candidate_scan,
+    precision_candidate_scan_reference,
+)
+from repro.datasets import make_beta_dataset
+
+GAMMA = 0.9
+DELTA = 0.05
+
+
+def _selector_panel(budget: int):
+    rt = ApproxQuery.recall_target(GAMMA, DELTA, budget)
+    pt = ApproxQuery.precision_target(GAMMA, DELTA, budget)
+    return {
+        "u-ci-r": lambda: UniformCIRecall(rt),
+        "u-ci-p": lambda: UniformCIPrecision(pt),
+        "is-ci-r": lambda: ImportanceCIRecall(rt),
+        "is-ci-p-one-stage": lambda: ImportanceCIPrecisionOneStage(pt),
+        "is-ci-p": lambda: ImportanceCIPrecisionTwoStage(pt),
+    }
+
+
+def time_selectors(dataset, budget: int, trials: int) -> dict[str, dict[str, float]]:
+    results: dict[str, dict[str, float]] = {}
+    for name, factory in _selector_panel(budget).items():
+        latencies = []
+        for t in range(trials):
+            start = time.perf_counter()
+            factory().select(dataset, seed=t)
+            latencies.append(time.perf_counter() - start)
+        results[name] = {
+            "median_trial_seconds": statistics.median(latencies),
+            "min_trial_seconds": min(latencies),
+            "max_trial_seconds": max(latencies),
+            "trials": trials,
+        }
+        print(f"  {name:20s} median {results[name]['median_trial_seconds'] * 1e3:8.1f} ms")
+    return results
+
+
+def time_candidate_scan(budget: int, repeats: int = 7) -> dict[str, float]:
+    rng = np.random.default_rng(0)
+    scores = rng.random(budget)
+    labels = (rng.random(budget) < scores).astype(float)
+    ones = np.ones(budget)
+    bound = NormalBound()
+
+    def best(fn):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    vectorized = best(
+        lambda: precision_candidate_scan(
+            scores, labels, ones, gamma=GAMMA, delta=DELTA, bound=bound, step=100
+        )
+    )
+    reference = best(
+        lambda: precision_candidate_scan_reference(
+            scores, labels, ones, gamma=GAMMA, delta=DELTA, bound=bound, step=100
+        )
+    )
+    speedup = reference / vectorized
+    print(
+        f"  candidate scan       vectorized {vectorized * 1e3:.2f} ms, "
+        f"reference {reference * 1e3:.2f} ms ({speedup:.1f}x)"
+    )
+    return {
+        "vectorized_seconds": vectorized,
+        "reference_seconds": reference,
+        "speedup": speedup,
+        "budget": budget,
+        "step": 100,
+        "bound": "normal",
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR1.json"))
+    parser.add_argument("--size", type=int, default=1_000_000)
+    parser.add_argument("--budget", type=int, default=10_000)
+    parser.add_argument("--trials", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    print(f"building beta(0.01, 1) workload, n={args.size} ...")
+    dataset = make_beta_dataset(0.01, 1.0, size=args.size, seed=0)
+
+    print(f"timing selectors ({args.trials} trials each, budget {args.budget}):")
+    selectors = time_selectors(dataset, args.budget, args.trials)
+    print("timing candidate scan:")
+    scan = time_candidate_scan(args.budget)
+
+    payload = {
+        "benchmark": "perf_smoke",
+        "repro_version": __version__,
+        "dataset": {"name": dataset.name, "size": dataset.size},
+        "budget": args.budget,
+        "gamma": GAMMA,
+        "delta": DELTA,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "selectors": selectors,
+        "candidate_scan": scan,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,16 @@ in the Figure 13 ablation.
 
 from __future__ import annotations
 
-from .base import ConfidenceBound, SampleSummary, half_width_normal, summarize, validate_delta
+from .base import (
+    ConfidenceBound,
+    SampleSummary,
+    half_width_normal,
+    suffix_min_max,
+    suffix_sums,
+    summarize,
+    validate_batch,
+    validate_delta,
+)
 from .bootstrap import BootstrapBound
 from .clopper_pearson import (
     ClopperPearsonBound,
@@ -21,6 +30,9 @@ __all__ = [
     "ConfidenceBound",
     "SampleSummary",
     "summarize",
+    "suffix_min_max",
+    "suffix_sums",
+    "validate_batch",
     "validate_delta",
     "half_width_normal",
     "NormalBound",

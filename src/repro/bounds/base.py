@@ -23,6 +23,9 @@ __all__ = [
     "ConfidenceBound",
     "SampleSummary",
     "summarize",
+    "suffix_min_max",
+    "suffix_sums",
+    "validate_batch",
     "validate_delta",
 ]
 
@@ -72,6 +75,54 @@ def summarize(values: np.ndarray) -> SampleSummary:
     return SampleSummary(mean=float(arr.mean()), std=float(arr.std()), count=int(arr.size))
 
 
+def validate_batch(values: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a suffix-batch specification (see ``lower_batch``).
+
+    Returns ``(values, counts)`` as float / intp arrays.
+
+    Raises:
+        ValueError: for non-1-D inputs or counts outside ``[0, len(values)]``.
+    """
+    arr = np.asarray(values, dtype=float)
+    c = np.asarray(counts, dtype=np.intp)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D shared sample, got shape {arr.shape}")
+    if c.ndim != 1:
+        raise ValueError(f"expected a 1-D count array, got shape {c.shape}")
+    if c.size and (int(c.min()) < 0 or int(c.max()) > arr.size):
+        raise ValueError(
+            f"suffix counts must lie in [0, {arr.size}], got range "
+            f"[{int(c.min())}, {int(c.max())}]"
+        )
+    return arr, c
+
+
+def suffix_sums(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Sums of the last ``counts[j]`` entries of ``values`` for each ``j``.
+
+    One reversed cumulative sum serves every suffix, which is what lets
+    the batch bound implementations replace per-candidate slicing with
+    a single O(n + M) pass.
+    """
+    cum = np.concatenate(([0.0], np.cumsum(values[::-1], dtype=float)))
+    return cum[counts]
+
+
+def suffix_min_max(values: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-suffix ``(min, max)`` over the last ``counts[j]`` entries.
+
+    Two reversed running accumulates serve every suffix; empty suffixes
+    (count 0) report the ``0.0`` sentinel for both, so callers must
+    mask zero counts before interpreting the values.  Shared by the
+    batch bounds (observed-range Hoeffding, constant-suffix variance
+    pinning) and the batch precision test (constant-mass detection).
+    """
+    rev = values[::-1]
+    run_min = np.concatenate(([0.0], np.minimum.accumulate(rev)))
+    run_max = np.concatenate(([0.0], np.maximum.accumulate(rev)))
+    return run_min[counts], run_max[counts]
+
+
 class ConfidenceBound(abc.ABC):
     """One-sided confidence bounds for the mean of an i.i.d. sample.
 
@@ -80,6 +131,17 @@ class ConfidenceBound(abc.ABC):
     - ``Pr[mu > upper(sample, delta)] <= delta`` (asymptotically for the
       normal approximation and bootstrap, exactly for Hoeffding and
       Clopper-Pearson), and symmetrically for ``lower``.
+
+    Besides the scalar ``lower``/``upper``, bounds expose *suffix-batch*
+    variants ``lower_batch``/``upper_batch`` evaluating many sub-samples
+    of one shared array in a single call.  Batch element ``j`` is the
+    bound over ``values[len(values) - counts[j]:]`` — the last
+    ``counts[j]`` observations.  This shape is exactly what the
+    candidate-threshold scans of Algorithms 3 and 5 need (candidates
+    retain suffixes of the score-sorted sample) and lets each method
+    vectorize: the closed-form bounds broadcast over suffix statistics
+    and Clopper-Pearson needs one vectorized Beta-quantile call instead
+    of one scipy call per candidate.
     """
 
     #: Short machine-readable name used in registries and benchmark output.
@@ -92,6 +154,21 @@ class ConfidenceBound(abc.ABC):
     @abc.abstractmethod
     def lower(self, values: np.ndarray, delta: float) -> float:
         """Lower confidence bound on the population mean at level ``delta``."""
+
+    def upper_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        """Upper bounds over the suffixes ``values[-c:]`` for ``c`` in ``counts``.
+
+        The base implementation loops over the scalar method and serves
+        as the semantic reference; subclasses override it with
+        vectorized equivalents.
+        """
+        arr, c = validate_batch(values, counts)
+        return np.array([self.upper(arr[arr.size - n :], delta) for n in c], dtype=float)
+
+    def lower_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        """Lower bounds over the suffixes ``values[-c:]`` for ``c`` in ``counts``."""
+        arr, c = validate_batch(values, counts)
+        return np.array([self.lower(arr[arr.size - n :], delta) for n in c], dtype=float)
 
     def interval(self, values: np.ndarray, delta: float) -> tuple[float, float]:
         """Two-sided interval with total failure probability ``delta``.

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ConfidenceBound, validate_delta
+from .base import ConfidenceBound, validate_batch, validate_delta
 
 __all__ = ["BootstrapBound"]
 
@@ -60,3 +60,34 @@ class BootstrapBound(ConfidenceBound):
             return float("-inf")
         means = self._resampled_means(arr)
         return float(np.quantile(means, delta))
+
+    def _batch_quantiles(
+        self, values: np.ndarray, counts: np.ndarray, q: float, empty: float
+    ) -> np.ndarray:
+        """Bootstrap quantiles for many suffixes of one shared sample.
+
+        The scalar bound reseeds its generator per call, so the resample
+        index matrix is a deterministic function of the suffix *length*
+        alone — suffixes of equal length share one matrix and one
+        vectorized mean-reduction.  (A single matrix shared across
+        different lengths would be cheaper still, but its draws could
+        not reproduce the scalar path bit for bit, and the guarantee
+        tests pin batch == scalar exactly.)
+        """
+        arr, c = validate_batch(values, counts)
+        out = np.full(c.size, empty)
+        for n in np.unique(c):
+            if n == 0:
+                continue
+            suffix = arr[arr.size - n :]
+            value = float(np.quantile(self._resampled_means(suffix), q))
+            out[c == n] = value
+        return out
+
+    def upper_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        validate_delta(delta)
+        return self._batch_quantiles(values, counts, 1.0 - delta, float("inf"))
+
+    def lower_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        validate_delta(delta)
+        return self._batch_quantiles(values, counts, delta, float("-inf"))

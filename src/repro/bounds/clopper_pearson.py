@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats as scipy_stats
 
-from .base import ConfidenceBound, validate_delta
+from .base import ConfidenceBound, suffix_sums, validate_batch, validate_delta
 
 __all__ = ["clopper_pearson_lower", "clopper_pearson_upper", "ClopperPearsonBound"]
 
@@ -85,3 +85,40 @@ class ClopperPearsonBound(ConfidenceBound):
     def lower(self, values: np.ndarray, delta: float) -> float:
         successes, trials = self._counts(values)
         return clopper_pearson_lower(successes, trials, delta)
+
+    def _batch_counts(
+        self, values: np.ndarray, counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        arr, c = validate_batch(values, counts)
+        if arr.size and not np.all(np.isin(arr, (0.0, 1.0))):
+            raise ValueError(
+                "Clopper-Pearson applies only to binary (0/1) samples; "
+                "use the normal approximation for importance-weighted data"
+            )
+        # Cumulative sums of 0/1 indicators are exact in float64 far
+        # beyond any realistic sample size, so the suffix success counts
+        # match the scalar path's per-slice sums bit for bit.
+        successes = suffix_sums(arr, c)
+        return successes, c
+
+    def upper_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        validate_delta(delta)
+        successes, trials = self._batch_counts(values, counts)
+        out = np.ones(trials.size)
+        interior = (trials > 0) & (successes < trials)
+        if np.any(interior):
+            k = successes[interior]
+            n = trials[interior].astype(float)
+            out[interior] = scipy_stats.beta.ppf(1.0 - delta, k + 1.0, n - k)
+        return out
+
+    def lower_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        validate_delta(delta)
+        successes, trials = self._batch_counts(values, counts)
+        out = np.zeros(trials.size)
+        interior = (trials > 0) & (successes > 0)
+        if np.any(interior):
+            k = successes[interior]
+            n = trials[interior].astype(float)
+            out[interior] = scipy_stats.beta.ppf(delta, k, n - k + 1.0)
+        return out

@@ -27,7 +27,14 @@ import math
 
 import numpy as np
 
-from .base import ConfidenceBound, summarize, validate_delta
+from .base import (
+    ConfidenceBound,
+    suffix_min_max,
+    suffix_sums,
+    summarize,
+    validate_batch,
+    validate_delta,
+)
 
 __all__ = ["hoeffding_half_width", "HoeffdingBound"]
 
@@ -81,3 +88,34 @@ class HoeffdingBound(ConfidenceBound):
         arr = np.asarray(values, dtype=float)
         stats = summarize(arr)
         return stats.mean - hoeffding_half_width(stats.count, delta, self._range(arr))
+
+    def _batch_mean_half_width(
+        self, values: np.ndarray, counts: np.ndarray, delta: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Suffix means and Hoeffding half-widths, fully broadcast."""
+        validate_delta(delta)
+        arr, c = validate_batch(values, counts)
+        safe = np.maximum(c, 1)
+        mean = np.where(c > 0, suffix_sums(arr, c) / safe, 0.0)
+        if self.value_range is not None:
+            rng = np.full(c.size, float(self.value_range))
+        elif arr.size == 0:
+            rng = np.zeros(c.size)
+        else:
+            # Per-suffix observed range via reversed running min/max;
+            # mirror the scalar fallback for constant suffixes.
+            suf_min, suf_max = suffix_min_max(arr, c)
+            observed = suf_max - suf_min
+            fallback = np.maximum(np.abs(suf_max), 1.0)
+            rng = np.where(observed == 0.0, fallback, observed)
+            rng = np.where(c > 0, rng, 0.0)
+        half = np.where(c > 0, rng * np.sqrt(np.log(1.0 / delta) / (2.0 * safe)), np.inf)
+        return mean, half
+
+    def upper_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        mean, half = self._batch_mean_half_width(values, counts, delta)
+        return mean + half
+
+    def lower_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        mean, half = self._batch_mean_half_width(values, counts, delta)
+        return mean - half

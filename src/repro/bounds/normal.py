@@ -18,9 +18,19 @@ pseudocode — and as a :class:`NormalBound` satisfying the
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from .base import ConfidenceBound, half_width_normal, summarize, validate_delta
+from .base import (
+    ConfidenceBound,
+    half_width_normal,
+    suffix_min_max,
+    suffix_sums,
+    summarize,
+    validate_batch,
+    validate_delta,
+)
 
 __all__ = ["upper_bound", "lower_bound", "NormalBound"]
 
@@ -55,3 +65,44 @@ class NormalBound(ConfidenceBound):
         validate_delta(delta)
         stats = summarize(np.asarray(values, dtype=float))
         return lower_bound(stats.mean, stats.std, stats.count, delta)
+
+    def _batch_mean_half_width(
+        self, values: np.ndarray, counts: np.ndarray, delta: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Suffix means and Lemma-1 half-widths from cumulative statistics.
+
+        One reversed cumulative sum of ``x`` and ``x**2`` yields every
+        suffix's plug-in mean and standard deviation, replacing the
+        per-candidate mean/std passes of the scalar path.
+        """
+        validate_delta(delta)
+        arr, c = validate_batch(values, counts)
+        safe = np.maximum(c, 1)
+        # Center on the global mean before forming E[y^2] - E[y]^2: the
+        # variance is shift-invariant, and centering avoids the
+        # catastrophic cancellation the raw second moment suffers on
+        # (near-)constant suffixes.  Round-off can still leave the
+        # difference a hair negative; the population variance is not.
+        shift = float(arr.mean()) if arr.size else 0.0
+        centered = arr - shift
+        mean_centered = suffix_sums(centered, c) / safe
+        second_moment = suffix_sums(centered * centered, c) / safe
+        var = np.maximum(second_moment - mean_centered * mean_centered, 0.0)
+        if arr.size:
+            # A constant suffix has exactly zero variance; pin it so the
+            # residual cancellation noise cannot leak into the bound.
+            suf_min, suf_max = suffix_min_max(arr, c)
+            var = np.where(suf_min == suf_max, 0.0, var)
+        mean = shift + mean_centered
+        scale = math.sqrt(2.0 * math.log(1.0 / delta))
+        half = np.where(c > 0, np.sqrt(var / safe) * scale, np.inf)
+        mean = np.where(c > 0, mean, 0.0)
+        return mean, half
+
+    def upper_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        mean, half = self._batch_mean_half_width(values, counts, delta)
+        return mean + half
+
+    def lower_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
+        mean, half = self._batch_mean_half_width(values, counts, delta)
+        return mean - half

@@ -16,13 +16,14 @@ library API.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 
 from .core.planning import plan_budget
 from .core.types import ApproxQuery
 from .datasets import available_datasets, load_dataset
-from .experiments import ALL_EXPERIMENTS
+from .experiments import ALL_EXPERIMENTS, resolve_n_jobs
 from .experiments.io import save_result
 from .metrics import evaluate_selection
 from .query import SupgEngine
@@ -59,6 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS))
     experiment.add_argument("--save", type=Path, help="write the data series as JSON")
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the trial loops (-1 = all cores); "
+        "results are bit-identical to --jobs 1",
+    )
 
     return parser
 
@@ -108,7 +116,17 @@ def _cmd_plan(args, out) -> int:
 
 def _cmd_experiment(args, out) -> int:
     driver = ALL_EXPERIMENTS[args.id]
-    result = driver()
+    try:
+        resolve_n_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if "n_jobs" in inspect.signature(driver).parameters:
+        kwargs["n_jobs"] = args.jobs
+    elif args.jobs != 1:
+        print(f"note: {args.id} runs single-process; --jobs ignored", file=sys.stderr)
+    result = driver(**kwargs)
     print(result.render(), file=out)
     if args.save is not None:
         written = save_result(result, args.save)

@@ -37,6 +37,7 @@ from .thresholds import (
     max_recall_threshold,
     min_precision_threshold,
     precision_lower_bound,
+    precision_lower_bound_batch,
 )
 from .types import ApproxQuery, SelectionResult, TargetType
 from .uniform import (
@@ -46,6 +47,7 @@ from .uniform import (
     conservative_recall_target,
     minimum_positive_draws,
     precision_candidate_scan,
+    precision_candidate_scan_reference,
 )
 
 __all__ = [
@@ -79,10 +81,12 @@ __all__ = [
     "max_recall_threshold",
     "min_precision_threshold",
     "precision_lower_bound",
+    "precision_lower_bound_batch",
     "empirical_recall",
     "empirical_precision",
     "conservative_recall_target",
     "precision_candidate_scan",
+    "precision_candidate_scan_reference",
     "DEFAULT_CANDIDATE_STEP",
     "minimum_positive_draws",
     "optimal_weights",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..bounds import ConfidenceBound
+from ..bounds import ConfidenceBound, suffix_min_max
 
 __all__ = [
     "SELECT_NOTHING",
@@ -33,6 +33,7 @@ __all__ = [
     "max_recall_threshold",
     "min_precision_threshold",
     "precision_lower_bound",
+    "precision_lower_bound_batch",
     "empirical_recall",
     "empirical_precision",
 ]
@@ -217,11 +218,20 @@ def precision_lower_bound(
     # guarantee.  Appending one pseudo-negative (weighted by the mean
     # mass) floors the variance; the effect decays as 1/n so large
     # samples match the paper's pseudocode exactly.
+    #
+    # The Bernoulli-vs-ratio branch is decided on the *observed* mass,
+    # before the pseudo-record: a constant-mass sample's mean is
+    # mathematically that constant, and deciding after the append lets
+    # float round-off in the mean (e.g. mean of three 0.1s) demote a
+    # genuinely constant sample to the conservative ratio branch — and
+    # diverge from the suffix-batch variant, which detects constancy
+    # via running min == max.
+    constant_mass = bool(np.all(m == m[0]))
     pseudo_mass = float(m.mean())
     o = np.append(o, 0.0)
     m = np.append(m, pseudo_mass)
 
-    if np.all(m == m[0]):
+    if constant_mass:
         # Constant mass: the ratio is exactly the Bernoulli mean, so the
         # full delta goes to a single bound (Algorithm 3's test).
         lower = bound.lower(o, delta)
@@ -232,3 +242,79 @@ def precision_lower_bound(
     if denominator_ub <= 0.0:
         return 0.0
     return float(np.clip(max(numerator_lb, 0.0) / denominator_ub, 0.0, 1.0))
+
+
+def precision_lower_bound_batch(
+    labels: np.ndarray,
+    mass: np.ndarray,
+    counts: np.ndarray,
+    delta: float,
+    bound: ConfidenceBound,
+) -> np.ndarray:
+    """:func:`precision_lower_bound` for many suffixes of one sorted sample.
+
+    ``labels`` and ``mass`` are aligned and sorted so that candidate
+    ``j`` retains the *last* ``counts[j]`` records (the candidate scans
+    sort by ascending proxy score, and every candidate keeps a suffix).
+    Element ``j`` of the result equals
+    ``precision_lower_bound(labels[-counts[j]:], mass[-counts[j]:], delta, bound)``
+    — exactly for bounds whose batch path replays the scalar arithmetic
+    (Clopper-Pearson, bootstrap), and up to summation round-off (last
+    few ulps) for the cumulative-sum-based normal and Hoeffding paths.
+
+    The pseudo-negative the scalar version appends has label 0, so the
+    numerator samples of *all* candidates are suffixes of one shared
+    augmented array and evaluate in a single ``lower_batch`` call.  The
+    pseudo-record's *mass* (the suffix's mean mass) differs per
+    candidate, so only the denominator of non-uniform suffixes falls
+    back to scalar calls — for uniform samples the whole batch is one
+    vectorized pass, which is where the candidate scan's speedup
+    comes from.
+    """
+    o = np.asarray(labels, dtype=float)
+    m = np.asarray(mass, dtype=float)
+    if o.shape != m.shape or o.ndim != 1:
+        raise ValueError(f"labels and mass must be aligned 1-D arrays, got {o.shape}, {m.shape}")
+    c = np.asarray(counts, dtype=np.intp)
+    if c.ndim != 1:
+        raise ValueError(f"counts must be 1-D, got shape {c.shape}")
+    if c.size and (int(c.min()) < 0 or int(c.max()) > o.size):
+        raise ValueError(f"suffix counts must lie in [0, {o.size}]")
+
+    out = np.zeros(c.size)
+    nonempty = c > 0
+    if not np.any(nonempty):
+        return out
+
+    # A suffix has constant mass iff its running max equals its running
+    # min — the same condition the scalar path tests on the observed
+    # mass; those candidates take the Bernoulli branch, the rest the
+    # ratio branch.  The uniform-sampling hot path (mass identically 1)
+    # short-circuits the running min/max with two cheap reductions.
+    if float(m.min()) == float(m.max()):
+        constant = nonempty.copy()
+    else:
+        suf_min, suf_max = suffix_min_max(m, c)
+        constant = nonempty & (suf_min == suf_max)
+
+    if np.any(constant):
+        aug_labels = np.append(o, 0.0)
+        lowers = bound.lower_batch(aug_labels, c[constant] + 1, delta)
+        out[constant] = np.clip(lowers, 0.0, 1.0)
+
+    ratio = nonempty & ~constant
+    if np.any(ratio):
+        aug_products = np.append(o * m, 0.0)
+        numerators = np.maximum(bound.lower_batch(aug_products, c[ratio] + 1, delta / 2.0), 0.0)
+        size = m.size
+        denominators = np.array(
+            [
+                bound.upper(np.append(m[size - n :], float(m[size - n :].mean())), delta / 2.0)
+                for n in c[ratio]
+            ]
+        )
+        safe = np.where(denominators > 0.0, denominators, 1.0)
+        out[ratio] = np.where(
+            denominators > 0.0, np.clip(numerators / safe, 0.0, 1.0), 0.0
+        )
+    return out

@@ -12,6 +12,7 @@ while algorithm code must only touch labels through
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Mapping
 
 import numpy as np
@@ -79,6 +80,57 @@ class Dataset:
     def positive_indices(self) -> np.ndarray:
         """Indices of the matching records ``O+``."""
         return np.flatnonzero(self.labels == 1)
+
+    # ------------------------------------------------------------------
+    # Cached statistics.  Every selector trial needs the same derived
+    # arrays — the sorted proxy scores (Algorithm 5's stage-1 cut) and
+    # the defensive importance weights (Algorithms 4-5) — so a Dataset
+    # computes each once and reuses it across the 100+ trials of an
+    # experiment cell.  The caches live in the instance ``__dict__``
+    # (``cached_property`` bypasses the frozen-dataclass setattr), and
+    # ``subset``/``with_scores`` build new instances, so derived
+    # datasets never see stale statistics.  Cached arrays are marked
+    # read-only because they are shared across trials.
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def sorted_scores(self) -> np.ndarray:
+        """Proxy scores sorted ascending (cached, read-only)."""
+        out = np.sort(self.proxy_scores)
+        out.flags.writeable = False
+        return out
+
+    @property
+    def descending_scores(self) -> np.ndarray:
+        """Proxy scores sorted descending (a view of :attr:`sorted_scores`)."""
+        return self.sorted_scores[::-1]
+
+    @cached_property
+    def score_order(self) -> np.ndarray:
+        """``argsort`` of the proxy scores, ascending (cached, read-only)."""
+        out = np.argsort(self.proxy_scores, kind="stable")
+        out.flags.writeable = False
+        return out
+
+    def sampling_weights(self, exponent: float, mixing: float) -> np.ndarray:
+        """Defensive importance-sampling weights, cached per ``(exponent, mixing)``.
+
+        Thin memoizing wrapper around
+        :func:`repro.sampling.proxy_sampling_weights`; the IS selectors
+        recompute identical weights every trial otherwise, a full O(n)
+        pass over the dataset per selector run.
+        """
+        from ..sampling import proxy_sampling_weights
+
+        key = (float(exponent), float(mixing))
+        cache: dict[tuple[float, float], np.ndarray]
+        cache = self.__dict__.setdefault("_weight_cache", {})
+        weights = cache.get(key)
+        if weights is None:
+            weights = proxy_sampling_weights(self.proxy_scores, exponent=exponent, mixing=mixing)
+            weights.flags.writeable = False
+            cache[key] = weights
+        return weights
 
     def select_above(self, tau: float) -> np.ndarray:
         """Indices of ``D(tau) = {x : A(x) >= tau}``."""

@@ -130,6 +130,7 @@ def figure1(
     gamma: float = 0.9,
     seed: int = 0,
     paper_scale: bool = False,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 1: naive vs SUPG achieved precision on ImageNet (PT 90%).
 
@@ -148,6 +149,7 @@ def figure1(
         dataset,
         trials=trials,
         base_seed=seed + 1,
+        n_jobs=n_jobs,
     )
     rows = tuple(_box_row(label, summary) for label, summary in panel.items())
     return ExperimentResult(
@@ -167,6 +169,7 @@ def _failure_panel(
     seed: int,
     paper_scale: bool,
     datasets: Sequence[str],
+    n_jobs: int | None = 1,
 ) -> tuple[tuple[tuple[object, ...], ...], dict[str, Mapping[str, MethodSummary]]]:
     rows: list[tuple[object, ...]] = []
     all_panels: dict[str, Mapping[str, MethodSummary]] = {}
@@ -185,7 +188,9 @@ def _failure_panel(
                 "U-NoCI": lambda q=query: UniformNoCIRecall(q),
                 "SUPG": lambda q=query: ImportanceCIRecall(q),
             }
-        panel = compare_methods(factories, dataset, trials=trials, base_seed=seed + 1)
+        panel = compare_methods(
+            factories, dataset, trials=trials, base_seed=seed + 1, n_jobs=n_jobs
+        )
         all_panels[name] = panel
         for label, summary in panel.items():
             rows.append((name, *_box_row(label, summary)))
@@ -199,6 +204,7 @@ def figure5(
     seed: int = 0,
     paper_scale: bool = False,
     datasets: Sequence[str] = EVALUATION_DATASETS,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 5: precision of U-NoCI vs SUPG at a 90% precision target.
 
@@ -206,7 +212,7 @@ def figure5(
     SUPG's failure rate stays within delta.
     """
     rows, panels = _failure_panel(
-        "precision", trials, delta, gamma, seed, paper_scale, datasets
+        "precision", trials, delta, gamma, seed, paper_scale, datasets, n_jobs=n_jobs
     )
     return ExperimentResult(
         experiment_id="fig5",
@@ -224,10 +230,11 @@ def figure6(
     seed: int = 0,
     paper_scale: bool = False,
     datasets: Sequence[str] = EVALUATION_DATASETS,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 6: recall of U-NoCI vs SUPG at a 90% recall target."""
     rows, panels = _failure_panel(
-        "recall", trials, delta, gamma, seed, paper_scale, datasets
+        "recall", trials, delta, gamma, seed, paper_scale, datasets, n_jobs=n_jobs
     )
     return ExperimentResult(
         experiment_id="fig6",
@@ -245,6 +252,7 @@ def figure7(
     seed: int = 0,
     paper_scale: bool = False,
     datasets: Sequence[str] = EVALUATION_DATASETS,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 7: precision-target sweep -> achieved recall.
 
@@ -268,6 +276,7 @@ def figure7(
                 dataset,
                 trials=trials,
                 base_seed=seed + 1,
+                n_jobs=n_jobs,
             )
             for label, summary in panel.items():
                 summaries[f"{name}|{gamma}|{label}"] = summary
@@ -290,6 +299,7 @@ def figure8(
     seed: int = 0,
     paper_scale: bool = False,
     datasets: Sequence[str] = EVALUATION_DATASETS,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 8: recall-target sweep -> precision of the returned set.
 
@@ -314,6 +324,7 @@ def figure8(
                 dataset,
                 trials=trials,
                 base_seed=seed + 1,
+                n_jobs=n_jobs,
             )
             for label, summary in panel.items():
                 summaries[f"{name}|{gamma}|{label}"] = summary
@@ -335,6 +346,7 @@ def figure9(
     noise_levels: Sequence[float] = (0.01, 0.02, 0.03, 0.04),
     seed: int = 0,
     size: int = 200_000,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 9: sensitivity to proxy noise on Beta(0.01, 2).
 
@@ -358,6 +370,7 @@ def figure9(
             noisy,
             trials=trials,
             base_seed=seed + 2,
+            n_jobs=n_jobs,
         )
         rt_panel = compare_methods(
             {
@@ -367,6 +380,7 @@ def figure9(
             noisy,
             trials=trials,
             base_seed=seed + 2,
+            n_jobs=n_jobs,
         )
         for label, summary in pt_panel.items():
             summaries[f"pt|{level}|{label}"] = summary
@@ -389,6 +403,7 @@ def figure10(
     betas: Sequence[float] = (0.125, 0.25, 0.5, 1.0, 2.0),
     seed: int = 0,
     size: int = 200_000,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 10: sensitivity to class imbalance (varying Beta's beta).
 
@@ -410,6 +425,7 @@ def figure10(
             dataset,
             trials=trials,
             base_seed=seed + 1,
+            n_jobs=n_jobs,
         )
         rt_panel = compare_methods(
             {
@@ -419,6 +435,7 @@ def figure10(
             dataset,
             trials=trials,
             base_seed=seed + 1,
+            n_jobs=n_jobs,
         )
         tpr = dataset.positive_rate
         for label, summary in pt_panel.items():
@@ -443,6 +460,7 @@ def figure11(
     mixing_ratios: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
     seed: int = 0,
     size: int = 200_000,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 11: sensitivity to algorithm parameters on Beta(0.01, 2).
 
@@ -463,6 +481,7 @@ def figure11(
             trials=trials,
             base_seed=seed + 1,
             method_name=f"SUPG m={m}",
+            n_jobs=n_jobs,
         )
         summaries[f"step|{m}"] = summary
         rows.append(("precision-target", f"m={m}", summary.mean_quality))
@@ -473,6 +492,7 @@ def figure11(
             trials=trials,
             base_seed=seed + 1,
             method_name=f"SUPG mix={mix}",
+            n_jobs=n_jobs,
         )
         summaries[f"mixing|{mix}"] = summary
         rows.append(("recall-target", f"mixing={mix}", summary.mean_quality))
@@ -491,6 +511,7 @@ def figure12(
     exponents: Sequence[float] = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
     seed: int = 0,
     size: int = 200_000,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 12: importance-weight exponent sweep (recall target).
 
@@ -509,6 +530,7 @@ def figure12(
             trials=trials,
             base_seed=seed + 1,
             method_name=f"exponent={exponent}",
+            n_jobs=n_jobs,
         )
         summaries[str(exponent)] = summary
         rows.append((exponent, summary.mean_quality, summary.failure_rate))
@@ -528,6 +550,7 @@ def figure13(
     seed: int = 0,
     size: int = 200_000,
     budget: int = 6_000,
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Figure 13: confidence-interval method comparison on Beta(0.01, 1).
 
@@ -564,6 +587,7 @@ def figure13(
             trials=trials,
             base_seed=seed + 1,
             method_name=f"U-CI-R/{label}",
+            n_jobs=n_jobs,
         )
         summaries[f"uniform|{label}"] = summary
         rows.append(("uniform", label, summary.mean_quality, summary.failure_rate))
@@ -574,6 +598,7 @@ def figure13(
             trials=trials,
             base_seed=seed + 1,
             method_name=f"IS-CI-R/{label}",
+            n_jobs=n_jobs,
         )
         summaries[f"supg|{label}"] = summary
         rows.append(("supg", label, summary.mean_quality, summary.failure_rate))

@@ -6,10 +6,23 @@ delta fraction" — so every experiment is a loop of independent trials
 with distinct seeds.  :func:`run_trials` executes that loop for one
 method and :func:`compare_methods` for a method panel, producing the
 summaries the figure drivers render.
+
+Trials are statistically independent (trial ``t`` is fully determined
+by seed ``base_seed + t``), so the loop parallelizes perfectly: pass
+``n_jobs > 1`` (or ``-1`` for all cores) to fan contiguous seed chunks
+across worker processes.  Seed assignment is identical to the
+sequential path and workers return :class:`TrialRecord` objects in
+trial order, so parallel results are bit-for-bit identical to
+``n_jobs=1`` — the determinism tests pin this.  The pool uses the
+``fork`` start method (selector factories are closures, which ``spawn``
+cannot pickle; forked workers inherit them); on platforms without
+``fork`` the runner transparently falls back to the sequential path.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from typing import Callable, Mapping, Sequence
 
 from ..core.base import Selector
@@ -18,11 +31,104 @@ from ..datasets import Dataset
 from ..metrics import evaluate_selection
 from .results import MethodSummary, TrialRecord, quality_of, summarize_trials
 
-__all__ = ["run_trials", "compare_methods", "sweep", "SelectorFactory"]
+__all__ = ["run_trials", "compare_methods", "sweep", "resolve_n_jobs", "SelectorFactory"]
 
 #: A factory producing a fresh selector per trial (selectors are
 #: stateless, but fresh construction keeps ablation parameters obvious).
 SelectorFactory = Callable[[], Selector]
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` request to a positive worker count.
+
+    ``None`` and ``1`` mean sequential; ``-1`` means one worker per
+    available core (the joblib convention).
+
+    Raises:
+        ValueError: for zero or other negative values.
+    """
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs <= 0:
+        raise ValueError(f"n_jobs must be positive or -1, got {n_jobs}")
+    return n_jobs
+
+
+def _run_single_trial(
+    factory: SelectorFactory,
+    dataset: Dataset,
+    base_seed: int,
+    method_name: str | None,
+    trial: int,
+) -> TrialRecord:
+    """One seeded selection — the unit of work shared by both backends."""
+    selector = factory()
+    query: ApproxQuery = selector.query
+    result = selector.select(dataset, seed=base_seed + trial)
+    quality = evaluate_selection(result.indices, dataset.labels)
+    target_metric, quality_metric = quality_of(quality, query.target_type.value)
+    return TrialRecord(
+        method=method_name or selector.name,
+        dataset=dataset.name,
+        gamma=query.gamma,
+        target_metric=target_metric,
+        quality_metric=quality_metric,
+        oracle_calls=result.oracle_calls,
+        result_size=quality.size,
+        seed=base_seed + trial,
+    )
+
+
+# Worker-process state, installed by the pool initializer.  The factory
+# and dataset travel to workers by fork inheritance (initargs are not
+# pickled under the fork start method), which is what allows lambda
+# factories and keeps large datasets from being serialized per task.
+_WORKER_STATE: dict[str, tuple] = {}
+
+
+def _init_trial_worker(
+    factory: SelectorFactory,
+    dataset: Dataset,
+    base_seed: int,
+    method_name: str | None,
+) -> None:
+    _WORKER_STATE["spec"] = (factory, dataset, base_seed, method_name)
+
+
+def _run_trial_chunk(trials: Sequence[int]) -> list[TrialRecord]:
+    factory, dataset, base_seed, method_name = _WORKER_STATE["spec"]
+    return [_run_single_trial(factory, dataset, base_seed, method_name, t) for t in trials]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_trials_parallel(
+    factory: SelectorFactory,
+    dataset: Dataset,
+    trials: int,
+    base_seed: int,
+    method_name: str | None,
+    jobs: int,
+) -> list[TrialRecord]:
+    """Fan seed-chunks across a fork pool; record order matches sequential."""
+    chunk_bounds = [(i * trials) // jobs for i in range(jobs + 1)]
+    chunks = [
+        list(range(chunk_bounds[i], chunk_bounds[i + 1]))
+        for i in range(jobs)
+        if chunk_bounds[i] < chunk_bounds[i + 1]
+    ]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(
+        processes=len(chunks),
+        initializer=_init_trial_worker,
+        initargs=(factory, dataset, base_seed, method_name),
+    ) as pool:
+        chunk_records = pool.map(_run_trial_chunk, chunks)
+    return [record for chunk in chunk_records for record in chunk]
 
 
 def run_trials(
@@ -31,6 +137,7 @@ def run_trials(
     trials: int,
     base_seed: int = 0,
     method_name: str | None = None,
+    n_jobs: int | None = 1,
 ) -> MethodSummary:
     """Run ``trials`` independent selections and summarize them.
 
@@ -41,31 +148,22 @@ def run_trials(
         base_seed: trial ``t`` uses seed ``base_seed + t``.
         method_name: label for the summary; defaults to the selector's
             registry name.
+        n_jobs: worker processes (``-1`` = all cores).  Results are
+            bit-identical to the sequential path for any value.
 
     Returns:
         A :class:`MethodSummary` over all trials.
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
-    records = []
-    for t in range(trials):
-        selector = factory()
-        query: ApproxQuery = selector.query
-        result = selector.select(dataset, seed=base_seed + t)
-        quality = evaluate_selection(result.indices, dataset.labels)
-        target_metric, quality_metric = quality_of(quality, query.target_type.value)
-        records.append(
-            TrialRecord(
-                method=method_name or selector.name,
-                dataset=dataset.name,
-                gamma=query.gamma,
-                target_metric=target_metric,
-                quality_metric=quality_metric,
-                oracle_calls=result.oracle_calls,
-                result_size=quality.size,
-                seed=base_seed + t,
-            )
-        )
+    jobs = min(resolve_n_jobs(n_jobs), trials)
+    if jobs > 1 and _fork_available():
+        records = _run_trials_parallel(factory, dataset, trials, base_seed, method_name, jobs)
+    else:
+        records = [
+            _run_single_trial(factory, dataset, base_seed, method_name, t)
+            for t in range(trials)
+        ]
     return summarize_trials(records)
 
 
@@ -74,6 +172,7 @@ def compare_methods(
     dataset: Dataset,
     trials: int,
     base_seed: int = 0,
+    n_jobs: int | None = 1,
 ) -> dict[str, MethodSummary]:
     """Run a panel of methods on one workload.
 
@@ -81,7 +180,9 @@ def compare_methods(
     attributable to the algorithms rather than sampling luck.
     """
     return {
-        label: run_trials(factory, dataset, trials, base_seed, method_name=label)
+        label: run_trials(
+            factory, dataset, trials, base_seed, method_name=label, n_jobs=n_jobs
+        )
         for label, factory in factories.items()
     }
 
@@ -93,11 +194,17 @@ def sweep(
     trials: int,
     base_seed: int = 0,
     method_name: str | None = None,
+    n_jobs: int | None = 1,
 ) -> list[MethodSummary]:
     """Run one method across a target sweep (the Figure 7/8 x-axes)."""
     return [
         run_trials(
-            factory_for_gamma(gamma), dataset, trials, base_seed, method_name=method_name
+            factory_for_gamma(gamma),
+            dataset,
+            trials,
+            base_seed,
+            method_name=method_name,
+            n_jobs=n_jobs,
         )
         for gamma in gammas
     ]

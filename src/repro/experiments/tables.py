@@ -13,6 +13,7 @@ from ..datasets import make_drift_pair
 from ..metrics import evaluate_selection
 from ..oracle import DATASET_COST_MODELS
 from .figures import FAST_BUDGETS, ExperimentResult
+from .runner import run_trials
 
 __all__ = ["table4", "table5"]
 
@@ -40,6 +41,7 @@ def table4(
     seed: int = 0,
     size: int | None = 50_000,
     scenarios: Sequence[str] = ("imagenet", "night-street", "beta"),
+    n_jobs: int | None = 1,
 ) -> ExperimentResult:
     """Table 4: accuracy under model drift, fixed threshold vs SUPG.
 
@@ -73,13 +75,19 @@ def table4(
                 naive_quality.precision if target_kind == "precision" else naive_quality.recall
             )
 
-            supg_metrics = []
-            for t in range(trials):
-                result = supg_factory().select(test, seed=seed + 1 + t)
-                quality = evaluate_selection(result.indices, test.labels)
-                supg_metrics.append(
-                    quality.precision if target_kind == "precision" else quality.recall
-                )
+            # The guaranteed metric of a TrialRecord is precision for PT
+            # queries and recall for RT queries — exactly the metric this
+            # table reports — so the shared runner (and its n_jobs
+            # backend) replaces the bespoke trial loop.
+            summary = run_trials(
+                supg_factory,
+                test,
+                trials=trials,
+                base_seed=seed + 1,
+                method_name=f"supg-{target_kind}",
+                n_jobs=n_jobs,
+            )
+            supg_metrics = [record.target_metric for record in summary.records]
             supg_mean = float(np.mean(supg_metrics))
             supg_success = float(
                 np.mean([m >= gamma - 1e-9 for m in supg_metrics])
