@@ -86,13 +86,15 @@ def test_scan_speedup_at_paper_scale(bound):
 
 
 def test_scan_speedup_weighted_sample():
-    """The importance-sampled scan vectorizes its numerator but must
-    replicate the per-candidate pseudo-mass denominator exactly, so its
-    win is smaller — assert it does not regress."""
+    """The importance-sampled scan's per-candidate pseudo-mass
+    denominator is evaluated analytically for the normal bound
+    (``upper_batch_mean_augmented``), closing most of the gap to the
+    uniform scan's win — assert the analytic path holds a >= 4x edge
+    over the loop reference (it was ~1.9x with the scalar fallback)."""
     vec, ref = _measure(NormalBound(), weighted=True)
     speedup = ref / vec
     print(f"\nweighted scan: {vec * 1e3:.2f} ms vs {ref * 1e3:.2f} ms ({speedup:.1f}x)")
-    assert speedup >= 1.2
+    assert speedup >= 4.0
 
 
 def test_batch_bound_scales_sublinearly_in_candidates():

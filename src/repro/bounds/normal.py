@@ -106,3 +106,42 @@ class NormalBound(ConfidenceBound):
     def lower_batch(self, values: np.ndarray, counts: np.ndarray, delta: float) -> np.ndarray:
         mean, half = self._batch_mean_half_width(values, counts, delta)
         return mean - half
+
+    def upper_batch_mean_augmented(
+        self, values: np.ndarray, counts: np.ndarray, delta: float
+    ) -> np.ndarray:
+        """Analytic Lemma-1 bound over each suffix plus its own mean.
+
+        Appending a suffix's mean as one pseudo-observation leaves the
+        mean unchanged and scales the plug-in variance by ``n/(n+1)``
+        (the pseudo-record contributes zero squared deviation while the
+        divisor grows), so for a suffix with variance ``var``:
+
+            mean' = mean
+            std'  = sqrt(var * n / (n + 1))
+            count' = n + 1
+            half-width = std' / sqrt(n + 1) * sqrt(2 log(1/delta))
+                       = sqrt(var * n) * sqrt(2 log(1/delta)) / (n + 1)
+
+        which needs only the suffix cumulative statistics — one
+        vectorized pass instead of the per-candidate append + scalar
+        bound the base class replays.  This is the batched denominator
+        of the importance-weighted candidate scan; the scan equivalence
+        tests pin it against the scalar reference.
+        """
+        validate_delta(delta)
+        arr, c = validate_batch(values, counts)
+        safe = np.maximum(c, 1)
+        # Same centering as _batch_mean_half_width: shift-invariant
+        # variance, computed without catastrophic cancellation.
+        shift = float(arr.mean()) if arr.size else 0.0
+        centered = arr - shift
+        mean_centered = suffix_sums(centered, c) / safe
+        second_moment = suffix_sums(centered * centered, c) / safe
+        var = np.maximum(second_moment - mean_centered * mean_centered, 0.0)
+        if arr.size:
+            suf_min, suf_max = suffix_min_max(arr, c)
+            var = np.where(suf_min == suf_max, 0.0, var)
+        scale = math.sqrt(2.0 * math.log(1.0 / delta))
+        half = np.sqrt(var * c) * scale / (c + 1)
+        return np.where(c > 0, shift + mean_centered + half, np.inf)

@@ -20,6 +20,7 @@ import inspect
 import sys
 from pathlib import Path
 
+from .bounds import available_bounds, get_bound
 from .core.planning import plan_budget
 from .core.types import ApproxQuery
 from .datasets import available_datasets, load_dataset
@@ -46,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--sql", help="query text (inline)")
     query.add_argument("--sql-file", type=Path, help="file containing the query")
     query.add_argument("--method", default=None, help="selector registry name")
+    query.add_argument(
+        "--bound",
+        default=None,
+        choices=available_bounds(),
+        help="confidence-bound class for the selector (default: normal approximation)",
+    )
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--size", type=int, default=None, help="dataset size override")
 
@@ -90,13 +97,23 @@ def _cmd_query(args, out) -> int:
     # identifiers, so also register a sanitized alias the SQL can use.
     alias = "".join(c if c.isalnum() else "_" for c in args.dataset)
     engine.register_table(alias, dataset)
-    execution = engine.execute(sql, seed=args.seed, method=args.method)
+    kwargs = {}
+    if args.bound is not None:
+        kwargs["bound"] = get_bound(args.bound)
+    execution = engine.execute(sql, seed=args.seed, method=args.method, **kwargs)
     quality = evaluate_selection(execution.result.indices, dataset.labels)
+    result = execution.result
+    budget = execution.parsed.oracle_limit
+    usage = f" of {budget} budget ({result.oracle_calls / budget:.0%})" if budget else ""
     print(f"method    : {execution.method}", file=out)
-    print(f"returned  : {execution.result.size} records (tau={execution.result.tau:.4f})", file=out)
-    print(f"oracle    : {execution.result.oracle_calls} labels", file=out)
+    print(f"bound     : {args.bound or 'normal'}", file=out)
+    print(f"returned  : {result.size} records (tau={result.tau:.4f})", file=out)
+    print(f"oracle    : {result.oracle_calls} labels{usage}", file=out)
     print(f"precision : {quality.precision:.4f}", file=out)
     print(f"recall    : {quality.recall:.4f}", file=out)
+    for key in ("ess_ratio", "stage1_ess_ratio"):
+        if key in result.details:
+            print(f"{key:10s}: {result.details[key]:.4f}", file=out)
     return 0
 
 

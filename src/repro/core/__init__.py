@@ -19,8 +19,15 @@ from .multiproxy import (
     ProxyFuser,
     fuse_proxies,
 )
+from .pipeline import ExecutionContext, SampleStore, materialize_selection
 from .planning import BudgetPlan, expected_positive_fraction, plan_budget
-from .registry import available_selectors, default_selector, make_selector
+from .registry import (
+    available_selectors,
+    default_selector,
+    make_selector,
+    sample_reusable_selectors,
+    selector_class,
+)
 from .theory import (
     estimator_variance_term,
     optimal_weights,
@@ -76,6 +83,11 @@ __all__ = [
     "available_selectors",
     "make_selector",
     "default_selector",
+    "selector_class",
+    "sample_reusable_selectors",
+    "ExecutionContext",
+    "SampleStore",
+    "materialize_selection",
     "SELECT_EVERYTHING",
     "SELECT_NOTHING",
     "max_recall_threshold",

@@ -8,23 +8,45 @@ Every SUPG method shares the same outer loop::
     R2  <- {x in D : A(x) >= tau}   # thresholded proxy selection
     return R1 | R2
 
-Subclasses implement :meth:`Selector._estimate_tau`, which receives the
-dataset, a budget-enforcing oracle, and a random generator, and returns
-the threshold plus optional diagnostics.  The base class assembles the
-final :class:`~repro.core.types.SelectionResult`.
+That loop is decomposed into explicit stages — *plan* (describe the
+oracle sample as a :class:`~repro.sampling.designs.SampleDesign`),
+*draw_sample*, *estimate_tau*, *materialize* — so an
+:class:`~repro.core.pipeline.ExecutionContext` can coordinate them and
+serve the draw stage from a shared :class:`SampleStore` when the same
+(dataset, design, seed) sample was already labeled by another
+selector, gamma point, or query.
+
+Subclasses plug in at one of two altitudes:
+
+- **Staged** (all bundled selectors): implement :meth:`sample_design`
+  (the plan stage) and :meth:`estimate_tau_from_sample` (a pure
+  function of the labeled sample).  Such selectors get store-backed
+  reuse for free; those whose single sample is fully
+  target-independent also set ``reusable_sample = True``.
+- **Legacy** (custom subclasses, multi-stage algorithms): override
+  :meth:`_estimate_tau`, which receives a budget-enforcing oracle and a
+  random generator exactly as before the refactor.  ``select()`` falls
+  back to this path — bit-for-bit identical to the pre-pipeline
+  implementation — whenever no context is given, a custom oracle is
+  passed, or the selector declares no design.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from ..bounds import ConfidenceBound, NormalBound
 from ..datasets import Dataset
 from ..oracle import BudgetedOracle, oracle_from_labels
+from ..sampling.designs import LabeledSample, SampleDesign, draw_labeled_sample
+from .pipeline import materialize_selection
 from .types import ApproxQuery, SelectionResult, TargetType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import ExecutionContext
 
 __all__ = ["Selector"]
 
@@ -41,12 +63,29 @@ class Selector(abc.ABC):
         name: registry name of the algorithm; subclasses override.
         target_type: which query type (RT/PT) the algorithm serves;
             ``None`` means both.
+        reusable_sample: True when the selector's entire oracle sample
+            is one target-independent draw, i.e. a cached sample keyed
+            by (dataset, design, seed) may legally serve every gamma.
     """
 
     name: str = "abstract"
     target_type: TargetType | None = None
+    reusable_sample: bool = False
 
     def __init__(self, query: ApproxQuery, bound: ConfidenceBound | None = None) -> None:
+        # _estimate_tau is no longer abstract (the staged hook pair is an
+        # equally valid extension point), so check completeness here —
+        # at construction — rather than let an incomplete subclass fail
+        # with NotImplementedError mid-experiment.
+        cls = type(self)
+        if cls._estimate_tau is Selector._estimate_tau and (
+            cls.sample_design is Selector.sample_design
+            or cls.estimate_tau_from_sample is Selector.estimate_tau_from_sample
+        ):
+            raise TypeError(
+                f"{cls.__name__} must implement _estimate_tau or the "
+                "sample_design/estimate_tau_from_sample stage pair"
+            )
         if self.target_type is not None and query.target_type != self.target_type:
             raise ValueError(
                 f"{type(self).__name__} answers {self.target_type.value}-target queries, "
@@ -55,7 +94,31 @@ class Selector(abc.ABC):
         self.query = query
         self.bound = bound if bound is not None else NormalBound()
 
-    @abc.abstractmethod
+    # -- staged pipeline hooks -------------------------------------------------
+
+    def sample_design(self, dataset: Dataset) -> SampleDesign | None:
+        """Stage *plan*: describe the selector's oracle sample.
+
+        Returns ``None`` when the selector has no single reusable
+        design (legacy subclasses, or multi-stage draws that override
+        :meth:`_select_with_store` themselves).
+        """
+        return None
+
+    def estimate_tau_from_sample(
+        self, dataset: Dataset, sample: LabeledSample
+    ) -> tuple[float, Mapping[str, object]]:
+        """Stage *estimate_tau*: pure threshold estimation from a sample.
+
+        Required whenever :meth:`sample_design` returns a design; must
+        not consume randomness or the oracle, so the same sample can be
+        replayed across gammas.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares a sample design but does not "
+            "implement estimate_tau_from_sample"
+        )
+
     def _estimate_tau(
         self,
         dataset: Dataset,
@@ -64,16 +127,50 @@ class Selector(abc.ABC):
     ) -> tuple[float, Mapping[str, object]]:
         """Sample with the oracle and estimate the proxy threshold.
 
+        Default implementation runs the staged draw + estimate against
+        the provided oracle (consuming ``rng`` identically to the
+        store path).  Legacy subclasses override this wholesale.
+
         Returns:
             ``(tau, details)`` where ``details`` carries diagnostics
             surfaced in :attr:`SelectionResult.details`.
         """
+        design = self.sample_design(dataset)
+        if design is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement _estimate_tau or the "
+                "sample_design/estimate_tau_from_sample stage pair"
+            )
+        sample = draw_labeled_sample(design, dataset, rng, oracle.query)
+        return self.estimate_tau_from_sample(dataset, sample)
+
+    def _select_with_store(
+        self, dataset: Dataset, seed: int | np.random.Generator, context: "ExecutionContext"
+    ) -> SelectionResult | None:
+        """Store-backed selection, or ``None`` when ineligible.
+
+        Eligibility requires an integer seed (generator seeds cannot
+        key a cache) and a declared sample design.  Multi-stage
+        selectors override this to cache only their target-independent
+        stages.
+        """
+        if not isinstance(seed, (int, np.integer)):
+            return None
+        design = self.sample_design(dataset)
+        if design is None:
+            return None
+        sample = context.fetch(dataset, design, int(seed))
+        tau, details = self.estimate_tau_from_sample(dataset, sample)
+        return materialize_selection(dataset, tau, (sample,), details)
+
+    # -- entry point -----------------------------------------------------------
 
     def select(
         self,
         dataset: Dataset,
         seed: int | np.random.Generator = 0,
         oracle: BudgetedOracle | None = None,
+        context: "ExecutionContext | None" = None,
     ) -> SelectionResult:
         """Run the full Algorithm 1 pipeline on a dataset.
 
@@ -84,10 +181,19 @@ class Selector(abc.ABC):
                 the stages of the joint-target algorithm).  By default a
                 fresh budget-enforcing oracle is built from the dataset's
                 ground truth with the query's budget.
+            context: optional :class:`ExecutionContext`.  When given
+                (and no custom oracle is), the draw stage is served
+                from the context's sample store — bit-identical to a
+                fresh draw, but paid for once per (dataset, design,
+                seed) across the whole session.
 
         Returns:
             The selected record set with diagnostics.
         """
+        if context is not None and oracle is None:
+            staged = self._select_with_store(dataset, seed, context)
+            if staged is not None:
+                return staged
         rng = np.random.default_rng(seed)
         if oracle is None:
             oracle = oracle_from_labels(dataset.labels, budget=self.query.budget)

@@ -21,22 +21,12 @@ from typing import Mapping
 import numpy as np
 
 from ..datasets import Dataset
-from ..oracle import BudgetedOracle
-from ..sampling import uniform_sample
+from ..sampling.designs import LabeledSample, SampleDesign
 from .base import Selector
 from .thresholds import max_recall_threshold, min_precision_threshold
 from .types import ApproxQuery, SelectionResult, TargetType
 
 __all__ = ["UniformNoCIRecall", "UniformNoCIPrecision", "FixedThresholdSelector"]
-
-
-def _uniform_labeled_sample(
-    dataset: Dataset, oracle: BudgetedOracle, budget: int, rng: np.random.Generator
-) -> tuple[np.ndarray, np.ndarray]:
-    """Draw a uniform sample of ``budget`` records and label them."""
-    indices = uniform_sample(dataset.size, budget, rng, replace=True)
-    labels = oracle.query(indices)
-    return dataset.proxy_scores[indices], labels
 
 
 class UniformNoCIRecall(Selector):
@@ -50,13 +40,15 @@ class UniformNoCIRecall(Selector):
 
     name = "u-noci-r"
     target_type = TargetType.RECALL
+    reusable_sample = True
 
-    def _estimate_tau(
-        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    def sample_design(self, dataset: Dataset) -> SampleDesign:
+        return SampleDesign(kind="uniform", budget=self.query.budget)
+
+    def estimate_tau_from_sample(
+        self, dataset: Dataset, sample: LabeledSample
     ) -> tuple[float, Mapping[str, object]]:
-        scores, labels = _uniform_labeled_sample(dataset, oracle, self.query.budget, rng)
-        mass = np.ones_like(scores)
-        tau = max_recall_threshold(scores, labels, mass, self.query.gamma)
+        tau = max_recall_threshold(sample.scores, sample.labels, sample.mass, self.query.gamma)
         return tau, {"method": self.name}
 
 
@@ -69,12 +61,15 @@ class UniformNoCIPrecision(Selector):
 
     name = "u-noci-p"
     target_type = TargetType.PRECISION
+    reusable_sample = True
 
-    def _estimate_tau(
-        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    def sample_design(self, dataset: Dataset) -> SampleDesign:
+        return SampleDesign(kind="uniform", budget=self.query.budget)
+
+    def estimate_tau_from_sample(
+        self, dataset: Dataset, sample: LabeledSample
     ) -> tuple[float, Mapping[str, object]]:
-        scores, labels = _uniform_labeled_sample(dataset, oracle, self.query.budget, rng)
-        tau = min_precision_threshold(scores, labels, self.query.gamma)
+        tau = min_precision_threshold(sample.scores, sample.labels, self.query.gamma)
         return tau, {"method": self.name}
 
 

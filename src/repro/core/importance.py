@@ -18,12 +18,21 @@ carry information about the threshold:
 
 Weight construction (exponent and defensive-mixing ratio) is exposed so
 the paper's fig11/fig12 ablations can sweep it.
+
+All three participate in the staged pipeline.  IS-CI-R and the
+one-stage scan draw one target-independent sample, so their whole draw
+is store-reusable across gammas.  The two-stage algorithm's stage-1
+draw is also target-independent (it depends only on the budget split
+and the weight design); only the stage-2 region sample depends on
+gamma.  Its store path therefore caches stage 1 — including the
+generator state after the draw, so stage 2's random stream resumes
+bit-exactly — and re-draws only stage 2 per gamma.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
@@ -36,15 +45,20 @@ from ..sampling import (
     ess_ratio,
     weighted_sample,
 )
+from ..sampling.designs import LabeledSample, LabelFn, SampleDesign, draw_labeled_sample
 from .base import Selector
+from .pipeline import materialize_selection
 from .thresholds import SELECT_EVERYTHING, max_recall_threshold
-from .types import ApproxQuery, TargetType
+from .types import ApproxQuery, SelectionResult, TargetType
 from .uniform import (
     DEFAULT_CANDIDATE_STEP,
     conservative_recall_target,
     minimum_positive_draws,
     precision_candidate_scan,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import ExecutionContext
 
 __all__ = [
     "ImportanceCIRecall",
@@ -74,6 +88,14 @@ class _ImportanceSelector(Selector):
         # whole workload) reuse one weight vector per (exponent, mixing).
         return dataset.sampling_weights(exponent=self.weight_exponent, mixing=self.mixing)
 
+    def _weighted_design(self, budget: int) -> SampleDesign:
+        return SampleDesign(
+            kind="proxy-weighted",
+            budget=budget,
+            exponent=self.weight_exponent,
+            mixing=self.mixing,
+        )
+
 
 class ImportanceCIRecall(_ImportanceSelector):
     """IS-CI-R: importance sampling with recall guarantees (Algorithm 4).
@@ -85,15 +107,15 @@ class ImportanceCIRecall(_ImportanceSelector):
 
     name = "is-ci-r"
     target_type = TargetType.RECALL
+    reusable_sample = True
 
-    def _estimate_tau(
-        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    def sample_design(self, dataset: Dataset) -> SampleDesign:
+        return self._weighted_design(self.query.budget)
+
+    def estimate_tau_from_sample(
+        self, dataset: Dataset, sample: LabeledSample
     ) -> tuple[float, Mapping[str, object]]:
-        weights = self._weights(dataset)
-        sample = weighted_sample(weights, self.query.budget, rng)
-        labels = oracle.query(sample.indices)
-        scores = dataset.proxy_scores[sample.indices]
-        mass = sample.mass
+        scores, labels, mass = sample.scores, sample.labels, sample.mass
 
         tau_hat = max_recall_threshold(scores, labels, mass, self.query.gamma)
         if tau_hat == SELECT_EVERYTHING:
@@ -136,6 +158,7 @@ class ImportanceCIPrecisionOneStage(_ImportanceSelector):
 
     name = "is-ci-p-one-stage"
     target_type = TargetType.PRECISION
+    reusable_sample = True
 
     def __init__(
         self,
@@ -150,16 +173,15 @@ class ImportanceCIPrecisionOneStage(_ImportanceSelector):
             raise ValueError(f"candidate step must be positive, got {step}")
         self.step = step
 
-    def _estimate_tau(
-        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    def sample_design(self, dataset: Dataset) -> SampleDesign:
+        return self._weighted_design(self.query.budget)
+
+    def estimate_tau_from_sample(
+        self, dataset: Dataset, sample: LabeledSample
     ) -> tuple[float, Mapping[str, object]]:
-        weights = self._weights(dataset)
-        sample = weighted_sample(weights, self.query.budget, rng)
-        labels = oracle.query(sample.indices)
-        scores = dataset.proxy_scores[sample.indices]
         tau, scan_details = precision_candidate_scan(
-            scores,
-            labels,
+            sample.scores,
+            sample.labels,
             sample.mass,
             gamma=self.query.gamma,
             delta=self.query.delta,
@@ -182,6 +204,10 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
 
     name = "is-ci-p"
     target_type = TargetType.PRECISION
+    # The *stage-1* draw is target-independent and cached by the store
+    # path below, but the stage-2 region sample depends on gamma, so
+    # the selector's full sample is not reusable as one unit.
+    reusable_sample = False
 
     def __init__(
         self,
@@ -198,17 +224,22 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
             raise ValueError("the two-stage algorithm needs a budget of at least 2")
         self.step = step
 
-    def _estimate_tau(
-        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
-    ) -> tuple[float, Mapping[str, object]]:
-        stage1_budget = self.query.budget // 2
-        stage2_budget = self.query.budget - stage1_budget
-        weights = self._weights(dataset)
+    def _stage1_design(self) -> SampleDesign:
+        return self._weighted_design(self.query.budget // 2)
 
-        # Stage 1: importance-sampled upper bound on the match count.
-        stage1 = weighted_sample(weights, stage1_budget, rng)
-        labels1 = oracle.query(stage1.indices)
-        z = labels1 * stage1.mass
+    def _finish_from_stage1(
+        self,
+        dataset: Dataset,
+        stage1: LabeledSample,
+        rng: np.random.Generator,
+        label_fn: LabelFn,
+    ) -> tuple[float, dict[str, object], tuple[LabeledSample, LabeledSample]]:
+        """Stages after the (cacheable) stage-1 draw: estimate the cut,
+        draw + label the stage-2 region sample, and scan candidates."""
+        stage2_budget = self.query.budget - self.query.budget // 2
+
+        # Stage 1 estimate: importance-sampled upper bound on the match count.
+        z = stage1.labels * stage1.mass
         match_rate_ub = self.bound.upper(z, self.query.delta / 2.0)
         n_match_ub = dataset.size * max(match_rate_ub, 0.0)
 
@@ -224,10 +255,10 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
         # Reweighting is relative to uniform-over-region, which preserves
         # precision estimands because {A >= tau} is a subset of the
         # region for every candidate tau >= tau_min.
-        region_weights = weights[region]
+        region_weights = self._weights(dataset)[region]
         region_sample = weighted_sample(region_weights, stage2_budget, rng)
         sampled_global = region[region_sample.indices]
-        labels2 = oracle.query(sampled_global)
+        labels2 = np.asarray(label_fn(sampled_global))
         scores2 = dataset.proxy_scores[sampled_global]
 
         tau, scan_details = precision_candidate_scan(
@@ -240,7 +271,7 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
             step=self.step,
         )
         tau = max(tau, tau_min)
-        details = {
+        details: dict[str, object] = {
             "n_match_upper_bound": n_match_ub,
             "tau_min": tau_min,
             "region_size": int(region.size),
@@ -248,4 +279,37 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
             "stage1_ess_ratio": ess_ratio(stage1.mass),
             **scan_details,
         }
+        # No SampleDesign describes this draw: it is gamma-dependent and
+        # region-restricted, so it must never enter a sample store.
+        stage2 = LabeledSample(
+            design=None,
+            indices=sampled_global,
+            scores=scores2,
+            labels=labels2,
+            mass=region_sample.mass,
+            rng_state=rng.bit_generator.state,
+        )
+        return tau, details, (stage1, stage2)
+
+    def _estimate_tau(
+        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    ) -> tuple[float, Mapping[str, object]]:
+        stage1 = draw_labeled_sample(self._stage1_design(), dataset, rng, oracle.query)
+        tau, details, _ = self._finish_from_stage1(dataset, stage1, rng, oracle.query)
         return tau, details
+
+    def _select_with_store(
+        self, dataset: Dataset, seed: int | np.random.Generator, context: "ExecutionContext"
+    ) -> SelectionResult | None:
+        if not isinstance(seed, (int, np.integer)):
+            return None
+        stage1 = context.fetch(dataset, self._stage1_design(), int(seed))
+        # Resume the random stream exactly where the stage-1 draw left
+        # it, so the gamma-dependent stage-2 draw is bit-identical to
+        # the fused path regardless of whether stage 1 was cached.
+        rng = np.random.default_rng(int(seed))
+        rng.bit_generator.state = stage1.rng_state
+        tau, details, samples = self._finish_from_stage1(
+            dataset, stage1, rng, context.labeler(dataset)
+        )
+        return materialize_selection(dataset, tau, samples, details)

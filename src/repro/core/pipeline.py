@@ -1,0 +1,199 @@
+"""Staged selection pipeline: plan → draw_sample → estimate_tau → materialize.
+
+Every SUPG selector runs the same outer loop (Algorithm 1): draw a
+labeled sample, estimate a threshold from it, and materialize the union
+of labeled positives and above-threshold records.  The pre-pipeline
+code fused those stages inside each ``Selector.select()`` call, which
+forced every gamma point of a sweep, every query against an engine
+session, and every sweep cell to re-draw and re-label an oracle sample
+that is *target-independent* for most selectors.
+
+This module provides the coordination layer that unfuses them:
+
+- :class:`SampleStore` — a keyed LRU cache of
+  :class:`~repro.sampling.designs.LabeledSample` objects.  The key is
+  ``(dataset fingerprint, sampling design, seed)``; any two selector
+  runs sharing that key would have drawn bit-identical samples, so
+  serving one cached draw to both is exactly equivalent to the
+  pre-pipeline behavior while paying the sampling + labeling cost once.
+- :class:`ExecutionContext` — the per-session handle that selectors,
+  the experiment runner, and the query engine thread through their
+  calls.  It owns a store and the ground-truth labeler used to fill it.
+- :func:`materialize_selection` — the final stage, reconstructing the
+  exact :class:`~repro.core.types.SelectionResult` the legacy
+  oracle-driven path produces (labeled positives, budget accounting,
+  sampled-set diagnostics) from the samples that were actually used.
+
+The store only ever holds samples labeled from a dataset's built-in
+ground truth.  Paths with custom oracles (user UDFs, the joint
+algorithm's unbudgeted shared oracle, explicitly passed
+``BudgetedOracle`` instances) bypass the store and take the legacy
+path, which remains bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+from ..sampling.designs import LabeledSample, LabelFn, SampleDesign, draw_labeled_sample
+from .types import SelectionResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datasets import Dataset
+
+__all__ = [
+    "SampleStore",
+    "ExecutionContext",
+    "materialize_selection",
+    "ground_truth_labeler",
+]
+
+#: Default LRU capacity: at the paper-scale budget of 10k draws a cached
+#: sample is ~250 KB, so the default bounds the store near 64 MB.
+DEFAULT_MAX_ENTRIES = 256
+
+
+def ground_truth_labeler(dataset: "Dataset") -> LabelFn:
+    """Label function reading a dataset's built-in ground truth.
+
+    Returns the same values ``BudgetedOracle.query`` would for the
+    default ``oracle_from_labels`` oracle, without budget bookkeeping —
+    the store path reconstructs budget accounting from the sample.
+    """
+
+    def label(indices: np.ndarray) -> np.ndarray:
+        return dataset.labels[np.asarray(indices, dtype=np.intp)]
+
+    return label
+
+
+class SampleStore:
+    """Keyed LRU cache of labeled oracle samples.
+
+    Key: ``(dataset.fingerprint, SampleDesign, seed)``.  A hit returns
+    the stored :class:`LabeledSample` without touching the oracle or
+    the random generator; a miss draws with a fresh
+    ``np.random.default_rng(seed)`` — the exact generator construction
+    the legacy path uses — labels from ground truth, and caches.
+
+    Counters (``hits``, ``misses``, ``labels_drawn``) expose the
+    oracle-usage accounting the reuse tests pin: a gamma sweep over a
+    sample-reusable selector must record exactly one miss per
+    (dataset, seed, budget).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, LabeledSample] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.labels_drawn = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory held by cached samples."""
+        return sum(sample.nbytes for sample in self._entries.values())
+
+    def fetch(self, dataset: "Dataset", design: SampleDesign, seed: int) -> LabeledSample:
+        """Return the labeled sample for (dataset, design, seed), drawing on miss."""
+        key = (dataset.fingerprint, design, int(seed))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        rng = np.random.default_rng(int(seed))
+        sample = draw_labeled_sample(design, dataset, rng, ground_truth_labeler(dataset))
+        self.misses += 1
+        self.labels_drawn += sample.oracle_calls
+        self._entries[key] = sample
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return sample
+
+    def clear(self) -> None:
+        """Drop every cached sample (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> Mapping[str, int]:
+        """Snapshot of the reuse counters."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "labels_drawn": self.labels_drawn,
+            "nbytes": self.nbytes,
+        }
+
+
+@dataclass
+class ExecutionContext:
+    """Session state threaded through staged selections.
+
+    One context per logical session — a gamma sweep, a sweep-cell
+    worker, a long-lived :class:`~repro.query.engine.SupgEngine` — so
+    every selection inside the session shares the same
+    :class:`SampleStore`.
+
+    Attributes:
+        store: the shared labeled-sample cache.
+    """
+
+    store: SampleStore = field(default_factory=SampleStore)
+
+    def fetch(self, dataset: "Dataset", design: SampleDesign, seed: int) -> LabeledSample:
+        """Stage ``draw_sample`` with store-backed reuse."""
+        return self.store.fetch(dataset, design, seed)
+
+    def labeler(self, dataset: "Dataset") -> LabelFn:
+        """Ground-truth label access for non-cacheable stages (e.g. the
+        gamma-dependent stage 2 of Algorithm 5)."""
+        return ground_truth_labeler(dataset)
+
+    def select(self, selector, dataset: "Dataset", seed: int = 0) -> SelectionResult:
+        """Run one staged selection inside this session."""
+        return selector.select(dataset, seed=seed, context=self)
+
+    def stats(self) -> Mapping[str, int]:
+        """Reuse counters of the underlying store."""
+        return self.store.stats()
+
+
+def materialize_selection(
+    dataset: "Dataset",
+    tau: float,
+    samples: Iterable[LabeledSample],
+    details: Mapping[str, object],
+) -> SelectionResult:
+    """Final stage: assemble Algorithm 1's ``R = R1 ∪ R2`` and accounting.
+
+    Reconstructs exactly what the legacy path reads off its
+    :class:`~repro.oracle.BudgetedOracle`: labeled positives (``R1``),
+    the sorted distinct sampled set, and the per-record budget charge —
+    all derivable from the samples that were actually used, which is
+    what makes store-served selections bit-identical to oracle-driven
+    ones.
+    """
+    all_indices = np.concatenate(
+        [np.asarray(sample.indices, dtype=np.intp) for sample in samples]
+    )
+    all_labels = np.concatenate([np.asarray(sample.labels) for sample in samples])
+    sampled = np.unique(all_indices)
+    positives = np.unique(all_indices[all_labels == 1])
+    combined = np.union1d(positives, dataset.select_above(tau))
+    return SelectionResult(
+        indices=combined,
+        tau=tau,
+        oracle_calls=int(sampled.size),
+        sampled_indices=sampled,
+        details=dict(details),
+    )

@@ -17,7 +17,13 @@ from .importance import (
 from .types import ApproxQuery, TargetType
 from .uniform import UniformCIPrecision, UniformCIRecall
 
-__all__ = ["available_selectors", "make_selector", "default_selector"]
+__all__ = [
+    "available_selectors",
+    "make_selector",
+    "default_selector",
+    "selector_class",
+    "sample_reusable_selectors",
+]
 
 _RECALL_SELECTORS: dict[str, type[Selector]] = {
     UniformNoCIRecall.name: UniformNoCIRecall,
@@ -42,6 +48,34 @@ def available_selectors(target_type: TargetType | str | None = None) -> tuple[st
     return tuple(sorted(table))
 
 
+def selector_class(name: str) -> type[Selector]:
+    """Resolve a registry name to its selector class.
+
+    Raises:
+        KeyError: unknown method name.
+    """
+    table = {**_RECALL_SELECTORS, **_PRECISION_SELECTORS}
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown selector {name!r}; available: {', '.join(available_selectors())}"
+        ) from None
+
+
+def sample_reusable_selectors(target_type: TargetType | str | None = None) -> tuple[str, ...]:
+    """Names of selectors whose whole oracle sample is one
+    target-independent draw (``Selector.reusable_sample``).
+
+    These are the methods for which a gamma sweep legally performs one
+    oracle sample draw per (dataset, seed, budget); the staged pipeline's
+    :class:`~repro.core.pipeline.SampleStore` enforces exactly that.
+    """
+    table = {**_RECALL_SELECTORS, **_PRECISION_SELECTORS}
+    names = available_selectors(target_type)
+    return tuple(name for name in names if table[name].reusable_sample)
+
+
 def make_selector(name: str, query: ApproxQuery, **kwargs) -> Selector:
     """Construct a selector by registry name for the given query.
 
@@ -56,14 +90,7 @@ def make_selector(name: str, query: ApproxQuery, **kwargs) -> Selector:
         ValueError: method/query target-type mismatch (raised by the
             selector constructor).
     """
-    table = {**_RECALL_SELECTORS, **_PRECISION_SELECTORS}
-    try:
-        cls = table[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown selector {name!r}; available: {', '.join(available_selectors())}"
-        ) from None
-    return cls(query, **kwargs)
+    return selector_class(name)(query, **kwargs)
 
 
 def default_selector(query: ApproxQuery, **kwargs) -> Selector:

@@ -266,10 +266,12 @@ def precision_lower_bound_batch(
     numerator samples of *all* candidates are suffixes of one shared
     augmented array and evaluate in a single ``lower_batch`` call.  The
     pseudo-record's *mass* (the suffix's mean mass) differs per
-    candidate, so only the denominator of non-uniform suffixes falls
-    back to scalar calls — for uniform samples the whole batch is one
-    vectorized pass, which is where the candidate scan's speedup
-    comes from.
+    candidate, so the denominator goes through the bound's dedicated
+    ``upper_batch_mean_augmented`` hook: the normal approximation
+    evaluates it analytically in one vectorized pass (appending a
+    suffix's mean keeps the mean and scales the variance by
+    ``n/(n+1)``), while bounds without a closed form replay the scalar
+    append-and-bound arithmetic per candidate.
     """
     o = np.asarray(labels, dtype=float)
     m = np.asarray(mass, dtype=float)
@@ -306,13 +308,7 @@ def precision_lower_bound_batch(
     if np.any(ratio):
         aug_products = np.append(o * m, 0.0)
         numerators = np.maximum(bound.lower_batch(aug_products, c[ratio] + 1, delta / 2.0), 0.0)
-        size = m.size
-        denominators = np.array(
-            [
-                bound.upper(np.append(m[size - n :], float(m[size - n :].mean())), delta / 2.0)
-                for n in c[ratio]
-            ]
-        )
+        denominators = bound.upper_batch_mean_augmented(m, c[ratio], delta / 2.0)
         safe = np.where(denominators > 0.0, denominators, 1.0)
         out[ratio] = np.where(
             denominators > 0.0, np.clip(numerators / safe, 0.0, 1.0), 0.0

@@ -62,6 +62,15 @@ class ApproxQuery:
         """Construct a PT query."""
         return cls(TargetType.PRECISION, gamma, delta, budget)
 
+    def with_gamma(self, gamma: float) -> "ApproxQuery":
+        """The same query at a different target value.
+
+        The sweep drivers walk the Figure 7/8 x-axes with this: every
+        point shares the budget, delta, and target type — which is what
+        makes the underlying oracle sample reusable across the sweep.
+        """
+        return ApproxQuery(self.target_type, gamma, self.delta, self.budget)
+
 
 @dataclass(frozen=True)
 class SelectionResult:

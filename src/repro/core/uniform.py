@@ -23,8 +23,7 @@ import numpy as np
 
 from ..bounds import ConfidenceBound
 from ..datasets import Dataset
-from ..oracle import BudgetedOracle
-from ..sampling import uniform_sample
+from ..sampling.designs import LabeledSample, SampleDesign
 from .base import Selector
 from .thresholds import (
     SELECT_EVERYTHING,
@@ -272,6 +271,7 @@ class UniformCIRecall(Selector):
 
     name = "u-ci-r"
     target_type = TargetType.RECALL
+    reusable_sample = True
 
     def __init__(
         self,
@@ -282,13 +282,13 @@ class UniformCIRecall(Selector):
         super().__init__(query, bound)
         self.saturation_guard = saturation_guard
 
-    def _estimate_tau(
-        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    def sample_design(self, dataset: Dataset) -> SampleDesign:
+        return SampleDesign(kind="uniform", budget=self.query.budget)
+
+    def estimate_tau_from_sample(
+        self, dataset: Dataset, sample: LabeledSample
     ) -> tuple[float, Mapping[str, object]]:
-        indices = uniform_sample(dataset.size, self.query.budget, rng, replace=True)
-        labels = oracle.query(indices)
-        scores = dataset.proxy_scores[indices]
-        mass = np.ones_like(scores)
+        scores, labels, mass = sample.scores, sample.labels, sample.mass
 
         tau_hat = max_recall_threshold(scores, labels, mass, self.query.gamma)
         if tau_hat == SELECT_EVERYTHING:
@@ -332,6 +332,7 @@ class UniformCIPrecision(Selector):
 
     name = "u-ci-p"
     target_type = TargetType.PRECISION
+    reusable_sample = True
 
     def __init__(
         self,
@@ -344,17 +345,16 @@ class UniformCIPrecision(Selector):
             raise ValueError(f"candidate step must be positive, got {step}")
         self.step = step
 
-    def _estimate_tau(
-        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
+    def sample_design(self, dataset: Dataset) -> SampleDesign:
+        return SampleDesign(kind="uniform", budget=self.query.budget)
+
+    def estimate_tau_from_sample(
+        self, dataset: Dataset, sample: LabeledSample
     ) -> tuple[float, Mapping[str, object]]:
-        indices = uniform_sample(dataset.size, self.query.budget, rng, replace=True)
-        labels = oracle.query(indices)
-        scores = dataset.proxy_scores[indices]
-        mass = np.ones_like(scores)
         tau, details = precision_candidate_scan(
-            scores,
-            labels,
-            mass,
+            sample.scores,
+            sample.labels,
+            sample.mass,
             gamma=self.query.gamma,
             delta=self.query.delta,
             bound=self.bound,

@@ -11,6 +11,7 @@ while algorithm code must only touch labels through
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import Mapping
@@ -92,6 +93,21 @@ class Dataset:
     # datasets never see stale statistics.  Cached arrays are marked
     # read-only because they are shared across trials.
     # ------------------------------------------------------------------
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content hash of the workload (scores + labels).
+
+        Keys the shared :class:`~repro.core.pipeline.SampleStore`: two
+        dataset objects with identical contents fingerprint equal, so
+        labeled samples cached against one are legally served to the
+        other.  Computed once per instance (~10 ms per million records)
+        and amortized over every store lookup.
+        """
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self.proxy_scores).tobytes())
+        digest.update(np.ascontiguousarray(self.labels).tobytes())
+        return digest.hexdigest()
 
     @cached_property
     def sorted_scores(self) -> np.ndarray:

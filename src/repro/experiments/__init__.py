@@ -23,7 +23,7 @@ from .figures import (
 )
 from .io import load_result, save_result, save_results
 from .results import MethodSummary, TrialRecord, render_table, summarize_trials
-from .runner import compare_methods, resolve_n_jobs, run_trials, sweep
+from .runner import compare_methods, resolve_n_jobs, run_sweep_cells, run_trials, sweep
 from .tables import table4, table5
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "run_trials",
     "compare_methods",
     "sweep",
+    "run_sweep_cells",
     "resolve_n_jobs",
     "figure1",
     "figure5",

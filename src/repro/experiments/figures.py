@@ -36,7 +36,7 @@ from ..datasets import (
 )
 from ..metrics import evaluate_selection
 from .results import MethodSummary, render_table
-from .runner import compare_methods, run_trials
+from .runner import compare_methods, run_sweep_cells, run_trials
 
 __all__ = [
     "ExperimentResult",
@@ -245,6 +245,72 @@ def figure6(
     )
 
 
+def _sweep_panel(
+    methods: Sequence[tuple[str, object]],
+    base_query_for: object,
+    targets: Sequence[float],
+    trials: int,
+    seed: int,
+    paper_scale: bool,
+    datasets: Sequence[str],
+    n_jobs: int | None,
+) -> dict[str, MethodSummary]:
+    """Run a (dataset × method) grid of gamma-sweep cells.
+
+    Every (dataset, method) pair becomes one sweep cell — trials run
+    outermost inside it, so the cell's labeled samples are drawn once
+    per seed and shared across the whole gamma axis — and whole cells
+    are fanned across ``n_jobs`` workers.  Results are bit-identical to
+    the per-gamma sequential loop this replaces; only the work
+    placement (and the redundant re-sampling) changed.
+    """
+    cells: list[dict[str, object]] = []
+    keys: list[tuple[str, str]] = []
+    for name in datasets:
+        dataset = _dataset(name, paper_scale, seed)
+        budget = _budget(name, paper_scale)
+        base_query = base_query_for(budget)
+        for label, build in methods:
+            def factory_for_gamma(gamma, build=build, base_query=base_query):
+                query = base_query.with_gamma(gamma)
+                return lambda: build(query)
+
+            cells.append(
+                dict(
+                    factory_for_gamma=factory_for_gamma,
+                    gammas=tuple(targets),
+                    dataset=dataset,
+                    trials=trials,
+                    base_seed=seed + 1,
+                    method_name=label,
+                )
+            )
+            keys.append((name, label))
+    results = run_sweep_cells(cells, n_jobs=n_jobs)
+    summaries: dict[str, MethodSummary] = {}
+    for (name, label), per_gamma in zip(keys, results):
+        for gamma, summary in zip(targets, per_gamma):
+            summaries[f"{name}|{gamma}|{label}"] = summary
+    return summaries
+
+
+def _sweep_rows(
+    summaries: Mapping[str, MethodSummary],
+    datasets: Sequence[str],
+    targets: Sequence[float],
+    method_labels: Sequence[str],
+) -> tuple[tuple[object, ...], ...]:
+    """Flatten sweep-cell summaries into the legacy dataset → gamma →
+    method row order."""
+    rows: list[tuple[object, ...]] = []
+    for name in datasets:
+        for gamma in targets:
+            for label in method_labels:
+                summary = summaries[f"{name}|{gamma}|{label}"]
+                rows.append((name, gamma, label, summary.mean_quality, summary.failure_rate))
+    return tuple(rows)
+
+
 def figure7(
     trials: int = 10,
     delta: float = 0.05,
@@ -260,34 +326,26 @@ def figure7(
     SUPG algorithm; importance sampling dominates U-CI and two-stage
     matches or beats one-stage.
     """
-    rows: list[tuple[object, ...]] = []
-    summaries: dict[str, MethodSummary] = {}
-    for name in datasets:
-        dataset = _dataset(name, paper_scale, seed)
-        budget = _budget(name, paper_scale)
-        for gamma in targets:
-            query = ApproxQuery.precision_target(gamma, delta, budget)
-            panel = compare_methods(
-                {
-                    "U-CI": lambda q=query: UniformCIPrecision(q),
-                    "IS one-stage": lambda q=query: ImportanceCIPrecisionOneStage(q),
-                    "SUPG (two-stage)": lambda q=query: ImportanceCIPrecisionTwoStage(q),
-                },
-                dataset,
-                trials=trials,
-                base_seed=seed + 1,
-                n_jobs=n_jobs,
-            )
-            for label, summary in panel.items():
-                summaries[f"{name}|{gamma}|{label}"] = summary
-                rows.append(
-                    (name, gamma, label, summary.mean_quality, summary.failure_rate)
-                )
+    methods = (
+        ("U-CI", UniformCIPrecision),
+        ("IS one-stage", ImportanceCIPrecisionOneStage),
+        ("SUPG (two-stage)", ImportanceCIPrecisionTwoStage),
+    )
+    summaries = _sweep_panel(
+        methods,
+        lambda budget: ApproxQuery.precision_target(targets[0], delta, budget),
+        targets,
+        trials,
+        seed,
+        paper_scale,
+        datasets,
+        n_jobs,
+    )
     return ExperimentResult(
         experiment_id="fig7",
         description="precision target vs achieved recall (mean over trials)",
         headers=("dataset", "precision_target", "method", "mean_recall", "failure_rate"),
-        rows=tuple(rows),
+        rows=_sweep_rows(summaries, datasets, targets, [label for label, _ in methods]),
         summaries=summaries,
     )
 
@@ -306,36 +364,26 @@ def figure8(
     Compares U-CI, proportional-weight importance sampling, and SUPG's
     square-root weights; sqrt weights dominate.
     """
-    rows: list[tuple[object, ...]] = []
-    summaries: dict[str, MethodSummary] = {}
-    for name in datasets:
-        dataset = _dataset(name, paper_scale, seed)
-        budget = _budget(name, paper_scale)
-        for gamma in targets:
-            query = ApproxQuery.recall_target(gamma, delta, budget)
-            panel = compare_methods(
-                {
-                    "U-CI": lambda q=query: UniformCIRecall(q),
-                    "Importance, prop": lambda q=query: ImportanceCIRecall(
-                        q, weight_exponent=1.0
-                    ),
-                    "SUPG (sqrt)": lambda q=query: ImportanceCIRecall(q),
-                },
-                dataset,
-                trials=trials,
-                base_seed=seed + 1,
-                n_jobs=n_jobs,
-            )
-            for label, summary in panel.items():
-                summaries[f"{name}|{gamma}|{label}"] = summary
-                rows.append(
-                    (name, gamma, label, summary.mean_quality, summary.failure_rate)
-                )
+    methods = (
+        ("U-CI", UniformCIRecall),
+        ("Importance, prop", lambda q: ImportanceCIRecall(q, weight_exponent=1.0)),
+        ("SUPG (sqrt)", ImportanceCIRecall),
+    )
+    summaries = _sweep_panel(
+        methods,
+        lambda budget: ApproxQuery.recall_target(targets[0], delta, budget),
+        targets,
+        trials,
+        seed,
+        paper_scale,
+        datasets,
+        n_jobs,
+    )
     return ExperimentResult(
         experiment_id="fig8",
         description="recall target vs achieved precision (mean over trials)",
         headers=("dataset", "recall_target", "method", "mean_precision", "failure_rate"),
-        rows=tuple(rows),
+        rows=_sweep_rows(summaries, datasets, targets, [label for label, _ in methods]),
         summaries=summaries,
     )
 

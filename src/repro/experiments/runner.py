@@ -4,19 +4,40 @@ The paper's headline claims are distributional — "over 100 runs, the
 naive method misses its target half the time; SUPG fails at most a
 delta fraction" — so every experiment is a loop of independent trials
 with distinct seeds.  :func:`run_trials` executes that loop for one
-method and :func:`compare_methods` for a method panel, producing the
-summaries the figure drivers render.
+method, :func:`compare_methods` for a method panel, :func:`sweep` for
+one method across a target sweep, and :func:`run_sweep_cells` for a
+whole panel of (method, dataset) sweep cells.
 
 Trials are statistically independent (trial ``t`` is fully determined
-by seed ``base_seed + t``), so the loop parallelizes perfectly: pass
-``n_jobs > 1`` (or ``-1`` for all cores) to fan contiguous seed chunks
-across worker processes.  Seed assignment is identical to the
-sequential path and workers return :class:`TrialRecord` objects in
-trial order, so parallel results are bit-for-bit identical to
-``n_jobs=1`` — the determinism tests pin this.  The pool uses the
-``fork`` start method (selector factories are closures, which ``spawn``
-cannot pickle; forked workers inherit them); on platforms without
-``fork`` the runner transparently falls back to the sequential path.
+by seed ``base_seed + t``), so the loops parallelize perfectly.  Two
+fan-out shapes are available:
+
+- ``run_trials(..., n_jobs=k)`` fans contiguous seed chunks of one
+  cell across worker processes;
+- ``run_sweep_cells(cells, n_jobs=k)`` fans *whole* (method, dataset)
+  sweep cells across workers — the shape the figure drivers use, since
+  their cells are many and each cell's internal sample reuse works
+  best when the cell stays on one worker.
+
+Seed assignment is identical to the sequential path and workers return
+:class:`TrialRecord` objects in trial order, so parallel results are
+bit-for-bit identical to ``n_jobs=1`` — the determinism tests pin
+this.  Pools use the ``fork`` start method (selector factories are
+closures, which ``spawn`` cannot pickle; forked workers inherit them);
+on platforms without ``fork`` the runner transparently falls back to
+the sequential path.
+
+Sample reuse
+------------
+
+``sweep`` runs its trial loop *outermost* and threads one
+:class:`~repro.core.pipeline.ExecutionContext` through every
+selection, so for sample-reusable selectors the labeled oracle sample
+of seed ``t`` is drawn once and replayed across the entire gamma axis
+— exactly one draw per (dataset, seed, budget) instead of one per
+gamma point.  The reuse is bit-exact: a gamma point's trial sees the
+same sample it would have drawn itself.  Pass ``share_samples=False``
+to force fresh draws (only useful for timing the difference).
 """
 
 from __future__ import annotations
@@ -26,12 +47,20 @@ import os
 from typing import Callable, Mapping, Sequence
 
 from ..core.base import Selector
+from ..core.pipeline import ExecutionContext
 from ..core.types import ApproxQuery
 from ..datasets import Dataset
 from ..metrics import evaluate_selection
 from .results import MethodSummary, TrialRecord, quality_of, summarize_trials
 
-__all__ = ["run_trials", "compare_methods", "sweep", "resolve_n_jobs", "SelectorFactory"]
+__all__ = [
+    "run_trials",
+    "compare_methods",
+    "sweep",
+    "run_sweep_cells",
+    "resolve_n_jobs",
+    "SelectorFactory",
+]
 
 #: A factory producing a fresh selector per trial (selectors are
 #: stateless, but fresh construction keeps ablation parameters obvious).
@@ -62,11 +91,12 @@ def _run_single_trial(
     base_seed: int,
     method_name: str | None,
     trial: int,
+    context: ExecutionContext | None = None,
 ) -> TrialRecord:
-    """One seeded selection — the unit of work shared by both backends."""
+    """One seeded selection — the unit of work shared by all backends."""
     selector = factory()
     query: ApproxQuery = selector.query
-    result = selector.select(dataset, seed=base_seed + trial)
+    result = selector.select(dataset, seed=base_seed + trial, context=context)
     quality = evaluate_selection(result.indices, dataset.labels)
     target_metric, quality_metric = quality_of(quality, query.target_type.value)
     return TrialRecord(
@@ -81,8 +111,8 @@ def _run_single_trial(
     )
 
 
-# Worker-process state, installed by the pool initializer.  The factory
-# and dataset travel to workers by fork inheritance (initargs are not
+# Worker-process state, installed by the pool initializers.  Factories
+# and datasets travel to workers by fork inheritance (initargs are not
 # pickled under the fork start method), which is what allows lambda
 # factories and keeps large datasets from being serialized per task.
 _WORKER_STATE: dict[str, tuple] = {}
@@ -99,11 +129,38 @@ def _init_trial_worker(
 
 def _run_trial_chunk(trials: Sequence[int]) -> list[TrialRecord]:
     factory, dataset, base_seed, method_name = _WORKER_STATE["spec"]
-    return [_run_single_trial(factory, dataset, base_seed, method_name, t) for t in trials]
+    return [
+        _run_single_trial(factory, dataset, base_seed, method_name, t)
+        for t in trials
+    ]
 
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _reject_context_with_parallelism(context: ExecutionContext | None, jobs: int, what: str) -> None:
+    """A caller-supplied context cannot cross process boundaries: forked
+    workers would mutate copy-on-write copies of the store, leaving the
+    caller's counters at zero and any intended reuse silently lost.
+    Refuse the combination rather than mislead (only when parallelism
+    is actually effective — a request that resolves to one worker runs
+    sequentially and honors the context)."""
+    if context is not None and jobs > 1:
+        raise ValueError(
+            f"{what}(context=...) requires sequential execution "
+            "(effective n_jobs=1); parallel workers own their stores"
+        )
+
+
+def _chunk_trials(trials: int, jobs: int) -> list[list[int]]:
+    """Contiguous seed chunks, one per worker (empty chunks dropped)."""
+    bounds = [(i * trials) // jobs for i in range(jobs + 1)]
+    return [
+        list(range(bounds[i], bounds[i + 1]))
+        for i in range(jobs)
+        if bounds[i] < bounds[i + 1]
+    ]
 
 
 def _run_trials_parallel(
@@ -115,12 +172,7 @@ def _run_trials_parallel(
     jobs: int,
 ) -> list[TrialRecord]:
     """Fan seed-chunks across a fork pool; record order matches sequential."""
-    chunk_bounds = [(i * trials) // jobs for i in range(jobs + 1)]
-    chunks = [
-        list(range(chunk_bounds[i], chunk_bounds[i + 1]))
-        for i in range(jobs)
-        if chunk_bounds[i] < chunk_bounds[i + 1]
-    ]
+    chunks = _chunk_trials(trials, jobs)
     ctx = multiprocessing.get_context("fork")
     with ctx.Pool(
         processes=len(chunks),
@@ -138,6 +190,7 @@ def run_trials(
     base_seed: int = 0,
     method_name: str | None = None,
     n_jobs: int | None = 1,
+    context: ExecutionContext | None = None,
 ) -> MethodSummary:
     """Run ``trials`` independent selections and summarize them.
 
@@ -150,6 +203,14 @@ def run_trials(
             registry name.
         n_jobs: worker processes (``-1`` = all cores).  Results are
             bit-identical to the sequential path for any value.
+        context: optional shared :class:`ExecutionContext` (requires an
+            effectively sequential run — parallel workers own their
+            stores, so the combination raises).  Within one
+            ``run_trials`` call every trial has a distinct seed, so the
+            context only pays off when the *caller* shares it across
+            calls that revisit the same (dataset, design, seed) keys —
+            e.g. a bound ablation running several methods over one
+            sampling design.
 
     Returns:
         A :class:`MethodSummary` over all trials.
@@ -157,11 +218,14 @@ def run_trials(
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
     jobs = min(resolve_n_jobs(n_jobs), trials)
+    _reject_context_with_parallelism(context, jobs, "run_trials")
     if jobs > 1 and _fork_available():
-        records = _run_trials_parallel(factory, dataset, trials, base_seed, method_name, jobs)
+        records = _run_trials_parallel(
+            factory, dataset, trials, base_seed, method_name, jobs
+        )
     else:
         records = [
-            _run_single_trial(factory, dataset, base_seed, method_name, t)
+            _run_single_trial(factory, dataset, base_seed, method_name, t, context)
             for t in range(trials)
         ]
     return summarize_trials(records)
@@ -173,18 +237,71 @@ def compare_methods(
     trials: int,
     base_seed: int = 0,
     n_jobs: int | None = 1,
+    context: ExecutionContext | None = None,
 ) -> dict[str, MethodSummary]:
     """Run a panel of methods on one workload.
 
     Every method sees the same sequence of seeds, so differences are
-    attributable to the algorithms rather than sampling luck.
+    attributable to the algorithms rather than sampling luck.  Pass a
+    shared ``context`` to reuse labeled samples across methods that
+    share a sampling design (e.g. one uniform design scanned under
+    several confidence-bound methods).
     """
     return {
         label: run_trials(
-            factory, dataset, trials, base_seed, method_name=label, n_jobs=n_jobs
+            factory,
+            dataset,
+            trials,
+            base_seed,
+            method_name=label,
+            n_jobs=n_jobs,
+            context=context,
         )
         for label, factory in factories.items()
     }
+
+
+# -- gamma sweeps ---------------------------------------------------------------
+
+
+def _sweep_chunk_records(
+    factories: Sequence[SelectorFactory],
+    dataset: Dataset,
+    trials: Sequence[int],
+    base_seed: int,
+    method_name: str | None,
+    context: ExecutionContext | None,
+) -> list[list[TrialRecord]]:
+    """Trial-outer sweep loop: per seed, evaluate every gamma point.
+
+    Running the trial loop outermost is what makes the sample store
+    effective — gamma points of one seed execute back-to-back, so the
+    seed's labeled sample is drawn on the first gamma and served from
+    cache for the rest.
+    """
+    per_gamma: list[list[TrialRecord]] = [[] for _ in factories]
+    for trial in trials:
+        for slot, factory in enumerate(factories):
+            per_gamma[slot].append(
+                _run_single_trial(factory, dataset, base_seed, method_name, trial, context)
+            )
+    return per_gamma
+
+
+def _init_sweep_worker(
+    factories: Sequence[SelectorFactory],
+    dataset: Dataset,
+    base_seed: int,
+    method_name: str | None,
+    share_samples: bool,
+) -> None:
+    _WORKER_STATE["sweep"] = (factories, dataset, base_seed, method_name, share_samples)
+
+
+def _run_sweep_chunk(trials: Sequence[int]) -> list[list[TrialRecord]]:
+    factories, dataset, base_seed, method_name, share_samples = _WORKER_STATE["sweep"]
+    context = ExecutionContext() if share_samples else None
+    return _sweep_chunk_records(factories, dataset, trials, base_seed, method_name, context)
 
 
 def sweep(
@@ -195,16 +312,110 @@ def sweep(
     base_seed: int = 0,
     method_name: str | None = None,
     n_jobs: int | None = 1,
+    share_samples: bool = True,
+    context: ExecutionContext | None = None,
 ) -> list[MethodSummary]:
-    """Run one method across a target sweep (the Figure 7/8 x-axes)."""
-    return [
-        run_trials(
-            factory_for_gamma(gamma),
-            dataset,
-            trials,
-            base_seed,
-            method_name=method_name,
-            n_jobs=n_jobs,
+    """Run one method across a target sweep (the Figure 7/8 x-axes).
+
+    The trial loop runs outermost with a shared sample store, so
+    sample-reusable selectors draw exactly one labeled sample per
+    (dataset, seed, budget) and replay it across all of ``gammas`` —
+    bit-identical to per-gamma fresh draws, at a fraction of the
+    sampling and labeling cost.
+
+    Args:
+        factory_for_gamma: maps a gamma to a selector factory.
+        gammas: target values to sweep.
+        dataset: the workload.
+        trials: independent runs per gamma.
+        base_seed: trial ``t`` uses seed ``base_seed + t`` at every
+            gamma (matched seeds across the sweep axis).
+        method_name: summary label override.
+        n_jobs: fan trial chunks across workers (each worker keeps its
+            own sample store, so reuse is preserved per chunk).
+        share_samples: disable to force a fresh draw per gamma point
+            (timing baseline; results are identical either way).
+        context: optional externally owned context (sequential path
+            only), e.g. to share one store across several sweeps or to
+            inspect reuse counters afterwards.
+
+    Returns:
+        One :class:`MethodSummary` per gamma, in ``gammas`` order.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    jobs = min(resolve_n_jobs(n_jobs), trials)
+    _reject_context_with_parallelism(context, jobs, "sweep")
+    if context is not None and not share_samples:
+        raise ValueError(
+            "sweep(context=...) conflicts with share_samples=False; "
+            "the context would be silently discarded"
         )
-        for gamma in gammas
-    ]
+    gamma_values = tuple(gammas)
+    if not gamma_values:
+        return []
+    factories = tuple(factory_for_gamma(gamma) for gamma in gamma_values)
+    if jobs > 1 and _fork_available():
+        chunks = _chunk_trials(trials, jobs)
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(
+            processes=len(chunks),
+            initializer=_init_sweep_worker,
+            initargs=(factories, dataset, base_seed, method_name, share_samples),
+        ) as pool:
+            chunk_results = pool.map(_run_sweep_chunk, chunks)
+        per_gamma = [
+            [record for chunk in chunk_results for record in chunk[slot]]
+            for slot in range(len(factories))
+        ]
+    else:
+        if context is None and share_samples:
+            context = ExecutionContext()
+        per_gamma = _sweep_chunk_records(
+            factories, dataset, range(trials), base_seed, method_name, context
+        )
+    return [summarize_trials(records) for records in per_gamma]
+
+
+# -- sweep-cell fan-out ---------------------------------------------------------
+
+
+def _init_cell_worker(cells: Sequence[Mapping[str, object]]) -> None:
+    _WORKER_STATE["cells"] = (tuple(cells),)
+
+
+def _run_cell(index: int) -> list[MethodSummary]:
+    (cells,) = _WORKER_STATE["cells"]
+    return sweep(**cells[index], n_jobs=1)
+
+
+def run_sweep_cells(
+    cells: Sequence[Mapping[str, object]],
+    n_jobs: int | None = 1,
+) -> list[list[MethodSummary]]:
+    """Fan whole (method, dataset) sweep cells across workers.
+
+    Each cell is a mapping of :func:`sweep` keyword arguments (without
+    ``n_jobs``); the cell runs sequentially on one worker so its sample
+    store stays local and hot.  This is the figure drivers' fan-out
+    shape: their cell count (methods × datasets) comfortably exceeds
+    typical core counts, and whole-cell placement avoids splitting a
+    cell's reusable samples across processes.
+
+    Returns:
+        Per-cell sweep results, in ``cells`` order (bit-identical to
+        running every cell sequentially).
+    """
+    cell_list = list(cells)
+    if not cell_list:
+        return []
+    jobs = min(resolve_n_jobs(n_jobs), len(cell_list))
+    if jobs > 1 and _fork_available():
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(
+            processes=jobs,
+            initializer=_init_cell_worker,
+            initargs=(cell_list,),
+        ) as pool:
+            return pool.map(_run_cell, range(len(cell_list)))
+    return [sweep(**cell, n_jobs=1) for cell in cell_list]

@@ -6,16 +6,33 @@ datasets, and the WHERE / USING clauses name user-defined functions
 and proxy scores.  When no UDF is registered under a clause's name the
 engine falls back to the dataset's built-in ground truth and proxy
 scores, which is the common case for the bundled workloads.
+
+The engine is a *long-lived session*: it owns an
+:class:`~repro.core.pipeline.ExecutionContext` whose sample store
+persists across ``execute()`` calls.  Repeated queries against a
+registered table therefore stop re-sampling — a labeled oracle sample
+drawn for one query is replayed (bit-exactly) by any later query that
+shares its sampling design, seed, and budget, e.g. the same query at a
+different target, or a different selector over the same design.
+Proxy-UDF-derived datasets are cached per (table, UDF) as well, so
+their sorted-score statistics are computed once rather than per query.
+
+Two situations bypass the store, falling back to the per-query path:
+oracle UDFs (labels then come from user code whose identity the store
+cannot safely key) and generator seeds (no stable cache key).  Joint
+queries also run uncached — their three stages share one unbudgeted
+oracle whose accounting is inherently per-query.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
 
 from ..core.joint import JointSelector
+from ..core.pipeline import ExecutionContext
 from ..core.registry import default_selector, make_selector
 from ..core.types import SelectionResult
 from ..datasets import Dataset
@@ -50,7 +67,12 @@ class QueryExecution:
 
 
 class SupgEngine:
-    """Registry of tables and UDFs plus a query executor.
+    """Registry of tables and UDFs plus a session-scoped query executor.
+
+    Args:
+        context: optional externally owned execution context; by
+            default the engine creates its own, giving every engine
+            instance an independent sample store.
 
     Example::
 
@@ -66,10 +88,12 @@ class SupgEngine:
         ''', seed=0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, context: ExecutionContext | None = None) -> None:
         self._tables: dict[str, Dataset] = {}
         self._oracle_udfs: dict[str, OracleUdf] = {}
         self._proxy_udfs: dict[str, ProxyUdf] = {}
+        self._derived: dict[tuple[str, str], Dataset] = {}
+        self._context = context if context is not None else ExecutionContext()
 
     # -- registration ----------------------------------------------------------
 
@@ -78,6 +102,7 @@ class SupgEngine:
         if not name:
             raise ValueError("table name must be non-empty")
         self._tables[name] = dataset
+        self._invalidate_derived(table=name)
 
     def register_oracle_udf(self, name: str, fn: OracleUdf) -> None:
         """Register a WHERE-clause oracle predicate by UDF name."""
@@ -86,10 +111,37 @@ class SupgEngine:
     def register_proxy_udf(self, name: str, fn: ProxyUdf) -> None:
         """Register a USING-clause proxy scorer by UDF name."""
         self._proxy_udfs[name.upper()] = fn
+        self._invalidate_derived(proxy=name.upper())
 
     def tables(self) -> tuple[str, ...]:
         """Registered table names."""
         return tuple(sorted(self._tables))
+
+    # -- session state ---------------------------------------------------------
+
+    @property
+    def context(self) -> ExecutionContext:
+        """The session's execution context (shared sample store)."""
+        return self._context
+
+    def session_stats(self) -> Mapping[str, int]:
+        """Sample-store reuse counters for this engine session."""
+        return self._context.stats()
+
+    def reset_session(self) -> None:
+        """Drop cached samples and derived datasets (registrations stay)."""
+        self._context.store.clear()
+        self._derived.clear()
+
+    def _invalidate_derived(self, table: str | None = None, proxy: str | None = None) -> None:
+        stale = [
+            key
+            for key in self._derived
+            if (table is not None and key[0] == table)
+            or (proxy is not None and key[1] == proxy)
+        ]
+        for key in stale:
+            del self._derived[key]
 
     # -- execution ---------------------------------------------------------------
 
@@ -99,6 +151,7 @@ class SupgEngine:
         seed: int | np.random.Generator = 0,
         method: str | None = None,
         stage_budget: int = 1000,
+        reuse_samples: bool = True,
         **selector_kwargs,
     ) -> QueryExecution:
         """Parse and run a SUPG dialect query.
@@ -110,6 +163,9 @@ class SupgEngine:
                 for the query type (IS-CI-R / two-stage IS-CI-P).  For
                 joint queries, one of ``"is"``, ``"uniform"``, ``"noci"``.
             stage_budget: stage-1/2 budget for joint-target queries.
+            reuse_samples: serve the draw stage from the session's
+                sample store when legal (no oracle UDF, integer seed).
+                Results are bit-identical either way.
             **selector_kwargs: forwarded to the selector constructor.
 
         Returns:
@@ -140,7 +196,8 @@ class SupgEngine:
         else:
             selector = make_selector(method, query, **selector_kwargs)
         oracle = self._build_oracle(parsed, dataset, query.budget)
-        result = selector.select(dataset, seed=seed, oracle=oracle)
+        context = self._context if (reuse_samples and oracle is None) else None
+        result = selector.select(dataset, seed=seed, oracle=oracle, context=context)
         return QueryExecution(
             parsed=parsed, result=result, dataset=dataset, method=selector.name
         )
@@ -159,8 +216,16 @@ class SupgEngine:
         udf = self._proxy_udfs.get(parsed.proxy.name.upper())
         if udf is None:
             return dataset
-        scores = np.asarray(udf(dataset), dtype=float)
-        return dataset.with_scores(scores, name=f"{dataset.name}|{parsed.proxy.name}")
+        # Cache the derived dataset per (table, UDF): re-deriving every
+        # execute() would discard the cached sorted-score statistics and
+        # give each query a fresh fingerprint, defeating sample reuse.
+        key = (parsed.table, parsed.proxy.name.upper())
+        derived = self._derived.get(key)
+        if derived is None:
+            scores = np.asarray(udf(dataset), dtype=float)
+            derived = dataset.with_scores(scores, name=f"{dataset.name}|{parsed.proxy.name}")
+            self._derived[key] = derived
+        return derived
 
     def _build_oracle(
         self, parsed: ParsedQuery, dataset: Dataset, budget: int | None

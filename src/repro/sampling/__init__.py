@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from .designs import LabeledSample, SampleDesign, draw_labeled_sample
 from .diagnostics import effective_sample_size, ess_ratio
 from .reweighting import (
     reweighted_mean,
@@ -19,6 +20,9 @@ from .weighted import (
 )
 
 __all__ = [
+    "SampleDesign",
+    "LabeledSample",
+    "draw_labeled_sample",
     "uniform_sample",
     "uniform_weights",
     "proxy_sampling_weights",

@@ -110,3 +110,42 @@ class TestExperiment:
         assert "[tab5]" in output
         payload = json.loads(save_path.read_text())
         assert payload["experiment_id"] == "tab5"
+
+
+class TestQueryBoundAndDiagnostics:
+    def test_bound_override(self):
+        code, output = run_cli(
+            [
+                "query", "--dataset", "imagenet", "--size", "10000",
+                "--sql", RT_SQL, "--method", "u-ci-r", "--bound", "clopper-pearson",
+            ]
+        )
+        assert code == 0
+        assert "bound     : clopper-pearson" in output
+
+    def test_default_bound_reported(self):
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000", "--sql", RT_SQL]
+        )
+        assert code == 0
+        assert "bound     : normal" in output
+
+    def test_unknown_bound_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--dataset", "imagenet", "--sql", RT_SQL, "--bound", "magic"]
+            )
+
+    def test_ess_ratio_printed_for_importance_sampling(self):
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000", "--sql", RT_SQL]
+        )
+        assert code == 0
+        assert "ess_ratio" in output
+
+    def test_oracle_usage_reports_budget(self):
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000", "--sql", RT_SQL]
+        )
+        assert code == 0
+        assert "of 500 budget" in output

@@ -101,3 +101,77 @@ class TestUdfs:
         eng = SupgEngine()
         with pytest.raises(ValueError):
             eng.register_table("", None)
+
+
+class TestSession:
+    """The engine is a long-lived session: repeated queries against a
+    registered table stop re-sampling (and re-deriving proxy-UDF
+    datasets) while staying bit-identical to uncached execution."""
+
+    def test_repeated_query_served_from_store(self, engine):
+        first = engine.execute(RT_SQL, seed=0)
+        second = engine.execute(RT_SQL, seed=0)
+        assert np.array_equal(first.result.indices, second.result.indices)
+        assert first.result.tau == second.result.tau
+        stats = engine.session_stats()
+        assert stats["hits"] >= 1
+        assert stats["misses"] == 1
+
+    def test_reuse_spans_gammas_and_methods(self, engine):
+        """Different targets and selectors sharing one sampling design
+        reuse one labeled sample."""
+        for target in ("80%", "90%", "95%"):
+            engine.execute(RT_SQL.replace("RECALL TARGET 90%", f"RECALL TARGET {target}"), seed=1)
+        assert engine.session_stats()["misses"] == 1
+        assert engine.session_stats()["hits"] == 2
+
+    def test_store_matches_fresh_engine(self, beta_dataset):
+        warm = SupgEngine()
+        warm.register_table("video", beta_dataset)
+        warm.execute(PT_SQL, seed=3)
+        cached = warm.execute(PT_SQL.replace("90%", "80%"), seed=3)
+
+        cold = SupgEngine()
+        cold.register_table("video", beta_dataset)
+        fresh = cold.execute(PT_SQL.replace("90%", "80%"), seed=3)
+        assert np.array_equal(cached.result.indices, fresh.result.indices)
+        assert cached.result.tau == fresh.result.tau
+        assert dict(cached.result.details) == dict(fresh.result.details)
+
+    def test_reuse_samples_opt_out(self, engine):
+        engine.execute(RT_SQL, seed=0, reuse_samples=False)
+        engine.execute(RT_SQL, seed=0, reuse_samples=False)
+        assert engine.session_stats()["misses"] == 0
+
+    def test_oracle_udf_bypasses_store(self, beta_dataset):
+        eng = SupgEngine()
+        eng.register_table("video", beta_dataset)
+        eng.register_oracle_udf("CONTAINS_EVENT", lambda ds, idx: ds.labels[idx])
+        eng.execute(RT_SQL, seed=0)
+        eng.execute(RT_SQL, seed=0)
+        assert eng.session_stats()["misses"] == 0
+
+    def test_proxy_udf_dataset_derived_once(self, engine):
+        derivations = {"n": 0}
+
+        def proxy(ds):
+            derivations["n"] += 1
+            return 1.0 - ds.proxy_scores
+
+        engine.register_proxy_udf("PROXY_SCORE", proxy)
+        engine.execute(RT_SQL, seed=0)
+        engine.execute(RT_SQL, seed=1)
+        assert derivations["n"] == 1
+
+    def test_register_table_invalidates_derived(self, engine, beta_dataset):
+        engine.register_proxy_udf("PROXY_SCORE", lambda ds: 1.0 - ds.proxy_scores)
+        first = engine.execute(RT_SQL, seed=0)
+        engine.register_table("video", beta_dataset.subset(np.arange(10_000)))
+        second = engine.execute(RT_SQL, seed=0)
+        assert second.dataset.size == 10_000
+        assert first.dataset.size != second.dataset.size
+
+    def test_reset_session_clears_store(self, engine):
+        engine.execute(RT_SQL, seed=0)
+        engine.reset_session()
+        assert engine.session_stats()["entries"] == 0

@@ -137,3 +137,114 @@ class TestSyntaxErrors:
             assert "end of query" in str(err)
         else:  # pragma: no cover
             pytest.fail("expected a syntax error")
+
+
+class TestErrorPathCoverage:
+    """Every malformed query must fail with a ValueError (QuerySyntaxError
+    subclasses it) whose message names the offending token or clause, so
+    callers can surface actionable errors without touching internals."""
+
+    def test_syntax_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            parse_query("nonsense")
+
+    # -- malformed clauses --------------------------------------------------
+
+    def test_missing_select_star(self):
+        with pytest.raises(QuerySyntaxError, match=r"expected '\*'"):
+            parse_query("SELECT id FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+                        "RECALL TARGET 90% WITH PROBABILITY 95%")
+
+    def test_missing_from_keyword(self):
+        with pytest.raises(QuerySyntaxError, match="FROM"):
+            parse_query("SELECT * t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+                        "RECALL TARGET 90% WITH PROBABILITY 95%")
+
+    def test_missing_where_clause(self):
+        with pytest.raises(QuerySyntaxError, match="WHERE"):
+            parse_query("SELECT * FROM t ORACLE LIMIT 10 USING A(x) "
+                        "RECALL TARGET 90% WITH PROBABILITY 95%")
+
+    def test_missing_using_clause(self):
+        with pytest.raises(QuerySyntaxError, match="USING"):
+            parse_query("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 "
+                        "RECALL TARGET 90% WITH PROBABILITY 95%")
+
+    def test_oracle_without_limit_keyword(self):
+        with pytest.raises(QuerySyntaxError, match="LIMIT"):
+            parse_query("SELECT * FROM t WHERE P(x) ORACLE 10 USING A(x) "
+                        "RECALL TARGET 90% WITH PROBABILITY 95%")
+
+    def test_missing_probability_clause(self):
+        with pytest.raises(QuerySyntaxError, match="end of query"):
+            parse_query("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+                        "RECALL TARGET 90%")
+
+    def test_with_without_probability(self):
+        with pytest.raises(QuerySyntaxError, match="PROBABILITY"):
+            parse_query("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+                        "RECALL TARGET 90% WITH CONFIDENCE 95%")
+
+    def test_predicate_must_be_identifier(self):
+        with pytest.raises(QuerySyntaxError, match="UDF name"):
+            parse_query("SELECT * FROM t WHERE = True ORACLE LIMIT 10 USING A(x) "
+                        "RECALL TARGET 90% WITH PROBABILITY 95%")
+
+    def test_comparison_literal_required_after_equals(self):
+        with pytest.raises(QuerySyntaxError, match="literal"):
+            parse_query("SELECT * FROM t WHERE P(x) = = ORACLE LIMIT 10 USING A(x) "
+                        "RECALL TARGET 90% WITH PROBABILITY 95%")
+
+    # -- missing RECALL / PRECISION TARGET ----------------------------------
+
+    def test_no_target_clause_names_requirement(self):
+        bad = ("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+               "WITH PROBABILITY 95%")
+        with pytest.raises(QuerySyntaxError, match="RECALL or PRECISION TARGET"):
+            parse_query(bad)
+
+    def test_target_keyword_required_after_recall(self):
+        with pytest.raises(QuerySyntaxError, match="TARGET"):
+            parse_query("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+                        "RECALL 90% WITH PROBABILITY 95%")
+
+    def test_joint_target_with_budget_rejected(self):
+        bad = ("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+               "RECALL TARGET 90% PRECISION TARGET 80% WITH PROBABILITY 95%")
+        with pytest.raises(QuerySyntaxError, match="ORACLE LIMIT"):
+            parse_query(bad)
+
+    # -- bad percentages: message carries the offending token ----------------
+
+    @pytest.mark.parametrize("value", ["150%", "0%", "0", "101"])
+    def test_bad_target_percentage_reports_token(self, value):
+        bad = (f"SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+               f"RECALL TARGET {value} WITH PROBABILITY 95%")
+        with pytest.raises(QuerySyntaxError, match="recall target") as excinfo:
+            parse_query(bad)
+        assert repr(value) in str(excinfo.value)
+
+    def test_bad_probability_reports_token(self):
+        bad = ("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+               "RECALL TARGET 90% WITH PROBABILITY 200%")
+        with pytest.raises(QuerySyntaxError, match="probability") as excinfo:
+            parse_query(bad)
+        assert "'200%'" in str(excinfo.value)
+
+    def test_non_numeric_target_reports_token(self):
+        bad = ("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) "
+               "RECALL TARGET high WITH PROBABILITY 95%")
+        with pytest.raises(QuerySyntaxError, match="'high'"):
+            parse_query(bad)
+
+    def test_fractional_oracle_limit_reports_token(self):
+        bad = ("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10.5 USING A(x) "
+               "RECALL TARGET 90% WITH PROBABILITY 95%")
+        with pytest.raises(QuerySyntaxError, match="'10.5'"):
+            parse_query(bad)
+
+    def test_percent_oracle_limit_reports_token(self):
+        bad = ("SELECT * FROM t WHERE P(x) ORACLE LIMIT 10% USING A(x) "
+               "RECALL TARGET 90% WITH PROBABILITY 95%")
+        with pytest.raises(QuerySyntaxError, match="'10%'"):
+            parse_query(bad)
