@@ -1,0 +1,86 @@
+"""Microbenchmarks: trial-outer method panels and the persistent store.
+
+Marked ``perf`` (excluded from the default pytest run; select with
+``pytest -m perf benchmarks/``).  The headline assertion is the PR-3
+acceptance criterion: the fig13 bound-ablation cell — seven methods
+over two sampling designs — runs trial-outer under one shared sample
+store, drawing each design once per seed, and must beat the pre-PR
+store-oblivious per-method loops clearly while producing identical
+summaries; a second run against a warm persistent store must draw zero
+oracle labels.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import ApproxQuery, ExecutionContext, SampleStore
+from repro.datasets import make_beta_dataset
+from repro.experiments.figures import figure13_panel
+from repro.experiments.runner import compare_methods
+
+pytestmark = pytest.mark.perf
+
+SIZE = 200_000
+BUDGET = 2_000
+TRIALS = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_beta_dataset(0.01, 1.0, size=SIZE, seed=0)
+
+
+def _fig13_panel(budget: int) -> dict:
+    return figure13_panel(ApproxQuery.recall_target(0.9, 0.05, budget))
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_fig13_cell_reuse_speedup(workload):
+    """The shared-store cell replaces seven draws per seed with two, so
+    it must win clearly over the store-oblivious loops (measured ~2x at
+    paper scale, less at this 200k fast scale where draws are a smaller
+    share; assert >= 1.25x for margin) while matching them exactly."""
+    panel = _fig13_panel(BUDGET)
+    shared = _best_seconds(lambda: compare_methods(panel, workload, trials=TRIALS))
+    fresh = _best_seconds(
+        lambda: compare_methods(panel, workload, trials=TRIALS, share_samples=False)
+    )
+    speedup = fresh / shared
+    print(f"\nfig13 cell: shared {shared * 1e3:.0f} ms, fresh {fresh * 1e3:.0f} ms "
+          f"({speedup:.1f}x)")
+    assert compare_methods(panel, workload, trials=TRIALS) == compare_methods(
+        panel, workload, trials=TRIALS, share_samples=False
+    )
+    assert speedup >= 1.25, f"expected >= 1.25x, measured {speedup:.1f}x"
+
+
+def test_fig13_cell_draw_count_is_minimal(workload):
+    """Two designs per seed (uniform + proxy-weighted), never seven."""
+    context = ExecutionContext()
+    compare_methods(_fig13_panel(BUDGET), workload, trials=TRIALS, context=context)
+    assert context.store.misses == TRIALS * 2
+    assert context.store.hits == TRIALS * 5
+
+
+def test_warm_persistent_store_draws_nothing(workload, tmp_path):
+    """A second process-equivalent run against the spill directory must
+    serve every sample from disk and match the cold run exactly."""
+    panel = _fig13_panel(BUDGET)
+    cold = compare_methods(panel, workload, trials=TRIALS, store_dir=str(tmp_path))
+    context = ExecutionContext(store=SampleStore(store_dir=str(tmp_path)))
+    warm = compare_methods(panel, workload, trials=TRIALS, context=context)
+    assert warm == cold
+    stats = context.stats()
+    assert stats["labels_drawn"] == 0 and stats["misses"] == 0
+    assert stats["disk_hits"] == TRIALS * 2

@@ -5,11 +5,15 @@ Runs every guaranteed selector at paper scale (n = 1M synthetic
 Beta(0.01, 1) records, oracle budget 10k) for a handful of trials,
 records the median per-trial latency, times the vectorized candidate
 scan (uniform and importance-weighted) against its loop-based
-reference, and times a shared-sample gamma sweep against fresh
-per-gamma draws.  The output file (``BENCH_PR2.json`` by default)
-extends the repo's performance trajectory — future PRs append
-``BENCH_PR<k>.json`` files and should beat (or at least not regress)
-these numbers.
+reference, times a shared-sample gamma sweep against fresh per-gamma
+draws, times the fig13 bound-ablation cell (seven methods over two
+sampling designs) trial-outer against the pre-PR per-method loops,
+times a same-design ``compare_methods`` panel, and proves the
+persistent sample store by re-running a panel against a warm spill
+directory (the second run must draw zero oracle labels).  The output
+file (``BENCH_PR3.json`` by default) extends the repo's performance
+trajectory — future PRs append ``BENCH_PR<k>.json`` files and should
+beat (or at least not regress) these numbers.
 
 ``--compare BASELINE.json`` additionally checks the freshly measured
 numbers against a recorded baseline and exits non-zero on a regression
@@ -34,18 +38,20 @@ import json
 import platform
 import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro import __version__
-from repro.bounds import NormalBound
+from repro.bounds import BootstrapBound, HoeffdingBound, NormalBound
 from repro.core.importance import (
     ImportanceCIPrecisionOneStage,
     ImportanceCIPrecisionTwoStage,
     ImportanceCIRecall,
 )
+from repro.core.pipeline import ExecutionContext, SampleStore
 from repro.core.types import ApproxQuery
 from repro.core.uniform import (
     UniformCIPrecision,
@@ -54,7 +60,8 @@ from repro.core.uniform import (
     precision_candidate_scan_reference,
 )
 from repro.datasets import make_beta_dataset
-from repro.experiments.runner import sweep
+from repro.experiments.figures import figure13_panel
+from repro.experiments.runner import compare_methods, sweep
 
 GAMMA = 0.9
 DELTA = 0.05
@@ -178,6 +185,115 @@ def time_sweep(dataset, budget: int, repeats: int = 3) -> dict[str, object]:
     }
 
 
+def time_fig13_cell(dataset, budget: int, trials: int = 3, repeats: int = 3) -> dict[str, object]:
+    """Trial-outer fig13 cell vs the pre-PR per-method fresh-draw loops.
+
+    ``speedup`` is the cold shared-store cell against the store-
+    oblivious path; ``warm_speedup`` re-runs the cell against a primed
+    persistent spill directory (the repeated-regeneration / CI case,
+    where zero oracle labels are drawn).
+    """
+    factories = figure13_panel(ApproxQuery.recall_target(GAMMA, DELTA, budget))
+    fresh = _best(
+        lambda: compare_methods(factories, dataset, trials=trials, share_samples=False),
+        repeats,
+    )
+    shared = _best(
+        lambda: compare_methods(factories, dataset, trials=trials), repeats
+    )
+    with tempfile.TemporaryDirectory() as spill:
+        compare_methods(factories, dataset, trials=trials, store_dir=spill)
+        warm = _best(
+            lambda: compare_methods(factories, dataset, trials=trials, store_dir=spill),
+            repeats,
+        )
+    speedup, warm_speedup = fresh / shared, fresh / warm
+    print(
+        f"  {'fig13 cell':20s} shared {shared * 1e3:.0f} ms, warm {warm * 1e3:.0f} ms, "
+        f"fresh {fresh * 1e3:.0f} ms ({speedup:.1f}x cold, {warm_speedup:.1f}x warm)"
+    )
+    return {
+        "methods": len(factories),
+        "trials": trials,
+        "budget": budget,
+        "fresh_seconds": fresh,
+        "shared_seconds": shared,
+        "warm_seconds": warm,
+        "speedup": speedup,
+        "warm_speedup": warm_speedup,
+    }
+
+
+def time_compare_reuse(dataset, budget: int, trials: int = 3, repeats: int = 3) -> dict[str, object]:
+    """Same-design ``compare_methods`` panel: three IS-CI-R bound
+    variants sharing one proxy-weighted draw per seed."""
+    query = ApproxQuery.recall_target(GAMMA, DELTA, budget)
+    factories = {
+        "normal": lambda: ImportanceCIRecall(query, bound=NormalBound()),
+        "bootstrap": lambda: ImportanceCIRecall(query, bound=BootstrapBound(n_resamples=200)),
+        "hoeffding": lambda: ImportanceCIRecall(query, bound=HoeffdingBound(value_range=None)),
+    }
+    fresh = _best(
+        lambda: compare_methods(factories, dataset, trials=trials, share_samples=False),
+        repeats,
+    )
+    shared = _best(
+        lambda: compare_methods(factories, dataset, trials=trials), repeats
+    )
+    speedup = fresh / shared
+    print(
+        f"  {'compare reuse':20s} shared {shared * 1e3:.0f} ms, "
+        f"fresh {fresh * 1e3:.0f} ms ({speedup:.1f}x)"
+    )
+    return {
+        "methods": len(factories),
+        "trials": trials,
+        "budget": budget,
+        "fresh_seconds": fresh,
+        "shared_seconds": shared,
+        "speedup": speedup,
+    }
+
+
+def check_store_persistence(dataset, budget: int, trials: int = 3) -> dict[str, object]:
+    """Two store-dir runs of one panel: the second must draw nothing."""
+    query = ApproxQuery.recall_target(GAMMA, DELTA, budget)
+    factories = {
+        "normal": lambda: ImportanceCIRecall(query, bound=NormalBound()),
+        "hoeffding": lambda: ImportanceCIRecall(query, bound=HoeffdingBound(value_range=None)),
+    }
+    with tempfile.TemporaryDirectory() as spill:
+        first = ExecutionContext(store=SampleStore(store_dir=spill))
+        start = time.perf_counter()
+        cold_panel = compare_methods(factories, dataset, trials=trials, context=first)
+        cold = time.perf_counter() - start
+        second = ExecutionContext(store=SampleStore(store_dir=spill))
+        start = time.perf_counter()
+        warm_panel = compare_methods(factories, dataset, trials=trials, context=second)
+        warm = time.perf_counter() - start
+    identical = cold_panel == warm_panel
+    stats = second.stats()
+    print(
+        f"  {'store persistence':20s} first run drew {first.stats()['labels_drawn']} labels, "
+        f"second drew {stats['labels_drawn']} ({stats['disk_hits']} disk hits)"
+    )
+    if not identical or stats["labels_drawn"] != 0:
+        raise SystemExit(
+            "persistent store failed: second run must draw zero labels "
+            "and reproduce identical results"
+        )
+    return {
+        "trials": trials,
+        "budget": budget,
+        "first_run_labels_drawn": first.stats()["labels_drawn"],
+        "second_run_labels_drawn": stats["labels_drawn"],
+        "second_run_disk_hits": stats["disk_hits"],
+        "results_identical": identical,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+    }
+
+
 def _speedup_checks(payload: dict, baseline: dict, max_regression: float) -> list[str]:
     """Machine-independent checks: recorded speedup *ratios* (vectorized
     vs reference, shared vs fresh) must not collapse by more than the
@@ -185,13 +301,16 @@ def _speedup_checks(payload: dict, baseline: dict, max_regression: float) -> lis
     hold across hardware (dev laptop vs CI runner)."""
     regressions: list[str] = []
     ratio_metrics = (
-        ("candidate_scan", "candidate scan speedup"),
-        ("weighted_candidate_scan", "weighted candidate scan speedup"),
-        ("sweep", "shared-sample sweep speedup"),
+        ("candidate_scan", "speedup", "candidate scan speedup"),
+        ("weighted_candidate_scan", "speedup", "weighted candidate scan speedup"),
+        ("sweep", "speedup", "shared-sample sweep speedup"),
+        ("fig13_cell", "speedup", "fig13 cell speedup"),
+        ("fig13_cell", "warm_speedup", "fig13 cell warm-store speedup"),
+        ("compare_methods_reuse", "speedup", "compare_methods reuse speedup"),
     )
-    for key, label in ratio_metrics:
-        old = baseline.get(key, {}).get("speedup")
-        new = payload.get(key, {}).get("speedup")
+    for key, field, label in ratio_metrics:
+        old = baseline.get(key, {}).get(field)
+        new = payload.get(key, {}).get(field)
         if old is None or new is None:
             continue
         if new < old / max_regression:
@@ -260,7 +379,7 @@ def compare_to_baseline(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_PR2.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR3.json"))
     parser.add_argument("--size", type=int, default=1_000_000)
     parser.add_argument("--budget", type=int, default=10_000)
     parser.add_argument("--trials", type=int, default=5)
@@ -289,6 +408,13 @@ def main(argv: list[str] | None = None) -> int:
     weighted_scan = time_candidate_scan(args.budget, weighted=True)
     print("timing shared-sample gamma sweep:")
     sweep_stats = time_sweep(dataset, args.budget)
+    print("timing trial-outer method panels:")
+    # The fig13 cell runs at the figure13 driver's own budget, not the
+    # global selector budget: the cell benchmark mirrors the driver.
+    fig13_cell = time_fig13_cell(dataset, budget=6_000)
+    compare_reuse = time_compare_reuse(dataset, args.budget)
+    print("checking persistent sample store:")
+    persistence = check_store_persistence(dataset, args.budget)
 
     payload = {
         "benchmark": "perf_smoke",
@@ -306,6 +432,9 @@ def main(argv: list[str] | None = None) -> int:
         "candidate_scan": scan,
         "weighted_candidate_scan": weighted_scan,
         "sweep": sweep_stats,
+        "fig13_cell": fig13_cell,
+        "compare_methods_reuse": compare_reuse,
+        "store_persistence": persistence,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")

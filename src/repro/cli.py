@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 
 from .bounds import available_bounds, get_bound
+from .core.pipeline import ExecutionContext, SampleStore
 from .core.planning import plan_budget
 from .core.types import ApproxQuery
 from .datasets import available_datasets, load_dataset
@@ -55,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--size", type=int, default=None, help="dataset size override")
+    query.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="persistent sample-store directory; repeated runs sharing it "
+        "reuse labeled oracle samples instead of re-drawing them",
+    )
 
     plan = commands.add_parser("plan", help="recommend an oracle budget")
     plan.add_argument("--dataset", required=True, choices=available_datasets())
@@ -74,8 +82,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the trial loops (-1 = all cores); "
         "results are bit-identical to --jobs 1",
     )
+    experiment.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="persistent sample-store directory: oracle samples are spilled "
+        "to disk and reused by later runs (results are identical; a repeat "
+        "run draws zero new oracle labels).  With --jobs 1 the run also "
+        "prints the store's reuse counters.",
+    )
 
     return parser
+
+
+def _store_stats_lines(stats) -> list[str]:
+    """Human-readable reuse accounting for one session store."""
+    reused = stats["hits"] + stats["disk_hits"]
+    return [
+        f"store     : {stats['misses']} draws, {stats['hits']} memory hits, "
+        f"{stats['disk_hits']} disk hits, {stats['disk_errors']} rejected spills",
+        f"labels    : {stats['labels_drawn']} drawn, {stats['labels_saved']} "
+        f"saved vs naive ({reused} reused samples)",
+    ]
 
 
 def _cmd_datasets(out) -> int:
@@ -91,7 +119,8 @@ def _cmd_query(args, out) -> int:
         return 2
     sql = args.sql if args.sql else args.sql_file.read_text()
     dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
-    engine = SupgEngine()
+    store_dir = str(args.store_dir) if args.store_dir is not None else None
+    engine = SupgEngine(store_dir=store_dir)
     engine.register_table(args.dataset, dataset)
     # Dataset names like "beta(0.01,1)" are not valid dialect
     # identifiers, so also register a sanitized alias the SQL can use.
@@ -114,6 +143,9 @@ def _cmd_query(args, out) -> int:
     for key in ("ess_ratio", "stage1_ess_ratio"):
         if key in result.details:
             print(f"{key:10s}: {result.details[key]:.4f}", file=out)
+    if args.store_dir is not None:
+        for line in _store_stats_lines(engine.session_stats()):
+            print(line, file=out)
     return 0
 
 
@@ -134,17 +166,37 @@ def _cmd_plan(args, out) -> int:
 def _cmd_experiment(args, out) -> int:
     driver = ALL_EXPERIMENTS[args.id]
     try:
-        resolve_n_jobs(args.jobs)
+        jobs = resolve_n_jobs(args.jobs)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    params = inspect.signature(driver).parameters
     kwargs = {}
-    if "n_jobs" in inspect.signature(driver).parameters:
+    if "n_jobs" in params:
         kwargs["n_jobs"] = args.jobs
     elif args.jobs != 1:
         print(f"note: {args.id} runs single-process; --jobs ignored", file=sys.stderr)
+    context = None
+    if args.store_dir is not None:
+        # Sequential runs thread one CLI-owned context through the whole
+        # driver so the reuse counters can be reported afterwards;
+        # parallel runs hand each worker its own store and still share
+        # labels across processes through the persistent tier.
+        if "context" in params and jobs == 1:
+            context = ExecutionContext(store=SampleStore(store_dir=args.store_dir))
+            kwargs["context"] = context
+        elif "store_dir" in params:
+            kwargs["store_dir"] = str(args.store_dir)
+        else:
+            print(
+                f"note: {args.id} does not use the sample store; --store-dir ignored",
+                file=sys.stderr,
+            )
     result = driver(**kwargs)
     print(result.render(), file=out)
+    if context is not None:
+        for line in _store_stats_lines(context.stats()):
+            print(line, file=out)
     if args.save is not None:
         written = save_result(result, args.save)
         print(f"saved: {written}", file=out)

@@ -29,12 +29,32 @@ ground truth.  Paths with custom oracles (user UDFs, the joint
 algorithm's unbudgeted shared oracle, explicitly passed
 ``BudgetedOracle`` instances) bypass the store and take the legacy
 path, which remains bit-for-bit unchanged.
+
+Persistent tier
+---------------
+
+The paper's operational cost model charges per *distinct labeled
+record* (Table 5: $0.08 per human label), so a labeled sample is worth
+real money beyond the process that drew it.  Constructing a
+:class:`SampleStore` with ``store_dir`` adds a disk tier: every fresh
+draw is spilled to ``store_dir`` as an atomic, format-versioned
+``.npz`` file keyed by (dataset fingerprint, design, seed), and a
+memory miss consults the directory before touching the oracle.
+Separate processes — parallel sweep-cell workers, repeated CLI
+invocations, CI runs — thereby share one pool of oracle labels.  Spill
+files that are truncated, corrupt, version-mismatched, or keyed to a
+different dataset are ignored (the store falls back to a fresh draw,
+never crashes, and never serves wrong labels).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
@@ -56,6 +76,11 @@ __all__ = [
 #: sample is ~250 KB, so the default bounds the store near 64 MB.
 DEFAULT_MAX_ENTRIES = 256
 
+#: Version stamp of the on-disk spill format.  Readers reject any other
+#: version (falling back to a fresh draw), so the format can evolve
+#: without ever serving stale-layout labels.
+SPILL_FORMAT_VERSION = 1
+
 
 def ground_truth_labeler(dataset: "Dataset") -> LabelFn:
     """Label function reading a dataset's built-in ground truth.
@@ -71,8 +96,19 @@ def ground_truth_labeler(dataset: "Dataset") -> LabelFn:
     return label
 
 
+def _json_safe(value):
+    """JSON fallback for numpy scalars/arrays inside generator state."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value)!r}")  # pragma: no cover
+
+
 class SampleStore:
-    """Keyed LRU cache of labeled oracle samples.
+    """Keyed LRU cache of labeled oracle samples, optionally disk-backed.
 
     Key: ``(dataset.fingerprint, SampleDesign, seed)``.  A hit returns
     the stored :class:`LabeledSample` without touching the oracle or
@@ -80,20 +116,44 @@ class SampleStore:
     ``np.random.default_rng(seed)`` — the exact generator construction
     the legacy path uses — labels from ground truth, and caches.
 
-    Counters (``hits``, ``misses``, ``labels_drawn``) expose the
-    oracle-usage accounting the reuse tests pin: a gamma sweep over a
-    sample-reusable selector must record exactly one miss per
-    (dataset, seed, budget).
+    With ``store_dir`` set, a memory miss first consults the persistent
+    tier: a valid spill file for the key is loaded (no oracle labels
+    drawn) and promoted into the LRU, and every fresh draw is spilled
+    back so later processes can reuse it.  Spill writes are atomic
+    (temp file + ``os.replace``), so concurrent workers sharing one
+    directory are safe; spill reads validate the format version and the
+    full key before trusting a file.
+
+    Counters expose the oracle-usage accounting the reuse tests pin:
+
+    - ``hits`` / ``misses`` — memory-tier lookups; a gamma sweep over a
+      sample-reusable selector must record exactly one miss per
+      (dataset, seed, budget).
+    - ``disk_hits`` / ``disk_errors`` — persistent-tier loads and
+      rejected (corrupt/mismatched) spill files.
+    - ``labels_drawn`` — distinct oracle labels actually paid for.
+    - ``labels_saved`` — labels a store-oblivious run would have drawn
+      again (the cost-model savings vs the naive per-call draw).
     """
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        store_dir: str | os.PathLike | None = None,
+    ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
+        self.store_dir = Path(store_dir).expanduser() if store_dir is not None else None
+        if self.store_dir is not None:
+            self.store_dir.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[tuple, LabeledSample] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_errors = 0
         self.labels_drawn = 0
+        self.labels_saved = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -110,18 +170,37 @@ class SampleStore:
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            self.labels_saved += entry.oracle_calls
             return entry
+        if self.store_dir is not None:
+            spilled = self._load_spill(dataset.fingerprint, design, int(seed))
+            if spilled is not None:
+                self.disk_hits += 1
+                self.labels_saved += spilled.oracle_calls
+                self._insert(key, spilled)
+                return spilled
         rng = np.random.default_rng(int(seed))
         sample = draw_labeled_sample(design, dataset, rng, ground_truth_labeler(dataset))
         self.misses += 1
         self.labels_drawn += sample.oracle_calls
+        self._insert(key, sample)
+        if self.store_dir is not None:
+            self._write_spill(dataset.fingerprint, design, int(seed), sample)
+        return sample
+
+    def _insert(self, key: tuple, sample: LabeledSample) -> None:
         self._entries[key] = sample
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-        return sample
 
     def clear(self) -> None:
-        """Drop every cached sample (counters are preserved)."""
+        """Drop every in-memory sample (counters and spill files persist).
+
+        The disk tier is intentionally untouched: its invalidation rule
+        is content-based (keys embed the dataset fingerprint), so stale
+        entries can never be served and explicit deletion of
+        ``store_dir`` is the only cleanup ever needed.
+        """
         self._entries.clear()
 
     def stats(self) -> Mapping[str, int]:
@@ -130,9 +209,106 @@ class SampleStore:
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_errors": self.disk_errors,
             "labels_drawn": self.labels_drawn,
+            "labels_saved": self.labels_saved,
             "nbytes": self.nbytes,
         }
+
+    # -- persistent tier -------------------------------------------------------
+
+    @staticmethod
+    def _key_meta(fingerprint: str, design: SampleDesign, seed: int) -> dict:
+        # Coerce every field to a plain JSON scalar: design fields may
+        # arrive as numpy types (budgets off np.arange, exponents off
+        # np.linspace), which json.dumps rejects and which would
+        # otherwise defeat the loaded-key equality check.
+        return {
+            "fingerprint": str(fingerprint),
+            "design": {
+                "kind": str(design.kind),
+                "budget": int(design.budget),
+                "exponent": None if design.exponent is None else float(design.exponent),
+                "mixing": None if design.mixing is None else float(design.mixing),
+                "replace": bool(design.replace),
+            },
+            "seed": int(seed),
+        }
+
+    def _spill_path(self, fingerprint: str, design: SampleDesign, seed: int) -> Path:
+        key_json = json.dumps(self._key_meta(fingerprint, design, seed), sort_keys=True)
+        digest = hashlib.sha256(key_json.encode()).hexdigest()[:40]
+        return self.store_dir / f"sample-{digest}.npz"
+
+    def _write_spill(
+        self, fingerprint: str, design: SampleDesign, seed: int, sample: LabeledSample
+    ) -> None:
+        """Atomically persist one labeled sample; failures are non-fatal
+        (the disk tier is an optimization, never a correctness
+        dependency)."""
+        path = self._spill_path(fingerprint, design, seed)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(
+                    handle,
+                    format_version=np.int64(SPILL_FORMAT_VERSION),
+                    key=np.array(
+                        json.dumps(self._key_meta(fingerprint, design, seed), sort_keys=True)
+                    ),
+                    rng_state=np.array(json.dumps(dict(sample.rng_state), default=_json_safe)),
+                    indices=np.asarray(sample.indices),
+                    scores=np.asarray(sample.scores),
+                    labels=np.asarray(sample.labels),
+                    mass=np.asarray(sample.mass),
+                )
+            os.replace(tmp, path)
+        except OSError:
+            self.disk_errors += 1
+            tmp.unlink(missing_ok=True)
+
+    def _load_spill(
+        self, fingerprint: str, design: SampleDesign, seed: int
+    ) -> LabeledSample | None:
+        """Load a spilled sample, or ``None`` when absent or unusable.
+
+        Any defect — unreadable archive, missing fields, format-version
+        or key mismatch, misaligned arrays — downgrades to a fresh draw.
+        """
+        path = self._spill_path(fingerprint, design, seed)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if int(payload["format_version"]) != SPILL_FORMAT_VERSION:
+                    raise ValueError("spill format version mismatch")
+                key_meta = json.loads(str(payload["key"][()]))
+                if key_meta != self._key_meta(fingerprint, design, seed):
+                    # A file whose embedded key disagrees with its path
+                    # (copied/renamed spill, hash collision) must never
+                    # serve its labels to this key.
+                    raise ValueError("spill key mismatch")
+                indices = np.asarray(payload["indices"])
+                scores = np.asarray(payload["scores"])
+                labels = np.asarray(payload["labels"])
+                mass = np.asarray(payload["mass"])
+                if not (indices.shape == scores.shape == labels.shape == mass.shape):
+                    raise ValueError("misaligned spill arrays")
+                if indices.size != design.budget:
+                    raise ValueError("spill size disagrees with design budget")
+                rng_state = json.loads(str(payload["rng_state"][()]))
+        except Exception:
+            self.disk_errors += 1
+            return None
+        return LabeledSample(
+            design=design,
+            indices=indices,
+            scores=scores,
+            labels=labels,
+            mass=mass,
+            rng_state=rng_state,
+        )
 
 
 @dataclass
@@ -168,6 +344,25 @@ class ExecutionContext:
         return self.store.stats()
 
 
+def _union_sorted_unique(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``np.union1d`` for inputs that are already sorted and distinct.
+
+    ``union1d`` re-sorts the concatenation — O((|a|+|b|) log(|a|+|b|))
+    — on every call; here ``a`` (labeled positives, bounded by the
+    oracle budget) is typically tiny next to ``b`` (the thresholded
+    selection), so a searchsorted merge is ~10x cheaper per
+    materialization and returns the identical array.
+    """
+    if a.size == 0:
+        return b
+    if b.size == 0:
+        return a.copy()
+    positions = np.searchsorted(b, a)
+    hit = np.minimum(positions, b.size - 1)
+    novel = b[hit] != a
+    return np.insert(b, positions[novel], a[novel])
+
+
 def materialize_selection(
     dataset: "Dataset",
     tau: float,
@@ -181,15 +376,17 @@ def materialize_selection(
     the sorted distinct sampled set, and the per-record budget charge —
     all derivable from the samples that were actually used, which is
     what makes store-served selections bit-identical to oracle-driven
-    ones.
+    ones.  The per-sample distinct sets come from the samples' caches,
+    so replaying a store-served sample across a gamma axis or a method
+    panel pays their unique passes once.
     """
-    all_indices = np.concatenate(
-        [np.asarray(sample.indices, dtype=np.intp) for sample in samples]
-    )
-    all_labels = np.concatenate([np.asarray(sample.labels) for sample in samples])
-    sampled = np.unique(all_indices)
-    positives = np.unique(all_indices[all_labels == 1])
-    combined = np.union1d(positives, dataset.select_above(tau))
+    sample_list = tuple(samples)
+    sampled = sample_list[0].distinct_indices
+    positives = sample_list[0].distinct_positives
+    for sample in sample_list[1:]:
+        sampled = _union_sorted_unique(sample.distinct_indices, sampled)
+        positives = _union_sorted_unique(sample.distinct_positives, positives)
+    combined = _union_sorted_unique(positives, dataset.select_above(tau))
     return SelectionResult(
         indices=combined,
         tau=tau,

@@ -67,9 +67,13 @@ class Dataset:
         """Number of records ``|D|``."""
         return len(self)
 
-    @property
+    @cached_property
     def positive_count(self) -> int:
-        """Number of records matching the oracle predicate ``|O+|``."""
+        """Number of records matching the oracle predicate ``|O+|``.
+
+        Cached: the trial runner passes it to every evaluation, which
+        would otherwise re-sum the full label array once per trial.
+        """
         return int(self.labels.sum())
 
     @property

@@ -36,7 +36,7 @@ from ..datasets import (
 )
 from ..metrics import evaluate_selection
 from .results import MethodSummary, render_table
-from .runner import compare_methods, run_sweep_cells, run_trials
+from .runner import compare_methods, run_sweep_cells
 
 __all__ = [
     "ExperimentResult",
@@ -50,6 +50,7 @@ __all__ = [
     "figure11",
     "figure12",
     "figure13",
+    "figure13_panel",
     "figure15",
 ]
 
@@ -254,6 +255,8 @@ def _sweep_panel(
     paper_scale: bool,
     datasets: Sequence[str],
     n_jobs: int | None,
+    context=None,
+    store_dir: str | None = None,
 ) -> dict[str, MethodSummary]:
     """Run a (dataset × method) grid of gamma-sweep cells.
 
@@ -286,7 +289,7 @@ def _sweep_panel(
                 )
             )
             keys.append((name, label))
-    results = run_sweep_cells(cells, n_jobs=n_jobs)
+    results = run_sweep_cells(cells, n_jobs=n_jobs, context=context, store_dir=store_dir)
     summaries: dict[str, MethodSummary] = {}
     for (name, label), per_gamma in zip(keys, results):
         for gamma, summary in zip(targets, per_gamma):
@@ -319,6 +322,8 @@ def figure7(
     paper_scale: bool = False,
     datasets: Sequence[str] = EVALUATION_DATASETS,
     n_jobs: int | None = 1,
+    context=None,
+    store_dir: str | None = None,
 ) -> ExperimentResult:
     """Figure 7: precision-target sweep -> achieved recall.
 
@@ -340,6 +345,8 @@ def figure7(
         paper_scale,
         datasets,
         n_jobs,
+        context=context,
+        store_dir=store_dir,
     )
     return ExperimentResult(
         experiment_id="fig7",
@@ -358,6 +365,8 @@ def figure8(
     paper_scale: bool = False,
     datasets: Sequence[str] = EVALUATION_DATASETS,
     n_jobs: int | None = 1,
+    context=None,
+    store_dir: str | None = None,
 ) -> ExperimentResult:
     """Figure 8: recall-target sweep -> precision of the returned set.
 
@@ -378,6 +387,8 @@ def figure8(
         paper_scale,
         datasets,
         n_jobs,
+        context=context,
+        store_dir=store_dir,
     )
     return ExperimentResult(
         experiment_id="fig8",
@@ -395,47 +406,52 @@ def figure9(
     seed: int = 0,
     size: int = 200_000,
     n_jobs: int | None = 1,
+    context=None,
+    store_dir: str | None = None,
 ) -> ExperimentResult:
     """Figure 9: sensitivity to proxy noise on Beta(0.01, 2).
 
     Gaussian noise at 25/50/75/100% of the score standard deviation is
     added to the proxy after labels are drawn; SUPG outperforms uniform
     sampling at every noise level, degrading gracefully.
+
+    Each noise level contributes one precision-target and one
+    recall-target method-panel cell, fanned through
+    :func:`run_sweep_cells`; panels run trial-outer under a shared
+    sample store, so e.g. the uniform draw the two U-CI methods share
+    is labeled once per (noisy dataset, seed).  Results are
+    bit-identical to independent per-method trial loops.
     """
     base = make_beta_dataset(0.01, 2.0, size=size, seed=seed)
     budget = FAST_BUDGETS["beta(0.01,2)"]
-    rows: list[tuple[object, ...]] = []
-    summaries: dict[str, MethodSummary] = {}
     pt_query = ApproxQuery.precision_target(0.95, delta, budget)
     rt_query = ApproxQuery.recall_target(0.9, delta, budget)
+    cells: list[dict[str, object]] = []
+    keys: list[tuple[str, float]] = []
     for level in noise_levels:
         noisy = add_proxy_noise(base, level, seed=seed + 1)
-        pt_panel = compare_methods(
-            {
+        for setting, factories in (
+            ("pt", {
                 "U-CI": lambda: UniformCIPrecision(pt_query),
                 "SUPG": lambda: ImportanceCIPrecisionTwoStage(pt_query),
-            },
-            noisy,
-            trials=trials,
-            base_seed=seed + 2,
-            n_jobs=n_jobs,
-        )
-        rt_panel = compare_methods(
-            {
+            }),
+            ("rt", {
                 "U-CI": lambda: UniformCIRecall(rt_query),
                 "SUPG": lambda: ImportanceCIRecall(rt_query),
-            },
-            noisy,
-            trials=trials,
-            base_seed=seed + 2,
-            n_jobs=n_jobs,
-        )
-        for label, summary in pt_panel.items():
-            summaries[f"pt|{level}|{label}"] = summary
-            rows.append(("precision-target", level, label, summary.mean_quality))
-        for label, summary in rt_panel.items():
-            summaries[f"rt|{level}|{label}"] = summary
-            rows.append(("recall-target", level, label, summary.mean_quality))
+            }),
+        ):
+            cells.append(
+                dict(factories=factories, dataset=noisy, trials=trials, base_seed=seed + 2)
+            )
+            keys.append((setting, level))
+    panels = run_sweep_cells(cells, n_jobs=n_jobs, context=context, store_dir=store_dir)
+    rows: list[tuple[object, ...]] = []
+    summaries: dict[str, MethodSummary] = {}
+    setting_names = {"pt": "precision-target", "rt": "recall-target"}
+    for (setting, level), panel in zip(keys, panels):
+        for label, summary in panel.items():
+            summaries[f"{setting}|{level}|{label}"] = summary
+            rows.append((setting_names[setting], level, label, summary.mean_quality))
     return ExperimentResult(
         experiment_id="fig9",
         description="proxy noise level vs result quality, Beta(0.01, 2)",
@@ -452,46 +468,49 @@ def figure10(
     seed: int = 0,
     size: int = 200_000,
     n_jobs: int | None = 1,
+    context=None,
+    store_dir: str | None = None,
 ) -> ExperimentResult:
     """Figure 10: sensitivity to class imbalance (varying Beta's beta).
 
     Higher beta means rarer positives; SUPG's advantage over uniform
     sampling grows with imbalance (up to ~47x in the paper).
+
+    Like :func:`figure9`, every beta contributes one precision-target
+    and one recall-target method-panel cell fanned through
+    :func:`run_sweep_cells` (trial-outer, shared sample store per
+    cell), bit-identical to the per-method loops it replaces.
     """
     budget = FAST_BUDGETS["beta(0.01,2)"]
-    rows: list[tuple[object, ...]] = []
-    summaries: dict[str, MethodSummary] = {}
     pt_query = ApproxQuery.precision_target(0.95, delta, budget)
     rt_query = ApproxQuery.recall_target(0.9, delta, budget)
+    cells: list[dict[str, object]] = []
+    keys: list[tuple[str, float, float]] = []
     for beta in betas:
         dataset = make_beta_dataset(0.01, beta, size=size, seed=seed)
-        pt_panel = compare_methods(
-            {
+        tpr = dataset.positive_rate
+        for setting, factories in (
+            ("pt", {
                 "U-CI": lambda: UniformCIPrecision(pt_query),
                 "SUPG": lambda: ImportanceCIPrecisionTwoStage(pt_query),
-            },
-            dataset,
-            trials=trials,
-            base_seed=seed + 1,
-            n_jobs=n_jobs,
-        )
-        rt_panel = compare_methods(
-            {
+            }),
+            ("rt", {
                 "U-CI": lambda: UniformCIRecall(rt_query),
                 "SUPG": lambda: ImportanceCIRecall(rt_query),
-            },
-            dataset,
-            trials=trials,
-            base_seed=seed + 1,
-            n_jobs=n_jobs,
-        )
-        tpr = dataset.positive_rate
-        for label, summary in pt_panel.items():
-            summaries[f"pt|{beta}|{label}"] = summary
-            rows.append(("precision-target", beta, tpr, label, summary.mean_quality))
-        for label, summary in rt_panel.items():
-            summaries[f"rt|{beta}|{label}"] = summary
-            rows.append(("recall-target", beta, tpr, label, summary.mean_quality))
+            }),
+        ):
+            cells.append(
+                dict(factories=factories, dataset=dataset, trials=trials, base_seed=seed + 1)
+            )
+            keys.append((setting, beta, tpr))
+    panels = run_sweep_cells(cells, n_jobs=n_jobs, context=context, store_dir=store_dir)
+    rows: list[tuple[object, ...]] = []
+    summaries: dict[str, MethodSummary] = {}
+    setting_names = {"pt": "precision-target", "rt": "recall-target"}
+    for (setting, beta, tpr), panel in zip(keys, panels):
+        for label, summary in panel.items():
+            summaries[f"{setting}|{beta}|{label}"] = summary
+            rows.append((setting_names[setting], beta, tpr, label, summary.mean_quality))
     return ExperimentResult(
         experiment_id="fig10",
         description="class imbalance (beta parameter) vs result quality",
@@ -509,39 +528,49 @@ def figure11(
     seed: int = 0,
     size: int = 200_000,
     n_jobs: int | None = 1,
+    context=None,
+    store_dir: str | None = None,
 ) -> ExperimentResult:
     """Figure 11: sensitivity to algorithm parameters on Beta(0.01, 2).
 
     Sweeps the candidate step ``m`` (precision target) and the
     defensive mixing ratio (recall target); performance is flat across
     the range, showing the parameters are easy to set.
+
+    The step sweep is one trial-outer method panel: ``m`` only affects
+    the candidate grid, so every step value shares the two-stage
+    algorithm's stage-1 draw — one labeled stage-1 sample per seed
+    serves the whole axis.  Each mixing ratio changes the sampling
+    design, so the mixing panel reuses nothing (but keeps the same
+    cell shape and fan-out).
     """
     dataset = make_beta_dataset(0.01, 2.0, size=size, seed=seed)
     budget = FAST_BUDGETS["beta(0.01,2)"]
-    rows: list[tuple[object, ...]] = []
-    summaries: dict[str, MethodSummary] = {}
     pt_query = ApproxQuery.precision_target(0.95, delta, budget)
     rt_query = ApproxQuery.recall_target(0.9, delta, budget)
-    for m in steps:
-        summary = run_trials(
-            lambda m=m: ImportanceCIPrecisionTwoStage(pt_query, step=m),
-            dataset,
-            trials=trials,
-            base_seed=seed + 1,
-            method_name=f"SUPG m={m}",
-            n_jobs=n_jobs,
+    step_factories = {
+        f"SUPG m={m}": (lambda m=m: ImportanceCIPrecisionTwoStage(pt_query, step=m))
+        for m in steps
+    }
+    mixing_factories = {
+        f"SUPG mix={mix}": (lambda mix=mix: ImportanceCIRecall(rt_query, mixing=mix))
+        for mix in mixing_ratios
+    }
+    step_panel, mixing_panel = (
+        compare_methods(
+            factories, dataset, trials=trials, base_seed=seed + 1,
+            n_jobs=n_jobs, context=context, store_dir=store_dir,
         )
+        for factories in (step_factories, mixing_factories)
+    )
+    rows: list[tuple[object, ...]] = []
+    summaries: dict[str, MethodSummary] = {}
+    for m in steps:
+        summary = step_panel[f"SUPG m={m}"]
         summaries[f"step|{m}"] = summary
         rows.append(("precision-target", f"m={m}", summary.mean_quality))
     for mix in mixing_ratios:
-        summary = run_trials(
-            lambda mix=mix: ImportanceCIRecall(rt_query, mixing=mix),
-            dataset,
-            trials=trials,
-            base_seed=seed + 1,
-            method_name=f"SUPG mix={mix}",
-            n_jobs=n_jobs,
-        )
+        summary = mixing_panel[f"SUPG mix={mix}"]
         summaries[f"mixing|{mix}"] = summary
         rows.append(("recall-target", f"mixing={mix}", summary.mean_quality))
     return ExperimentResult(
@@ -560,26 +589,34 @@ def figure12(
     seed: int = 0,
     size: int = 200_000,
     n_jobs: int | None = 1,
+    context=None,
+    store_dir: str | None = None,
 ) -> ExperimentResult:
     """Figure 12: importance-weight exponent sweep (recall target).
 
     Exponent 0 is uniform sampling and 1 proportional sampling; the
     curve peaks near the paper's square-root weights (0.5).
+
+    One trial-outer method panel over the exponent axis.  Every
+    exponent is a distinct sampling design (the weight exponent keys
+    the sample store), so no draws are shared — the cell shape buys
+    whole-panel fan-out and, with ``store_dir``, cross-run label reuse.
     """
     dataset = make_beta_dataset(0.01, 2.0, size=size, seed=seed)
     budget = FAST_BUDGETS["beta(0.01,2)"]
     query = ApproxQuery.recall_target(0.9, delta, budget)
+    factories = {
+        f"exponent={e}": (lambda e=e: ImportanceCIRecall(query, weight_exponent=e))
+        for e in exponents
+    }
+    panel = compare_methods(
+        factories, dataset, trials=trials, base_seed=seed + 1,
+        n_jobs=n_jobs, context=context, store_dir=store_dir,
+    )
     rows: list[tuple[object, ...]] = []
     summaries: dict[str, MethodSummary] = {}
     for exponent in exponents:
-        summary = run_trials(
-            lambda e=exponent: ImportanceCIRecall(query, weight_exponent=e),
-            dataset,
-            trials=trials,
-            base_seed=seed + 1,
-            method_name=f"exponent={exponent}",
-            n_jobs=n_jobs,
-        )
+        summary = panel[f"exponent={exponent}"]
         summaries[str(exponent)] = summary
         rows.append((exponent, summary.mean_quality, summary.failure_rate))
     return ExperimentResult(
@@ -591,30 +628,16 @@ def figure12(
     )
 
 
-def figure13(
-    trials: int = 10,
-    delta: float = 0.05,
-    gamma: float = 0.9,
-    seed: int = 0,
-    size: int = 200_000,
-    budget: int = 6_000,
-    n_jobs: int | None = 1,
-) -> ExperimentResult:
-    """Figure 13: confidence-interval method comparison on Beta(0.01, 1).
+def figure13_panel(query: ApproxQuery) -> dict[str, object]:
+    """The Figure 13 bound-ablation method panel: label → factory.
 
-    Uniform (U-CI-R) compares normal approximation, Clopper-Pearson,
-    bootstrap, and Hoeffding; SUPG (IS-CI-R) compares all but
-    Clopper-Pearson, which applies only to uniform samples.  The normal
-    approximation matches or beats alternatives; Hoeffding is vacuous.
-
-    The budget defaults higher than the other fast-scale experiments:
-    with ~1% positives, the uniform sampler needs roughly 60 positive
-    draws before any of the variance-aware interval methods can certify
-    a non-trivial threshold, so smaller budgets make every method look
-    identically vacuous and the comparison meaningless.
+    Seven methods over two sampling designs — U-CI-R under the normal,
+    Clopper-Pearson, bootstrap, and Hoeffding bounds, and IS-CI-R
+    under all but Clopper-Pearson (which applies only to uniform
+    samples).  Shared by :func:`figure13`, the perf-smoke fig13-cell
+    benchmark, and the panel microbenchmarks, so every consumer
+    measures the same workload.
     """
-    dataset = make_beta_dataset(0.01, 1.0, size=size, seed=seed)
-    query = ApproxQuery.recall_target(gamma, delta, budget)
     uniform_bounds = {
         "normal": NormalBound(),
         "clopper-pearson": ClopperPearsonBound(),
@@ -626,30 +649,62 @@ def figure13(
         "bootstrap": BootstrapBound(n_resamples=200),
         "hoeffding": HoeffdingBound(value_range=None),
     }
+    factories: dict[str, object] = {}
+    for label, bound in uniform_bounds.items():
+        factories[f"U-CI-R/{label}"] = lambda b=bound: UniformCIRecall(query, bound=b)
+    for label, bound in supg_bounds.items():
+        factories[f"IS-CI-R/{label}"] = lambda b=bound: ImportanceCIRecall(query, bound=b)
+    return factories
+
+
+def figure13(
+    trials: int = 10,
+    delta: float = 0.05,
+    gamma: float = 0.9,
+    seed: int = 0,
+    size: int = 200_000,
+    budget: int = 6_000,
+    n_jobs: int | None = 1,
+    context=None,
+    store_dir: str | None = None,
+) -> ExperimentResult:
+    """Figure 13: confidence-interval method comparison on Beta(0.01, 1).
+
+    Uniform (U-CI-R) compares normal approximation, Clopper-Pearson,
+    bootstrap, and Hoeffding; SUPG (IS-CI-R) compares all but
+    Clopper-Pearson, which applies only to uniform samples.  The normal
+    approximation matches or beats alternatives; Hoeffding is vacuous.
+
+    All seven bound variants form *one* trial-outer method panel over
+    two sampling designs: the four U-CI-R variants share the uniform
+    draw and the three IS-CI-R variants share the proxy-weighted draw,
+    so each seed labels exactly two oracle samples instead of seven —
+    the largest single reuse win among the figure drivers.  Results
+    are bit-identical to independent per-bound trial loops.
+
+    The budget defaults higher than the other fast-scale experiments:
+    with ~1% positives, the uniform sampler needs roughly 60 positive
+    draws before any of the variance-aware interval methods can certify
+    a non-trivial threshold, so smaller budgets make every method look
+    identically vacuous and the comparison meaningless.
+    """
+    dataset = make_beta_dataset(0.01, 1.0, size=size, seed=seed)
+    query = ApproxQuery.recall_target(gamma, delta, budget)
+    factories = figure13_panel(query)
+    keys = [
+        (("uniform" if label.startswith("U-") else "supg"), label.split("/", 1)[1], label)
+        for label in factories
+    ]
+    panel = compare_methods(
+        factories, dataset, trials=trials, base_seed=seed + 1,
+        n_jobs=n_jobs, context=context, store_dir=store_dir,
+    )
     rows: list[tuple[object, ...]] = []
     summaries: dict[str, MethodSummary] = {}
-    for label, bound in uniform_bounds.items():
-        summary = run_trials(
-            lambda b=bound: UniformCIRecall(query, bound=b),
-            dataset,
-            trials=trials,
-            base_seed=seed + 1,
-            method_name=f"U-CI-R/{label}",
-            n_jobs=n_jobs,
-        )
-        summaries[f"uniform|{label}"] = summary
-        rows.append(("uniform", label, summary.mean_quality, summary.failure_rate))
-    for label, bound in supg_bounds.items():
-        summary = run_trials(
-            lambda b=bound: ImportanceCIRecall(query, bound=b),
-            dataset,
-            trials=trials,
-            base_seed=seed + 1,
-            method_name=f"IS-CI-R/{label}",
-            n_jobs=n_jobs,
-        )
-        summaries[f"supg|{label}"] = summary
-        rows.append(("supg", label, summary.mean_quality, summary.failure_rate))
+    for sampler, label, panel_key in keys:
+        summary = panel[panel_key]
+        summaries[f"{sampler}|{label}"] = summary
+        rows.append((sampler, label, summary.mean_quality, summary.failure_rate))
     return ExperimentResult(
         experiment_id="fig13",
         description="confidence-interval methods vs precision (recall target 90%)",

@@ -30,14 +30,22 @@ the sequential path.
 Sample reuse
 ------------
 
-``sweep`` runs its trial loop *outermost* and threads one
-:class:`~repro.core.pipeline.ExecutionContext` through every
-selection, so for sample-reusable selectors the labeled oracle sample
-of seed ``t`` is drawn once and replayed across the entire gamma axis
-— exactly one draw per (dataset, seed, budget) instead of one per
-gamma point.  The reuse is bit-exact: a gamma point's trial sees the
+``sweep`` and ``compare_methods`` run their trial loop *outermost* and
+thread one :class:`~repro.core.pipeline.ExecutionContext` through every
+selection, so the labeled oracle sample of seed ``t`` is drawn once and
+replayed across the entire gamma axis (``sweep``) or across every
+method sharing its sampling design (``compare_methods``) — exactly one
+draw per (dataset, seed, design) instead of one per loop iteration.
+Trial-outer ordering is also what makes the reuse robust to LRU
+capacity: slots of one seed execute back-to-back, so a panel with
+``trials > max_entries`` can no longer thrash the store the way a
+method-outer loop does.  The reuse is bit-exact: every slot sees the
 same sample it would have drawn itself.  Pass ``share_samples=False``
 to force fresh draws (only useful for timing the difference).
+
+Passing ``store_dir`` spills every fresh draw to a persistent
+:class:`~repro.core.pipeline.SampleStore` tier, shared across worker
+processes and across runs — see :mod:`repro.core.pipeline`.
 """
 
 from __future__ import annotations
@@ -47,7 +55,7 @@ import os
 from typing import Callable, Mapping, Sequence
 
 from ..core.base import Selector
-from ..core.pipeline import ExecutionContext
+from ..core.pipeline import ExecutionContext, SampleStore
 from ..core.types import ApproxQuery
 from ..datasets import Dataset
 from ..metrics import evaluate_selection
@@ -97,7 +105,9 @@ def _run_single_trial(
     selector = factory()
     query: ApproxQuery = selector.query
     result = selector.select(dataset, seed=base_seed + trial, context=context)
-    quality = evaluate_selection(result.indices, dataset.labels)
+    quality = evaluate_selection(
+        result.indices, dataset.labels, positive_total=dataset.positive_count
+    )
     target_metric, quality_metric = quality_of(quality, query.target_type.value)
     return TrialRecord(
         method=method_name or selector.name,
@@ -150,6 +160,35 @@ def _reject_context_with_parallelism(context: ExecutionContext | None, jobs: int
         raise ValueError(
             f"{what}(context=...) requires sequential execution "
             "(effective n_jobs=1); parallel workers own their stores"
+        )
+
+
+def _make_context(store_dir: str | None) -> ExecutionContext:
+    """A fresh context, persistent-tier-backed when ``store_dir`` is set."""
+    return ExecutionContext(store=SampleStore(store_dir=store_dir))
+
+
+def _validate_sharing(
+    context: ExecutionContext | None,
+    share_samples: bool,
+    store_dir: str | None,
+    what: str,
+) -> None:
+    """Reject contradictory (context, share_samples, store_dir) combinations."""
+    if context is not None and not share_samples:
+        raise ValueError(
+            f"{what}(context=...) conflicts with share_samples=False; "
+            "the context would be silently discarded"
+        )
+    if context is not None and store_dir is not None:
+        raise ValueError(
+            f"{what}(context=..., store_dir=...) is ambiguous; construct the "
+            "context with SampleStore(store_dir=...) instead"
+        )
+    if store_dir is not None and not share_samples:
+        raise ValueError(
+            f"{what}(store_dir=...) conflicts with share_samples=False; "
+            "nothing would ever be spilled"
         )
 
 
@@ -231,6 +270,92 @@ def run_trials(
     return summarize_trials(records)
 
 
+# -- trial-outer panels ---------------------------------------------------------
+
+#: One labeled slot of a panel: ``(factory, method_name)``.  A sweep's
+#: slots are its gamma points (all sharing one label); a method panel's
+#: slots are its methods (one label each).
+PanelSlot = tuple[SelectorFactory, "str | None"]
+
+
+def _panel_chunk_records(
+    slots: Sequence[PanelSlot],
+    dataset: Dataset,
+    trials: Sequence[int],
+    base_seed: int,
+    context: ExecutionContext | None,
+) -> list[list[TrialRecord]]:
+    """Trial-outer panel loop: per seed, evaluate every slot.
+
+    Running the trial loop outermost is what makes the sample store
+    effective — all slots of one seed execute back-to-back, so the
+    seed's labeled sample is drawn on the first slot that needs it and
+    served from cache for the rest, regardless of the store's LRU
+    capacity (a slot-outer loop revisits seed keys only after ``trials``
+    other keys, thrashing any store with ``max_entries < trials``).
+    """
+    per_slot: list[list[TrialRecord]] = [[] for _ in slots]
+    for trial in trials:
+        for index, (factory, method_name) in enumerate(slots):
+            per_slot[index].append(
+                _run_single_trial(factory, dataset, base_seed, method_name, trial, context)
+            )
+    return per_slot
+
+
+def _init_panel_worker(
+    slots: Sequence[PanelSlot],
+    dataset: Dataset,
+    base_seed: int,
+    share_samples: bool,
+    store_dir: str | None,
+) -> None:
+    _WORKER_STATE["panel"] = (slots, dataset, base_seed, share_samples, store_dir)
+
+
+def _run_panel_chunk(trials: Sequence[int]) -> list[list[TrialRecord]]:
+    slots, dataset, base_seed, share_samples, store_dir = _WORKER_STATE["panel"]
+    context = _make_context(store_dir) if share_samples else None
+    return _panel_chunk_records(slots, dataset, trials, base_seed, context)
+
+
+def _run_panel(
+    slots: Sequence[PanelSlot],
+    dataset: Dataset,
+    trials: int,
+    base_seed: int,
+    n_jobs: int | None,
+    share_samples: bool,
+    context: ExecutionContext | None,
+    store_dir: str | None,
+    what: str,
+) -> list[list[TrialRecord]]:
+    """Shared trial-outer execution behind ``sweep`` and
+    ``compare_methods``: fan contiguous seed chunks across workers, or
+    run sequentially under one shared context."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    jobs = min(resolve_n_jobs(n_jobs), trials)
+    _reject_context_with_parallelism(context, jobs, what)
+    _validate_sharing(context, share_samples, store_dir, what)
+    if jobs > 1 and _fork_available():
+        chunks = _chunk_trials(trials, jobs)
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(
+            processes=len(chunks),
+            initializer=_init_panel_worker,
+            initargs=(tuple(slots), dataset, base_seed, share_samples, store_dir),
+        ) as pool:
+            chunk_results = pool.map(_run_panel_chunk, chunks)
+        return [
+            [record for chunk in chunk_results for record in chunk[slot]]
+            for slot in range(len(slots))
+        ]
+    if context is None and share_samples:
+        context = _make_context(store_dir)
+    return _panel_chunk_records(slots, dataset, range(trials), base_seed, context)
+
+
 def compare_methods(
     factories: Mapping[str, SelectorFactory],
     dataset: Dataset,
@@ -238,70 +363,47 @@ def compare_methods(
     base_seed: int = 0,
     n_jobs: int | None = 1,
     context: ExecutionContext | None = None,
+    share_samples: bool = True,
+    store_dir: str | None = None,
 ) -> dict[str, MethodSummary]:
-    """Run a panel of methods on one workload.
+    """Run a panel of methods on one workload, trial-outer.
 
     Every method sees the same sequence of seeds, so differences are
-    attributable to the algorithms rather than sampling luck.  Pass a
-    shared ``context`` to reuse labeled samples across methods that
-    share a sampling design (e.g. one uniform design scanned under
-    several confidence-bound methods).
+    attributable to the algorithms rather than sampling luck.  The
+    trial loop runs *outermost* (all methods of seed ``t`` before seed
+    ``t + 1``) under one shared sample store, so methods sharing a
+    sampling design — e.g. one uniform design scanned under several
+    confidence-bound methods in the fig13 ablation — label their common
+    sample once per seed.  Records are bit-identical to independent
+    per-method :func:`run_trials` loops for any ``n_jobs``.
+
+    Args:
+        factories: label → selector factory, in panel order.
+        dataset: the workload.
+        trials: independent runs per method.
+        base_seed: trial ``t`` uses seed ``base_seed + t`` for every
+            method (matched seeds across the panel).
+        n_jobs: fan trial chunks across workers (each worker keeps its
+            own sample store, so within-chunk reuse is preserved).
+        context: optional externally owned context (sequential path
+            only), e.g. to inspect reuse counters afterwards.
+        share_samples: disable to force a fresh draw per (method, seed)
+            (timing baseline; results are identical either way).
+        store_dir: spill directory for the persistent sample-store tier
+            (workers and later runs reuse the labels).
     """
+    slots: list[PanelSlot] = [(factory, label) for label, factory in factories.items()]
+    per_method = _run_panel(
+        slots, dataset, trials, base_seed, n_jobs, share_samples, context, store_dir,
+        what="compare_methods",
+    )
     return {
-        label: run_trials(
-            factory,
-            dataset,
-            trials,
-            base_seed,
-            method_name=label,
-            n_jobs=n_jobs,
-            context=context,
-        )
-        for label, factory in factories.items()
+        label: summarize_trials(records)
+        for (_, label), records in zip(slots, per_method)
     }
 
 
 # -- gamma sweeps ---------------------------------------------------------------
-
-
-def _sweep_chunk_records(
-    factories: Sequence[SelectorFactory],
-    dataset: Dataset,
-    trials: Sequence[int],
-    base_seed: int,
-    method_name: str | None,
-    context: ExecutionContext | None,
-) -> list[list[TrialRecord]]:
-    """Trial-outer sweep loop: per seed, evaluate every gamma point.
-
-    Running the trial loop outermost is what makes the sample store
-    effective — gamma points of one seed execute back-to-back, so the
-    seed's labeled sample is drawn on the first gamma and served from
-    cache for the rest.
-    """
-    per_gamma: list[list[TrialRecord]] = [[] for _ in factories]
-    for trial in trials:
-        for slot, factory in enumerate(factories):
-            per_gamma[slot].append(
-                _run_single_trial(factory, dataset, base_seed, method_name, trial, context)
-            )
-    return per_gamma
-
-
-def _init_sweep_worker(
-    factories: Sequence[SelectorFactory],
-    dataset: Dataset,
-    base_seed: int,
-    method_name: str | None,
-    share_samples: bool,
-) -> None:
-    _WORKER_STATE["sweep"] = (factories, dataset, base_seed, method_name, share_samples)
-
-
-def _run_sweep_chunk(trials: Sequence[int]) -> list[list[TrialRecord]]:
-    factories, dataset, base_seed, method_name, share_samples = _WORKER_STATE["sweep"]
-    context = ExecutionContext() if share_samples else None
-    return _sweep_chunk_records(factories, dataset, trials, base_seed, method_name, context)
 
 
 def sweep(
@@ -314,6 +416,7 @@ def sweep(
     n_jobs: int | None = 1,
     share_samples: bool = True,
     context: ExecutionContext | None = None,
+    store_dir: str | None = None,
 ) -> list[MethodSummary]:
     """Run one method across a target sweep (the Figure 7/8 x-axes).
 
@@ -338,78 +441,93 @@ def sweep(
         context: optional externally owned context (sequential path
             only), e.g. to share one store across several sweeps or to
             inspect reuse counters afterwards.
+        store_dir: spill directory for the persistent sample-store tier.
 
     Returns:
         One :class:`MethodSummary` per gamma, in ``gammas`` order.
     """
-    if trials <= 0:
-        raise ValueError(f"trials must be positive, got {trials}")
-    jobs = min(resolve_n_jobs(n_jobs), trials)
-    _reject_context_with_parallelism(context, jobs, "sweep")
-    if context is not None and not share_samples:
-        raise ValueError(
-            "sweep(context=...) conflicts with share_samples=False; "
-            "the context would be silently discarded"
-        )
     gamma_values = tuple(gammas)
     if not gamma_values:
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
         return []
-    factories = tuple(factory_for_gamma(gamma) for gamma in gamma_values)
-    if jobs > 1 and _fork_available():
-        chunks = _chunk_trials(trials, jobs)
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(
-            processes=len(chunks),
-            initializer=_init_sweep_worker,
-            initargs=(factories, dataset, base_seed, method_name, share_samples),
-        ) as pool:
-            chunk_results = pool.map(_run_sweep_chunk, chunks)
-        per_gamma = [
-            [record for chunk in chunk_results for record in chunk[slot]]
-            for slot in range(len(factories))
-        ]
-    else:
-        if context is None and share_samples:
-            context = ExecutionContext()
-        per_gamma = _sweep_chunk_records(
-            factories, dataset, range(trials), base_seed, method_name, context
-        )
+    slots: list[PanelSlot] = [
+        (factory_for_gamma(gamma), method_name) for gamma in gamma_values
+    ]
+    per_gamma = _run_panel(
+        slots, dataset, trials, base_seed, n_jobs, share_samples, context, store_dir,
+        what="sweep",
+    )
     return [summarize_trials(records) for records in per_gamma]
 
 
 # -- sweep-cell fan-out ---------------------------------------------------------
 
 
+def _run_cell_spec(
+    cell: Mapping[str, object], context: ExecutionContext | None = None
+):
+    """Execute one cell spec sequentially: a ``factories`` mapping runs
+    as a :func:`compare_methods` panel, otherwise the spec is a
+    :func:`sweep` call."""
+    if "factories" in cell:
+        return compare_methods(**cell, n_jobs=1, context=context)
+    return sweep(**cell, n_jobs=1, context=context)
+
+
 def _init_cell_worker(cells: Sequence[Mapping[str, object]]) -> None:
     _WORKER_STATE["cells"] = (tuple(cells),)
 
 
-def _run_cell(index: int) -> list[MethodSummary]:
+def _run_cell(index: int):
     (cells,) = _WORKER_STATE["cells"]
-    return sweep(**cells[index], n_jobs=1)
+    return _run_cell_spec(cells[index])
 
 
 def run_sweep_cells(
     cells: Sequence[Mapping[str, object]],
     n_jobs: int | None = 1,
-) -> list[list[MethodSummary]]:
-    """Fan whole (method, dataset) sweep cells across workers.
+    context: ExecutionContext | None = None,
+    store_dir: str | None = None,
+) -> list:
+    """Fan whole (method-panel, dataset) cells across workers.
 
-    Each cell is a mapping of :func:`sweep` keyword arguments (without
-    ``n_jobs``); the cell runs sequentially on one worker so its sample
-    store stays local and hot.  This is the figure drivers' fan-out
-    shape: their cell count (methods × datasets) comfortably exceeds
-    typical core counts, and whole-cell placement avoids splitting a
-    cell's reusable samples across processes.
+    Each cell is a mapping of keyword arguments (without ``n_jobs``)
+    for either :func:`sweep` (cells with ``factory_for_gamma``) or
+    :func:`compare_methods` (cells with ``factories``); the cell runs
+    sequentially on one worker so its sample store stays local and hot.
+    This is the figure drivers' fan-out shape: their cell count
+    (methods × datasets) comfortably exceeds typical core counts, and
+    whole-cell placement avoids splitting a cell's reusable samples
+    across processes.
+
+    Args:
+        cells: cell specs, executed in order.
+        n_jobs: worker processes for whole-cell fan-out.
+        context: optional externally owned context threaded through
+            *every* cell (sequential path only) — one store serves the
+            whole grid, which is how the figure drivers expose their
+            per-driver oracle-draw accounting.
+        store_dir: persistent sample-store tier for cells that do not
+            already set one; with parallel cells, the disk tier is what
+            lets workers share labels across process boundaries.
 
     Returns:
-        Per-cell sweep results, in ``cells`` order (bit-identical to
-        running every cell sequentially).
+        Per-cell results, in ``cells`` order (bit-identical to running
+        every cell sequentially): a list of per-gamma summaries for
+        sweep cells, a label → summary mapping for panel cells.
     """
     cell_list = list(cells)
     if not cell_list:
         return []
+    _validate_sharing(context, True, store_dir, "run_sweep_cells")
+    if store_dir is not None:
+        cell_list = [
+            cell if "store_dir" in cell else {**cell, "store_dir": store_dir}
+            for cell in cell_list
+        ]
     jobs = min(resolve_n_jobs(n_jobs), len(cell_list))
+    _reject_context_with_parallelism(context, jobs, "run_sweep_cells")
     if jobs > 1 and _fork_available():
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(
@@ -418,4 +536,4 @@ def run_sweep_cells(
             initargs=(cell_list,),
         ) as pool:
             return pool.map(_run_cell, range(len(cell_list)))
-    return [sweep(**cell, n_jobs=1) for cell in cell_list]
+    return [_run_cell_spec(cell, context=context) for cell in cell_list]

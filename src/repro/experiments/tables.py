@@ -13,7 +13,7 @@ from ..datasets import make_drift_pair
 from ..metrics import evaluate_selection
 from ..oracle import DATASET_COST_MODELS
 from .figures import FAST_BUDGETS, ExperimentResult
-from .runner import run_trials
+from .runner import compare_methods
 
 __all__ = ["table4", "table5"]
 
@@ -42,6 +42,8 @@ def table4(
     size: int | None = 50_000,
     scenarios: Sequence[str] = ("imagenet", "night-street", "beta"),
     n_jobs: int | None = 1,
+    context=None,
+    store_dir: str | None = None,
 ) -> ExperimentResult:
     """Table 4: accuracy under model drift, fixed threshold vs SUPG.
 
@@ -51,6 +53,12 @@ def table4(
     budget of labels on the shifted data.  The paper's result: the
     naive approach misses the 95% targets on every scenario while SUPG
     achieves them.
+
+    The two SUPG query types run as one trial-outer
+    :func:`~repro.experiments.runner.compare_methods` panel per shifted
+    dataset (records are bit-identical to separate per-method loops);
+    with ``store_dir``, repeated table regenerations reuse the labeled
+    samples across runs.
     """
     rows: list[tuple[object, ...]] = []
     summaries: dict[str, float] = {}
@@ -60,14 +68,25 @@ def table4(
             kwargs["size"] = size
         train, test = make_drift_pair(scenario, **kwargs)
         budget = FAST_BUDGETS["beta(0.01,2)"]
-        for target_kind in ("precision", "recall"):
-            if target_kind == "precision":
-                query = ApproxQuery.precision_target(gamma, delta, budget)
-                supg_factory = lambda q=query: ImportanceCIPrecisionTwoStage(q)
-            else:
-                query = ApproxQuery.recall_target(gamma, delta, budget)
-                supg_factory = lambda q=query: ImportanceCIRecall(q)
-
+        pt_query = ApproxQuery.precision_target(gamma, delta, budget)
+        rt_query = ApproxQuery.recall_target(gamma, delta, budget)
+        # The guaranteed metric of a TrialRecord is precision for PT
+        # queries and recall for RT queries — exactly the metric this
+        # table reports — so the shared panel runner (and its n_jobs
+        # backend) replaces the bespoke trial loops.
+        panel = compare_methods(
+            {
+                "supg-precision": lambda: ImportanceCIPrecisionTwoStage(pt_query),
+                "supg-recall": lambda: ImportanceCIRecall(rt_query),
+            },
+            test,
+            trials=trials,
+            base_seed=seed + 1,
+            n_jobs=n_jobs,
+            context=context,
+            store_dir=store_dir,
+        )
+        for target_kind, query in (("precision", pt_query), ("recall", rt_query)):
             fixed = FixedThresholdSelector(query).fit(train)
             naive_result = fixed.select(test)
             naive_quality = evaluate_selection(naive_result.indices, test.labels)
@@ -75,18 +94,7 @@ def table4(
                 naive_quality.precision if target_kind == "precision" else naive_quality.recall
             )
 
-            # The guaranteed metric of a TrialRecord is precision for PT
-            # queries and recall for RT queries — exactly the metric this
-            # table reports — so the shared runner (and its n_jobs
-            # backend) replaces the bespoke trial loop.
-            summary = run_trials(
-                supg_factory,
-                test,
-                trials=trials,
-                base_seed=seed + 1,
-                method_name=f"supg-{target_kind}",
-                n_jobs=n_jobs,
-            )
+            summary = panel[f"supg-{target_kind}"]
             supg_metrics = [record.target_metric for record in summary.records]
             supg_mean = float(np.mean(supg_metrics))
             supg_success = float(

@@ -23,6 +23,12 @@ __all__ = ["precision", "recall", "f1_score", "SelectionQuality", "evaluate_sele
 
 def _as_index_set(indices: np.ndarray) -> np.ndarray:
     arr = np.asarray(indices, dtype=np.intp).ravel()
+    # Selection results arrive sorted and distinct (they come off
+    # np.union1d / np.unique), so checking is ~50x cheaper than
+    # unconditionally re-uniquing; np.unique remains the fallback for
+    # arbitrary caller input.
+    if arr.size == 0 or bool(np.all(arr[1:] > arr[:-1])):
+        return arr
     return np.unique(arr)
 
 
@@ -77,11 +83,31 @@ class SelectionQuality:
         return 2 * self.precision * self.recall / (self.precision + self.recall)
 
 
-def evaluate_selection(selected: np.ndarray, labels: np.ndarray) -> SelectionQuality:
-    """Score a returned set against ground truth."""
+def evaluate_selection(
+    selected: np.ndarray,
+    labels: np.ndarray,
+    positive_total: int | None = None,
+) -> SelectionQuality:
+    """Score a returned set against ground truth.
+
+    Deduplicates ``selected`` once and shares the true-positive count
+    between both metrics (the separate :func:`precision` /
+    :func:`recall` helpers each redo that work, which the trial runner
+    cannot afford at one call per trial).
+
+    Args:
+        selected: indices of the returned set ``R`` (duplicates ignored).
+        labels: full ground-truth label array over the dataset.
+        positive_total: optionally, the precomputed ``labels.sum()``
+            (e.g. ``Dataset.positive_count``), sparing an O(n) pass per
+            evaluation.  Must equal the array sum when given.
+    """
     sel = _as_index_set(selected)
+    lab = np.asarray(labels)
+    total = int(lab.sum()) if positive_total is None else int(positive_total)
+    hits = lab[sel].sum() if sel.size else 0
     return SelectionQuality(
-        precision=precision(sel, labels),
-        recall=recall(sel, labels),
+        precision=1.0 if sel.size == 0 else float(hits / sel.size),
+        recall=1.0 if total == 0 else (0.0 if sel.size == 0 else float(hits / total)),
         size=int(sel.size),
     )

@@ -32,7 +32,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from ..core.joint import JointSelector
-from ..core.pipeline import ExecutionContext
+from ..core.pipeline import ExecutionContext, SampleStore
 from ..core.registry import default_selector, make_selector
 from ..core.types import SelectionResult
 from ..datasets import Dataset
@@ -73,6 +73,14 @@ class SupgEngine:
         context: optional externally owned execution context; by
             default the engine creates its own, giving every engine
             instance an independent sample store.
+        store_dir: spill directory for the sample store's persistent
+            tier.  Engine sessions sharing a directory — including
+            sessions in different processes, or across restarts —
+            reuse each other's labeled oracle samples (the paper's
+            cost model charges per distinct labeled record, so spilled
+            labels are real savings).  Mutually exclusive with
+            ``context``; construct the context's store with
+            ``SampleStore(store_dir=...)`` instead.
 
     Example::
 
@@ -88,12 +96,23 @@ class SupgEngine:
         ''', seed=0)
     """
 
-    def __init__(self, context: ExecutionContext | None = None) -> None:
+    def __init__(
+        self,
+        context: ExecutionContext | None = None,
+        store_dir: str | None = None,
+    ) -> None:
+        if context is not None and store_dir is not None:
+            raise ValueError(
+                "SupgEngine(context=..., store_dir=...) is ambiguous; construct "
+                "the context with SampleStore(store_dir=...) instead"
+            )
         self._tables: dict[str, Dataset] = {}
         self._oracle_udfs: dict[str, OracleUdf] = {}
         self._proxy_udfs: dict[str, ProxyUdf] = {}
         self._derived: dict[tuple[str, str], Dataset] = {}
-        self._context = context if context is not None else ExecutionContext()
+        if context is None:
+            context = ExecutionContext(store=SampleStore(store_dir=store_dir))
+        self._context = context
 
     # -- registration ----------------------------------------------------------
 

@@ -14,6 +14,13 @@ A drawn-and-labeled sample is materialized as a :class:`LabeledSample`,
 which also records the generator state *after* the draw so multi-stage
 algorithms (Algorithm 5) can resume their random stream bit-exactly
 when stage 1 is served from the cache.
+
+Samples are also the unit of the store's persistent tier
+(:mod:`repro.core.pipeline`): a :class:`LabeledSample` round-trips
+through an ``.npz`` spill file — arrays verbatim, ``rng_state`` as
+JSON.  The default PCG64 state is plain integers, so the JSON
+round-trip is exact and a resumed stage-2 stream is bit-identical
+whether stage 1 came from memory, disk, or a fresh draw.
 """
 
 from __future__ import annotations
@@ -114,8 +121,29 @@ class LabeledSample:
 
     @cached_property
     def distinct_indices(self) -> np.ndarray:
-        """Sorted distinct labeled records (the paper's set ``S``)."""
-        return np.unique(np.asarray(self.indices, dtype=np.intp))
+        """Sorted distinct labeled records (the paper's set ``S``).
+
+        Cached (and read-only, since store-served samples are shared
+        across selections): every selection that materializes from this
+        sample needs the same set, so a cache hit skips the O(s log s)
+        unique pass entirely.
+        """
+        out = np.unique(np.asarray(self.indices, dtype=np.intp))
+        out.flags.writeable = False
+        return out
+
+    @cached_property
+    def distinct_positives(self) -> np.ndarray:
+        """Sorted distinct labeled *positives* (Algorithm 1's ``R1``).
+
+        Target-independent, hence cacheable: which sampled records the
+        oracle called positive does not depend on the query's gamma, so
+        one pass serves every selection replaying this sample.
+        """
+        indices = np.asarray(self.indices, dtype=np.intp)
+        out = np.unique(indices[np.asarray(self.labels) == 1])
+        out.flags.writeable = False
+        return out
 
     @property
     def oracle_calls(self) -> int:

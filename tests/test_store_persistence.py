@@ -1,0 +1,270 @@
+"""Persistent-tier contract of the SampleStore.
+
+The disk tier must be a pure optimization: a spilled sample served to a
+later process is bit-identical to the draw it replaced, and *any*
+defect in a spill file — truncation, garbage bytes, a mismatched
+format version, or a key that disagrees with the requested dataset —
+silently downgrades to a fresh draw.  Wrong labels are never served
+and nothing ever crashes on a bad file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxQuery, ExecutionContext, SampleStore, make_selector
+from repro.core.pipeline import SPILL_FORMAT_VERSION
+from repro.datasets import make_beta_dataset
+from repro.sampling import SampleDesign
+
+DESIGN = SampleDesign(kind="proxy-weighted", budget=200, exponent=0.5, mixing=0.1)
+UNIFORM = SampleDesign(kind="uniform", budget=150)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_beta_dataset(0.01, 1.0, size=20_000, seed=9)
+
+
+def _assert_samples_equal(a, b):
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.scores, b.scores)
+    assert np.array_equal(a.labels, b.labels)
+    assert np.array_equal(a.mass, b.mass)
+    assert a.scores.dtype == b.scores.dtype and a.labels.dtype == b.labels.dtype
+    assert dict(a.rng_state) == dict(b.rng_state)
+
+
+class TestDiskRoundTrip:
+    def test_second_process_draws_nothing(self, workload, tmp_path):
+        first = SampleStore(store_dir=tmp_path)
+        drawn = first.fetch(workload, DESIGN, 3)
+        assert first.stats()["misses"] == 1
+
+        second = SampleStore(store_dir=tmp_path)  # simulates a new process
+        served = second.fetch(workload, DESIGN, 3)
+        stats = second.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["misses"] == 0 and stats["labels_drawn"] == 0
+        assert stats["labels_saved"] == drawn.oracle_calls
+        _assert_samples_equal(drawn, served)
+
+    def test_spill_files_are_complete_and_atomic(self, workload, tmp_path):
+        store = SampleStore(store_dir=tmp_path)
+        store.fetch(workload, DESIGN, 0)
+        store.fetch(workload, UNIFORM, 0)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert len(names) == 2
+        assert all(name.endswith(".npz") for name in names)
+        assert not any(".tmp" in name for name in names)
+
+    def test_disk_hit_promotes_to_memory(self, workload, tmp_path):
+        SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 1)
+        store = SampleStore(store_dir=tmp_path)
+        store.fetch(workload, DESIGN, 1)
+        store.fetch(workload, DESIGN, 1)
+        assert store.disk_hits == 1 and store.hits == 1
+
+    def test_selector_results_identical_through_disk(self, workload, tmp_path):
+        """A staged selection whose sample came off disk — including the
+        two-stage algorithm, which resumes the spilled generator state —
+        must match the legacy oracle-driven path bit for bit."""
+        for name, query in (
+            ("is-ci-r", ApproxQuery.recall_target(0.9, 0.05, 300)),
+            ("is-ci-p", ApproxQuery.precision_target(0.9, 0.05, 300)),
+        ):
+            legacy = make_selector(name, query).select(workload, seed=4)
+            ExecutionContext(store=SampleStore(store_dir=tmp_path)).select(
+                make_selector(name, query), workload, seed=4
+            )
+            cold = ExecutionContext(store=SampleStore(store_dir=tmp_path))
+            served = cold.select(make_selector(name, query), workload, seed=4)
+            assert np.array_equal(legacy.indices, served.indices), name
+            assert legacy.tau == served.tau, name
+            assert dict(legacy.details) == dict(served.details), name
+            assert cold.store.labels_drawn == 0, name
+
+
+class TestCorruptionTolerance:
+    def _spill_file(self, tmp_path):
+        (only,) = list(tmp_path.iterdir())
+        return only
+
+    def test_truncated_file_falls_back_to_fresh_draw(self, workload, tmp_path):
+        reference = SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 2)
+        path = self._spill_file(tmp_path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        store = SampleStore(store_dir=tmp_path)
+        sample = store.fetch(workload, DESIGN, 2)
+        assert store.disk_errors == 1 and store.misses == 1
+        _assert_samples_equal(reference, sample)  # redraw, not garbage
+
+    def test_garbage_bytes_fall_back_to_fresh_draw(self, workload, tmp_path):
+        SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 2)
+        self._spill_file(tmp_path).write_bytes(b"not an npz archive at all")
+        store = SampleStore(store_dir=tmp_path)
+        store.fetch(workload, DESIGN, 2)
+        assert store.disk_errors == 1 and store.misses == 1
+
+    def test_format_version_mismatch_rejected(self, workload, tmp_path):
+        store = SampleStore(store_dir=tmp_path)
+        sample = store.fetch(workload, DESIGN, 2)
+        path = self._spill_file(tmp_path)
+        with np.load(path, allow_pickle=False) as payload:
+            fields = {key: payload[key] for key in payload.files}
+        fields["format_version"] = np.int64(SPILL_FORMAT_VERSION + 1)
+        with open(path, "wb") as handle:
+            np.savez(handle, **fields)
+
+        fresh = SampleStore(store_dir=tmp_path)
+        redraw = fresh.fetch(workload, DESIGN, 2)
+        assert fresh.disk_errors == 1 and fresh.misses == 1
+        _assert_samples_equal(sample, redraw)
+
+    def test_fingerprint_mismatch_never_serves_foreign_labels(self, tmp_path):
+        """A spill keyed to one dataset, renamed to another key's path
+        (copied store, hash collision), must be rejected — its labels
+        belong to different records."""
+        ours = make_beta_dataset(0.01, 1.0, size=5_000, seed=1)
+        theirs = make_beta_dataset(0.01, 2.0, size=5_000, seed=2)
+        store = SampleStore(store_dir=tmp_path)
+        store.fetch(theirs, UNIFORM, 0)
+        (foreign,) = list(tmp_path.iterdir())
+        expected_path = store._spill_path(ours.fingerprint, UNIFORM, 0)
+        os.replace(foreign, expected_path)
+
+        fresh = SampleStore(store_dir=tmp_path)
+        sample = fresh.fetch(ours, UNIFORM, 0)
+        assert fresh.disk_errors == 1 and fresh.misses == 1
+        np.testing.assert_array_equal(sample.labels, ours.labels[sample.indices])
+
+    def test_budget_mismatch_rejected(self, workload, tmp_path):
+        """A spill whose arrays disagree with the design's budget is
+        unusable even if its key parses."""
+        store = SampleStore(store_dir=tmp_path)
+        store.fetch(workload, UNIFORM, 5)
+        path = self._spill_file(tmp_path)
+        with np.load(path, allow_pickle=False) as payload:
+            fields = {key: payload[key] for key in payload.files}
+        for key in ("indices", "scores", "labels", "mass"):
+            fields[key] = fields[key][:-3]
+        with open(path, "wb") as handle:
+            np.savez(handle, **fields)
+        fresh = SampleStore(store_dir=tmp_path)
+        fresh.fetch(workload, UNIFORM, 5)
+        assert fresh.disk_errors == 1 and fresh.misses == 1
+
+
+class TestLruInterleaving:
+    def test_eviction_follows_access_order_not_insertion(self, workload):
+        """Touching an entry must move it to the LRU tail: after
+        inserting seeds 0,1 and re-reading 0, adding seed 2 evicts 1."""
+        store = SampleStore(max_entries=2)
+        store.fetch(workload, UNIFORM, 0)
+        store.fetch(workload, UNIFORM, 1)
+        store.fetch(workload, UNIFORM, 0)  # hit: 0 becomes most-recent
+        store.fetch(workload, UNIFORM, 2)  # evicts 1, not 0
+        assert store.fetch(workload, UNIFORM, 0) is not None and store.hits == 2
+        store.fetch(workload, UNIFORM, 1)
+        assert store.misses == 4  # 0, 1, 2, then 1 again after eviction
+
+    def test_interleaved_designs_do_not_thrash(self, workload):
+        """Trial-outer access (all designs of seed t back-to-back) stays
+        hot even when trials exceed capacity."""
+        store = SampleStore(max_entries=2)
+        other = SampleDesign(kind="uniform", budget=150, replace=False)
+        for seed in range(5):
+            for design in (UNIFORM, other):
+                store.fetch(workload, design, seed)
+                store.fetch(workload, design, seed)
+        assert store.misses == 10 and store.hits == 10
+
+    def test_disk_tier_survives_lru_eviction(self, workload, tmp_path):
+        """An evicted entry is re-served from disk, not re-drawn."""
+        store = SampleStore(max_entries=1, store_dir=tmp_path)
+        store.fetch(workload, UNIFORM, 0)
+        store.fetch(workload, UNIFORM, 1)  # evicts seed 0 from memory
+        store.fetch(workload, UNIFORM, 0)
+        assert store.misses == 2 and store.disk_hits == 1
+        assert store.labels_drawn < 3 * UNIFORM.budget + 1
+
+
+class TestSessionStats:
+    def test_labels_saved_accounting(self, workload):
+        store = SampleStore()
+        drawn = store.fetch(workload, UNIFORM, 0)
+        store.fetch(workload, UNIFORM, 0)
+        store.fetch(workload, UNIFORM, 0)
+        stats = store.stats()
+        assert stats["labels_drawn"] == drawn.oracle_calls
+        assert stats["labels_saved"] == 2 * drawn.oracle_calls
+
+    def test_engine_store_dir_shares_labels_across_sessions(self, workload, tmp_path):
+        from repro.query import SupgEngine
+
+        sql = (
+            "SELECT * FROM t WHERE PRESENT(x) = True ORACLE LIMIT 300 "
+            "USING SCORE(x) RECALL TARGET 90% WITH PROBABILITY 95%"
+        )
+        first = SupgEngine(store_dir=str(tmp_path))
+        first.register_table("t", workload)
+        a = first.execute(sql, seed=1)
+        second = SupgEngine(store_dir=str(tmp_path))
+        second.register_table("t", workload)
+        b = second.execute(sql, seed=1)
+        assert np.array_equal(a.result.indices, b.result.indices)
+        stats = second.session_stats()
+        assert stats["labels_drawn"] == 0 and stats["disk_hits"] == 1
+
+    def test_engine_rejects_context_plus_store_dir(self):
+        from repro.query import SupgEngine
+
+        with pytest.raises(ValueError, match="ambiguous"):
+            SupgEngine(context=ExecutionContext(), store_dir="/tmp/x")
+
+
+class TestStoreDirHygiene:
+    def test_tilde_paths_expand_to_home(self, tmp_path, monkeypatch):
+        """README advertises store_dir=\"~/.cache/...\"; a literal './~'
+        directory must never be created."""
+        monkeypatch.setenv("HOME", str(tmp_path))
+        store = SampleStore(store_dir="~/supg-labels")
+        assert store.store_dir == tmp_path / "supg-labels"
+        assert store.store_dir.is_dir()
+
+    def test_numpy_design_fields_are_spillable(self, workload, tmp_path):
+        """Budgets off np.arange (numpy integers) are hashable, so the
+        memory tier accepts them — the disk tier must too, not crash on
+        JSON serialization, and must round-trip to a disk hit."""
+        design = SampleDesign(
+            kind="proxy-weighted",
+            budget=np.int64(120),
+            exponent=np.float64(0.5),
+            mixing=np.float64(0.1),
+        )
+        first = SampleStore(store_dir=tmp_path)
+        first.fetch(workload, design, 0)
+        assert first.disk_errors == 0
+        second = SampleStore(store_dir=tmp_path)
+        second.fetch(workload, design, 0)
+        assert second.disk_hits == 1 and second.labels_drawn == 0
+
+
+class TestSpillKeyStability:
+    def test_key_meta_is_json_stable(self, workload, tmp_path):
+        store = SampleStore(store_dir=tmp_path)
+        meta = store._key_meta(workload.fingerprint, DESIGN, 3)
+        assert json.loads(json.dumps(meta)) == meta
+        assert meta["design"]["exponent"] == 0.5
+        # Distinct designs/seeds must map to distinct spill paths.
+        paths = {
+            store._spill_path(workload.fingerprint, DESIGN, 3),
+            store._spill_path(workload.fingerprint, DESIGN, 4),
+            store._spill_path(workload.fingerprint, UNIFORM, 3),
+        }
+        assert len(paths) == 3
