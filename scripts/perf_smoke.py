@@ -8,12 +8,15 @@ scan (uniform and importance-weighted) against its loop-based
 reference, times a shared-sample gamma sweep against fresh per-gamma
 draws, times the fig13 bound-ablation cell (seven methods over two
 sampling designs) trial-outer against the pre-PR per-method loops,
-times a same-design ``compare_methods`` panel, and proves the
-persistent sample store by re-running a panel against a warm spill
-directory (the second run must draw zero oracle labels).  The output
-file (``BENCH_PR3.json`` by default) extends the repo's performance
-trajectory — future PRs append ``BENCH_PR<k>.json`` files and should
-beat (or at least not regress) these numbers.
+times a same-design ``compare_methods`` panel, times the batch query
+planner (an 8-query mixed batch through ``SupgEngine.execute_many``
+against a sequential ``execute()`` loop, cold and warm store — and
+*fails* if batch throughput falls below the sequential loop), and
+proves the persistent sample store by re-running a panel against a
+warm spill directory (the second run must draw zero oracle labels).
+The output file (``BENCH_PR4.json`` by default) extends the repo's
+performance trajectory — future PRs append ``BENCH_PR<k>.json`` files
+and should beat (or at least not regress) these numbers.
 
 ``--compare BASELINE.json`` additionally checks the freshly measured
 numbers against a recorded baseline and exits non-zero on a regression
@@ -62,6 +65,7 @@ from repro.core.uniform import (
 from repro.datasets import make_beta_dataset
 from repro.experiments.figures import figure13_panel
 from repro.experiments.runner import compare_methods, sweep
+from repro.query import SupgEngine
 
 GAMMA = 0.9
 DELTA = 0.05
@@ -255,6 +259,92 @@ def time_compare_reuse(dataset, budget: int, trials: int = 3, repeats: int = 3) 
     }
 
 
+def _batch_statements(budget: int) -> list[str]:
+    """The 8-query mixed batch of the planner benchmark.
+
+    Four recall targets share one proxy-weighted design; three
+    precision targets share IS-CI-P's stage-1 design (budget // 2),
+    which the half-budget recall query also reuses — 2 distinct oracle
+    draws for 8 statements.
+    """
+    rt = (
+        "SELECT * FROM bench WHERE P(x) = True ORACLE LIMIT {budget} "
+        "USING A(x) RECALL TARGET {gamma}% WITH PROBABILITY 95%"
+    )
+    pt = (
+        "SELECT * FROM bench WHERE P(x) = True ORACLE LIMIT {budget} "
+        "USING A(x) PRECISION TARGET {gamma}% WITH PROBABILITY 95%"
+    )
+    return [
+        rt.format(budget=budget, gamma=80),
+        rt.format(budget=budget, gamma=85),
+        rt.format(budget=budget, gamma=90),
+        rt.format(budget=budget, gamma=95),
+        pt.format(budget=budget, gamma=80),
+        pt.format(budget=budget, gamma=90),
+        pt.format(budget=budget, gamma=95),
+        rt.format(budget=budget // 2, gamma=90),
+    ]
+
+
+def time_batch_planner(dataset, budget: int, repeats: int = 3) -> dict[str, object]:
+    """``execute_many`` vs a sequential ``execute()`` loop, cold and warm.
+
+    Both paths share labels through the engine's session store (that is
+    the PR 2/3 baseline), so the cold comparison gates the planner's
+    overhead: batch throughput must stay at least at the sequential
+    loop's level.  The warm pair re-runs both against a primed spill
+    directory — the repeated-regeneration / CI case, zero labels drawn.
+    """
+    statements = _batch_statements(budget)
+
+    def run_sequential(store_dir=None):
+        engine = SupgEngine(store_dir=store_dir)
+        engine.register_table("bench", dataset)
+        for sql in statements:
+            engine.execute(sql, seed=0)
+
+    def run_batch(jobs=None, store_dir=None):
+        engine = SupgEngine(store_dir=store_dir)
+        engine.register_table("bench", dataset)
+        engine.execute_many(statements, seed=0, jobs=jobs)
+
+    sequential = _best(run_sequential, repeats)
+    batch = _best(run_batch, repeats)
+    parallel = _best(lambda: run_batch(jobs=2), repeats)
+    with tempfile.TemporaryDirectory() as spill:
+        run_batch(store_dir=spill)  # prime the disk tier
+        warm_sequential = _best(lambda: run_sequential(store_dir=spill), repeats)
+        warm_batch = _best(lambda: run_batch(store_dir=spill), repeats)
+    speedup = sequential / batch
+    warm_speedup = warm_sequential / warm_batch
+    print(
+        f"  {'batch planner':20s} batch {batch * 1e3:.0f} ms, "
+        f"loop {sequential * 1e3:.0f} ms ({speedup:.2f}x cold, "
+        f"{warm_speedup:.2f}x warm, jobs=2 {parallel * 1e3:.0f} ms)"
+    )
+    # The CI gate: execute_many must not fall below sequential-loop
+    # throughput (0.9 absorbs scheduler jitter around parity — the two
+    # paths do identical labeling work, so a real planner regression
+    # shows up far below that).
+    if speedup < 0.9:
+        raise SystemExit(
+            f"batch planner regression: execute_many is {1 / speedup:.2f}x slower "
+            "than the sequential execute() loop"
+        )
+    return {
+        "queries": len(statements),
+        "budget": budget,
+        "sequential_seconds": sequential,
+        "batch_seconds": batch,
+        "batch_parallel_seconds": parallel,
+        "warm_sequential_seconds": warm_sequential,
+        "warm_batch_seconds": warm_batch,
+        "speedup": speedup,
+        "warm_speedup": warm_speedup,
+    }
+
+
 def check_store_persistence(dataset, budget: int, trials: int = 3) -> dict[str, object]:
     """Two store-dir runs of one panel: the second must draw nothing."""
     query = ApproxQuery.recall_target(GAMMA, DELTA, budget)
@@ -307,6 +397,8 @@ def _speedup_checks(payload: dict, baseline: dict, max_regression: float) -> lis
         ("fig13_cell", "speedup", "fig13 cell speedup"),
         ("fig13_cell", "warm_speedup", "fig13 cell warm-store speedup"),
         ("compare_methods_reuse", "speedup", "compare_methods reuse speedup"),
+        ("batch_planner", "speedup", "batch planner cold speedup"),
+        ("batch_planner", "warm_speedup", "batch planner warm-store speedup"),
     )
     for key, field, label in ratio_metrics:
         old = baseline.get(key, {}).get(field)
@@ -379,7 +471,7 @@ def compare_to_baseline(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_PR3.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR4.json"))
     parser.add_argument("--size", type=int, default=1_000_000)
     parser.add_argument("--budget", type=int, default=10_000)
     parser.add_argument("--trials", type=int, default=5)
@@ -413,6 +505,8 @@ def main(argv: list[str] | None = None) -> int:
     # global selector budget: the cell benchmark mirrors the driver.
     fig13_cell = time_fig13_cell(dataset, budget=6_000)
     compare_reuse = time_compare_reuse(dataset, args.budget)
+    print("timing batch query planner:")
+    batch_planner = time_batch_planner(dataset, args.budget)
     print("checking persistent sample store:")
     persistence = check_store_persistence(dataset, args.budget)
 
@@ -434,6 +528,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": sweep_stats,
         "fig13_cell": fig13_cell,
         "compare_methods_reuse": compare_reuse,
+        "batch_planner": batch_planner,
         "store_persistence": persistence,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

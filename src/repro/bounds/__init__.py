@@ -17,7 +17,7 @@ from .base import (
     validate_batch,
     validate_delta,
 )
-from .bootstrap import BootstrapBound
+from .bootstrap import BootstrapBound, clear_resample_cache, resample_cache_stats
 from .clopper_pearson import (
     ClopperPearsonBound,
     clopper_pearson_lower,
@@ -28,6 +28,8 @@ from .normal import NormalBound, lower_bound, upper_bound
 
 __all__ = [
     "ConfidenceBound",
+    "resample_cache_stats",
+    "clear_resample_cache",
     "SampleSummary",
     "summarize",
     "suffix_min_max",

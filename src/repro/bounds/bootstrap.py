@@ -20,15 +20,45 @@ Two batch modes exist for the suffix-batch API the candidate scans use:
   resample indices differ from the scalar path (a different — equally
   valid — RNG contract), so batch results agree with the scalar bound
   only statistically, not bit-exactly.
+
+Resampled means are additionally memoized in a small module-level LRU
+keyed by (sample content digest, n_resamples, seed).  Bound-ablation
+panels (Figure 13) evaluate several bootstrap-bound methods over one
+store-shared labeled sample, so without the cache every method redraws
+and re-reduces the same ``(n_resamples, n)`` matrix; with it, the
+means are computed once per distinct sample and replayed bit-exactly
+(the quantile, which depends on delta, stays per-call).  Inspect or
+reset with :func:`resample_cache_stats` / :func:`clear_resample_cache`.
 """
 
 from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
 
 import numpy as np
 
 from .base import ConfidenceBound, validate_batch, validate_delta
 
-__all__ = ["BootstrapBound"]
+__all__ = ["BootstrapBound", "resample_cache_stats", "clear_resample_cache"]
+
+#: LRU of resampled-mean vectors.  At the default 1000 resamples an
+#: entry is ~8 KB, so the cap bounds the cache near half a megabyte.
+_RESAMPLE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_RESAMPLE_CACHE_MAX_ENTRIES = 64
+_CACHE_COUNTERS = {"hits": 0, "misses": 0}
+
+
+def resample_cache_stats() -> dict[str, int]:
+    """Hit/miss counters and current size of the resample-mean cache."""
+    return {**_CACHE_COUNTERS, "entries": len(_RESAMPLE_CACHE)}
+
+
+def clear_resample_cache() -> None:
+    """Drop every cached resample-mean vector and reset the counters."""
+    _RESAMPLE_CACHE.clear()
+    _CACHE_COUNTERS["hits"] = 0
+    _CACHE_COUNTERS["misses"] = 0
 
 
 class BootstrapBound(ConfidenceBound):
@@ -63,10 +93,38 @@ class BootstrapBound(ConfidenceBound):
         self.share_matrix = share_matrix
 
     def _resampled_means(self, values: np.ndarray) -> np.ndarray:
+        """Means of ``n_resamples`` with-replacement resamples of ``values``.
+
+        Memoized by (content digest, n_resamples, seed): the result is
+        a pure function of those three, so a cache hit is bit-identical
+        to recomputation.  Hashing the sample (~µs) replaces drawing
+        and reducing an ``(n_resamples, n)`` matrix (~ms at paper
+        scale) whenever the same labeled sample is scanned again — the
+        fig13 panels' store-shared samples, repeated gammas, suffix
+        batches revisiting a length.
+        """
+        key = (
+            hashlib.sha1(values.tobytes()).hexdigest(),
+            values.dtype.str,
+            values.size,
+            self.n_resamples,
+            self.seed,
+        )
+        cached = _RESAMPLE_CACHE.get(key)
+        if cached is not None:
+            _RESAMPLE_CACHE.move_to_end(key)
+            _CACHE_COUNTERS["hits"] += 1
+            return cached
         rng = np.random.default_rng(self.seed)
         n = values.size
         idx = rng.integers(0, n, size=(self.n_resamples, n))
-        return values[idx].mean(axis=1)
+        means = values[idx].mean(axis=1)
+        means.flags.writeable = False  # shared across callers
+        _RESAMPLE_CACHE[key] = means
+        _CACHE_COUNTERS["misses"] += 1
+        while len(_RESAMPLE_CACHE) > _RESAMPLE_CACHE_MAX_ENTRIES:
+            _RESAMPLE_CACHE.popitem(last=False)
+        return means
 
     def upper(self, values: np.ndarray, delta: float) -> float:
         validate_delta(delta)

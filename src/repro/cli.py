@@ -3,8 +3,15 @@
 Subcommands:
 
 - ``repro datasets`` — list the bundled workloads with their stats;
-- ``repro query``    — run a SUPG dialect query against a workload;
-- ``repro plan``     — recommend an oracle budget for a query;
+- ``repro query``    — run SUPG dialect queries against a workload
+  (a ``;``-separated multi-statement file runs as one planned batch
+  through ``SupgEngine.execute_many``);
+- ``repro plan``     — recommend an oracle budget for a query, or
+  (given a ``queries.sql`` file) print the batch dedup plan — which
+  statements share which oracle draws, and the predicted labels —
+  without executing anything;
+- ``repro store``    — inspect (``ls``) or empty (``clear``) a
+  persistent ``--store-dir`` sample store;
 - ``repro experiment`` — regenerate a paper table/figure (optionally
   saving its data series as JSON).
 
@@ -18,6 +25,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+import time
 from pathlib import Path
 
 from .bounds import available_bounds, get_bound
@@ -28,9 +36,15 @@ from .datasets import available_datasets, load_dataset
 from .experiments import ALL_EXPERIMENTS, resolve_n_jobs
 from .experiments.io import save_result
 from .metrics import evaluate_selection
-from .query import SupgEngine
+from .query import SupgEngine, parse_script
 
 __all__ = ["main", "build_parser"]
+
+
+def _sanitize_table_name(name: str) -> str:
+    """Dataset names like "beta(0.01,1)" are not valid dialect
+    identifiers; this is the alias the SQL can use instead."""
+    return "".join(c if c.isalnum() else "_" for c in name)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--size", type=int, default=None, help="dataset size override")
     query.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for multi-statement batches (-1 = all cores); "
+        "results are bit-identical to --jobs 1",
+    )
+    query.add_argument(
         "--store-dir",
         type=Path,
         default=None,
@@ -64,13 +85,38 @@ def build_parser() -> argparse.ArgumentParser:
         "reuse labeled oracle samples instead of re-drawing them",
     )
 
-    plan = commands.add_parser("plan", help="recommend an oracle budget")
-    plan.add_argument("--dataset", required=True, choices=available_datasets())
-    plan.add_argument("--target", required=True, choices=["recall", "precision"])
-    plan.add_argument("--gamma", type=float, required=True)
+    plan = commands.add_parser(
+        "plan",
+        help="recommend an oracle budget, or print a batch dedup plan",
+    )
+    plan.add_argument(
+        "sql_file",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="multi-statement .sql file: print the batch query plan "
+        "(statements, distinct oracle draws, predicted labels) without "
+        "executing; table names are bundled dataset names or their "
+        "sanitized aliases",
+    )
+    plan.add_argument("--dataset", choices=available_datasets())
+    plan.add_argument("--target", choices=["recall", "precision"])
+    plan.add_argument("--gamma", type=float)
     plan.add_argument("--delta", type=float, default=0.05)
+    plan.add_argument("--method", default=None, help="selector registry name (batch mode)")
     plan.add_argument("--size", type=int, default=None)
     plan.add_argument("--seed", type=int, default=0)
+
+    store = commands.add_parser(
+        "store", help="inspect or clear a persistent sample store"
+    )
+    store.add_argument("action", choices=["ls", "clear"])
+    store.add_argument(
+        "--store-dir",
+        type=Path,
+        required=True,
+        help="the spill directory to inspect or empty",
+    )
 
     experiment = commands.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS))
@@ -113,29 +159,14 @@ def _cmd_datasets(out) -> int:
     return 0
 
 
-def _cmd_query(args, out) -> int:
-    if bool(args.sql) == bool(args.sql_file):
-        print("provide exactly one of --sql / --sql-file", file=sys.stderr)
-        return 2
-    sql = args.sql if args.sql else args.sql_file.read_text()
-    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
-    store_dir = str(args.store_dir) if args.store_dir is not None else None
-    engine = SupgEngine(store_dir=store_dir)
-    engine.register_table(args.dataset, dataset)
-    # Dataset names like "beta(0.01,1)" are not valid dialect
-    # identifiers, so also register a sanitized alias the SQL can use.
-    alias = "".join(c if c.isalnum() else "_" for c in args.dataset)
-    engine.register_table(alias, dataset)
-    kwargs = {}
-    if args.bound is not None:
-        kwargs["bound"] = get_bound(args.bound)
-    execution = engine.execute(sql, seed=args.seed, method=args.method, **kwargs)
+def _print_execution(execution, dataset, bound_label, out) -> None:
+    """The per-query report block shared by single and batch runs."""
     quality = evaluate_selection(execution.result.indices, dataset.labels)
     result = execution.result
     budget = execution.parsed.oracle_limit
     usage = f" of {budget} budget ({result.oracle_calls / budget:.0%})" if budget else ""
     print(f"method    : {execution.method}", file=out)
-    print(f"bound     : {args.bound or 'normal'}", file=out)
+    print(f"bound     : {bound_label}", file=out)
     print(f"returned  : {result.size} records (tau={result.tau:.4f})", file=out)
     print(f"oracle    : {result.oracle_calls} labels{usage}", file=out)
     print(f"precision : {quality.precision:.4f}", file=out)
@@ -143,13 +174,67 @@ def _cmd_query(args, out) -> int:
     for key in ("ess_ratio", "stage1_ess_ratio"):
         if key in result.details:
             print(f"{key:10s}: {result.details[key]:.4f}", file=out)
+
+
+def _cmd_query(args, out) -> int:
+    if bool(args.sql) == bool(args.sql_file):
+        print("provide exactly one of --sql / --sql-file", file=sys.stderr)
+        return 2
+    try:
+        resolve_n_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sql = args.sql if args.sql else args.sql_file.read_text()
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    store_dir = str(args.store_dir) if args.store_dir is not None else None
+    engine = SupgEngine(store_dir=store_dir)
+    engine.register_table(args.dataset, dataset)
+    # Also register a sanitized alias the SQL can use for dataset names
+    # that are not valid dialect identifiers.
+    engine.register_table(_sanitize_table_name(args.dataset), dataset)
+    kwargs = {}
+    if args.bound is not None:
+        kwargs["bound"] = get_bound(args.bound)
+    bound_label = args.bound or "normal"
+    statements = parse_script(sql)
+    if len(statements) > 1:
+        # Multi-statement input runs as one planned batch: shared
+        # oracle draws are paid for once, then groups fan across
+        # --jobs workers.  Results match a sequential execute() loop.
+        executions = engine.execute_many(
+            statements, seed=args.seed, method=args.method, jobs=args.jobs, **kwargs
+        )
+        for number, execution in enumerate(executions, start=1):
+            print(f"-- query {number}/{len(executions)} --", file=out)
+            _print_execution(execution, dataset, bound_label, out)
+    else:
+        execution = engine.execute(sql, seed=args.seed, method=args.method, **kwargs)
+        _print_execution(execution, dataset, bound_label, out)
     if args.store_dir is not None:
         for line in _store_stats_lines(engine.session_stats()):
             print(line, file=out)
+        if len(statements) > 1 and resolve_n_jobs(args.jobs) > 1:
+            # Forked workers mutate copy-on-write store copies; their
+            # hits never reach the parent's counters.
+            print(
+                "note      : counters are parent-process only with --jobs > 1 "
+                "(worker store hits are not aggregated)",
+                file=out,
+            )
     return 0
 
 
 def _cmd_plan(args, out) -> int:
+    if args.sql_file is not None:
+        return _cmd_plan_batch(args, out)
+    if args.dataset is None or args.target is None or args.gamma is None:
+        print(
+            "budget mode requires --dataset, --target, and --gamma "
+            "(or pass a queries.sql file for a batch plan)",
+            file=sys.stderr,
+        )
+        return 2
     dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
     # The planner ignores the query's budget field; any positive value works.
     query = ApproxQuery(args.target, args.gamma, args.delta, budget=1)
@@ -160,6 +245,81 @@ def _cmd_plan(args, out) -> int:
     print(f"expected positives  : {plan.expected_positive_draws:.1f}", file=out)
     print(f"positive fraction   : {plan.positive_fraction:.4f}", file=out)
     print(f"rationale           : {plan.rationale}", file=out)
+    return 0
+
+
+def _cmd_plan_batch(args, out) -> int:
+    """Print a batch's dedup plan — no oracle labels are drawn."""
+    statements = parse_script(args.sql_file.read_text())
+    if not statements:
+        print(f"no statements in {args.sql_file}", file=sys.stderr)
+        return 2
+    # Resolve each statement's table to a bundled dataset (exact name
+    # or sanitized alias), loading each workload once.
+    names = {name: name for name in available_datasets()}
+    names.update({_sanitize_table_name(name): name for name in available_datasets()})
+    engine = SupgEngine()
+    loaded: dict[str, object] = {}
+    for statement in statements:
+        dataset_name = names.get(statement.table)
+        if dataset_name is None:
+            print(
+                f"unknown table {statement.table!r}; tables must name a bundled "
+                f"dataset ({', '.join(available_datasets())}) or its alias",
+                file=sys.stderr,
+            )
+            return 2
+        if dataset_name not in loaded:
+            loaded[dataset_name] = load_dataset(
+                dataset_name, size=args.size, seed=args.seed
+            )
+        engine.register_table(statement.table, loaded[dataset_name])
+    plan = engine.plan(statements, seed=args.seed, method=args.method)
+    print(plan.render(), file=out)
+    return 0
+
+
+def _cmd_store(args, out) -> int:
+    store_dir = args.store_dir
+    if args.action == "clear":
+        summary = SampleStore.clear_disk(store_dir)
+        print(
+            f"cleared   : {summary['files_removed']} spill files, "
+            f"{summary['bytes_freed']} bytes freed",
+            file=out,
+        )
+        return 0
+    entries = SampleStore.disk_entries(store_dir)
+    now = time.time()
+    for entry in entries:
+        key = entry["key"]
+        if key:
+            design = key["design"]
+            extras = (
+                ""
+                if design["exponent"] is None
+                else f", exponent={design['exponent']}, mixing={design['mixing']}"
+            )
+            what = (
+                f"{design['kind']}(budget={design['budget']}{extras}) "
+                f"seed={key['seed']} dataset={key['fingerprint'][:12]}"
+            )
+        else:
+            what = "<unreadable spill>"
+        age = max(0.0, now - entry["mtime"])
+        print(
+            f"{entry['path'].name}  {entry['bytes']:>9d} B  {age:8.0f}s old  {what}",
+            file=out,
+        )
+    usage = SampleStore.disk_usage(store_dir)
+    print(f"total     : {usage['files']} spill files, {usage['total_bytes']} bytes", file=out)
+    stats = SampleStore.persistent_stats(store_dir)
+    if stats:
+        print(
+            "history   : "
+            + ", ".join(f"{key}={value}" for key, value in sorted(stats.items())),
+            file=out,
+        )
     return 0
 
 
@@ -213,6 +373,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_query(args, out)
     if args.command == "plan":
         return _cmd_plan(args, out)
+    if args.command == "store":
+        return _cmd_store(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -19,8 +19,16 @@ from .multiproxy import (
     ProxyFuser,
     fuse_proxies,
 )
-from .pipeline import ExecutionContext, SampleStore, materialize_selection
-from .planning import BudgetPlan, expected_positive_fraction, plan_budget
+from .pipeline import ExecutionContext, SampleStore, StageRuntime, materialize_selection
+from .planning import (
+    BudgetPlan,
+    PlannedExecution,
+    QueryPlan,
+    expected_positive_fraction,
+    plan_budget,
+    plan_executions,
+    resolve_n_jobs,
+)
 from .registry import (
     available_selectors,
     default_selector,
@@ -80,6 +88,10 @@ __all__ = [
     "BudgetPlan",
     "plan_budget",
     "expected_positive_fraction",
+    "PlannedExecution",
+    "QueryPlan",
+    "plan_executions",
+    "resolve_n_jobs",
     "available_selectors",
     "make_selector",
     "default_selector",
@@ -87,6 +99,7 @@ __all__ = [
     "sample_reusable_selectors",
     "ExecutionContext",
     "SampleStore",
+    "StageRuntime",
     "materialize_selection",
     "SELECT_EVERYTHING",
     "SELECT_NOTHING",

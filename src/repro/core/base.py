@@ -10,25 +10,33 @@ Every SUPG method shares the same outer loop::
 
 That loop is decomposed into explicit stages — *plan* (describe the
 oracle sample as a :class:`~repro.sampling.designs.SampleDesign`),
-*draw_sample*, *estimate_tau*, *materialize* — so an
-:class:`~repro.core.pipeline.ExecutionContext` can coordinate them and
-serve the draw stage from a shared :class:`SampleStore` when the same
-(dataset, design, seed) sample was already labeled by another
-selector, gamma point, or query.
+*draw_sample*, *estimate_tau*, *materialize* — and ``select()`` runs
+them through a single execution path.  A
+:class:`~repro.core.pipeline.StageRuntime` carries the per-call state:
+when the caller supplies an :class:`~repro.core.pipeline.ExecutionContext`
+(and an integer seed, and no custom oracle) the draw stage is served
+from the context's shared :class:`~repro.core.pipeline.SampleStore`;
+otherwise the same stages draw fresh — bit-identically — against the
+dataset's ground truth or the caller's oracle.  There is no separate
+"legacy" oracle branch: every selection materializes through
+:func:`~repro.core.pipeline.materialize_selection`, so the cached
+distinct-set bookkeeping and the sorted-merge union apply everywhere.
 
 Subclasses plug in at one of two altitudes:
 
-- **Staged** (all bundled selectors): implement :meth:`sample_design`
-  (the plan stage) and :meth:`estimate_tau_from_sample` (a pure
-  function of the labeled sample).  Such selectors get store-backed
-  reuse for free; those whose single sample is fully
-  target-independent also set ``reusable_sample = True``.
-- **Legacy** (custom subclasses, multi-stage algorithms): override
-  :meth:`_estimate_tau`, which receives a budget-enforcing oracle and a
-  random generator exactly as before the refactor.  ``select()`` falls
-  back to this path — bit-for-bit identical to the pre-pipeline
-  implementation — whenever no context is given, a custom oracle is
-  passed, or the selector declares no design.
+- **Single-design** (most bundled selectors): implement
+  :meth:`sample_design` (the plan stage) and
+  :meth:`estimate_tau_from_sample` (a pure function of the labeled
+  sample).  Such selectors get store-backed reuse for free; those
+  whose single sample is fully target-independent also set
+  ``reusable_sample = True``.
+- **Multi-stage** (Algorithm 5 and custom algorithms): override
+  :meth:`_execute_stages`, drawing designed samples through
+  ``runtime.draw`` (cacheable) and any design-less draws through
+  ``runtime.rng`` / ``runtime.label`` (never cached).  Implement
+  :meth:`sample_design` as well when a primary cacheable design exists
+  — the batch planner (:mod:`repro.core.planning`) uses it to group
+  and pre-draw shared samples.
 """
 
 from __future__ import annotations
@@ -36,16 +44,16 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Mapping
 
-import numpy as np
-
 from ..bounds import ConfidenceBound, NormalBound
 from ..datasets import Dataset
-from ..oracle import BudgetedOracle, oracle_from_labels
-from ..sampling.designs import LabeledSample, SampleDesign, draw_labeled_sample
-from .pipeline import materialize_selection
+from ..oracle import BudgetedOracle
+from ..sampling.designs import LabeledSample, SampleDesign
+from .pipeline import StageRuntime, materialize_selection
 from .types import ApproxQuery, SelectionResult, TargetType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
     from .pipeline import ExecutionContext
 
 __all__ = ["Selector"]
@@ -73,18 +81,17 @@ class Selector(abc.ABC):
     reusable_sample: bool = False
 
     def __init__(self, query: ApproxQuery, bound: ConfidenceBound | None = None) -> None:
-        # _estimate_tau is no longer abstract (the staged hook pair is an
-        # equally valid extension point), so check completeness here —
-        # at construction — rather than let an incomplete subclass fail
-        # with NotImplementedError mid-experiment.
+        # Check extension-point completeness here — at construction —
+        # rather than let an incomplete subclass fail with
+        # NotImplementedError mid-experiment.
         cls = type(self)
-        if cls._estimate_tau is Selector._estimate_tau and (
+        if cls._execute_stages is Selector._execute_stages and (
             cls.sample_design is Selector.sample_design
             or cls.estimate_tau_from_sample is Selector.estimate_tau_from_sample
         ):
             raise TypeError(
-                f"{cls.__name__} must implement _estimate_tau or the "
-                "sample_design/estimate_tau_from_sample stage pair"
+                f"{cls.__name__} must implement the sample_design/"
+                "estimate_tau_from_sample stage pair or override _execute_stages"
             )
         if self.target_type is not None and query.target_type != self.target_type:
             raise ValueError(
@@ -97,11 +104,13 @@ class Selector(abc.ABC):
     # -- staged pipeline hooks -------------------------------------------------
 
     def sample_design(self, dataset: Dataset) -> SampleDesign | None:
-        """Stage *plan*: describe the selector's oracle sample.
+        """Stage *plan*: describe the selector's (primary) oracle sample.
 
-        Returns ``None`` when the selector has no single reusable
-        design (legacy subclasses, or multi-stage draws that override
-        :meth:`_select_with_store` themselves).
+        For single-design selectors this is the whole draw; multi-stage
+        selectors overriding :meth:`_execute_stages` return their
+        cacheable first-stage design here so the batch planner can
+        group and pre-draw it.  ``None`` opts out of planning (the
+        selector then must override :meth:`_execute_stages`).
         """
         return None
 
@@ -110,107 +119,81 @@ class Selector(abc.ABC):
     ) -> tuple[float, Mapping[str, object]]:
         """Stage *estimate_tau*: pure threshold estimation from a sample.
 
-        Required whenever :meth:`sample_design` returns a design; must
-        not consume randomness or the oracle, so the same sample can be
-        replayed across gammas.
+        Required whenever the default :meth:`_execute_stages` is used;
+        must not consume randomness or the oracle, so the same sample
+        can be replayed across gammas.
         """
         raise NotImplementedError(
             f"{type(self).__name__} declares a sample design but does not "
             "implement estimate_tau_from_sample"
         )
 
-    def _estimate_tau(
-        self,
-        dataset: Dataset,
-        oracle: BudgetedOracle,
-        rng: np.random.Generator,
-    ) -> tuple[float, Mapping[str, object]]:
-        """Sample with the oracle and estimate the proxy threshold.
+    def _execute_stages(
+        self, runtime: StageRuntime
+    ) -> tuple[float, Mapping[str, object], tuple[LabeledSample, ...]]:
+        """Run the draw and estimate stages; return ``(tau, details,
+        samples)`` for materialization.
 
-        Default implementation runs the staged draw + estimate against
-        the provided oracle (consuming ``rng`` identically to the
-        store path).  Legacy subclasses override this wholesale.
-
-        Returns:
-            ``(tau, details)`` where ``details`` carries diagnostics
-            surfaced in :attr:`SelectionResult.details`.
+        The default covers every single-design selector: one designed
+        draw (store-served when the runtime allows), one pure estimate.
+        Multi-stage algorithms override this wholesale, using
+        ``runtime.draw`` for cacheable designed draws and
+        ``runtime.rng`` / ``runtime.label`` for draws no design
+        describes.
         """
-        design = self.sample_design(dataset)
+        design = self.sample_design(runtime.dataset)
         if design is None:
             raise NotImplementedError(
-                f"{type(self).__name__} must implement _estimate_tau or the "
-                "sample_design/estimate_tau_from_sample stage pair"
+                f"{type(self).__name__} declares no sample design; "
+                "override _execute_stages"
             )
-        sample = draw_labeled_sample(design, dataset, rng, oracle.query)
-        return self.estimate_tau_from_sample(dataset, sample)
-
-    def _select_with_store(
-        self, dataset: Dataset, seed: int | np.random.Generator, context: "ExecutionContext"
-    ) -> SelectionResult | None:
-        """Store-backed selection, or ``None`` when ineligible.
-
-        Eligibility requires an integer seed (generator seeds cannot
-        key a cache) and a declared sample design.  Multi-stage
-        selectors override this to cache only their target-independent
-        stages.
-        """
-        if not isinstance(seed, (int, np.integer)):
-            return None
-        design = self.sample_design(dataset)
-        if design is None:
-            return None
-        sample = context.fetch(dataset, design, int(seed))
-        tau, details = self.estimate_tau_from_sample(dataset, sample)
-        return materialize_selection(dataset, tau, (sample,), details)
+        sample = runtime.draw(design)
+        tau, details = self.estimate_tau_from_sample(runtime.dataset, sample)
+        return tau, details, (sample,)
 
     # -- entry point -----------------------------------------------------------
 
     def select(
         self,
         dataset: Dataset,
-        seed: int | np.random.Generator = 0,
+        seed: "int | np.random.Generator" = 0,
         oracle: BudgetedOracle | None = None,
         context: "ExecutionContext | None" = None,
     ) -> SelectionResult:
         """Run the full Algorithm 1 pipeline on a dataset.
 
+        Every call runs the same staged path — plan → draw_sample →
+        estimate_tau → materialize — regardless of the arguments; they
+        only control where draws come from.  Fresh draws are labeled
+        through a budget-enforcing oracle (the caller's, or one built
+        over the dataset's ground truth with the query's budget), so an
+        over-drawing selector raises
+        :class:`~repro.oracle.BudgetExhaustedError` instead of silently
+        revealing extra labels.
+
         Args:
             dataset: workload with proxy scores and hidden labels.
             seed: integer seed or generator driving all sampling.
             oracle: optionally, a pre-built oracle (e.g. shared across
-                the stages of the joint-target algorithm).  By default a
-                fresh budget-enforcing oracle is built from the dataset's
-                ground truth with the query's budget.
+                the stages of the joint-target algorithm, or wrapping a
+                user labeling UDF).  Its labels feed the draw stage and
+                budget accounting is reconstructed from the drawn
+                samples; such draws never enter a sample store.
             context: optional :class:`ExecutionContext`.  When given
-                (and no custom oracle is), the draw stage is served
-                from the context's sample store — bit-identical to a
-                fresh draw, but paid for once per (dataset, design,
-                seed) across the whole session.
+                (with an integer seed and no custom oracle), designed
+                draws are served from the context's sample store —
+                bit-identical to fresh draws, but paid for once per
+                (dataset, design, seed) across the whole session.
 
         Returns:
             The selected record set with diagnostics.
         """
-        if context is not None and oracle is None:
-            staged = self._select_with_store(dataset, seed, context)
-            if staged is not None:
-                return staged
-        rng = np.random.default_rng(seed)
-        if oracle is None:
-            oracle = oracle_from_labels(dataset.labels, budget=self.query.budget)
-
-        tau, details = self._estimate_tau(dataset, oracle, rng)
-
-        positives = oracle.known_positives()
-        above = dataset.select_above(tau)
-        combined = np.union1d(positives, above)
-        sampled = oracle.labeled_indices()
-        return SelectionResult(
-            indices=combined,
-            tau=tau,
-            oracle_calls=oracle.calls_used,
-            sampled_indices=sampled,
-            details=dict(details),
+        runtime = StageRuntime(
+            dataset, seed=seed, oracle=oracle, context=context,
+            budget=self.query.budget,
         )
+        tau, details, samples = self._execute_stages(runtime)
+        return materialize_selection(dataset, tau, samples, details)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(query={self.query!r})"

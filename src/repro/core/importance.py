@@ -24,41 +24,38 @@ one-stage scan draw one target-independent sample, so their whole draw
 is store-reusable across gammas.  The two-stage algorithm's stage-1
 draw is also target-independent (it depends only on the budget split
 and the weight design); only the stage-2 region sample depends on
-gamma.  Its store path therefore caches stage 1 — including the
-generator state after the draw, so stage 2's random stream resumes
-bit-exactly — and re-draws only stage 2 per gamma.
+gamma.  Its staged execution therefore draws stage 1 through the
+runtime (store-cacheable, including the generator state after the
+draw, so stage 2's random stream resumes bit-exactly) and the stage-2
+region sample fresh per gamma.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Mapping
+from typing import Mapping
 
 import numpy as np
 
 from ..bounds import ConfidenceBound
 from ..datasets import Dataset
-from ..oracle import BudgetedOracle
 from ..sampling import (
     DEFAULT_EXPONENT,
     DEFAULT_MIXING,
     ess_ratio,
     weighted_sample,
 )
-from ..sampling.designs import LabeledSample, LabelFn, SampleDesign, draw_labeled_sample
+from ..sampling.designs import LabeledSample, LabelFn, SampleDesign
 from .base import Selector
-from .pipeline import materialize_selection
+from .pipeline import StageRuntime
 from .thresholds import SELECT_EVERYTHING, max_recall_threshold
-from .types import ApproxQuery, SelectionResult, TargetType
+from .types import ApproxQuery, TargetType
 from .uniform import (
     DEFAULT_CANDIDATE_STEP,
     conservative_recall_target,
     minimum_positive_draws,
     precision_candidate_scan,
 )
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .pipeline import ExecutionContext
 
 __all__ = [
     "ImportanceCIRecall",
@@ -204,9 +201,10 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
 
     name = "is-ci-p"
     target_type = TargetType.PRECISION
-    # The *stage-1* draw is target-independent and cached by the store
-    # path below, but the stage-2 region sample depends on gamma, so
-    # the selector's full sample is not reusable as one unit.
+    # The *stage-1* draw is target-independent and cacheable (it is
+    # what sample_design declares, for the store and the batch
+    # planner), but the stage-2 region sample depends on gamma, so the
+    # selector's full sample is not reusable as one unit.
     reusable_sample = False
 
     def __init__(
@@ -226,6 +224,12 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
 
     def _stage1_design(self) -> SampleDesign:
         return self._weighted_design(self.query.budget // 2)
+
+    def sample_design(self, dataset: Dataset) -> SampleDesign:
+        # The cacheable stage-1 draw: keys the sample store and the
+        # batch planner's grouping; _execute_stages consumes it and
+        # then runs the gamma-dependent stage 2.
+        return self._stage1_design()
 
     def _finish_from_stage1(
         self,
@@ -291,25 +295,14 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
         )
         return tau, details, (stage1, stage2)
 
-    def _estimate_tau(
-        self, dataset: Dataset, oracle: BudgetedOracle, rng: np.random.Generator
-    ) -> tuple[float, Mapping[str, object]]:
-        stage1 = draw_labeled_sample(self._stage1_design(), dataset, rng, oracle.query)
-        tau, details, _ = self._finish_from_stage1(dataset, stage1, rng, oracle.query)
-        return tau, details
-
-    def _select_with_store(
-        self, dataset: Dataset, seed: int | np.random.Generator, context: "ExecutionContext"
-    ) -> SelectionResult | None:
-        if not isinstance(seed, (int, np.integer)):
-            return None
-        stage1 = context.fetch(dataset, self._stage1_design(), int(seed))
-        # Resume the random stream exactly where the stage-1 draw left
-        # it, so the gamma-dependent stage-2 draw is bit-identical to
-        # the fused path regardless of whether stage 1 was cached.
-        rng = np.random.default_rng(int(seed))
-        rng.bit_generator.state = stage1.rng_state
-        tau, details, samples = self._finish_from_stage1(
-            dataset, stage1, rng, context.labeler(dataset)
+    def _execute_stages(
+        self, runtime: StageRuntime
+    ) -> tuple[float, Mapping[str, object], tuple[LabeledSample, ...]]:
+        # Stage 1 goes through the runtime (store-served when legal;
+        # either way the random stream ends in the post-draw state, so
+        # the gamma-dependent stage-2 draw is bit-identical regardless
+        # of where stage 1 came from).
+        stage1 = runtime.draw(self._stage1_design())
+        return self._finish_from_stage1(
+            runtime.dataset, stage1, runtime.rng, runtime.label
         )
-        return materialize_selection(dataset, tau, samples, details)

@@ -19,16 +19,22 @@ This module provides the coordination layer that unfuses them:
 - :class:`ExecutionContext` — the per-session handle that selectors,
   the experiment runner, and the query engine thread through their
   calls.  It owns a store and the ground-truth labeler used to fill it.
+- :class:`StageRuntime` — the per-``select()`` execution state.  Every
+  selection (store-backed or not, built-in oracle or custom) runs the
+  same staged code; the runtime decides per draw whether a design is
+  served from the context's store or drawn fresh, and keeps the random
+  stream bit-exact across the two cases.
 - :func:`materialize_selection` — the final stage, reconstructing the
-  exact :class:`~repro.core.types.SelectionResult` the legacy
-  oracle-driven path produces (labeled positives, budget accounting,
-  sampled-set diagnostics) from the samples that were actually used.
+  :class:`~repro.core.types.SelectionResult` accounting (labeled
+  positives, budget charge, sampled-set diagnostics) from the samples
+  that were actually used.
 
 The store only ever holds samples labeled from a dataset's built-in
-ground truth.  Paths with custom oracles (user UDFs, the joint
+ground truth.  Draws under a custom oracle (user UDFs, the joint
 algorithm's unbudgeted shared oracle, explicitly passed
-``BudgetedOracle`` instances) bypass the store and take the legacy
-path, which remains bit-for-bit unchanged.
+``BudgetedOracle`` instances) or a generator seed run through the same
+staged code but never enter the store — the runtime simply draws them
+fresh.
 
 Persistent tier
 ---------------
@@ -45,6 +51,16 @@ invocations, CI runs — thereby share one pool of oracle labels.  Spill
 files that are truncated, corrupt, version-mismatched, or keyed to a
 different dataset are ignored (the store falls back to a fresh draw,
 never crashes, and never serves wrong labels).
+
+Constructing the store with ``max_disk_bytes`` caps the spill
+directory: after each spill, the oldest spill files (by modification
+time) are evicted until the directory fits the cap, which keeps
+long-lived label caches operable.  ``repro store ls`` / ``repro store
+clear`` inspect and empty a directory from the CLI, backed by the
+:meth:`SampleStore.disk_entries`, :meth:`SampleStore.disk_usage`, and
+:meth:`SampleStore.clear_disk` helpers; cumulative cross-process
+counters (spills, disk hits, evictions) are kept best-effort in a
+``store-stats.json`` sidecar.
 """
 
 from __future__ import annotations
@@ -59,6 +75,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
+from ..oracle import oracle_from_labels
 from ..sampling.designs import LabeledSample, LabelFn, SampleDesign, draw_labeled_sample
 from .types import SelectionResult
 
@@ -68,6 +85,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "SampleStore",
     "ExecutionContext",
+    "StageRuntime",
     "materialize_selection",
     "ground_truth_labeler",
 ]
@@ -80,6 +98,13 @@ DEFAULT_MAX_ENTRIES = 256
 #: version (falling back to a fresh draw), so the format can evolve
 #: without ever serving stale-layout labels.
 SPILL_FORMAT_VERSION = 1
+
+#: Filename pattern of spill files inside a ``store_dir``.
+SPILL_GLOB = "sample-*.npz"
+
+#: Sidecar file holding best-effort cumulative counters for a
+#: ``store_dir`` (spills, disk hits, evictions) across processes.
+STATS_FILENAME = "store-stats.json"
 
 
 def ground_truth_labeler(dataset: "Dataset") -> LabelFn:
@@ -140,10 +165,16 @@ class SampleStore:
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         store_dir: str | os.PathLike | None = None,
+        max_disk_bytes: int | None = None,
     ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_disk_bytes is not None and max_disk_bytes <= 0:
+            raise ValueError(f"max_disk_bytes must be positive or None, got {max_disk_bytes}")
+        if max_disk_bytes is not None and store_dir is None:
+            raise ValueError("max_disk_bytes requires a store_dir")
         self.max_entries = max_entries
+        self.max_disk_bytes = max_disk_bytes
         self.store_dir = Path(store_dir).expanduser() if store_dir is not None else None
         if self.store_dir is not None:
             self.store_dir.mkdir(parents=True, exist_ok=True)
@@ -152,6 +183,7 @@ class SampleStore:
         self.misses = 0
         self.disk_hits = 0
         self.disk_errors = 0
+        self.disk_evictions = 0
         self.labels_drawn = 0
         self.labels_saved = 0
 
@@ -178,6 +210,7 @@ class SampleStore:
                 self.disk_hits += 1
                 self.labels_saved += spilled.oracle_calls
                 self._insert(key, spilled)
+                self._bump_persistent_stats(disk_hits=1)
                 return spilled
         rng = np.random.default_rng(int(seed))
         sample = draw_labeled_sample(design, dataset, rng, ground_truth_labeler(dataset))
@@ -211,6 +244,7 @@ class SampleStore:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "disk_errors": self.disk_errors,
+            "disk_evictions": self.disk_evictions,
             "labels_drawn": self.labels_drawn,
             "labels_saved": self.labels_saved,
             "nbytes": self.nbytes,
@@ -267,6 +301,9 @@ class SampleStore:
         except OSError:
             self.disk_errors += 1
             tmp.unlink(missing_ok=True)
+            return
+        self._bump_persistent_stats(spills=1, labels_spilled=sample.oracle_calls)
+        self._evict_spills()
 
     def _load_spill(
         self, fingerprint: str, design: SampleDesign, seed: int
@@ -310,6 +347,133 @@ class SampleStore:
             rng_state=rng_state,
         )
 
+    # -- disk-tier management --------------------------------------------------
+
+    def _evict_spills(self) -> None:
+        """Oldest-spill eviction: shrink the directory under the cap.
+
+        Best-effort under concurrency — a file deleted by another
+        worker mid-scan is simply skipped, and the cap is re-checked
+        on every spill, so transient overshoot self-corrects.
+        """
+        if self.max_disk_bytes is None or self.store_dir is None:
+            return
+        entries = self.disk_entries(self.store_dir, include_keys=False)
+        total = sum(entry["bytes"] for entry in entries)
+        evicted = 0
+        for entry in entries:  # disk_entries sorts oldest-first
+            if total <= self.max_disk_bytes:
+                break
+            try:
+                entry["path"].unlink()
+            except OSError:
+                continue
+            total -= entry["bytes"]
+            evicted += 1
+        if evicted:
+            self.disk_evictions += evicted
+            self._bump_persistent_stats(evictions=evicted)
+
+    def _bump_persistent_stats(self, **deltas: int) -> None:
+        """Best-effort cumulative counters in ``store-stats.json``.
+
+        Atomic replace keeps the file parseable under concurrent
+        writers; simultaneous increments may be lost (last writer
+        wins), which is acceptable for an advisory inspection aid.
+        """
+        if self.store_dir is None:
+            return
+        path = self.store_dir / STATS_FILENAME
+        try:
+            stats = json.loads(path.read_text()) if path.exists() else {}
+            if not isinstance(stats, dict):
+                stats = {}
+            for key, delta in deltas.items():
+                stats[key] = int(stats.get(key, 0)) + int(delta)
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(stats, sort_keys=True))
+            os.replace(tmp, path)
+        except (OSError, ValueError):
+            pass
+
+    @staticmethod
+    def persistent_stats(store_dir: str | os.PathLike) -> Mapping[str, int]:
+        """Cumulative cross-process counters recorded for a directory."""
+        path = Path(store_dir).expanduser() / STATS_FILENAME
+        try:
+            stats = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {}
+        return stats if isinstance(stats, dict) else {}
+
+    @staticmethod
+    def disk_entries(
+        store_dir: str | os.PathLike, include_keys: bool = True
+    ) -> list[dict]:
+        """Spill files in a directory, oldest first.
+
+        Each entry maps ``path`` / ``bytes`` / ``mtime`` plus, when
+        ``include_keys`` is set and the file is readable, its embedded
+        ``key`` metadata (dataset fingerprint, design fields, seed).
+        Unreadable files still appear (with ``key=None``) so
+        ``repro store ls`` accounts for every byte on disk.
+
+        ``include_keys=False`` stats files without opening them — what
+        eviction, usage totals, and ``clear_disk`` use, so those stay
+        O(files) stat calls instead of O(files) archive reads.
+        """
+        directory = Path(store_dir).expanduser()
+        entries: list[dict] = []
+        for path in directory.glob(SPILL_GLOB):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            key = None
+            if include_keys:
+                try:
+                    with np.load(path, allow_pickle=False) as payload:
+                        key = json.loads(str(payload["key"][()]))
+                except Exception:
+                    pass
+            entries.append(
+                {"path": path, "bytes": stat.st_size, "mtime": stat.st_mtime, "key": key}
+            )
+        entries.sort(key=lambda entry: (entry["mtime"], entry["path"].name))
+        return entries
+
+    @classmethod
+    def disk_usage(cls, store_dir: str | os.PathLike) -> Mapping[str, int]:
+        """Total spill-file count and bytes for a directory."""
+        entries = cls.disk_entries(store_dir, include_keys=False)
+        return {
+            "files": len(entries),
+            "total_bytes": sum(entry["bytes"] for entry in entries),
+        }
+
+    @classmethod
+    def clear_disk(cls, store_dir: str | os.PathLike) -> Mapping[str, int]:
+        """Delete every spill file (and the stats sidecar) in a directory.
+
+        Only files this module wrote are touched — foreign files in the
+        directory are left alone.  Returns the removed count and bytes.
+        """
+        removed = 0
+        freed = 0
+        for entry in cls.disk_entries(store_dir, include_keys=False):
+            try:
+                entry["path"].unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += entry["bytes"]
+        stats_path = Path(store_dir).expanduser() / STATS_FILENAME
+        try:
+            stats_path.unlink()
+        except OSError:
+            pass
+        return {"files_removed": removed, "bytes_freed": freed}
+
 
 @dataclass
 class ExecutionContext:
@@ -344,14 +508,103 @@ class ExecutionContext:
         return self.store.stats()
 
 
-def _union_sorted_unique(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """``np.union1d`` for inputs that are already sorted and distinct.
+class StageRuntime:
+    """Execution state for one ``Selector.select()`` call.
 
-    ``union1d`` re-sorts the concatenation — O((|a|+|b|) log(|a|+|b|))
-    — on every call; here ``a`` (labeled positives, bounded by the
-    oracle budget) is typically tiny next to ``b`` (the thresholded
-    selection), so a searchsorted merge is ~10x cheaper per
-    materialization and returns the identical array.
+    The runtime is what makes a *single* staged execution path serve
+    every calling convention.  ``Selector._execute_stages`` asks it for
+    draws (:meth:`draw`), oracle labels outside a design
+    (:meth:`label`), and the random stream (:attr:`rng`); the runtime
+    decides, per call, whether a design is served from a context's
+    sample store or drawn fresh:
+
+    - **Store-backed** — a context was given, no custom oracle, and the
+      seed is an integer (generator objects cannot key a cache).
+      Draws come from ``context.fetch`` and the runtime resumes its
+      random stream from the sample's recorded post-draw state, so a
+      later gamma-dependent stage (Algorithm 5's stage 2) consumes
+      randomness bit-identically to a fresh draw.
+    - **Fresh** — otherwise.  Draws consume :attr:`rng` directly and
+      labels come from the custom oracle when one was passed (user
+      UDFs, the joint algorithm's shared unbudgeted oracle) or from a
+      budget-enforcing oracle over the dataset's ground truth, so a
+      selection can never reveal more labels than ``budget`` — any
+      over-draw raises
+      :class:`~repro.oracle.BudgetExhaustedError` before new labels
+      leak.  (Store-served draws skip the check, as always: a cached
+      sample's budget was enforced when it was first drawn.)
+
+    Both modes produce bit-identical selections; only the caching
+    differs.
+    """
+
+    def __init__(
+        self,
+        dataset: "Dataset",
+        seed: int | np.random.Generator = 0,
+        oracle=None,
+        context: ExecutionContext | None = None,
+        budget: int | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.seed = seed
+        cacheable = (
+            context is not None
+            and oracle is None
+            and isinstance(seed, (int, np.integer))
+        )
+        self._context = context if cacheable else None
+        if oracle is None:
+            oracle = oracle_from_labels(dataset.labels, budget=budget)
+        self._label_fn: LabelFn = oracle.query
+        self._rng: np.random.Generator | None = None
+        self._resume_state: Mapping[str, object] | None = None
+
+    @property
+    def store_backed(self) -> bool:
+        """Whether designed draws are served from a shared sample store."""
+        return self._context is not None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The selection's random stream.
+
+        Constructed lazily from the seed exactly as every prior code
+        path did (``np.random.default_rng(seed)``; a passed generator
+        is used as-is).  After a store-served draw the stream resumes
+        from the sample's recorded post-draw state, keeping later
+        stages bit-identical to the fresh-draw execution.
+        """
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
+        if self._resume_state is not None:
+            self._rng.bit_generator.state = self._resume_state
+            self._resume_state = None
+        return self._rng
+
+    def draw(self, design: SampleDesign) -> LabeledSample:
+        """Stage ``draw_sample``: fetch or draw one designed sample."""
+        if self._context is not None:
+            sample = self._context.fetch(self.dataset, design, int(self.seed))
+            self._resume_state = sample.rng_state
+            return sample
+        return draw_labeled_sample(design, self.dataset, self.rng, self._label_fn)
+
+    def label(self, indices: np.ndarray) -> np.ndarray:
+        """Oracle labels for draws no :class:`SampleDesign` describes
+        (e.g. Algorithm 5's gamma-dependent region sample) — such
+        labels never enter a store."""
+        return np.asarray(self._label_fn(indices))
+
+
+def _union_sorted_unique(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Set union for inputs that are already sorted and distinct.
+
+    numpy's general set-union re-sorts the concatenation —
+    O((|a|+|b|) log(|a|+|b|)) — on every call; here ``a`` (labeled
+    positives, bounded by the oracle budget) is typically tiny next to
+    ``b`` (the thresholded selection), so a searchsorted merge is ~10x
+    cheaper per materialization and returns the identical array.
     """
     if a.size == 0:
         return b
@@ -371,14 +624,15 @@ def materialize_selection(
 ) -> SelectionResult:
     """Final stage: assemble Algorithm 1's ``R = R1 ∪ R2`` and accounting.
 
-    Reconstructs exactly what the legacy path reads off its
-    :class:`~repro.oracle.BudgetedOracle`: labeled positives (``R1``),
-    the sorted distinct sampled set, and the per-record budget charge —
-    all derivable from the samples that were actually used, which is
-    what makes store-served selections bit-identical to oracle-driven
-    ones.  The per-sample distinct sets come from the samples' caches,
-    so replaying a store-served sample across a gamma axis or a method
-    panel pays their unique passes once.
+    Reconstructs exactly what a budget-enforcing
+    :class:`~repro.oracle.BudgetedOracle` would report for the same
+    draws: labeled positives (``R1``), the sorted distinct sampled set,
+    and the per-record budget charge — all derivable from the samples
+    that were actually used, which is what makes store-served
+    selections bit-identical to fresh-draw ones.  The per-sample
+    distinct sets come from the samples' caches, so replaying a
+    store-served sample across a gamma axis or a method panel pays
+    their unique passes once.
     """
     sample_list = tuple(samples)
     sampled = sample_list[0].distinct_indices

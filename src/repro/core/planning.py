@@ -1,10 +1,10 @@
-"""Oracle-budget planning (Section 8 of the paper, future work).
+"""Planning: oracle budgets for one query, oracle draws for a batch.
 
-The paper analyzes its algorithms asymptotically and names
-finite-sample complexity as future work.  This module provides the
-practical half of that program: *before* spending the oracle budget,
-estimate how large it must be for the SUPG machinery to produce a
-non-trivial result.
+Two planners live here.
+
+**Budget planning** (Section 8 of the paper, future work): *before*
+spending the oracle budget, estimate how large it must be for the SUPG
+machinery to produce a non-trivial result.
 
 The binding finite-sample constraint for recall-target queries is the
 positive-draw count (see
@@ -19,20 +19,82 @@ For precision-target queries, the binding constraint is the candidate
 scan: at least one full candidate step of labels must land above the
 eventual threshold, and the per-candidate confidence level
 ``delta / M`` must leave the normal bound non-vacuous.
+
+**Batch query planning**: the paper's cost model charges per distinct
+labeled record, so a *batch* of selections should be grouped by shared
+oracle draw before anything executes.  :func:`plan_executions` maps a
+batch of (selector, dataset, seed) executions to a :class:`QueryPlan`
+that groups them by ``(dataset fingerprint × SampleDesign × seed)`` —
+the sample store's legal-reuse key.  The plan reports how many
+distinct draws the batch needs (vs how many a naive per-execution loop
+would pay for), can :meth:`~QueryPlan.prewarm` a
+:class:`~repro.core.pipeline.SampleStore` by drawing each distinct
+design exactly once (spilling to the disk tier when the store has one
+— do this *before* forking workers, so they warm up from disk instead
+of racing to re-draw the same key), and yields independent
+:meth:`~QueryPlan.batches` to fan across workers.
+:meth:`repro.query.engine.SupgEngine.execute_many` and the experiment
+runner's parallel warm-up are both built on it.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..sampling import DEFAULT_EXPONENT, DEFAULT_MIXING, proxy_sampling_weights
+from ..sampling.designs import SampleDesign
 from .types import ApproxQuery, TargetType
 from .uniform import DEFAULT_CANDIDATE_STEP, minimum_positive_draws
 
-__all__ = ["BudgetPlan", "plan_budget", "expected_positive_fraction"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datasets import Dataset
+    from .pipeline import SampleStore
+
+__all__ = [
+    "BudgetPlan",
+    "plan_budget",
+    "expected_positive_fraction",
+    "PlannedExecution",
+    "QueryPlan",
+    "plan_executions",
+    "resolve_n_jobs",
+    "fork_available",
+]
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` request to a positive worker count.
+
+    ``None`` and ``1`` mean sequential; ``-1`` means one worker per
+    available core (the joblib convention).
+
+    Raises:
+        ValueError: for zero or other negative values.
+    """
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs <= 0:
+        raise ValueError(f"n_jobs must be positive or -1, got {n_jobs}")
+    return n_jobs
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform.
+
+    Fan-out code in this repo relies on fork inheritance (selector
+    factories are closures that ``spawn`` cannot pickle) and falls back
+    to sequential execution where fork is unavailable.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def expected_positive_fraction(
@@ -153,3 +215,218 @@ def plan_budget(
         positive_fraction=q,
         rationale=rationale,
     )
+
+
+# -- batch query planning --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlannedExecution:
+    """One execution of a batch, as the planner sees it.
+
+    Attributes:
+        index: position in the submitted batch (results are returned in
+            this order).
+        label: human-readable description (method + table, slot label).
+        fingerprint: dataset content hash, when the execution is
+            plannable.
+        design: the execution's cacheable
+            :class:`~repro.sampling.designs.SampleDesign`, when one
+            exists.
+        seed: the integer seed keying the draw.
+        note: why the execution is *not* plannable (oracle UDF,
+            generator seed, joint query, no declared design) — empty
+            for grouped executions.
+    """
+
+    index: int
+    label: str
+    fingerprint: str | None = None
+    design: SampleDesign | None = None
+    seed: int | None = None
+    note: str = ""
+
+    @property
+    def key(self) -> tuple | None:
+        """The sample store's legal-reuse key, or ``None`` if unplanned."""
+        if self.fingerprint is None or self.design is None or self.seed is None:
+            return None
+        return (self.fingerprint, self.design, self.seed)
+
+
+class QueryPlan:
+    """A batch of executions grouped by shared oracle draw.
+
+    Construct via :func:`plan_executions` (or directly from
+    :class:`PlannedExecution` records plus a ``fingerprint → dataset``
+    map for the datasets behind the grouped keys).
+    """
+
+    def __init__(
+        self,
+        executions: Sequence[PlannedExecution],
+        datasets: Mapping[str, "Dataset"],
+    ) -> None:
+        self.executions: tuple[PlannedExecution, ...] = tuple(executions)
+        self._datasets = dict(datasets)
+        self._groups: "OrderedDict[tuple, list[int]]" = OrderedDict()
+        self._ungrouped: list[int] = []
+        for execution in self.executions:
+            key = execution.key
+            if key is None:
+                self._ungrouped.append(execution.index)
+            else:
+                self._groups.setdefault(key, []).append(execution.index)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def n_executions(self) -> int:
+        return len(self.executions)
+
+    @property
+    def groups(self) -> Mapping[tuple, tuple[int, ...]]:
+        """Key → execution indices sharing that draw, in batch order."""
+        return {key: tuple(members) for key, members in self._groups.items()}
+
+    @property
+    def ungrouped(self) -> tuple[int, ...]:
+        """Executions the planner cannot key (they draw fresh)."""
+        return tuple(self._ungrouped)
+
+    @property
+    def distinct_draws(self) -> int:
+        """Number of distinct (dataset, design, seed) oracle draws."""
+        return len(self._groups)
+
+    @property
+    def predicted_labels_drawn(self) -> int:
+        """Upper bound on oracle labels the grouped draws will pay for.
+
+        Each distinct design draws ``budget`` records; with-replacement
+        duplicates are only charged once, so the realized count can
+        only be lower.
+        """
+        return sum(key[1].budget for key in self._groups)
+
+    @property
+    def predicted_labels_saved(self) -> int:
+        """Upper bound on labels saved vs a naive per-execution loop
+        (each group's sharers beyond the first re-use its draw)."""
+        return sum(
+            (len(members) - 1) * key[1].budget
+            for key, members in self._groups.items()
+        )
+
+    # -- execution support -----------------------------------------------------
+
+    def prewarm(self, store: "SampleStore") -> None:
+        """Draw every distinct (dataset, design, seed) exactly once.
+
+        Fills ``store`` — and, when it has a disk tier, the spill
+        directory — before any execution runs.  Call this *before*
+        forking workers: they then serve every shared design from the
+        inherited memory tier or the spilled files instead of racing
+        to re-draw the same key.
+        """
+        for fingerprint, design, seed in self._groups:
+            dataset = self._datasets.get(fingerprint)
+            if dataset is not None:
+                store.fetch(dataset, design, seed)
+
+    def batches(self) -> list[list[int]]:
+        """Independent execution batches, in first-appearance order.
+
+        One batch per distinct draw (its sharers run together, keeping
+        any lazily-drawn sample on one worker) plus a singleton batch
+        per unplanned execution.  Concatenated and sorted they cover
+        every index exactly once.
+        """
+        batches = [list(members) for members in self._groups.values()]
+        batches.extend([index] for index in self._ungrouped)
+        batches.sort(key=lambda batch: batch[0])
+        return batches
+
+    # -- reporting -------------------------------------------------------------
+
+    @staticmethod
+    def _design_label(design: SampleDesign) -> str:
+        if design.kind == "uniform":
+            return f"uniform(budget={design.budget})"
+        return (
+            f"{design.kind}(budget={design.budget}, "
+            f"exponent={design.exponent}, mixing={design.mixing})"
+        )
+
+    def render(self) -> str:
+        """Human-readable dedup plan (what ``repro plan <file>`` prints)."""
+        lines = [
+            f"query plan: {self.n_executions} executions, "
+            f"{self.distinct_draws} distinct oracle draws "
+            f"({len(self._ungrouped)} unplanned)",
+            f"labels     : <= {self.predicted_labels_drawn} drawn, "
+            f"<= {self.predicted_labels_saved} saved vs per-query draws",
+        ]
+        for number, (key, members) in enumerate(self._groups.items(), start=1):
+            fingerprint, design, seed = key
+            dataset = self._datasets.get(fingerprint)
+            dataset_label = dataset.name if dataset is not None else fingerprint[:12]
+            shared = ", ".join(f"#{index}" for index in members)
+            lines.append(
+                f"draw {number:<2d}    : {self._design_label(design)} seed={seed} "
+                f"dataset={dataset_label} -> {shared}"
+            )
+        for index in self._ungrouped:
+            execution = self.executions[index]
+            note = f" ({execution.note})" if execution.note else ""
+            lines.append(f"unplanned  : #{index} {execution.label}{note}")
+        for execution in self.executions:
+            lines.append(f"#{execution.index:<10d}: {execution.label}")
+        return "\n".join(lines)
+
+
+def plan_executions(
+    specs: Iterable[tuple[str, "Dataset", object, object, str]],
+) -> QueryPlan:
+    """Build a :class:`QueryPlan` from execution specs.
+
+    Args:
+        specs: one tuple per execution, in batch order:
+            ``(label, dataset, selector, seed, note)``.  ``selector``
+            may be ``None`` (or ``note`` non-empty) to mark an
+            execution the caller already knows is unplannable — a
+            joint query, an oracle-UDF execution, a selector the store
+            must not serve.  Otherwise the selector's
+            ``sample_design(dataset)`` names the cacheable draw;
+            selectors declaring no design and generator seeds fall
+            back to unplanned with a descriptive note.
+    """
+    executions: list[PlannedExecution] = []
+    datasets: dict[str, "Dataset"] = {}
+    for index, (label, dataset, selector, seed, note) in enumerate(specs):
+        design = None
+        if note:
+            pass  # caller-supplied reason wins
+        elif selector is None:
+            note = "no selector to plan"
+        elif not isinstance(seed, (int, np.integer)):
+            note = "generator seed (no stable cache key)"
+        else:
+            design_fn = getattr(selector, "sample_design", None)
+            design = design_fn(dataset) if callable(design_fn) else None
+            if design is None:
+                note = "selector declares no sample design"
+        if design is not None:
+            datasets[dataset.fingerprint] = dataset
+            executions.append(
+                PlannedExecution(
+                    index=index,
+                    label=label,
+                    fingerprint=dataset.fingerprint,
+                    design=design,
+                    seed=int(seed),
+                )
+            )
+        else:
+            executions.append(PlannedExecution(index=index, label=label, note=note))
+    return QueryPlan(executions, datasets)

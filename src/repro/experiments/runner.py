@@ -45,17 +45,22 @@ to force fresh draws (only useful for timing the difference).
 
 Passing ``store_dir`` spills every fresh draw to a persistent
 :class:`~repro.core.pipeline.SampleStore` tier, shared across worker
-processes and across runs — see :mod:`repro.core.pipeline`.
+processes and across runs — see :mod:`repro.core.pipeline`.  Parallel
+runs with a ``store_dir`` additionally *pre-spill* their distinct
+(dataset, design, seed) draws before forking, via the batch planner
+(:mod:`repro.core.planning`): the parent draws each shared design once
+and spills it, so workers warm up from disk instead of racing to
+re-label the same keys.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import os
 from typing import Callable, Mapping, Sequence
 
 from ..core.base import Selector
 from ..core.pipeline import ExecutionContext, SampleStore
+from ..core.planning import fork_available, plan_executions, resolve_n_jobs
 from ..core.types import ApproxQuery
 from ..datasets import Dataset
 from ..metrics import evaluate_selection
@@ -73,24 +78,6 @@ __all__ = [
 #: A factory producing a fresh selector per trial (selectors are
 #: stateless, but fresh construction keeps ablation parameters obvious).
 SelectorFactory = Callable[[], Selector]
-
-
-def resolve_n_jobs(n_jobs: int | None) -> int:
-    """Normalize an ``n_jobs`` request to a positive worker count.
-
-    ``None`` and ``1`` mean sequential; ``-1`` means one worker per
-    available core (the joblib convention).
-
-    Raises:
-        ValueError: for zero or other negative values.
-    """
-    if n_jobs is None:
-        return 1
-    if n_jobs == -1:
-        return os.cpu_count() or 1
-    if n_jobs <= 0:
-        raise ValueError(f"n_jobs must be positive or -1, got {n_jobs}")
-    return n_jobs
 
 
 def _run_single_trial(
@@ -145,8 +132,40 @@ def _run_trial_chunk(trials: Sequence[int]) -> list[TrialRecord]:
     ]
 
 
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
+# Platform fork detection lives with the planner (core.planning); the
+# alias keeps this module's call sites readable.
+_fork_available = fork_available
+
+
+def _prewarm_store_dir(
+    slots: Sequence["PanelSlot"],
+    dataset: Dataset,
+    trials: int,
+    base_seed: int,
+    store_dir: str,
+) -> None:
+    """Cross-worker warm-up: spill a panel's distinct draws before forking.
+
+    Builds the panel's :class:`~repro.core.planning.QueryPlan` — one
+    planned execution per (slot, trial) — and draws each distinct
+    (dataset, design, seed) exactly once into a store backed by
+    ``store_dir``.  Forked workers then serve every shared design from
+    the spill directory instead of N workers racing to draw the same
+    key.  Results are unchanged either way (the store contract);
+    only the redundant labeling disappears.
+    """
+    specs = []
+    for trial in range(trials):
+        for factory, label in slots:
+            try:
+                selector = factory()
+            except Exception:
+                continue  # unbuildable slot: let the worker surface the error
+            specs.append(
+                (label or getattr(selector, "name", "slot"), dataset, selector,
+                 base_seed + trial, "")
+            )
+    plan_executions(specs).prewarm(SampleStore(store_dir=store_dir))
 
 
 def _reject_context_with_parallelism(context: ExecutionContext | None, jobs: int, what: str) -> None:
@@ -339,6 +358,8 @@ def _run_panel(
     _reject_context_with_parallelism(context, jobs, what)
     _validate_sharing(context, share_samples, store_dir, what)
     if jobs > 1 and _fork_available():
+        if store_dir is not None and share_samples:
+            _prewarm_store_dir(slots, dataset, trials, base_seed, store_dir)
         chunks = _chunk_trials(trials, jobs)
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(
@@ -475,6 +496,42 @@ def _run_cell_spec(
     return sweep(**cell, n_jobs=1, context=context)
 
 
+def _cell_slots(cell: Mapping[str, object]) -> list[PanelSlot]:
+    """The labeled slots a cell spec will run (mirrors _run_cell_spec)."""
+    if "factories" in cell:
+        return [(factory, label) for label, factory in cell["factories"].items()]
+    method_name = cell.get("method_name")
+    return [
+        (cell["factory_for_gamma"](gamma), method_name)
+        for gamma in cell.get("gammas", ())
+    ]
+
+
+def _prewarm_cells(cell_list: Sequence[Mapping[str, object]]) -> None:
+    """Pre-spill every parallel cell's distinct draws before forking.
+
+    Cells sharing a ``store_dir`` have their plans drawn into one
+    store each, so a grid whose cells revisit the same (dataset,
+    design, seed) keys labels each exactly once in the parent —
+    workers then disk-hit instead of racing.
+    """
+    for cell in cell_list:
+        store_dir = cell.get("store_dir")
+        if store_dir is None or cell.get("share_samples") is False:
+            continue
+        try:
+            slots = _cell_slots(cell)
+        except Exception:
+            continue  # malformed spec: let the worker surface the error
+        _prewarm_store_dir(
+            slots,
+            cell["dataset"],
+            int(cell.get("trials", 0)),
+            int(cell.get("base_seed", 0)),
+            store_dir,
+        )
+
+
 def _init_cell_worker(cells: Sequence[Mapping[str, object]]) -> None:
     _WORKER_STATE["cells"] = (tuple(cells),)
 
@@ -529,6 +586,7 @@ def run_sweep_cells(
     jobs = min(resolve_n_jobs(n_jobs), len(cell_list))
     _reject_context_with_parallelism(context, jobs, "run_sweep_cells")
     if jobs > 1 and _fork_available():
+        _prewarm_cells(cell_list)
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(
             processes=jobs,

@@ -4,13 +4,14 @@ from __future__ import annotations
 
 from .ast import ParsedQuery, QueryKind, UdfCall
 from .engine import QueryExecution, SupgEngine
-from .parser import QuerySyntaxError, parse_query
+from .parser import QuerySyntaxError, parse_query, parse_script
 
 __all__ = [
     "ParsedQuery",
     "QueryKind",
     "UdfCall",
     "parse_query",
+    "parse_script",
     "QuerySyntaxError",
     "SupgEngine",
     "QueryExecution",

@@ -17,28 +17,45 @@ different target, or a different selector over the same design.
 Proxy-UDF-derived datasets are cached per (table, UDF) as well, so
 their sorted-score statistics are computed once rather than per query.
 
-Two situations bypass the store, falling back to the per-query path:
-oracle UDFs (labels then come from user code whose identity the store
-cannot safely key) and generator seeds (no stable cache key).  Joint
-queries also run uncached — their three stages share one unbudgeted
-oracle whose accounting is inherently per-query.
+Batch execution
+---------------
+
+:meth:`SupgEngine.execute_many` plans a whole batch before running it:
+every statement is parsed and compiled, a
+:class:`~repro.core.planning.QueryPlan` groups the executions by
+(dataset fingerprint × :class:`~repro.sampling.designs.SampleDesign` ×
+seed), and each distinct design is pre-drawn exactly once — spilled to
+the disk tier when the engine has a ``store_dir`` — *before* any
+query executes or any worker forks.  Independent groups then fan
+across ``jobs`` worker processes (fork inheritance hands every worker
+the warm store), and results return in statement order, bit-identical
+to a sequential ``execute()`` loop.  :meth:`SupgEngine.plan` exposes
+the same dedup plan without executing anything.
+
+Two situations run through the same staged path but never touch the
+store: oracle UDFs (labels then come from user code whose identity the
+store cannot safely key) and generator seeds (no stable cache key).
+Joint queries also run uncached — their three stages share one
+unbudgeted oracle whose accounting is inherently per-query.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..core.joint import JointSelector
 from ..core.pipeline import ExecutionContext, SampleStore
+from ..core.planning import QueryPlan, fork_available, plan_executions, resolve_n_jobs
 from ..core.registry import default_selector, make_selector
 from ..core.types import SelectionResult
 from ..datasets import Dataset
 from ..oracle import BudgetedOracle
 from .ast import ParsedQuery, QueryKind
-from .parser import parse_query
+from .parser import parse_query, parse_script
 
 __all__ = ["SupgEngine", "QueryExecution"]
 
@@ -64,6 +81,58 @@ class QueryExecution:
     result: SelectionResult
     dataset: Dataset
     method: str
+
+
+@dataclass
+class _CompiledQuery:
+    """One parsed statement bound to its dataset, selector, and oracle.
+
+    Compilation is shared by ``execute``, ``execute_many``, and
+    ``plan``, so the three entry points cannot drift: a batch runs
+    exactly the selections the sequential loop would.
+    """
+
+    index: int
+    parsed: ParsedQuery
+    dataset: Dataset
+    selector: object  # Selector | JointSelector
+    method: str
+    seed: int | np.random.Generator
+    oracle_factory: Callable[[], BudgetedOracle] | None = None
+
+    @property
+    def joint(self) -> bool:
+        return self.parsed.kind == QueryKind.JOINT
+
+    def run(self, context: ExecutionContext | None) -> SelectionResult:
+        """Execute this compiled query (the worker-side unit of work)."""
+        if self.joint:
+            return self.selector.select(self.dataset, seed=self.seed)
+        oracle = self.oracle_factory() if self.oracle_factory is not None else None
+        return self.selector.select(
+            self.dataset,
+            seed=self.seed,
+            oracle=oracle,
+            context=context if oracle is None else None,
+        )
+
+
+# Worker-process state for the batch fan-out, installed by the pool
+# initializer.  Compiled queries and the warm context travel to workers
+# by fork inheritance (datasets, closures, and the pre-drawn sample
+# store are shared copy-on-write rather than pickled per task).
+_WORKER_STATE: dict[str, tuple] = {}
+
+
+def _init_batch_worker(
+    compiled: Sequence[_CompiledQuery], context: ExecutionContext | None
+) -> None:
+    _WORKER_STATE["batch"] = (tuple(compiled), context)
+
+
+def _run_batch(indices: Sequence[int]) -> list[tuple[int, SelectionResult]]:
+    compiled, context = _WORKER_STATE["batch"]
+    return [(index, compiled[index].run(context)) for index in indices]
 
 
 class SupgEngine:
@@ -162,6 +231,114 @@ class SupgEngine:
         for key in stale:
             del self._derived[key]
 
+    # -- compilation -----------------------------------------------------------
+
+    def _compile(
+        self,
+        index: int,
+        parsed: ParsedQuery,
+        seed: int | np.random.Generator,
+        method: str | None,
+        stage_budget: int,
+        selector_kwargs: Mapping[str, object],
+    ) -> _CompiledQuery:
+        """Bind one parsed statement to its dataset, selector, and oracle."""
+        dataset = self._resolve_table(parsed)
+        dataset = self._apply_proxy_udf(parsed, dataset)
+
+        if parsed.kind == QueryKind.JOINT:
+            joint_query = parsed.to_joint_query(stage_budget=stage_budget)
+            selector = JointSelector(joint_query, method=method or "is", **selector_kwargs)
+            return _CompiledQuery(
+                index=index,
+                parsed=parsed,
+                dataset=dataset,
+                selector=selector,
+                method=f"joint-{method or 'is'}",
+                seed=seed,
+            )
+
+        query = parsed.to_approx_query()
+        if method is None:
+            selector = default_selector(query, **selector_kwargs)
+        else:
+            selector = make_selector(method, query, **selector_kwargs)
+        return _CompiledQuery(
+            index=index,
+            parsed=parsed,
+            dataset=dataset,
+            selector=selector,
+            method=selector.name,
+            seed=seed,
+            oracle_factory=self._oracle_factory(parsed, dataset, query.budget),
+        )
+
+    def _parse_batch(
+        self, queries: "str | Sequence[str | ParsedQuery]"
+    ) -> list[ParsedQuery]:
+        """Normalize batch input: one multi-statement string, or a
+        sequence of statements / pre-parsed queries."""
+        if isinstance(queries, str):
+            return parse_script(queries)
+        parsed: list[ParsedQuery] = []
+        for query in queries:
+            if isinstance(query, ParsedQuery):
+                parsed.append(query)
+            else:
+                parsed.extend(parse_script(query))
+        return parsed
+
+    @staticmethod
+    def _broadcast(value, count: int, what: str) -> list:
+        """Expand a scalar per-query parameter, or validate a sequence.
+
+        numpy arrays count as sequences: ``seed=np.arange(3)`` means
+        per-statement seeds, not one array-entropy seed shared by all
+        statements (``default_rng`` would silently accept the latter).
+        """
+        if isinstance(value, (list, tuple, np.ndarray)):
+            if len(value) != count:
+                raise ValueError(
+                    f"{what} sequence has {len(value)} entries for {count} statements"
+                )
+            return [
+                item.item() if isinstance(item, np.generic) else item
+                for item in value
+            ]
+        return [value] * count
+
+    def _compile_batch(
+        self,
+        queries,
+        seed,
+        method,
+        stage_budget: int,
+        selector_kwargs: Mapping[str, object],
+    ) -> list[_CompiledQuery]:
+        parsed = self._parse_batch(queries)
+        seeds = self._broadcast(seed, len(parsed), "seed")
+        methods = self._broadcast(method, len(parsed), "method")
+        return [
+            self._compile(index, statement, seeds[index], methods[index],
+                          stage_budget, selector_kwargs)
+            for index, statement in enumerate(parsed)
+        ]
+
+    def _plan_compiled(self, compiled: Sequence[_CompiledQuery]) -> QueryPlan:
+        """Group compiled queries by their shared oracle draws."""
+        specs = []
+        for job in compiled:
+            label = f"{job.method} on {job.parsed.table}"
+            if job.joint:
+                note = "joint query (unbudgeted shared oracle)"
+                specs.append((label, job.dataset, None, job.seed, note))
+            elif job.oracle_factory is not None:
+                note = "oracle UDF bypasses the sample store"
+                specs.append((label, job.dataset, None, job.seed, note))
+            else:
+                specs.append((label, job.dataset, job.selector, job.seed, ""))
+        return plan_executions(specs)
+
     # -- execution ---------------------------------------------------------------
 
     def execute(
@@ -194,32 +371,114 @@ class SupgEngine:
             KeyError: unknown table.
             repro.query.parser.QuerySyntaxError: malformed query text.
         """
-        parsed = parse_query(sql)
-        dataset = self._resolve_table(parsed)
-        dataset = self._apply_proxy_udf(parsed, dataset)
-
-        if parsed.kind == QueryKind.JOINT:
-            joint_query = parsed.to_joint_query(stage_budget=stage_budget)
-            selector = JointSelector(joint_query, method=method or "is", **selector_kwargs)
-            result = selector.select(dataset, seed=seed)
-            return QueryExecution(
-                parsed=parsed,
-                result=result,
-                dataset=dataset,
-                method=f"joint-{method or 'is'}",
-            )
-
-        query = parsed.to_approx_query()
-        if method is None:
-            selector = default_selector(query, **selector_kwargs)
-        else:
-            selector = make_selector(method, query, **selector_kwargs)
-        oracle = self._build_oracle(parsed, dataset, query.budget)
-        context = self._context if (reuse_samples and oracle is None) else None
-        result = selector.select(dataset, seed=seed, oracle=oracle, context=context)
+        job = self._compile(0, parse_query(sql), seed, method, stage_budget, selector_kwargs)
+        result = job.run(self._context if reuse_samples else None)
         return QueryExecution(
-            parsed=parsed, result=result, dataset=dataset, method=selector.name
+            parsed=job.parsed, result=result, dataset=job.dataset, method=job.method
         )
+
+    def plan(
+        self,
+        queries: "str | Sequence[str | ParsedQuery]",
+        seed: "int | Sequence[int]" = 0,
+        method: "str | Sequence[str | None] | None" = None,
+        stage_budget: int = 1000,
+        **selector_kwargs,
+    ) -> QueryPlan:
+        """Build the dedup plan for a batch without executing anything.
+
+        Accepts exactly the inputs of :meth:`execute_many`; the
+        returned :class:`~repro.core.planning.QueryPlan` reports the
+        distinct (dataset × design × seed) draws the batch needs, which
+        statements share them, and an upper bound on oracle labels
+        drawn/saved.  ``repro plan <queries.sql>`` prints it.
+        """
+        compiled = self._compile_batch(queries, seed, method, stage_budget, selector_kwargs)
+        return self._plan_compiled(compiled)
+
+    def execute_many(
+        self,
+        queries: "str | Sequence[str | ParsedQuery]",
+        *,
+        seed: "int | Sequence[int]" = 0,
+        method: "str | Sequence[str | None] | None" = None,
+        jobs: int | None = None,
+        stage_budget: int = 1000,
+        reuse_samples: bool = True,
+        **selector_kwargs,
+    ) -> list[QueryExecution]:
+        """Plan and run a batch of queries; results in statement order.
+
+        The batch is compiled, grouped by shared oracle draw, and each
+        distinct (dataset × design × seed) is pre-drawn exactly once
+        into the session store (spilling to disk when the engine has a
+        ``store_dir``) before anything executes.  With ``jobs > 1``,
+        workers fork *after* that warm-up, so every group is served
+        from the inherited store instead of being re-drawn per worker.
+
+        Results are bit-identical to a sequential ``execute()`` loop
+        over the same statements, for any ``jobs``.
+
+        Args:
+            queries: one multi-statement string (``;``-separated), or a
+                sequence of statements / pre-parsed queries.
+            seed: one seed for every statement, or a per-statement
+                sequence.
+            method: one selector registry name for every statement, or
+                a per-statement sequence (``None`` entries use the
+                query-type default).
+            jobs: worker processes for the group fan-out (``-1`` = all
+                cores; ``None``/``1`` = sequential).
+            stage_budget: stage-1/2 budget for joint-target queries.
+            reuse_samples: disable to skip the plan warm-up and the
+                store entirely (every statement draws fresh).
+            **selector_kwargs: forwarded to every selector constructor.
+        """
+        compiled = self._compile_batch(queries, seed, method, stage_budget, selector_kwargs)
+        if not compiled:
+            return []
+        plan = self._plan_compiled(compiled)
+        context = self._context if reuse_samples else None
+        if context is not None:
+            plan.prewarm(context.store)
+        workers = min(resolve_n_jobs(jobs), len(compiled))
+        if workers > 1 and fork_available():
+            results = self._run_batches_parallel(compiled, plan, context, workers)
+        else:
+            results = [job.run(context) for job in compiled]
+        return [
+            QueryExecution(
+                parsed=job.parsed, result=result, dataset=job.dataset, method=job.method
+            )
+            for job, result in zip(compiled, results)
+        ]
+
+    @staticmethod
+    def _run_batches_parallel(
+        compiled: Sequence[_CompiledQuery],
+        plan: QueryPlan,
+        context: ExecutionContext | None,
+        workers: int,
+    ) -> list[SelectionResult]:
+        """Fan the plan's independent batches across a fork pool.
+
+        Workers inherit the pre-warmed store copy-on-write; a group's
+        statements stay together so any residual lazy draw (e.g. an
+        oracle-UDF statement) happens once on one worker.
+        """
+        batches = plan.batches()
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(
+            processes=min(workers, len(batches)),
+            initializer=_init_batch_worker,
+            initargs=(tuple(compiled), context),
+        ) as pool:
+            batch_results = pool.map(_run_batch, batches)
+        results: list[SelectionResult | None] = [None] * len(compiled)
+        for batch in batch_results:
+            for index, result in batch:
+                results[index] = result
+        return results
 
     # -- resolution helpers ---------------------------------------------------
 
@@ -246,13 +505,22 @@ class SupgEngine:
             self._derived[key] = derived
         return derived
 
-    def _build_oracle(
+    def _oracle_factory(
         self, parsed: ParsedQuery, dataset: Dataset, budget: int | None
-    ) -> BudgetedOracle | None:
+    ) -> Callable[[], BudgetedOracle] | None:
+        """A fresh-per-run oracle builder for oracle-UDF queries.
+
+        ``BudgetedOracle`` is stateful (memo + budget charge), so each
+        run — including each parallel worker — must construct its own.
+        """
         udf = self._oracle_udfs.get(parsed.predicate.name.upper())
         if udf is None:
-            return None  # the selector builds one from dataset labels
-        def lookup(indices: np.ndarray) -> np.ndarray:
-            return np.asarray(udf(dataset, indices))
+            return None  # the selector labels from dataset ground truth
 
-        return BudgetedOracle(lookup, budget=budget)
+        def build() -> BudgetedOracle:
+            def lookup(indices: np.ndarray) -> np.ndarray:
+                return np.asarray(udf(dataset, indices))
+
+            return BudgetedOracle(lookup, budget=budget)
+
+        return build

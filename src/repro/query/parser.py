@@ -5,6 +5,11 @@ dialect is deliberately tiny — one table, one predicate, one proxy, and
 a fixed clause order — so the parser favors clear error messages over
 grammar generality.  Keywords are case-insensitive; identifiers and
 literals preserve case.
+
+Input may hold several statements separated by ``;`` (a batch for
+:meth:`repro.query.engine.SupgEngine.execute_many`):
+:func:`parse_script` returns them all, while :func:`parse_query`
+accepts exactly one statement (with an optional trailing semicolon).
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from dataclasses import dataclass
 
 from .ast import ParsedQuery, UdfCall
 
-__all__ = ["parse_query", "QuerySyntaxError"]
+__all__ = ["parse_query", "parse_script", "QuerySyntaxError"]
 
 
 class QuerySyntaxError(ValueError):
@@ -27,7 +32,7 @@ _TOKEN_RE = re.compile(
   | (?P<number>\d+(?:\.\d+)?%?)
   | (?P<string>"[^"]*"|'[^']*')
   | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
-  | (?P<symbol>[*(),=])
+  | (?P<symbol>[*(),=;])
     """,
     re.VERBOSE,
 )
@@ -96,9 +101,42 @@ class _Parser:
         token = self._peek()
         return token is not None and token.kind == "ident" and token.text.upper() == keyword
 
+    def _at_symbol(self, symbol: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "symbol" and token.text == symbol
+
     # -- grammar productions ---------------------------------------------------
 
     def parse(self) -> ParsedQuery:
+        """Parse exactly one statement (optional trailing semicolons)."""
+        query = self._statement()
+        while self._at_symbol(";"):
+            self._next()
+        trailing = self._peek()
+        if trailing is not None:
+            raise QuerySyntaxError(
+                f"unexpected trailing input at offset {trailing.position}: "
+                f"{trailing.text!r} (use parse_script for multi-statement input)"
+            )
+        return query
+
+    def parse_script(self) -> list[ParsedQuery]:
+        """Parse a whole ``;``-separated script (empty statements skipped)."""
+        statements: list[ParsedQuery] = []
+        while True:
+            while self._at_symbol(";"):
+                self._next()
+            if self._peek() is None:
+                return statements
+            statements.append(self._statement())
+            if self._peek() is not None and not self._at_symbol(";"):
+                trailing = self._peek()
+                raise QuerySyntaxError(
+                    f"expected ';' between statements at offset {trailing.position}, "
+                    f"got {trailing.text!r}"
+                )
+
+    def _statement(self) -> ParsedQuery:
         self._expect_keyword("SELECT")
         self._expect_symbol("*")
         self._expect_keyword("FROM")
@@ -136,12 +174,6 @@ class _Parser:
         self._expect_keyword("WITH")
         self._expect_keyword("PROBABILITY")
         probability = self._fraction("probability")
-
-        trailing = self._peek()
-        if trailing is not None:
-            raise QuerySyntaxError(
-                f"unexpected trailing input at offset {trailing.position}: {trailing.text!r}"
-            )
 
         joint = recall_target is not None and precision_target is not None
         if joint and oracle_limit is not None:
@@ -251,11 +283,12 @@ class _Parser:
 
 
 def parse_query(sql: str) -> ParsedQuery:
-    """Parse a SUPG dialect query string.
+    """Parse a single SUPG dialect query string.
 
     Args:
         sql: query text in the Figure 3 (single-target) or Figure 14
-            (joint-target) shape.
+            (joint-target) shape.  A trailing semicolon is allowed;
+            additional statements are not (use :func:`parse_script`).
 
     Returns:
         The parsed AST.
@@ -264,3 +297,20 @@ def parse_query(sql: str) -> ParsedQuery:
         QuerySyntaxError: with offset information on any mismatch.
     """
     return _Parser(sql).parse()
+
+
+def parse_script(sql: str) -> list[ParsedQuery]:
+    """Parse a multi-statement SUPG script.
+
+    Statements are separated by ``;`` (empty statements and a trailing
+    semicolon are tolerated).  This is the input shape of
+    :meth:`repro.query.engine.SupgEngine.execute_many` and the
+    ``repro plan <queries.sql>`` / batch ``repro query`` CLI paths.
+
+    Returns:
+        The parsed statements, in input order (possibly empty).
+
+    Raises:
+        QuerySyntaxError: with offset information on any mismatch.
+    """
+    return _Parser(sql).parse_script()

@@ -132,6 +132,71 @@ class TestBootstrap:
         assert b.lower(np.array([]), 0.05) == -math.inf
 
 
+class TestResampleMeanCache:
+    """Resampled means are memoized per (sample content, n_resamples,
+    seed): bound-ablation panels re-scanning a store-shared sample must
+    not pay the resampling matrix again, and cached results must be
+    bit-identical to recomputation."""
+
+    def setup_method(self):
+        from repro.bounds import clear_resample_cache
+
+        clear_resample_cache()
+
+    def test_equal_content_hits_cache(self, rng):
+        from repro.bounds import resample_cache_stats
+
+        values = rng.random(400)
+        bound = BootstrapBound(seed=3)
+        first = bound.upper(values, 0.05)
+        again = bound.upper(values.copy(), 0.05)  # distinct array, same bytes
+        assert first == again
+        stats = resample_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_cache_hit_bit_identical_across_deltas(self, rng):
+        from repro.bounds import clear_resample_cache
+
+        values = rng.random(400)
+        bound = BootstrapBound(seed=0)
+        cached = [bound.lower(values, delta) for delta in (0.01, 0.05, 0.1)]
+        clear_resample_cache()
+        fresh = [bound.lower(values, delta) for delta in (0.01, 0.05, 0.1)]
+        assert cached == fresh
+
+    def test_distinct_seed_or_resamples_miss(self, rng):
+        from repro.bounds import resample_cache_stats
+
+        values = rng.random(300)
+        BootstrapBound(seed=0).upper(values, 0.05)
+        BootstrapBound(seed=1).upper(values, 0.05)
+        BootstrapBound(seed=0, n_resamples=500).upper(values, 0.05)
+        stats = resample_cache_stats()
+        assert stats["misses"] == 3 and stats["hits"] == 0
+
+    def test_batch_scan_reuses_suffix_means(self, rng):
+        """Two candidate scans over the same sample (different bound
+        objects, equal config) share every per-length resample pass."""
+        from repro.bounds import resample_cache_stats
+
+        values = rng.random(600)
+        counts = np.array([100, 200, 300])
+        a = BootstrapBound(seed=0).lower_batch(values, counts, 0.05)
+        b = BootstrapBound(seed=0).lower_batch(values, counts, 0.05)
+        np.testing.assert_array_equal(a, b)
+        stats = resample_cache_stats()
+        assert stats["misses"] == 3 and stats["hits"] == 3
+
+    def test_cache_is_bounded(self, rng):
+        from repro.bounds import resample_cache_stats
+        from repro.bounds.bootstrap import _RESAMPLE_CACHE_MAX_ENTRIES
+
+        bound = BootstrapBound(seed=0, n_resamples=10)
+        for _ in range(_RESAMPLE_CACHE_MAX_ENTRIES + 20):
+            bound.upper(rng.random(16), 0.05)
+        assert resample_cache_stats()["entries"] <= _RESAMPLE_CACHE_MAX_ENTRIES
+
+
 class TestRegistry:
     def test_all_methods_registered(self):
         assert set(available_bounds()) == {

@@ -112,6 +112,105 @@ class TestExperiment:
         assert payload["experiment_id"] == "tab5"
 
 
+BATCH_SQL = ";\n".join(
+    [
+        RT_SQL,
+        RT_SQL.replace("RECALL TARGET 90%", "RECALL TARGET 95%"),
+        RT_SQL.replace("RECALL TARGET 90%", "PRECISION TARGET 90%"),
+    ]
+)
+
+
+class TestBatchQuery:
+    def test_multi_statement_file_runs_as_batch(self, tmp_path):
+        sql_file = tmp_path / "batch.sql"
+        sql_file.write_text(BATCH_SQL)
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql-file", str(sql_file)]
+        )
+        assert code == 0
+        assert "-- query 1/3 --" in output and "-- query 3/3 --" in output
+        assert output.count("method    :") == 3
+
+    def test_batch_store_stats_reported(self, tmp_path):
+        sql_file = tmp_path / "batch.sql"
+        sql_file.write_text(BATCH_SQL)
+        store = tmp_path / "store"
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql-file", str(sql_file), "--store-dir", str(store)]
+        )
+        assert code == 0
+        # Two RT targets share one design; the PT query has its own.
+        assert "store     : 2 draws" in output
+
+    def test_bad_jobs_value_exits_cleanly(self, tmp_path):
+        sql_file = tmp_path / "batch.sql"
+        sql_file.write_text(BATCH_SQL)
+        code, _ = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql-file", str(sql_file), "--jobs", "0"]
+        )
+        assert code == 2
+
+    def test_batch_jobs_flag_accepted(self, tmp_path):
+        sql_file = tmp_path / "batch.sql"
+        sql_file.write_text(BATCH_SQL)
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql-file", str(sql_file), "--jobs", "2"]
+        )
+        assert code == 0
+        assert output.count("method    :") == 3
+
+
+class TestPlanBatchMode:
+    def test_plan_file_prints_dedup_plan(self, tmp_path):
+        sql_file = tmp_path / "batch.sql"
+        sql_file.write_text(BATCH_SQL)
+        code, output = run_cli(["plan", str(sql_file), "--size", "10000"])
+        assert code == 0
+        assert "3 executions" in output
+        assert "2 distinct oracle draws" in output
+
+    def test_plan_file_unknown_table(self, tmp_path):
+        sql_file = tmp_path / "bad.sql"
+        sql_file.write_text(RT_SQL.replace("FROM imagenet", "FROM nope"))
+        code, _ = run_cli(["plan", str(sql_file)])
+        assert code == 2
+
+    def test_budget_mode_still_requires_flags(self):
+        code, _ = run_cli(["plan", "--dataset", "imagenet"])
+        assert code == 2
+
+
+class TestStoreSubcommand:
+    def test_ls_and_clear_roundtrip(self, tmp_path):
+        store = tmp_path / "labels"
+        code, _ = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql", RT_SQL, "--store-dir", str(store)]
+        )
+        assert code == 0
+        code, output = run_cli(["store", "ls", "--store-dir", str(store)])
+        assert code == 0
+        assert "1 spill files" in output
+        assert "proxy-weighted(budget=500" in output
+        assert "spills=1" in output  # persistent history
+        code, output = run_cli(["store", "clear", "--store-dir", str(store)])
+        assert code == 0
+        assert "1 spill files" in output
+        code, output = run_cli(["store", "ls", "--store-dir", str(store)])
+        assert code == 0
+        assert "0 spill files" in output
+
+    def test_ls_empty_directory(self, tmp_path):
+        code, output = run_cli(["store", "ls", "--store-dir", str(tmp_path)])
+        assert code == 0
+        assert "0 spill files" in output
+
+
 class TestQueryBoundAndDiagnostics:
     def test_bound_override(self):
         code, output = run_cli(

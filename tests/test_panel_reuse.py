@@ -169,6 +169,56 @@ class TestRunSweepCellsPanels:
             run_sweep_cells(cells, n_jobs=2, context=ExecutionContext())
 
 
+class TestCrossWorkerWarmup:
+    """Parallel runs with a store_dir pre-spill their distinct draws
+    before forking, so workers warm up from disk instead of racing to
+    re-label the same (dataset, design, seed) keys."""
+
+    def test_prewarm_spills_one_file_per_distinct_key(self, workload, tmp_path):
+        from repro.core import SampleStore
+        from repro.experiments.runner import _prewarm_store_dir
+
+        query = ApproxQuery.recall_target(0.9, 0.05, 300)
+        slots = [(factory, label) for label, factory in _bound_panel(query).items()]
+        _prewarm_store_dir(slots, workload, trials=3, base_seed=0, store_dir=str(tmp_path))
+        # Three bounds share one uniform design -> one spill per seed.
+        assert len(list(tmp_path.glob("sample-*.npz"))) == 3
+        follower = SampleStore(store_dir=str(tmp_path))
+        context = ExecutionContext(store=follower)
+        compare_methods(_bound_panel(query), workload, trials=3, context=context)
+        assert follower.stats()["labels_drawn"] == 0
+        assert follower.stats()["disk_hits"] == 3
+
+    def test_parallel_panel_with_store_dir_matches_sequential(self, workload, tmp_path):
+        query = ApproxQuery.recall_target(0.9, 0.05, 300)
+        sequential = compare_methods(_bound_panel(query), workload, trials=4)
+        parallel = compare_methods(
+            _bound_panel(query), workload, trials=4, n_jobs=2, store_dir=str(tmp_path)
+        )
+        assert parallel == sequential
+        assert len(list(tmp_path.glob("sample-*.npz"))) == 4
+
+    def test_parallel_cells_with_store_dir_share_labels(self, workload, tmp_path):
+        from repro.core import SampleStore
+
+        base = ApproxQuery.recall_target(0.9, 0.05, 300)
+        cells = [
+            dict(factories=_bound_panel(base), dataset=workload, trials=TRIALS),
+            dict(factories=_bound_panel(base), dataset=workload, trials=TRIALS),
+        ]
+        sequential = run_sweep_cells(cells)
+        parallel = run_sweep_cells(cells, n_jobs=2, store_dir=str(tmp_path))
+        assert parallel == sequential
+        # Both cells revisit the same keys: one spill per seed total,
+        # written by the parent before the fork.
+        assert len(list(tmp_path.glob("sample-*.npz"))) == TRIALS
+        from repro.sampling import SampleDesign
+
+        follower = SampleStore(store_dir=str(tmp_path))
+        follower.fetch(workload, SampleDesign(kind="uniform", budget=300), 0)
+        assert follower.labels_drawn == 0 and follower.disk_hits == 1
+
+
 class TestUnionSortedUnique:
     """The searchsorted merge behind materialize_selection must equal
     np.union1d exactly for every sorted-unique input shape."""

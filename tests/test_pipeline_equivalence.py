@@ -1,10 +1,13 @@
-"""Equivalence contract of the staged selection pipeline.
+"""Equivalence contract of the unified staged selection pipeline.
 
-The refactor's hard promise: store-backed staged execution is
-*bit-for-bit identical* to the pre-refactor fused path (which survives
-as the legacy branch of ``Selector.select``) for every registered
-selector, while drawing each reusable oracle sample exactly once per
-(dataset, seed, budget) across a gamma sweep.
+``Selector.select`` has exactly one execution path — plan →
+draw_sample → estimate_tau → materialize — for every calling
+convention (with or without an ``ExecutionContext``, integer or
+generator seed, built-in or custom oracle).  The hard promise pinned
+here: that unified path is *bit-for-bit identical* to the PR 3 outputs
+(whose retired fused oracle branch is reconstructed below as
+``_pr3_reference_select``), while drawing each reusable oracle sample
+exactly once per (dataset, seed, budget) across a gamma sweep.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from repro.core import (
     ApproxQuery,
     ExecutionContext,
     SampleStore,
+    SelectionResult,
     TargetType,
     available_selectors,
     make_selector,
@@ -25,7 +29,9 @@ from repro.core import (
 from repro.core.base import Selector
 from repro.datasets import make_beta_dataset
 from repro.experiments.runner import run_trials, sweep
+from repro.oracle import oracle_from_labels
 from repro.sampling import SampleDesign
+from repro.sampling.designs import draw_labeled_sample
 
 GAMMAS = (0.5, 0.6, 0.7, 0.8, 0.9)
 
@@ -52,17 +58,47 @@ def _assert_results_equal(expected, actual, label):
     assert dict(expected.details) == dict(actual.details), label
 
 
+def _pr3_reference_select(name, query, dataset, seed) -> SelectionResult:
+    """The retired PR 3 fused oracle path, reconstructed as the pin.
+
+    Pre-PR 4, ``Selector.select`` without a context built a
+    budget-enforcing oracle, drew through it, and materialized via
+    ``np.union1d`` over the oracle's bookkeeping.  Re-implementing that
+    path here (for every registered selector) is what lets the test
+    assert the unified staged path reproduces PR 3 outputs bit for bit
+    even though the branch itself is gone.
+    """
+    selector = make_selector(name, query)
+    rng = np.random.default_rng(seed)
+    oracle = oracle_from_labels(dataset.labels, budget=query.budget)
+    sample = draw_labeled_sample(selector.sample_design(dataset), dataset, rng, oracle.query)
+    if name == "is-ci-p":
+        tau, details, _ = selector._finish_from_stage1(dataset, sample, rng, oracle.query)
+    else:
+        tau, details = selector.estimate_tau_from_sample(dataset, sample)
+    combined = np.union1d(oracle.known_positives(), dataset.select_above(tau))
+    return SelectionResult(
+        indices=combined,
+        tau=tau,
+        oracle_calls=oracle.calls_used,
+        sampled_indices=oracle.labeled_indices(),
+        details=dict(details),
+    )
+
+
 class TestStagedBitEquivalence:
-    """Staged/store path pinned to the legacy oracle-driven path."""
+    """The unified path pinned to the PR 3 oracle-driven outputs."""
 
     @pytest.mark.parametrize("name", available_selectors())
     def test_every_selector_bit_identical(self, name, workload):
         query = _query_for(name)
         context = ExecutionContext()
         for seed in (0, 1, 2):
-            legacy = make_selector(name, query).select(workload, seed=seed)
+            reference = _pr3_reference_select(name, query, workload, seed)
+            plain = make_selector(name, query).select(workload, seed=seed)
             staged = make_selector(name, query).select(workload, seed=seed, context=context)
-            _assert_results_equal(legacy, staged, (name, seed))
+            _assert_results_equal(reference, plain, (name, seed, "fresh"))
+            _assert_results_equal(reference, staged, (name, seed, "store"))
 
     @pytest.mark.parametrize("name", available_selectors())
     def test_cache_hit_replays_identically(self, name, workload):
@@ -73,37 +109,79 @@ class TestStagedBitEquivalence:
         second = make_selector(name, query).select(workload, seed=5, context=context)
         _assert_results_equal(first, second, name)
 
-    def test_generator_seed_falls_back_to_legacy(self, workload):
-        """Generator seeds cannot key the store; both paths must agree."""
+    def test_generator_seed_bypasses_store(self, workload):
+        """Generator seeds cannot key a cache: the same staged path runs
+        with fresh draws, identical to an integer-seed-free run."""
         query = ApproxQuery.recall_target(0.9, 0.05, 300)
         context = ExecutionContext()
         staged = make_selector("is-ci-r", query).select(
             workload, seed=np.random.default_rng(3), context=context
         )
-        legacy = make_selector("is-ci-r", query).select(
+        fresh = make_selector("is-ci-r", query).select(
             workload, seed=np.random.default_rng(3)
         )
-        _assert_results_equal(legacy, staged, "generator-seed")
+        _assert_results_equal(fresh, staged, "generator-seed")
         assert context.store.misses == 0 and context.store.hits == 0
 
-    def test_legacy_subclass_still_supported(self, workload):
-        """Custom selectors that only implement _estimate_tau (the
-        pre-refactor extension point) keep working, with or without a
-        context (the context is simply bypassed)."""
+    def test_custom_oracle_runs_through_staged_path(self, workload):
+        """A caller-supplied oracle feeds the draw stage (its labels end
+        up in the samples) and its draws never enter the store."""
+        query = ApproxQuery.recall_target(0.9, 0.05, 300)
+        context = ExecutionContext()
+        oracle = oracle_from_labels(workload.labels, budget=query.budget)
+        with_oracle = make_selector("is-ci-r", query).select(
+            workload, seed=4, oracle=oracle, context=context
+        )
+        plain = make_selector("is-ci-r", query).select(workload, seed=4)
+        _assert_results_equal(plain, with_oracle, "custom-oracle")
+        assert oracle.calls_used == with_oracle.oracle_calls
+        assert context.store.misses == 0 and context.store.hits == 0
+
+    def test_stage_hook_subclass_supported(self, workload):
+        """Custom selectors extend via the stage hooks; the retired
+        ``_estimate_tau``-only extension point fails loudly at
+        construction instead of silently never running."""
 
         class FixedTau(Selector):
             name = "fixed-tau"
 
-            def _estimate_tau(self, dataset, oracle, rng):
-                oracle.query(rng.integers(0, dataset.size, size=10))
+            def sample_design(self, dataset):
+                return SampleDesign(kind="uniform", budget=self.query.budget)
+
+            def estimate_tau_from_sample(self, dataset, sample):
                 return 0.5, {"method": self.name}
 
         query = ApproxQuery.recall_target(0.9, 0.05, 50)
         context = ExecutionContext()
         plain = FixedTau(query).select(workload, seed=2)
         via_context = FixedTau(query).select(workload, seed=2, context=context)
-        _assert_results_equal(plain, via_context, "legacy-subclass")
-        assert context.store.misses == 0
+        _assert_results_equal(plain, via_context, "stage-hook-subclass")
+        assert context.store.misses == 1
+
+        class LegacyOnly(Selector):
+            name = "legacy-only"
+
+            def _estimate_tau(self, dataset, oracle, rng):  # pragma: no cover
+                return 0.5, {}
+
+        with pytest.raises(TypeError, match="stage pair"):
+            LegacyOnly(query)
+
+    def test_over_drawing_selector_hits_budget_wall(self, workload):
+        """Fresh draws run through a budget-enforcing oracle: a selector
+        that tries to label past its query budget raises instead of
+        silently revealing extra ground truth."""
+        from repro.oracle import BudgetExhaustedError
+
+        class Greedy(Selector):
+            name = "greedy"
+
+            def _execute_stages(self, runtime):
+                runtime.label(np.arange(self.query.budget + 1))
+                return 0.5, {}, ()  # pragma: no cover
+
+        with pytest.raises(BudgetExhaustedError):
+            Greedy(ApproxQuery.recall_target(0.9, 0.05, 50)).select(workload, seed=0)
 
 
 class TestSweepSampleReuse:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.types import TargetType
-from repro.query import QueryKind, QuerySyntaxError, parse_query
+from repro.query import QueryKind, QuerySyntaxError, parse_query, parse_script
 
 RT_SQL = """
 SELECT * FROM hummingbird_video
@@ -101,6 +101,35 @@ class TestJointParsing:
             parse_query(RT_SQL).to_joint_query(stage_budget=10)
 
 
+class TestMultiStatementScripts:
+    def test_single_statement_with_trailing_semicolon(self):
+        assert parse_query(RT_SQL + ";").table == "hummingbird_video"
+        (only,) = parse_script(RT_SQL)
+        assert only.table == "hummingbird_video"
+
+    def test_script_preserves_statement_order(self):
+        script = ";\n".join([RT_SQL, PT_SQL, JT_SQL]) + ";"
+        statements = parse_script(script)
+        assert [q.table for q in statements] == [
+            "hummingbird_video", "docs", "table_name",
+        ]
+        assert statements[2].kind == QueryKind.JOINT
+
+    def test_empty_statements_skipped(self):
+        assert parse_script("") == []
+        assert parse_script(" ; ;; ") == []
+        assert len(parse_script(f";;{RT_SQL};;{PT_SQL};")) == 2
+
+    def test_missing_separator_reported(self):
+        with pytest.raises(QuerySyntaxError, match="between statements"):
+            parse_script(RT_SQL + " " + RT_SQL)
+
+    def test_error_in_later_statement_propagates(self):
+        bad = RT_SQL + "; SELECT * FROM"
+        with pytest.raises(QuerySyntaxError, match="end of query"):
+            parse_script(bad)
+
+
 class TestSyntaxErrors:
     def test_missing_target(self):
         bad = "SELECT * FROM t WHERE P(x) ORACLE LIMIT 10 USING A(x) WITH PROBABILITY 95%"
@@ -128,7 +157,15 @@ class TestSyntaxErrors:
 
     def test_unexpected_character(self):
         with pytest.raises(QuerySyntaxError, match="unexpected character"):
+            parse_query("SELECT * FROM t @ WHERE P(x)")
+
+    def test_multi_statement_rejected_by_parse_query(self):
+        """Semicolons now separate statements — but parse_query still
+        accepts exactly one (injection-shaped input keeps failing)."""
+        with pytest.raises(QuerySyntaxError, match="WHERE"):
             parse_query("SELECT * FROM t; DROP TABLE t")
+        with pytest.raises(QuerySyntaxError, match="trailing"):
+            parse_query(RT_SQL + "; " + RT_SQL)
 
     def test_error_reports_offset(self):
         try:

@@ -57,10 +57,9 @@ class TestDiskRoundTrip:
         store = SampleStore(store_dir=tmp_path)
         store.fetch(workload, DESIGN, 0)
         store.fetch(workload, UNIFORM, 0)
-        names = sorted(p.name for p in tmp_path.iterdir())
+        names = sorted(p.name for p in tmp_path.glob("sample-*.npz"))
         assert len(names) == 2
-        assert all(name.endswith(".npz") for name in names)
-        assert not any(".tmp" in name for name in names)
+        assert not any(".tmp" in p.name for p in tmp_path.iterdir())
 
     def test_disk_hit_promotes_to_memory(self, workload, tmp_path):
         SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 1)
@@ -91,7 +90,7 @@ class TestDiskRoundTrip:
 
 class TestCorruptionTolerance:
     def _spill_file(self, tmp_path):
-        (only,) = list(tmp_path.iterdir())
+        (only,) = list(tmp_path.glob("sample-*.npz"))
         return only
 
     def test_truncated_file_falls_back_to_fresh_draw(self, workload, tmp_path):
@@ -134,7 +133,7 @@ class TestCorruptionTolerance:
         theirs = make_beta_dataset(0.01, 2.0, size=5_000, seed=2)
         store = SampleStore(store_dir=tmp_path)
         store.fetch(theirs, UNIFORM, 0)
-        (foreign,) = list(tmp_path.iterdir())
+        (foreign,) = list(tmp_path.glob("sample-*.npz"))
         expected_path = store._spill_path(ours.fingerprint, UNIFORM, 0)
         os.replace(foreign, expected_path)
 
@@ -226,6 +225,73 @@ class TestSessionStats:
 
         with pytest.raises(ValueError, match="ambiguous"):
             SupgEngine(context=ExecutionContext(), store_dir="/tmp/x")
+
+
+class TestDiskEviction:
+    """max_disk_bytes caps the spill directory, oldest spill first."""
+
+    def test_oldest_spill_evicted_beyond_cap(self, workload, tmp_path):
+        probe = SampleStore(store_dir=tmp_path)
+        probe.fetch(workload, UNIFORM, 0)
+        (spill,) = list(tmp_path.glob("sample-*.npz"))
+        spill_bytes = spill.stat().st_size
+        SampleStore.clear_disk(tmp_path)
+
+        store = SampleStore(store_dir=tmp_path, max_disk_bytes=2 * spill_bytes + 64)
+        for seed in range(4):
+            store.fetch(workload, UNIFORM, seed)
+        assert store.disk_evictions >= 2
+        usage = SampleStore.disk_usage(tmp_path)
+        assert usage["total_bytes"] <= 2 * spill_bytes + 64
+        # The newest spill always survives (eviction is oldest-first and
+        # sub-second mtimes order sequential writes strictly).
+        assert store._spill_path(workload.fingerprint, UNIFORM, 3).exists()
+
+    def test_survivors_still_serve_disk_hits(self, workload, tmp_path):
+        store = SampleStore(store_dir=tmp_path, max_disk_bytes=10**9)
+        store.fetch(workload, UNIFORM, 0)
+        assert store.disk_evictions == 0
+        fresh = SampleStore(store_dir=tmp_path)
+        fresh.fetch(workload, UNIFORM, 0)
+        assert fresh.disk_hits == 1
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_disk_bytes"):
+            SampleStore(store_dir=tmp_path, max_disk_bytes=0)
+        with pytest.raises(ValueError, match="store_dir"):
+            SampleStore(max_disk_bytes=100)
+
+
+class TestDiskInspection:
+    def test_disk_entries_and_usage(self, workload, tmp_path):
+        store = SampleStore(store_dir=tmp_path)
+        store.fetch(workload, UNIFORM, 0)
+        store.fetch(workload, DESIGN, 0)
+        entries = SampleStore.disk_entries(tmp_path)
+        assert len(entries) == 2
+        kinds = {entry["key"]["design"]["kind"] for entry in entries}
+        assert kinds == {"uniform", "proxy-weighted"}
+        usage = SampleStore.disk_usage(tmp_path)
+        assert usage["files"] == 2
+        assert usage["total_bytes"] == sum(entry["bytes"] for entry in entries)
+
+    def test_persistent_stats_accumulate_across_processes(self, workload, tmp_path):
+        SampleStore(store_dir=tmp_path).fetch(workload, UNIFORM, 0)
+        SampleStore(store_dir=tmp_path).fetch(workload, UNIFORM, 0)
+        stats = SampleStore.persistent_stats(tmp_path)
+        assert stats["spills"] == 1 and stats["disk_hits"] == 1
+
+    def test_clear_disk_removes_spills_and_stats(self, workload, tmp_path):
+        store = SampleStore(store_dir=tmp_path)
+        store.fetch(workload, UNIFORM, 0)
+        summary = SampleStore.clear_disk(tmp_path)
+        assert summary["files_removed"] == 1 and summary["bytes_freed"] > 0
+        assert SampleStore.disk_usage(tmp_path)["files"] == 0
+        assert SampleStore.persistent_stats(tmp_path) == {}
+        # An empty directory re-draws rather than erroring.
+        fresh = SampleStore(store_dir=tmp_path)
+        fresh.fetch(workload, UNIFORM, 0)
+        assert fresh.misses == 1 and fresh.disk_errors == 0
 
 
 class TestStoreDirHygiene:
