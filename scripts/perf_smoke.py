@@ -11,10 +11,14 @@ sampling designs) trial-outer against the pre-PR per-method loops,
 times a same-design ``compare_methods`` panel, times the batch query
 planner (an 8-query mixed batch through ``SupgEngine.execute_many``
 against a sequential ``execute()`` loop, cold and warm store — and
-*fails* if batch throughput falls below the sequential loop), and
-proves the persistent sample store by re-running a panel against a
+*fails* if batch throughput falls below the sequential loop), times
+the continuously running service (the same 8 queries submitted
+concurrently to a ``SupgService`` fold into one plan window with 2
+oracle draws, against 8 independent per-client ``execute()`` calls —
+and *fails* if the folded window is under 1.5x the independent path),
+and proves the persistent sample store by re-running a panel against a
 warm spill directory (the second run must draw zero oracle labels).
-The output file (``BENCH_PR4.json`` by default) extends the repo's
+The output file (``BENCH_PR5.json`` by default) extends the repo's
 performance trajectory — future PRs append ``BENCH_PR<k>.json`` files
 and should beat (or at least not regress) these numbers.
 
@@ -65,7 +69,7 @@ from repro.core.uniform import (
 from repro.datasets import make_beta_dataset
 from repro.experiments.figures import figure13_panel
 from repro.experiments.runner import compare_methods, sweep
-from repro.query import SupgEngine
+from repro.query import SupgEngine, SupgService
 
 GAMMA = 0.9
 DELTA = 0.05
@@ -345,6 +349,58 @@ def time_batch_planner(dataset, budget: int, repeats: int = 3) -> dict[str, obje
     }
 
 
+def time_service_window(dataset, budget: int, repeats: int = 3) -> dict[str, object]:
+    """Folded service window vs independent per-client ``execute()`` calls.
+
+    The folded path submits the 8-query mixed batch concurrently to one
+    ``SupgService`` (all land in a single plan window: 2 oracle draws,
+    6 queries folded).  The independent path is what those clients
+    would do *without* the service — each constructs its own engine and
+    runs its own query, paying 8 full draws.  Results are bit-identical;
+    the acceptance gate requires the folded window to hold at least a
+    1.5x throughput advantage.
+    """
+    statements = _batch_statements(budget)
+
+    def run_independent():
+        for sql in statements:
+            engine = SupgEngine()
+            engine.register_table("bench", dataset)
+            engine.execute(sql, seed=0)
+
+    def run_folded():
+        engine = SupgEngine()
+        engine.register_table("bench", dataset)
+        with SupgService(
+            engine, max_window_queries=len(statements), max_window_ms=5_000.0
+        ) as service:
+            tickets = [service.submit(sql) for sql in statements]
+            for ticket in tickets:
+                ticket.result(timeout=300.0)
+
+    independent = _best(run_independent, repeats)
+    folded = _best(run_folded, repeats)
+    speedup = independent / folded
+    print(
+        f"  {'service window':20s} folded {folded * 1e3:.0f} ms, "
+        f"independent {independent * 1e3:.0f} ms ({speedup:.2f}x)"
+    )
+    # The acceptance gate: a folded window of queries sharing designs
+    # must decisively beat the same queries submitted independently.
+    if speedup < 1.5:
+        raise SystemExit(
+            f"service window regression: folded window is only {speedup:.2f}x "
+            "the independent-submission path (required >= 1.5x)"
+        )
+    return {
+        "queries": len(statements),
+        "budget": budget,
+        "independent_seconds": independent,
+        "folded_seconds": folded,
+        "speedup": speedup,
+    }
+
+
 def check_store_persistence(dataset, budget: int, trials: int = 3) -> dict[str, object]:
     """Two store-dir runs of one panel: the second must draw nothing."""
     query = ApproxQuery.recall_target(GAMMA, DELTA, budget)
@@ -399,6 +455,7 @@ def _speedup_checks(payload: dict, baseline: dict, max_regression: float) -> lis
         ("compare_methods_reuse", "speedup", "compare_methods reuse speedup"),
         ("batch_planner", "speedup", "batch planner cold speedup"),
         ("batch_planner", "warm_speedup", "batch planner warm-store speedup"),
+        ("service_window", "speedup", "folded service window speedup"),
     )
     for key, field, label in ratio_metrics:
         old = baseline.get(key, {}).get(field)
@@ -471,7 +528,7 @@ def compare_to_baseline(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_PR4.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR5.json"))
     parser.add_argument("--size", type=int, default=1_000_000)
     parser.add_argument("--budget", type=int, default=10_000)
     parser.add_argument("--trials", type=int, default=5)
@@ -507,6 +564,8 @@ def main(argv: list[str] | None = None) -> int:
     compare_reuse = time_compare_reuse(dataset, args.budget)
     print("timing batch query planner:")
     batch_planner = time_batch_planner(dataset, args.budget)
+    print("timing folded service window:")
+    service_window = time_service_window(dataset, args.budget)
     print("checking persistent sample store:")
     persistence = check_store_persistence(dataset, args.budget)
 
@@ -529,6 +588,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig13_cell": fig13_cell,
         "compare_methods_reuse": compare_reuse,
         "batch_planner": batch_planner,
+        "service_window": service_window,
         "store_persistence": persistence,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

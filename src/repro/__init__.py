@@ -85,7 +85,7 @@ from .core import (
 from .datasets import Dataset, load_dataset
 from .metrics import SelectionQuality, evaluate_selection, f1_score, precision, recall
 from .oracle import BudgetedOracle, BudgetExhaustedError, oracle_from_labels
-from .query import SupgEngine, parse_query
+from .query import SupgEngine, SupgService, parse_query
 
 __version__ = "1.0.0"
 
@@ -137,5 +137,6 @@ __all__ = [
     "evaluate_selection",
     # SQL layer
     "SupgEngine",
+    "SupgService",
     "parse_query",
 ]

@@ -6,10 +6,15 @@ Subcommands:
 - ``repro query``    — run SUPG dialect queries against a workload
   (a ``;``-separated multi-statement file runs as one planned batch
   through ``SupgEngine.execute_many``);
+- ``repro serve``    — continuously running service: statements read
+  from stdin (or a TCP socket with ``--port``) are folded into shared
+  plan windows by a ``SupgService``, so concurrent queries sharing a
+  sampling design pay for one oracle draw;
 - ``repro plan``     — recommend an oracle budget for a query, or
   (given a ``queries.sql`` file) print the batch dedup plan — which
   statements share which oracle draws, and the predicted labels —
-  without executing anything;
+  without executing anything (``--store-dir`` additionally diffs the
+  plan against a live store: which draws are already warm);
 - ``repro store``    — inspect (``ls``) or empty (``clear``) a
   persistent ``--store-dir`` sample store;
 - ``repro experiment`` — regenerate a paper table/figure (optionally
@@ -36,7 +41,7 @@ from .datasets import available_datasets, load_dataset
 from .experiments import ALL_EXPERIMENTS, resolve_n_jobs
 from .experiments.io import save_result
 from .metrics import evaluate_selection
-from .query import SupgEngine, parse_script
+from .query import QuerySyntaxError, SupgEngine, SupgService, parse_script, split_script
 
 __all__ = ["main", "build_parser"]
 
@@ -85,6 +90,60 @@ def build_parser() -> argparse.ArgumentParser:
         "reuse labeled oracle samples instead of re-drawing them",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="continuously running SUPG service (plan-window folding)",
+    )
+    serve.add_argument("--dataset", required=True, choices=available_datasets())
+    serve.add_argument("--method", default=None, help="selector registry name")
+    serve.add_argument(
+        "--bound",
+        default=None,
+        choices=available_bounds(),
+        help="confidence-bound class for the selectors",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="default per-query seed")
+    serve.add_argument("--size", type=int, default=None, help="dataset size override")
+    serve.add_argument(
+        "--window-queries",
+        type=int,
+        default=8,
+        help="close a plan window once it holds this many statements",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=25.0,
+        help="close a plan window this long after its first arrival (ms)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per window (-1 = all cores); results are "
+        "bit-identical to --jobs 1",
+    )
+    serve.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="persistent sample-store directory shared across restarts",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve a TCP socket on this port (0 = ephemeral) instead of "
+        "reading statements from stdin",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address for --port")
+    serve.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        help="read statements from a file instead of stdin (testing aid)",
+    )
+
     plan = commands.add_parser(
         "plan",
         help="recommend an oracle budget, or print a batch dedup plan",
@@ -106,6 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--method", default=None, help="selector registry name (batch mode)")
     plan.add_argument("--size", type=int, default=None)
     plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="batch mode: also diff the plan against this persistent store "
+        "(which draws are already warm, and what the batch would still pay)",
+    )
 
     store = commands.add_parser(
         "store", help="inspect or clear a persistent sample store"
@@ -198,6 +264,11 @@ def _cmd_query(args, out) -> int:
         kwargs["bound"] = get_bound(args.bound)
     bound_label = args.bound or "normal"
     statements = parse_script(sql)
+    if not statements:
+        # A file of comments / stray semicolons holds no work; saying so
+        # beats a phantom execution or an "unexpected end of query" crash.
+        print("no statements in input (only comments or semicolons)", file=sys.stderr)
+        return 2
     if len(statements) > 1:
         # Multi-statement input runs as one planned batch: shared
         # oracle draws are paid for once, then groups fan across
@@ -222,6 +293,198 @@ def _cmd_query(args, out) -> int:
                 "(worker store hits are not aggregated)",
                 file=out,
             )
+    return 0
+
+
+def _build_service(args) -> tuple[SupgService, object, dict]:
+    """Engine + service + submit kwargs shared by the serve input modes."""
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    store_dir = str(args.store_dir) if args.store_dir is not None else None
+    engine = SupgEngine(store_dir=store_dir)
+    engine.register_table(args.dataset, dataset)
+    engine.register_table(_sanitize_table_name(args.dataset), dataset)
+    submit_kwargs = {"method": args.method}
+    if args.bound is not None:
+        submit_kwargs["bound"] = get_bound(args.bound)
+    service = SupgService(
+        engine,
+        max_window_queries=args.window_queries,
+        max_window_ms=args.window_ms,
+        jobs=args.jobs,
+        default_seed=args.seed,
+    )
+    return service, dataset, submit_kwargs
+
+
+def _holds_statement(chunk: str) -> bool:
+    """Whether a statement chunk should be submitted.
+
+    Blank or comment-only chunks are dropped; a syntactically broken
+    chunk counts so the submit path can report its (offset-bearing)
+    error.
+    """
+    try:
+        return bool(parse_script(chunk))
+    except QuerySyntaxError:
+        return True
+
+
+def _service_summary_lines(service) -> list[str]:
+    stats = service.session_stats()
+    return [
+        f"service   : {stats['windows']} windows, {stats['queries_served']} queries, "
+        f"{stats['queries_folded']} folded ({stats['late_folded']} late), "
+        f"{stats['window_errors']} errors",
+        f"labels    : {stats['labels_drawn']} drawn, {stats['labels_saved']} "
+        f"saved vs per-query draws",
+    ]
+
+
+def _cmd_serve(args, out) -> int:
+    try:
+        resolve_n_jobs(args.jobs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service, dataset, submit_kwargs = _build_service(args)
+    try:
+        if args.port is not None:
+            return _serve_socket(service, args, submit_kwargs, out)
+        if args.input is not None:
+            with args.input.open() as stream:
+                return _serve_stream(service, stream, dataset, submit_kwargs, args, out)
+        return _serve_stream(service, sys.stdin, dataset, submit_kwargs, args, out)
+    finally:
+        service.close()
+
+
+def _serve_stream(service, stream, dataset, submit_kwargs, args, out) -> int:
+    """The stdin loop: statements end at ``;``, a blank line, or EOF.
+
+    Submissions are *not* awaited one by one — each flush enqueues every
+    complete statement before any result is read, so a pasted burst (or
+    a piped file) folds into shared plan windows exactly like
+    concurrent network clients would.
+    """
+    tickets: list = []
+    printed = 0
+    bound_label = args.bound or "normal"
+
+    def print_ready(block: bool) -> None:
+        nonlocal printed
+        while printed < len(tickets):
+            ticket = tickets[printed]
+            if not block and not ticket.done():
+                return
+            try:
+                execution = ticket.result()  # waits; sets ticket.window
+            except Exception as exc:  # surface per-query failures, keep serving
+                print(f"-- query {ticket.number + 1} (window {ticket.window}) --", file=out)
+                print(f"error     : {exc}", file=out)
+            else:
+                print(f"-- query {ticket.number + 1} (window {ticket.window}) --", file=out)
+                _print_execution(execution, dataset, bound_label, out)
+            printed += 1
+
+    def submit_chunks(chunks) -> None:
+        for chunk in chunks:
+            if not _holds_statement(chunk):
+                continue
+            try:
+                tickets.append(service.submit(chunk, **submit_kwargs))
+            except QuerySyntaxError as exc:
+                print(f"syntax error: {exc}", file=out)
+
+    buffer = ""
+    for line in stream:
+        if not line.strip():
+            # A blank line terminates any in-flight statement.
+            submit_chunks([buffer])
+            buffer = ""
+            print_ready(block=False)
+            continue
+        buffer += line
+        # Tokenizer-aware split: a ';' inside a comment or string
+        # literal does not terminate a statement.
+        statements, buffer = split_script(buffer)
+        if statements:
+            submit_chunks(statements)
+            print_ready(block=False)
+    submit_chunks([buffer])
+    print_ready(block=True)
+    for line in _service_summary_lines(service):
+        print(line, file=out)
+    if args.store_dir is not None:
+        for line in _store_stats_lines(service.engine.session_stats()):
+            print(line, file=out)
+    return 0
+
+
+def _make_socket_server(service, host: str, port: int, submit_kwargs):
+    """A threading TCP server over the service (one thread per client).
+
+    Clients send ``;``-delimited statements; each gets a one-line
+    ``ok``/``error`` response in its own submission order.  Folding
+    happens across clients: concurrent submissions land in the same
+    plan window regardless of which connection carried them.
+    """
+    import socketserver
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            buffer = ""
+            while True:
+                raw = self.rfile.readline()
+                if not raw:
+                    break
+                buffer += raw.decode("utf-8", errors="replace")
+                statements, buffer = split_script(buffer)
+                for chunk in statements:
+                    self._respond(chunk)
+            if buffer.strip():
+                self._respond(buffer)
+
+        def _respond(self, chunk: str) -> None:
+            if not _holds_statement(chunk):
+                return
+            try:
+                ticket = service.submit(chunk, **submit_kwargs)
+                execution = ticket.result()
+            except Exception as exc:
+                line = f"error: {exc}\n"
+            else:
+                result = execution.result
+                line = (
+                    f"ok #{ticket.number} window={ticket.window} "
+                    f"method={execution.method} returned={result.size} "
+                    f"tau={result.tau:.4f} oracle={result.oracle_calls}\n"
+                )
+            try:
+                self.wfile.write(line.encode())
+            except OSError:
+                pass  # client went away mid-response
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    return Server((host, port), Handler)
+
+
+def _serve_socket(service, args, submit_kwargs, out) -> int:
+    with _make_socket_server(service, args.host, args.port, submit_kwargs) as server:
+        host, port = server.server_address[:2]
+        print(
+            f"serving {args.dataset} on {host}:{port} (Ctrl-C to stop)",
+            file=out,
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    for line in _service_summary_lines(service):
+        print(line, file=out)
     return 0
 
 
@@ -276,6 +539,12 @@ def _cmd_plan_batch(args, out) -> int:
         engine.register_table(statement.table, loaded[dataset_name])
     plan = engine.plan(statements, seed=args.seed, method=args.method)
     print(plan.render(), file=out)
+    if args.store_dir is not None:
+        # Cross-batch reuse report: which of the plan's draws a live
+        # store could already serve (memory or spill file), i.e. what an
+        # incremental re-run of this batch would actually pay for.
+        store = SampleStore(store_dir=args.store_dir)
+        print(plan.render_store_diff(store), file=out)
     return 0
 
 
@@ -371,6 +640,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_datasets(out)
     if args.command == "query":
         return _cmd_query(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command == "plan":
         return _cmd_plan(args, out)
     if args.command == "store":

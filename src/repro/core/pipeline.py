@@ -68,6 +68,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -179,6 +180,7 @@ class SampleStore:
         if self.store_dir is not None:
             self.store_dir.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[tuple, LabeledSample] = OrderedDict()
+        self._cap_warning_emitted = False
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
@@ -220,6 +222,22 @@ class SampleStore:
         if self.store_dir is not None:
             self._write_spill(dataset.fingerprint, design, int(seed), sample)
         return sample
+
+    def locate(self, fingerprint: str, design: SampleDesign, seed: int) -> str | None:
+        """Which tier could serve a key right now, without drawing.
+
+        Returns ``"memory"``, ``"disk"`` (a spill file exists for the
+        key — contents are validated only when actually loaded), or
+        ``None``.  This is what lets a batch plan be diffed against a
+        live store (:meth:`repro.core.planning.QueryPlan.warm_keys`)
+        before any oracle label is paid for.
+        """
+        key = (fingerprint, design, int(seed))
+        if key in self._entries:
+            return "memory"
+        if self.store_dir is not None and self._spill_path(fingerprint, design, int(seed)).exists():
+            return "disk"
+        return None
 
     def _insert(self, key: tuple, sample: LabeledSample) -> None:
         self._entries[key] = sample
@@ -303,7 +321,7 @@ class SampleStore:
             tmp.unlink(missing_ok=True)
             return
         self._bump_persistent_stats(spills=1, labels_spilled=sample.oracle_calls)
-        self._evict_spills()
+        self._evict_spills(keep=path)
 
     def _load_spill(
         self, fingerprint: str, design: SampleDesign, seed: int
@@ -349,8 +367,16 @@ class SampleStore:
 
     # -- disk-tier management --------------------------------------------------
 
-    def _evict_spills(self) -> None:
+    def _evict_spills(self, keep: Path | None = None) -> None:
         """Oldest-spill eviction: shrink the directory under the cap.
+
+        The spill just written (``keep``) is never evicted: when
+        ``max_disk_bytes`` is smaller than a single spill, the naive
+        policy would delete every spill the moment it lands — each
+        draw pays the write, the next process re-draws, and the tier
+        never serves a hit.  Keeping the newest spill means the cap can
+        be transiently exceeded by at most one file, which is warned
+        about once (the cap is clearly misconfigured for the workload).
 
         Best-effort under concurrency — a file deleted by another
         worker mid-scan is simply skipped, and the cap is re-checked
@@ -364,6 +390,8 @@ class SampleStore:
         for entry in entries:  # disk_entries sorts oldest-first
             if total <= self.max_disk_bytes:
                 break
+            if keep is not None and entry["path"] == keep:
+                continue
             try:
                 entry["path"].unlink()
             except OSError:
@@ -373,6 +401,15 @@ class SampleStore:
         if evicted:
             self.disk_evictions += evicted
             self._bump_persistent_stats(evictions=evicted)
+        if total > self.max_disk_bytes and not self._cap_warning_emitted:
+            self._cap_warning_emitted = True
+            warnings.warn(
+                f"max_disk_bytes={self.max_disk_bytes} is smaller than a single "
+                f"spill ({total} bytes on disk after eviction); the newest spill "
+                "is kept so the disk tier stays useful — raise the cap to honor it",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     def _bump_persistent_stats(self, **deltas: int) -> None:
         """Best-effort cumulative counters in ``store-stats.json``.

@@ -42,6 +42,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
@@ -66,6 +67,7 @@ __all__ = [
     "plan_executions",
     "resolve_n_jobs",
     "fork_available",
+    "require_fork_or_warn",
 ]
 
 
@@ -95,6 +97,38 @@ def fork_available() -> bool:
     to sequential execution where fork is unavailable.
     """
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+#: Process-wide latch so the no-fork degradation warns exactly once, no
+#: matter how many batches or service windows fall back to sequential.
+_FORK_WARNING_EMITTED = False
+
+
+def require_fork_or_warn(what: str) -> bool:
+    """Check :func:`fork_available`, warning once when it is not.
+
+    Parallel fan-out in this repo degrades to sequential execution on
+    platforms without ``fork`` (results are bit-identical either way).
+    That degradation should be *visible but not noisy*: the first
+    caller that requests workers on a no-fork platform emits one
+    :class:`RuntimeWarning`; later fallbacks stay silent.
+
+    Returns:
+        ``True`` when fork is available (callers may fan out),
+        ``False`` when they must run sequentially.
+    """
+    global _FORK_WARNING_EMITTED
+    if fork_available():
+        return True
+    if not _FORK_WARNING_EMITTED:
+        _FORK_WARNING_EMITTED = True
+        warnings.warn(
+            f"the 'fork' start method is unavailable on this platform; "
+            f"{what} runs sequentially (results are identical, only slower)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return False
 
 
 def expected_positive_fraction(
@@ -317,6 +351,84 @@ class QueryPlan:
             (len(members) - 1) * key[1].budget
             for key, members in self._groups.items()
         )
+
+    # -- dynamic folding -------------------------------------------------------
+
+    def covers(self, key: tuple | None) -> bool:
+        """Whether a (fingerprint, design, seed) key is one of this
+        plan's groups — i.e. a late arrival with that key can be folded
+        into the plan without any new oracle draw."""
+        return key is not None and key in self._groups
+
+    def fold(
+        self, execution: PlannedExecution, dataset: "Dataset | None" = None
+    ) -> bool:
+        """Fold a late-arriving execution into this plan.
+
+        This is what lets an *open* service window absorb a query that
+        arrives after the window's groups were already pre-drawn: the
+        execution joins its group (or starts a new one / the unplanned
+        list) and shows up in :meth:`batches` like any original member.
+
+        Args:
+            execution: the arrival, with ``index`` already set to its
+                position in the caller's execution list.
+            dataset: the dataset behind the execution's key, so a new
+                group stays :meth:`prewarm`-able.
+
+        Returns:
+            ``True`` when the execution joined an *existing* group —
+            its oracle draw is already paid for (pre-drawn or about to
+            be shared); ``False`` when it needs a draw of its own.
+        """
+        if any(existing.index == execution.index for existing in self.executions):
+            raise ValueError(f"plan already holds an execution #{execution.index}")
+        self.executions = self.executions + (execution,)
+        key = execution.key
+        if key is None:
+            self._ungrouped.append(execution.index)
+            return False
+        folded = key in self._groups
+        self._groups.setdefault(key, []).append(execution.index)
+        if dataset is not None:
+            self._datasets.setdefault(execution.fingerprint, dataset)
+        return folded
+
+    def warm_keys(self, store: "SampleStore") -> Mapping[tuple, str | None]:
+        """Diff this plan against a live store: key → tier or ``None``.
+
+        For each grouped key, reports where the store could serve it
+        *right now* — ``"memory"``, ``"disk"`` (a valid-looking spill
+        file exists), or ``None`` (the draw would hit the oracle).
+        This is the cross-batch cost estimate: keys already warm cost
+        nothing, so ``predicted_labels_drawn`` only materializes for
+        the cold ones.
+        """
+        return OrderedDict(
+            (key, store.locate(*key)) for key in self._groups
+        )
+
+    def render_store_diff(self, store: "SampleStore") -> str:
+        """Human-readable warm/cold report against a live store."""
+        tiers = self.warm_keys(store)
+        warm = sum(1 for tier in tiers.values() if tier is not None)
+        cold_labels = sum(
+            key[1].budget for key, tier in tiers.items() if tier is None
+        )
+        lines = [
+            f"store diff : {warm}/{len(tiers)} draws already warm; "
+            f"<= {cold_labels} labels still to draw"
+        ]
+        for number, (key, tier) in enumerate(tiers.items(), start=1):
+            fingerprint, design, seed = key
+            dataset = self._datasets.get(fingerprint)
+            dataset_label = dataset.name if dataset is not None else fingerprint[:12]
+            state = f"warm ({tier})" if tier is not None else "cold"
+            lines.append(
+                f"draw {number:<2d}    : {self._design_label(design)} seed={seed} "
+                f"dataset={dataset_label} -> {state}"
+            )
+        return "\n".join(lines)
 
     # -- execution support -----------------------------------------------------
 

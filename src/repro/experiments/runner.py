@@ -60,7 +60,7 @@ from typing import Callable, Mapping, Sequence
 
 from ..core.base import Selector
 from ..core.pipeline import ExecutionContext, SampleStore
-from ..core.planning import fork_available, plan_executions, resolve_n_jobs
+from ..core.planning import plan_executions, require_fork_or_warn, resolve_n_jobs
 from ..core.types import ApproxQuery
 from ..datasets import Dataset
 from ..metrics import evaluate_selection
@@ -133,8 +133,11 @@ def _run_trial_chunk(trials: Sequence[int]) -> list[TrialRecord]:
 
 
 # Platform fork detection lives with the planner (core.planning); the
-# alias keeps this module's call sites readable.
-_fork_available = fork_available
+# wrapper keeps this module's call sites readable and funnels the
+# no-fork degradation through the planner's warn-once helper.  Only
+# consulted when n_jobs > 1 was actually requested.
+def _fork_available() -> bool:
+    return require_fork_or_warn("parallel trial fan-out (n_jobs > 1)")
 
 
 def _prewarm_store_dir(

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from .ast import ParsedQuery, QueryKind, UdfCall
 from .engine import QueryExecution, SupgEngine
-from .parser import QuerySyntaxError, parse_query, parse_script
+from .parser import QuerySyntaxError, parse_query, parse_script, split_script
+from .service import SubmitTicket, SupgService
 
 __all__ = [
     "ParsedQuery",
@@ -12,7 +13,10 @@ __all__ = [
     "UdfCall",
     "parse_query",
     "parse_script",
+    "split_script",
     "QuerySyntaxError",
     "SupgEngine",
     "QueryExecution",
+    "SupgService",
+    "SubmitTicket",
 ]

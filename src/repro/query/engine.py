@@ -49,7 +49,12 @@ import numpy as np
 
 from ..core.joint import JointSelector
 from ..core.pipeline import ExecutionContext, SampleStore
-from ..core.planning import QueryPlan, fork_available, plan_executions, resolve_n_jobs
+from ..core.planning import (
+    QueryPlan,
+    plan_executions,
+    require_fork_or_warn,
+    resolve_n_jobs,
+)
 from ..core.registry import default_selector, make_selector
 from ..core.types import SelectionResult
 from ..datasets import Dataset
@@ -442,7 +447,9 @@ class SupgEngine:
         if context is not None:
             plan.prewarm(context.store)
         workers = min(resolve_n_jobs(jobs), len(compiled))
-        if workers > 1 and fork_available():
+        if workers > 1 and not require_fork_or_warn("execute_many(jobs=...)"):
+            workers = 1
+        if workers > 1:
             results = self._run_batches_parallel(compiled, plan, context, workers)
         else:
             results = [job.run(context) for job in compiled]

@@ -10,6 +10,8 @@ Input may hold several statements separated by ``;`` (a batch for
 :meth:`repro.query.engine.SupgEngine.execute_many`):
 :func:`parse_script` returns them all, while :func:`parse_query`
 accepts exactly one statement (with an optional trailing semicolon).
+``--`` starts a line comment in either form; blank statements (from
+stray or trailing semicolons) are skipped rather than parsed.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from dataclasses import dataclass
 
 from .ast import ParsedQuery, UdfCall
 
-__all__ = ["parse_query", "parse_script", "QuerySyntaxError"]
+__all__ = ["parse_query", "parse_script", "split_script", "QuerySyntaxError"]
 
 
 class QuerySyntaxError(ValueError):
@@ -29,6 +31,7 @@ class QuerySyntaxError(ValueError):
 _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
   | (?P<number>\d+(?:\.\d+)?%?)
   | (?P<string>"[^"]*"|'[^']*')
   | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
@@ -53,7 +56,10 @@ def _tokenize(sql: str) -> list[_Token]:
         if match is None:
             raise QuerySyntaxError(f"unexpected character {sql[pos]!r} at offset {pos}")
         kind = match.lastgroup or ""
-        if kind != "ws":
+        # ``--`` line comments are whitespace to the grammar, so a
+        # commented-out statement or an annotated .sql script never
+        # produces phantom tokens (or phantom empty statements).
+        if kind not in ("ws", "comment"):
             tokens.append(_Token(kind=kind, text=match.group(), position=pos))
         pos = match.end()
     return tokens
@@ -297,6 +303,36 @@ def parse_query(sql: str) -> ParsedQuery:
         QuerySyntaxError: with offset information on any mismatch.
     """
     return _Parser(sql).parse()
+
+
+def split_script(sql: str) -> tuple[list[str], str]:
+    """Split complete ``;``-terminated statement texts off a buffer.
+
+    This is the streaming front-end of :func:`parse_script`: a server
+    reading statements incrementally (``repro serve``) needs to know
+    which prefix of its input buffer is complete.  The split is
+    tokenizer-aware — a ``;`` inside a ``--`` comment or a string
+    literal never splits, unlike a naive ``text.split(";")``.
+
+    Returns:
+        ``(statements, remainder)`` — the text of every statement whose
+        terminating ``;`` has arrived (comment-only/blank segments
+        included; callers filter with :func:`parse_script`), and the
+        unterminated tail.  A buffer that does not tokenize yet (e.g. a
+        string literal still missing its closing quote) is returned
+        whole as the remainder, so callers simply wait for more input.
+    """
+    try:
+        tokens = _tokenize(sql)
+    except QuerySyntaxError:
+        return [], sql
+    statements: list[str] = []
+    start = 0
+    for token in tokens:
+        if token.kind == "symbol" and token.text == ";":
+            statements.append(sql[start : token.position])
+            start = token.position + 1
+    return statements, sql[start:]
 
 
 def parse_script(sql: str) -> list[ParsedQuery]:

@@ -1,0 +1,475 @@
+"""Continuously running SUPG service: admission queue + plan windows.
+
+:class:`~repro.query.engine.SupgEngine` executes one query (or one
+*static* batch) per call.  A production deployment looks different:
+queries arrive continuously from concurrent clients, and the paper's
+cost model — charge per distinct labeled record — rewards any two
+in-flight queries that can legally share an oracle draw.  This module
+adds the admission/scheduling layer that makes such sharing happen
+without any client coordinating with any other, in the spirit of
+GraftDB's dynamic folding of concurrent analytical queries: arrivals
+are queued, batched into *plan windows*, and each window is compiled
+through the batch planner so queries sharing a
+``(dataset fingerprint × SampleDesign × seed)`` group pay for exactly
+one oracle draw.
+
+The moving parts:
+
+- :class:`SupgService` — owns a long-lived engine and a scheduler
+  thread.  :meth:`~SupgService.submit` enqueues one statement and
+  returns immediately with a :class:`SubmitTicket`.
+- **Plan windows** — the scheduler closes the open window when it
+  holds ``max_window_queries`` statements *or* ``max_window_ms`` has
+  elapsed since the window's first arrival, whichever comes first.  A
+  closed window is compiled, grouped via
+  :func:`~repro.core.planning.plan_executions`, pre-drawn (each
+  distinct design exactly once — spilled to disk when the engine has a
+  ``store_dir``), then executed, with results routed back to each
+  submitter's ticket.
+- **Late folding** — after a window's groups are pre-drawn but before
+  it executes, arrivals still sitting in the queue whose group is
+  already warm are folded into the executing window
+  (:meth:`~repro.core.planning.QueryPlan.fold`) instead of waiting for
+  the next one: their draw is already paid for, so folding them is
+  free labels and lower latency.
+
+Results are bit-identical to a sequential ``engine.execute()`` loop
+over the same statements in arrival order: window membership only
+decides *when* a query runs and which draws are shared, never what any
+query returns.
+
+Example::
+
+    engine = SupgEngine(store_dir="/var/cache/supg")
+    engine.register_table("frames", dataset)
+    with SupgService(engine, max_window_queries=8, max_window_ms=25.0) as service:
+        tickets = [service.submit(sql) for sql in statements]
+        rows = [ticket.result(timeout=60.0) for ticket in tickets]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Mapping
+
+from ..core.planning import require_fork_or_warn, resolve_n_jobs
+from .engine import QueryExecution, SupgEngine
+from .parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .ast import ParsedQuery
+
+__all__ = ["SupgService", "SubmitTicket"]
+
+#: Default window-close thresholds: small enough that an interactive
+#: client never waits noticeably, large enough that a burst of
+#: concurrent submissions lands in one window.
+DEFAULT_WINDOW_QUERIES = 8
+DEFAULT_WINDOW_MS = 25.0
+
+
+class SubmitTicket:
+    """Future-style handle for one submitted query.
+
+    Returned immediately by :meth:`SupgService.submit`; the result
+    arrives when the query's plan window executes.
+
+    Attributes:
+        number: the service-wide submission number (arrival order).
+        sql: the submitted statement text.
+        window: index of the plan window that served the query (into
+            :attr:`SupgService.window_log`), set on completion.
+    """
+
+    def __init__(self, number: int, sql: str) -> None:
+        self.number = number
+        self.sql = sql
+        self.window: int | None = None
+        self._event = threading.Event()
+        self._result: QueryExecution | None = None
+        self._exception: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the query has finished (successfully or not)."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryExecution:
+        """Block until the window executes; return the execution.
+
+        Raises:
+            TimeoutError: the window did not complete within ``timeout``
+                seconds.
+            Exception: whatever the execution itself raised.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query #{self.number} did not complete within {timeout}s"
+            )
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until done; return the error (or ``None`` on success)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query #{self.number} did not complete within {timeout}s"
+            )
+        return self._exception
+
+    def _finish(
+        self,
+        result: QueryExecution | None = None,
+        error: BaseException | None = None,
+        window: int | None = None,
+    ) -> None:
+        self._result = result
+        self._exception = error
+        self.window = window
+        self._event.set()
+
+
+@dataclass
+class _Submission:
+    """One queued query: parsed statement plus its execution parameters."""
+
+    parsed: "ParsedQuery"
+    seed: int
+    method: str | None
+    stage_budget: int
+    selector_kwargs: Mapping[str, object]
+    ticket: SubmitTicket
+    arrived: float = field(default_factory=time.monotonic)
+
+
+class SupgService:
+    """Admission queue over a long-lived engine, batching into plan windows.
+
+    Args:
+        engine: the engine to serve (register its tables and UDFs
+            before submitting queries).  The service owns the engine's
+            execution schedule, not its registrations.
+        max_window_queries: close the open window once it holds this
+            many statements.
+        max_window_ms: close the open window this many milliseconds
+            after its first statement arrived, even if not full.
+        jobs: worker processes for each window's group fan-out
+            (``-1`` = all cores; ``None``/``1`` = in-thread).  On
+            platforms without ``fork`` the service warns once and runs
+            windows sequentially.
+        default_seed: seed for submissions that do not pass one.
+        stage_budget: stage-1/2 budget for joint-target queries.
+    """
+
+    def __init__(
+        self,
+        engine: SupgEngine,
+        max_window_queries: int = DEFAULT_WINDOW_QUERIES,
+        max_window_ms: float = DEFAULT_WINDOW_MS,
+        jobs: int | None = None,
+        default_seed: int = 0,
+        stage_budget: int = 1000,
+    ) -> None:
+        if max_window_queries <= 0:
+            raise ValueError(
+                f"max_window_queries must be positive, got {max_window_queries}"
+            )
+        if max_window_ms <= 0:
+            raise ValueError(f"max_window_ms must be positive, got {max_window_ms}")
+        resolve_n_jobs(jobs)  # validate eagerly, before the thread starts
+        self.engine = engine
+        self.max_window_queries = max_window_queries
+        self.max_window_ms = max_window_ms
+        self._jobs = jobs
+        self._default_seed = default_seed
+        self._stage_budget = stage_budget
+        self._arrival = threading.Condition()
+        self._pending: list[_Submission] = []
+        self._closed = False
+        self._submitted = 0
+        self._windows: list[dict] = []
+        self._thread = threading.Thread(
+            target=self._scheduler, name="supg-service-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # -- client API ------------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        seed: int | None = None,
+        method: str | None = None,
+        stage_budget: int | None = None,
+        **selector_kwargs,
+    ) -> SubmitTicket:
+        """Enqueue one statement; returns immediately with a ticket.
+
+        The statement is parsed synchronously, so syntax errors raise
+        here (in the submitting client) rather than poisoning a window.
+        Execution errors — unknown table, budget exhaustion — surface
+        through :meth:`SubmitTicket.result`.
+
+        Args:
+            sql: one SUPG dialect statement (trailing ``;`` and ``--``
+                comments allowed).
+            seed: per-query seed (defaults to the service's
+                ``default_seed``).  Queries submitted with the same
+                seed, dataset, and sampling design fold into one
+                oracle draw.
+            method: selector registry name override.
+            stage_budget: joint-query stage budget override.
+            **selector_kwargs: forwarded to the selector constructor.
+
+        Raises:
+            repro.query.parser.QuerySyntaxError: malformed statement.
+            RuntimeError: the service has been closed.
+        """
+        parsed = parse_query(sql)
+        submission = _Submission(
+            parsed=parsed,
+            seed=self._default_seed if seed is None else seed,
+            method=method,
+            stage_budget=self._stage_budget if stage_budget is None else stage_budget,
+            selector_kwargs=dict(selector_kwargs),
+            ticket=SubmitTicket(0, sql),
+        )
+        with self._arrival:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed SupgService")
+            submission.ticket.number = self._submitted
+            self._submitted += 1
+            self._pending.append(submission)
+            self._arrival.notify_all()
+        return submission.ticket
+
+    def close(self) -> None:
+        """Drain the queue (remaining arrivals run in final windows)
+        and stop the scheduler.  Idempotent."""
+        with self._arrival:
+            self._closed = True
+            self._arrival.notify_all()
+        self._thread.join()
+
+    def __enter__(self) -> "SupgService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def window_log(self) -> tuple[dict, ...]:
+        """Per-window statistics, in execution order.
+
+        Each record maps ``queries`` (statements served), ``errors``
+        (compile failures), ``distinct_draws``, ``queries_folded``
+        (statements beyond the first of each group), ``late_folded``
+        (arrivals absorbed after the window closed), ``warm_draws``
+        (groups already in the store before the window pre-drew),
+        ``labels_drawn`` / ``labels_saved`` (store-counter deltas),
+        ``window_seconds``, and ``closed_by`` (``"count"`` /
+        ``"timeout"`` / ``"drain"``).
+        """
+        with self._arrival:
+            return tuple(dict(record) for record in self._windows)
+
+    def session_stats(self) -> Mapping[str, int]:
+        """Engine store counters plus the service's window accounting."""
+        stats = dict(self.engine.session_stats())
+        with self._arrival:
+            windows = [dict(record) for record in self._windows]
+        stats.update(
+            windows=len(windows),
+            queries_served=sum(w["queries"] for w in windows),
+            queries_folded=sum(w["queries_folded"] for w in windows),
+            late_folded=sum(w["late_folded"] for w in windows),
+            window_errors=sum(w["errors"] for w in windows),
+        )
+        return stats
+
+    # -- scheduler -------------------------------------------------------------
+
+    def _scheduler(self) -> None:
+        """Collect arrivals into windows; runs until closed and drained."""
+        while True:
+            with self._arrival:
+                while not self._pending and not self._closed:
+                    self._arrival.wait()
+                if not self._pending and self._closed:
+                    return
+                closed_by = "drain" if self._closed else "timeout"
+                deadline = self._pending[0].arrived + self.max_window_ms / 1000.0
+                while not self._closed and len(self._pending) < self.max_window_queries:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._arrival.wait(timeout=remaining)
+                if len(self._pending) >= self.max_window_queries:
+                    closed_by = "count"
+                elif self._closed:
+                    closed_by = "drain"
+                window = self._pending[: self.max_window_queries]
+                del self._pending[: len(window)]
+            try:
+                self._execute_window(window, closed_by)
+            except Exception as exc:
+                # A window must never take the scheduler down with it:
+                # fail the window's tickets and keep serving — a hung
+                # submit()/result() on every later client is strictly
+                # worse than one failed window.
+                for submission in window:
+                    if not submission.ticket.done():
+                        submission.ticket._finish(error=exc)
+
+    # -- window execution ------------------------------------------------------
+
+    def _compile_submission(self, submission: _Submission, index: int):
+        return self.engine._compile(
+            index,
+            submission.parsed,
+            submission.seed,
+            submission.method,
+            submission.stage_budget,
+            submission.selector_kwargs,
+        )
+
+    def _planned_execution(self, job):
+        """The planner's view of one compiled query, at its real index.
+
+        Delegates to the engine's own plan builder so the service's
+        fold decisions can never diverge from how ``execute_many``
+        would group the same statement (joint queries, oracle UDFs,
+        generator seeds — one source of truth).
+        """
+        planned = self.engine._plan_compiled([job]).executions[0]
+        return replace(planned, index=job.index)
+
+    def _fold_late_arrivals(self, compiled, submissions, plan) -> int:
+        """Absorb queued arrivals whose group this window already pre-drew.
+
+        Runs between prewarm and execution: any pending submission
+        keyed to one of the window's (now warm) groups joins the
+        window — its draw is already paid for, so running it now saves
+        a whole window of latency and keeps the fold accounting where
+        the labels were actually shared.  Arrivals that would need a
+        *new* draw stay queued for the next window.
+        """
+        # Snapshot under the lock, compile outside it: compilation can
+        # be slow (first-use proxy-UDF derivation scores the whole
+        # dataset) and must not stall concurrent submit() calls.  Only
+        # the scheduler thread — this thread — ever removes from the
+        # pending queue, so the snapshot stays removable afterwards.
+        with self._arrival:
+            snapshot = list(self._pending)
+        folded: list[_Submission] = []
+        for submission in snapshot:
+            try:
+                job = self._compile_submission(submission, len(compiled))
+            except Exception:
+                continue  # stays queued; its own window surfaces the error
+            planned = self._planned_execution(job)
+            if plan.covers(planned.key):
+                plan.fold(planned, dataset=job.dataset)
+                compiled.append(job)
+                submissions.append(submission)
+                folded.append(submission)
+        if folded:
+            with self._arrival:
+                for submission in folded:
+                    self._pending.remove(submission)
+        return len(folded)
+
+    def _execute_window(self, window: list[_Submission], closed_by: str) -> None:
+        start = time.perf_counter()
+        compiled = []
+        submissions: list[_Submission] = []
+        errors = 0
+        for submission in window:
+            try:
+                job = self._compile_submission(submission, len(compiled))
+            except Exception as exc:
+                submission.ticket._finish(error=exc, window=len(self._windows))
+                errors += 1
+                continue
+            compiled.append(job)
+            submissions.append(submission)
+
+        store = self.engine.context.store
+        plan = None
+        warm_draws = 0
+        late_folded = 0
+        before = store.stats()
+        window_index = len(self._windows)
+        window_error: Exception | None = None
+        if compiled:
+            # Planning and prewarm touch real resources (the oracle,
+            # the spill directory); a failure here must fail this
+            # window's tickets, not unwind into the scheduler.
+            try:
+                plan = self.engine._plan_compiled(compiled)
+                warm_draws = sum(
+                    1 for tier in plan.warm_keys(store).values() if tier is not None
+                )
+                plan.prewarm(store)
+                late_folded = self._fold_late_arrivals(compiled, submissions, plan)
+            except Exception as exc:
+                window_error = exc
+
+        if window_error is not None:
+            results = None
+        else:
+            try:
+                results = self._run_window(compiled, plan)
+            except Exception as exc:
+                window_error = exc
+                results = None
+        if window_error is not None:
+            for submission in submissions:
+                submission.ticket._finish(error=window_error, window=window_index)
+        if results is not None:
+            for submission, job, result in zip(submissions, compiled, results):
+                execution = QueryExecution(
+                    parsed=job.parsed,
+                    result=result,
+                    dataset=job.dataset,
+                    method=job.method,
+                )
+                submission.ticket._finish(result=execution, window=window_index)
+
+        after = store.stats()
+        grouped = (
+            plan.n_executions - len(plan.ungrouped) if plan is not None else 0
+        )
+        record = {
+            "queries": len(compiled),
+            "errors": errors + (len(submissions) if window_error is not None else 0),
+            "distinct_draws": plan.distinct_draws if plan is not None else 0,
+            "queries_folded": max(
+                0, grouped - (plan.distinct_draws if plan is not None else 0)
+            ),
+            "late_folded": late_folded,
+            "warm_draws": warm_draws,
+            "labels_drawn": after["labels_drawn"] - before["labels_drawn"],
+            "labels_saved": after["labels_saved"] - before["labels_saved"],
+            "window_seconds": time.perf_counter() - start,
+            "closed_by": closed_by,
+        }
+        with self._arrival:
+            self._windows.append(record)
+
+    def _run_window(self, compiled, plan):
+        if not compiled:
+            return []
+        workers = min(resolve_n_jobs(self._jobs), len(compiled))
+        if workers > 1 and not require_fork_or_warn("SupgService plan windows"):
+            workers = 1
+        if workers > 1:
+            return SupgEngine._run_batches_parallel(
+                compiled, plan, self.engine.context, workers
+            )
+        return [job.run(self.engine.context) for job in compiled]

@@ -164,6 +164,28 @@ class TestBatchQuery:
         assert code == 0
         assert output.count("method    :") == 3
 
+    def test_sql_file_trailing_semicolon_and_comment(self, tmp_path):
+        """A file ending ``;\\n`` (with comments) runs its one query."""
+        sql_file = tmp_path / "q.sql"
+        sql_file.write_text(f"-- the nightly check\n{RT_SQL};\n")
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql-file", str(sql_file)]
+        )
+        assert code == 0
+        assert output.count("method    :") == 1
+
+    def test_sql_file_without_statements_reports_cleanly(self, tmp_path, capsys):
+        sql_file = tmp_path / "empty.sql"
+        sql_file.write_text("-- nothing to run\n;\n")
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql-file", str(sql_file)]
+        )
+        assert code == 2
+        assert output == ""  # no phantom execution
+        assert "no statements" in capsys.readouterr().err
+
 
 class TestPlanBatchMode:
     def test_plan_file_prints_dedup_plan(self, tmp_path):
@@ -183,6 +205,145 @@ class TestPlanBatchMode:
     def test_budget_mode_still_requires_flags(self):
         code, _ = run_cli(["plan", "--dataset", "imagenet"])
         assert code == 2
+
+    def test_plan_store_dir_diff_reports_warm_keys(self, tmp_path):
+        """The cross-batch reuse report: a second plan over a primed
+        store shows which draws are already warm."""
+        sql_file = tmp_path / "batch.sql"
+        sql_file.write_text(BATCH_SQL)
+        store = tmp_path / "store"
+
+        code, output = run_cli(["plan", str(sql_file), "--size", "10000",
+                                "--store-dir", str(store)])
+        assert code == 0
+        assert "0/2 draws already warm" in output
+
+        code, _ = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql-file", str(sql_file), "--store-dir", str(store)]
+        )
+        assert code == 0
+        code, output = run_cli(["plan", str(sql_file), "--size", "10000",
+                                "--store-dir", str(store)])
+        assert code == 0
+        assert "2/2 draws already warm" in output
+        assert "<= 0 labels still to draw" in output
+        assert "warm (disk)" in output
+
+
+class TestServe:
+    def _serve_input(self, tmp_path, text):
+        path = tmp_path / "input.sql"
+        path.write_text(text)
+        return str(path)
+
+    def test_stdin_mode_folds_batch(self, tmp_path):
+        script = self._serve_input(
+            tmp_path,
+            f"{RT_SQL};\n"
+            f"{RT_SQL.replace('RECALL TARGET 90%', 'RECALL TARGET 95%')};\n",
+        )
+        code, output = run_cli(
+            ["serve", "--dataset", "imagenet", "--size", "10000",
+             "--input", script, "--window-queries", "4", "--window-ms", "2000"]
+        )
+        assert code == 0
+        assert "-- query 1 (window 0) --" in output
+        assert "-- query 2 (window 0) --" in output
+        assert output.count("method    :") == 2
+        # Both queries share one design: one window, one draw, one fold.
+        assert "1 windows, 2 queries, 1 folded" in output
+
+    def test_stdin_mode_semicolon_inside_comment(self, tmp_path):
+        """A ';' inside a -- comment must not truncate the statement."""
+        script = self._serve_input(
+            tmp_path,
+            f"-- header; generated nightly\n{RT_SQL};\n",
+        )
+        code, output = run_cli(
+            ["serve", "--dataset", "imagenet", "--size", "10000",
+             "--input", script, "--window-ms", "100"]
+        )
+        assert code == 0
+        assert "syntax error" not in output
+        assert output.count("method    :") == 1
+
+    def test_stdin_mode_comments_and_blank_lines(self, tmp_path):
+        script = self._serve_input(
+            tmp_path,
+            f"-- warm-up query\n{RT_SQL}\n\n-- only comments after this\n",
+        )
+        code, output = run_cli(
+            ["serve", "--dataset", "imagenet", "--size", "10000",
+             "--input", script, "--window-ms", "100"]
+        )
+        assert code == 0
+        assert output.count("method    :") == 1
+
+    def test_stdin_mode_reports_per_query_errors(self, tmp_path):
+        script = self._serve_input(
+            tmp_path,
+            f"{RT_SQL.replace('FROM imagenet', 'FROM missing')};\n{RT_SQL};\n",
+        )
+        code, output = run_cli(
+            ["serve", "--dataset", "imagenet", "--size", "10000",
+             "--input", script, "--window-ms", "100"]
+        )
+        assert code == 0
+        assert "error     :" in output and "missing" in output
+        assert output.count("method    :") == 1  # the good query still ran
+
+    def test_store_dir_round_trip(self, tmp_path):
+        script = self._serve_input(tmp_path, f"{RT_SQL};\n")
+        store = tmp_path / "store"
+        for _ in range(2):
+            code, output = run_cli(
+                ["serve", "--dataset", "imagenet", "--size", "10000",
+                 "--input", script, "--window-ms", "100",
+                 "--store-dir", str(store)]
+            )
+            assert code == 0
+        # Second process served entirely from the spill directory.
+        assert "labels    : 0 drawn" in output
+
+    def test_socket_mode_concurrent_clients_fold(self, tmp_path):
+        import socket
+        import threading
+
+        from repro.cli import _build_service, _make_socket_server
+        import argparse
+
+        args = argparse.Namespace(
+            dataset="imagenet", size=10000, seed=0, method=None, bound=None,
+            window_queries=3, window_ms=2000.0, jobs=1, store_dir=None,
+        )
+        service, _, submit_kwargs = _build_service(args)
+        server = _make_socket_server(service, "127.0.0.1", 0, submit_kwargs)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            responses = {}
+
+            def client(n):
+                with socket.create_connection(("127.0.0.1", port), timeout=60) as conn:
+                    conn.sendall((RT_SQL + ";").encode())
+                    conn.shutdown(socket.SHUT_WR)
+                    responses[n] = conn.makefile().read()
+
+            clients = [threading.Thread(target=client, args=(n,)) for n in range(3)]
+            for c in clients:
+                c.start()
+            for c in clients:
+                c.join()
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+        assert all(text.startswith("ok #") for text in responses.values())
+        assert all("window=0" in text for text in responses.values())
+        stats = service.session_stats()
+        assert stats["misses"] == 1 and stats["queries_folded"] == 2
 
 
 class TestStoreSubcommand:

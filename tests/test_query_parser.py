@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core.types import TargetType
-from repro.query import QueryKind, QuerySyntaxError, parse_query, parse_script
+from repro.query import (
+    QueryKind,
+    QuerySyntaxError,
+    parse_query,
+    parse_script,
+    split_script,
+)
 
 RT_SQL = """
 SELECT * FROM hummingbird_video
@@ -128,6 +134,86 @@ class TestMultiStatementScripts:
         bad = RT_SQL + "; SELECT * FROM"
         with pytest.raises(QuerySyntaxError, match="end of query"):
             parse_script(bad)
+
+    def test_trailing_semicolon_and_newline(self):
+        """A file ending ``;\\n`` yields its statements, no phantoms."""
+        assert len(parse_script(RT_SQL + ";\n")) == 1
+        assert len(parse_script(f"{RT_SQL};\n{PT_SQL};\n")) == 2
+        assert parse_script(";\n") == []
+
+
+class TestComments:
+    def test_line_comments_ignored(self):
+        commented = (
+            "-- find the hummingbirds\n"
+            + RT_SQL
+            + "-- trailing note\n"
+        )
+        assert parse_query(commented).table == "hummingbird_video"
+
+    def test_comment_between_clauses(self):
+        sql = RT_SQL.replace(
+            "ORACLE LIMIT 10,000",
+            "-- the budget:\nORACLE LIMIT 10,000",
+        )
+        assert parse_query(sql).oracle_limit == 10_000
+
+    def test_comment_only_script_is_empty(self):
+        assert parse_script("-- nothing here\n-- or here\n") == []
+        assert parse_script("-- note\n;\n-- more\n") == []
+
+    def test_commented_out_statement_skipped(self):
+        script = "-- " + PT_SQL.strip().replace("\n", "\n-- ") + "\n" + RT_SQL + ";"
+        (only,) = parse_script(script)
+        assert only.table == "hummingbird_video"
+
+    def test_comment_inside_script_between_statements(self):
+        script = f"{RT_SQL};\n-- separator comment\n{PT_SQL};"
+        assert [q.table for q in parse_script(script)] == ["hummingbird_video", "docs"]
+
+    def test_double_dash_requires_comment_position(self):
+        # A lone '-' is still a tokenizer error, not silently skipped.
+        with pytest.raises(QuerySyntaxError, match="unexpected character"):
+            parse_query(RT_SQL + " -")
+
+
+class TestSplitScript:
+    """split_script: the streaming statement splitter (repro serve)."""
+
+    def test_complete_statements_split_off(self):
+        statements, remainder = split_script(f"{RT_SQL};{PT_SQL};")
+        assert len(statements) == 2
+        assert parse_query(statements[0]).table == "hummingbird_video"
+        assert parse_query(statements[1]).table == "docs"
+        assert remainder == ""
+
+    def test_unterminated_tail_stays_in_remainder(self):
+        statements, remainder = split_script(f"{RT_SQL};{PT_SQL}")
+        assert len(statements) == 1
+        assert parse_query(remainder).table == "docs"
+
+    def test_semicolon_inside_comment_does_not_split(self):
+        buffered = f"-- header; generated nightly\n{RT_SQL};"
+        statements, remainder = split_script(buffered)
+        assert len(statements) == 1 and remainder == ""
+        assert parse_query(statements[0]).table == "hummingbird_video"
+
+    def test_semicolon_inside_string_does_not_split(self):
+        sql = RT_SQL.replace('"hummingbird"', '"rufous; allen"')
+        statements, remainder = split_script(sql + ";")
+        assert len(statements) == 1 and remainder == ""
+        assert parse_query(statements[0]).proxy.comparison == '"rufous; allen"'
+
+    def test_untokenizable_buffer_waits_for_more_input(self):
+        # An unterminated string literal: nothing splits yet.
+        partial = RT_SQL.replace('"hummingbird"', '"humming')
+        statements, remainder = split_script(partial)
+        assert statements == [] and remainder == partial
+
+    def test_blank_segments_preserved_for_caller_filtering(self):
+        statements, remainder = split_script("; -- note\n;")
+        assert len(statements) == 2 and remainder == ""
+        assert all(parse_script(chunk) == [] for chunk in statements)
 
 
 class TestSyntaxErrors:

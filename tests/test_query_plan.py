@@ -121,6 +121,32 @@ class TestExecuteManyEquivalence:
         assert _engine(beta_dataset).execute_many([]) == []
         assert _engine(beta_dataset).execute_many("  ;; ") == []
 
+    def test_comment_only_batch_is_empty(self, beta_dataset):
+        assert _engine(beta_dataset).execute_many("-- nothing\n;\n-- at all\n") == []
+        assert _engine(beta_dataset).plan("-- nothing\n").n_executions == 0
+
+    def test_empty_plan_renders(self, beta_dataset):
+        plan = _engine(beta_dataset).plan([])
+        assert plan.distinct_draws == 0 and plan.batches() == []
+        assert "0 executions" in plan.render()
+
+    def test_duplicate_statements_fold_but_answer_per_statement(self, beta_dataset):
+        """Identical duplicates share one draw yet every submission
+        gets its own result row, in submission order."""
+        sql = RT.format(gamma=90)
+        engine = _engine(beta_dataset)
+        plan = engine.plan([sql] * 4, seed=3)
+        assert plan.n_executions == 4 and plan.distinct_draws == 1
+        assert plan.groups[next(iter(plan.groups))] == (0, 1, 2, 3)
+
+        batch = engine.execute_many([sql] * 4, seed=3)
+        assert len(batch) == 4
+        assert engine.session_stats()["misses"] == 1
+        reference = _engine(beta_dataset).execute(sql, seed=3)
+        for execution in batch:
+            assert np.array_equal(execution.result.indices, reference.result.indices)
+            assert execution.result.tau == reference.result.tau
+
 
 class TestOneDrawPerDistinctDesign:
     def test_mixed_batch_draws_each_design_once(self, beta_dataset):
@@ -233,6 +259,131 @@ class TestQueryPlanUnit:
         assert bare.key is None
         empty = QueryPlan([bare], {})
         assert empty.distinct_draws == 0 and empty.batches() == [[0]]
+
+
+class TestPlanFolding:
+    """QueryPlan.fold / covers: the open-window late-arrival path."""
+
+    def _plan(self, beta_dataset, seeds):
+        from repro.core import make_selector
+        from repro.core.types import ApproxQuery
+
+        query = ApproxQuery.recall_target(0.9, 0.05, 300)
+        specs = [
+            (f"slot-{i}", beta_dataset, make_selector("is-ci-r", query), seed, "")
+            for i, seed in enumerate(seeds)
+        ]
+        return plan_executions(specs), make_selector("is-ci-r", query)
+
+    def test_fold_into_existing_group(self, beta_dataset):
+        plan, selector = self._plan(beta_dataset, [0, 1])
+        (key0, key1) = list(plan.groups)
+        late = PlannedExecution(
+            index=2,
+            label="late",
+            fingerprint=beta_dataset.fingerprint,
+            design=selector.sample_design(beta_dataset),
+            seed=0,
+        )
+        assert plan.covers(late.key)
+        assert plan.fold(late, dataset=beta_dataset) is True
+        assert plan.groups[key0] == (0, 2)
+        assert plan.distinct_draws == 2  # no new draw needed
+        assert sorted(i for batch in plan.batches() for i in batch) == [0, 1, 2]
+
+    def test_fold_new_key_forms_new_group(self, beta_dataset):
+        plan, selector = self._plan(beta_dataset, [0])
+        late = PlannedExecution(
+            index=1,
+            label="late",
+            fingerprint=beta_dataset.fingerprint,
+            design=selector.sample_design(beta_dataset),
+            seed=7,
+        )
+        assert not plan.covers(late.key)
+        assert plan.fold(late, dataset=beta_dataset) is False
+        assert plan.distinct_draws == 2
+        store = SampleStore()
+        plan.prewarm(store)  # the folded group is prewarm-able too
+        assert store.misses == 2
+
+    def test_fold_unplanned_execution(self, beta_dataset):
+        plan, _ = self._plan(beta_dataset, [0])
+        assert plan.fold(PlannedExecution(index=1, label="joint")) is False
+        assert plan.ungrouped == (1,)
+
+    def test_fold_duplicate_index_rejected(self, beta_dataset):
+        plan, _ = self._plan(beta_dataset, [0])
+        with pytest.raises(ValueError, match="execution #0"):
+            plan.fold(PlannedExecution(index=0, label="dup"))
+
+
+class TestWarmKeysDiff:
+    """QueryPlan.warm_keys / render_store_diff: the cross-batch report."""
+
+    def test_warm_keys_tiers(self, beta_dataset, tmp_path):
+        engine = _engine(beta_dataset, store_dir=str(tmp_path))
+        plan = engine.plan(MIXED_BATCH, seed=3)
+        store = engine.context.store
+        assert set(plan.warm_keys(store).values()) == {None}
+        text = plan.render_store_diff(store)
+        assert "0/2 draws already warm" in text and "cold" in text
+
+        # Draw one of the two groups; it becomes memory-warm here and
+        # disk-warm for a fresh store over the same directory.
+        first_key = next(iter(plan.groups))
+        store.fetch(beta_dataset, first_key[1], first_key[2])
+        tiers = plan.warm_keys(store)
+        assert tiers[first_key] == "memory"
+        assert sum(1 for tier in tiers.values() if tier is None) == 1
+
+        fresh = SampleStore(store_dir=str(tmp_path))
+        assert plan.warm_keys(fresh)[first_key] == "disk"
+        assert "warm (disk)" in plan.render_store_diff(fresh)
+        # The cold-labels estimate counts only the still-cold group.
+        assert "1/2 draws already warm" in plan.render_store_diff(fresh)
+
+    def test_locate_without_store_dir(self, beta_dataset):
+        store = SampleStore()
+        plan = _engine(beta_dataset).plan(MIXED_BATCH[:1], seed=0)
+        key = next(iter(plan.groups))
+        assert store.locate(*key) is None
+        store.fetch(beta_dataset, key[1], key[2])
+        assert store.locate(*key) == "memory"
+
+
+class TestNoForkFallback:
+    def test_execute_many_jobs_warns_once_and_matches(self, beta_dataset, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.core import planning
+
+        monkeypatch.setattr(planning, "fork_available", lambda: False)
+        monkeypatch.setattr(planning, "_FORK_WARNING_EMITTED", False)
+        engine = _engine(beta_dataset)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            first = engine.execute_many(MIXED_BATCH, seed=3, jobs=4)
+            second = engine.execute_many(MIXED_BATCH, seed=3, jobs=4)
+        fork_warnings = [w for w in caught if "fork" in str(w.message)]
+        assert len(fork_warnings) == 1
+        assert "sequentially" in str(fork_warnings[0].message)
+        _assert_executions_equal(first, second)
+        _assert_executions_equal(
+            first, _engine(beta_dataset).execute_many(MIXED_BATCH, seed=3)
+        )
+
+    def test_sequential_jobs_do_not_warn(self, beta_dataset, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.core import planning
+
+        monkeypatch.setattr(planning, "fork_available", lambda: False)
+        monkeypatch.setattr(planning, "_FORK_WARNING_EMITTED", False)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            _engine(beta_dataset).execute_many(MIXED_BATCH[:2], seed=3)
+        assert not [w for w in caught if "fork" in str(w.message)]
 
 
 class TestParseScriptEngineIntegration:

@@ -261,6 +261,36 @@ class TestDiskEviction:
         with pytest.raises(ValueError, match="store_dir"):
             SampleStore(max_disk_bytes=100)
 
+    def test_undersized_cap_keeps_newest_spill(self, workload, tmp_path):
+        """A cap smaller than one spill must not thrash write-then-evict:
+        the newest spill survives (with a warning), so a later process
+        still gets a disk hit instead of re-drawing."""
+        store = SampleStore(store_dir=tmp_path, max_disk_bytes=1)
+        with pytest.warns(RuntimeWarning, match="smaller than a single"):
+            store.fetch(workload, UNIFORM, 0)
+        assert SampleStore.disk_usage(tmp_path)["files"] == 1
+        assert store._spill_path(workload.fingerprint, UNIFORM, 0).exists()
+
+        # The draw just spilled is never its own eviction victim.
+        assert store.disk_evictions == 0
+
+        # A second key replaces (not accumulates): newest wins.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            store.fetch(workload, UNIFORM, 1)
+        assert SampleStore.disk_usage(tmp_path)["files"] == 1
+        assert store._spill_path(workload.fingerprint, UNIFORM, 1).exists()
+        assert store.disk_evictions == 1
+        # ... and the warning fired only once per store.
+        assert not [w for w in caught if issubclass(w.category, RuntimeWarning)]
+
+        # No thrash: a fresh process disk-hits the surviving newest spill.
+        fresh = SampleStore(store_dir=tmp_path)
+        fresh.fetch(workload, UNIFORM, 1)
+        assert fresh.disk_hits == 1 and fresh.labels_drawn == 0
+
 
 class TestDiskInspection:
     def test_disk_entries_and_usage(self, workload, tmp_path):
