@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Chaos smoke run: a mixed workload under injected faults must degrade cleanly.
+
+Runs the same 50-statement mixed recall/precision workload through a
+``SupgService`` twice — once fault-free (the reference), once under the
+deterministic fault harness (:mod:`repro.faults`) with:
+
+- a 20% transient oracle-failure rate (every labeling call may raise),
+- one fork worker killed mid-window (``kill_execution``),
+- one spill file corrupted on disk before the service starts.
+
+The gates, which together are the repo's operational-robustness
+contract (see README "Failure semantics"):
+
+1. **No hung tickets** — every submission resolves (result or typed
+   error) within the per-ticket timeout.
+2. **Bit-identical recovery** — every query that succeeds under faults
+   returns exactly the reference pass's indices / tau / oracle_calls:
+   retries, worker-death recovery, and quarantine-triggered redraws
+   may cost time, never correctness.
+3. **Typed failures only** — any query that does fail (transient
+   failures outliving the retry budget) fails with
+   :class:`repro.query.QueryError` on its own ticket only.
+4. **No label inflation** — oracle retries are never double-charged,
+   so the faulted pass draws at most the fault-free labels plus the
+   one redraw forced by the corrupted spill.
+5. **Fault evidence** — exactly one spill quarantined; retries
+   actually happened; with fork available, at least one execution
+   group was recovered after the worker kill.
+
+Exit status 0 on success, 1 with a gate-by-gate report otherwise; a
+JSON summary is printed either way.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py [--size 20000]
+        [--queries 50] [--fault-rate 0.2] [--retries 8] [--jobs 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.planning import fork_available
+from repro.datasets import load_dataset
+from repro.faults import FaultPlan, corrupt_spill, inject
+from repro.oracle import RetryPolicy
+from repro.query import QueryError, SupgEngine, SupgService
+
+RT = (
+    "SELECT * FROM t WHERE P(x) = True ORACLE LIMIT {budget} USING A(x) "
+    "RECALL TARGET {gamma}% WITH PROBABILITY 95%"
+)
+PT = (
+    "SELECT * FROM t WHERE P(x) = True ORACLE LIMIT {budget} USING A(x) "
+    "PRECISION TARGET {gamma}% WITH PROBABILITY 95%"
+)
+
+#: The corrupted spill forces exactly one fresh draw; no design in the
+#: workload pays more than this many labels for it.
+MAX_REDRAW_LABELS = 400
+
+
+def build_workload(queries: int) -> list[tuple[str, int]]:
+    """``queries`` mixed statements as (sql, seed) pairs.
+
+    Cycles target kind, gamma, budget, and seed so the workload folds
+    heavily (few distinct designs) while still exercising recall and
+    precision paths, two budgets, and three seeds.
+    """
+    gammas = [80, 85, 90, 95]
+    workload = []
+    for i in range(queries):
+        template = RT if i % 2 == 0 else PT
+        sql = template.format(gamma=gammas[i % len(gammas)], budget=400 if i % 3 else 200)
+        workload.append((sql, i % 3))
+    return workload
+
+
+def run_pass(
+    workload,
+    store_dir: str,
+    retry_policy: RetryPolicy | None,
+    jobs: int,
+    ticket_timeout: float,
+    size: int,
+):
+    """One service pass; returns per-query outcomes plus the session stats."""
+    engine = SupgEngine(store_dir=store_dir, retry_policy=retry_policy)
+    engine.register_table("t", load_dataset("beta(0.01,1)", size=size, seed=7))
+    service = SupgService(
+        engine, max_window_queries=8, max_window_ms=100.0, jobs=jobs
+    )
+    outcomes: list[dict] = []
+    hung = 0
+    try:
+        tickets = [
+            service.submit(sql, seed=seed) for sql, seed in workload
+        ]
+        for ticket in tickets:
+            try:
+                error = ticket.exception(timeout=ticket_timeout)
+            except TimeoutError:
+                hung += 1
+                outcomes.append({"hung": True, "state": ticket.state})
+                continue
+            if error is not None:
+                outcomes.append({"error": error})
+            else:
+                result = ticket.result().result
+                outcomes.append(
+                    {
+                        "indices": result.indices,
+                        "tau": result.tau,
+                        "oracle_calls": result.oracle_calls,
+                    }
+                )
+    finally:
+        service.close(timeout=ticket_timeout)
+    stats = dict(service.session_stats())
+    stats["hung"] = hung
+    return outcomes, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=20000)
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("--fault-rate", type=float, default=0.2)
+    parser.add_argument("--retries", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--ticket-timeout", type=float, default=120.0)
+    parser.add_argument("--fault-seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    workload = build_workload(args.queries)
+    failures: list[str] = []
+
+    with tempfile.TemporaryDirectory() as ref_dir, tempfile.TemporaryDirectory() as chaos_dir:
+        # Reference pass: no faults, no retry policy needed.
+        reference, ref_stats = run_pass(
+            workload, ref_dir, None, args.jobs, args.ticket_timeout, args.size
+        )
+        if ref_stats["hung"] or any("error" in o or o.get("hung") for o in reference):
+            print("reference pass itself failed; aborting", file=sys.stderr)
+            return 1
+
+        # Seed the chaos store with one spill, then corrupt it on disk.
+        seed_engine = SupgEngine(store_dir=chaos_dir)
+        seed_engine.register_table(
+            "t", load_dataset("beta(0.01,1)", size=args.size, seed=7)
+        )
+        seed_engine.execute(workload[0][0], seed=workload[0][1])
+        corrupted = corrupt_spill(chaos_dir, which=0, mode="truncate")
+
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            oracle_failure_rate=args.fault_rate,
+            kill_execution=1 if fork_available() and args.jobs > 1 else None,
+        )
+        policy = RetryPolicy(
+            retries=args.retries, backoff=0.0, backoff_cap=0.0, seed=3
+        )
+        with inject(plan):
+            chaos, chaos_stats = run_pass(
+                workload, chaos_dir, policy, args.jobs, args.ticket_timeout, args.size
+            )
+            # Snapshot inside the block: inject() tears down the
+            # kill latch on exit.
+            worker_killed = plan.worker_killed
+
+    # Gate 1: no hung tickets.
+    if chaos_stats["hung"]:
+        failures.append(f"{chaos_stats['hung']} ticket(s) hung past the timeout")
+
+    # Gates 2 + 3: bit-identical successes, typed failures.
+    errored = 0
+    for number, (ref, got) in enumerate(zip(reference, chaos)):
+        if got.get("hung"):
+            continue
+        if "error" in got:
+            errored += 1
+            if not isinstance(got["error"], QueryError):
+                failures.append(
+                    f"query #{number} failed with untyped "
+                    f"{type(got['error']).__name__}: {got['error']}"
+                )
+            continue
+        if not (
+            np.array_equal(got["indices"], ref["indices"])
+            and got["tau"] == ref["tau"]
+            and got["oracle_calls"] == ref["oracle_calls"]
+        ):
+            failures.append(f"query #{number} diverged from the fault-free run")
+
+    # Gate 4: label accounting.  Retries are charged to the retry
+    # budget, never the label budget, so the only legitimate extra
+    # spend is the one redraw forced by the corrupted spill.
+    extra_labels = chaos_stats["labels_drawn"] - ref_stats["labels_drawn"]
+    if extra_labels > MAX_REDRAW_LABELS:
+        failures.append(
+            f"label inflation: chaos pass drew {extra_labels} extra labels "
+            f"(> {MAX_REDRAW_LABELS} allowed for the quarantine redraw)"
+        )
+
+    # Gate 5: the faults demonstrably happened.
+    if chaos_stats.get("quarantined", 0) != 1:
+        failures.append(
+            f"expected exactly 1 quarantined spill, got "
+            f"{chaos_stats.get('quarantined', 0)}"
+        )
+    if chaos_stats.get("oracle_retries", 0) == 0:
+        failures.append("no oracle retries recorded despite the injected fault rate")
+    if plan.kill_execution is not None and chaos_stats.get("recovered_groups", 0) == 0:
+        failures.append("worker kill requested but no execution group was recovered")
+
+    summary = {
+        "queries": args.queries,
+        "fault_rate": args.fault_rate,
+        "worker_killed": worker_killed,
+        "corrupted_spill": Path(corrupted).name,
+        "reference_labels": ref_stats["labels_drawn"],
+        "chaos_labels": chaos_stats["labels_drawn"],
+        "extra_labels": extra_labels,
+        "oracle_retries": chaos_stats.get("oracle_retries", 0),
+        "quarantined": chaos_stats.get("quarantined", 0),
+        "recovered_groups": chaos_stats.get("recovered_groups", 0),
+        "typed_failures": errored,
+        "hung": chaos_stats["hung"],
+        "gates_failed": failures,
+    }
+    print(json.dumps(summary, indent=2))
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("chaos smoke passed: degraded cleanly, recovered bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

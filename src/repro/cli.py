@@ -34,13 +34,14 @@ import time
 from pathlib import Path
 
 from .bounds import available_bounds, get_bound
-from .core.pipeline import ExecutionContext, SampleStore
+from .core.pipeline import QUARANTINE_DIRNAME, ExecutionContext, SampleStore
 from .core.planning import plan_budget
 from .core.types import ApproxQuery
 from .datasets import available_datasets, load_dataset
 from .experiments import ALL_EXPERIMENTS, resolve_n_jobs
 from .experiments.io import save_result
 from .metrics import evaluate_selection
+from .oracle import RetryPolicy
 from .query import QuerySyntaxError, SupgEngine, SupgService, parse_script, split_script
 
 __all__ = ["main", "build_parser"]
@@ -50,6 +51,39 @@ def _sanitize_table_name(name: str) -> str:
     """Dataset names like "beta(0.01,1)" are not valid dialect
     identifiers; this is the alias the SQL can use instead."""
     return "".join(c if c.isalnum() else "_" for c in name)
+
+
+def _add_oracle_robustness_flags(sub: argparse.ArgumentParser) -> None:
+    """``--oracle-timeout`` / ``--oracle-retries``, shared by query and serve."""
+    sub.add_argument(
+        "--oracle-timeout",
+        type=float,
+        default=None,
+        help="seconds before one oracle labeling call is considered hung and "
+        "retried (default: wait forever)",
+    )
+    sub.add_argument(
+        "--oracle-retries",
+        type=int,
+        default=None,
+        help="retries per oracle call for transient failures (timeouts, "
+        "TransientOracleError), with capped exponential backoff; retried "
+        "calls are never double-charged against the label budget "
+        "(default: 0 unless --oracle-timeout is set, then 3)",
+    )
+
+
+def _retry_policy_from_args(args) -> RetryPolicy | None:
+    """A :class:`RetryPolicy` when either robustness flag was passed.
+
+    ``getattr`` defaults keep hand-built namespaces (tests, embedding
+    callers) working without the new flags.
+    """
+    timeout = getattr(args, "oracle_timeout", None)
+    retries = getattr(args, "oracle_retries", None)
+    if timeout is None and retries is None:
+        return None
+    return RetryPolicy(retries=3 if retries is None else retries, timeout=timeout)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent sample-store directory; repeated runs sharing it "
         "reuse labeled oracle samples instead of re-drawing them",
     )
+    _add_oracle_robustness_flags(query)
 
     serve = commands.add_parser(
         "serve",
@@ -143,6 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="read statements from a file instead of stdin (testing aid)",
     )
+    serve.add_argument(
+        "--window-deadline",
+        type=float,
+        default=None,
+        help="abort a plan window still running after this many seconds "
+        "(its tickets fail; the service keeps serving). Default: no deadline",
+    )
+    _add_oracle_robustness_flags(serve)
 
     plan = commands.add_parser(
         "plan",
@@ -254,7 +297,7 @@ def _cmd_query(args, out) -> int:
     sql = args.sql if args.sql else args.sql_file.read_text()
     dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
     store_dir = str(args.store_dir) if args.store_dir is not None else None
-    engine = SupgEngine(store_dir=store_dir)
+    engine = SupgEngine(store_dir=store_dir, retry_policy=_retry_policy_from_args(args))
     engine.register_table(args.dataset, dataset)
     # Also register a sanitized alias the SQL can use for dataset names
     # that are not valid dialect identifiers.
@@ -300,7 +343,7 @@ def _build_service(args) -> tuple[SupgService, object, dict]:
     """Engine + service + submit kwargs shared by the serve input modes."""
     dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
     store_dir = str(args.store_dir) if args.store_dir is not None else None
-    engine = SupgEngine(store_dir=store_dir)
+    engine = SupgEngine(store_dir=store_dir, retry_policy=_retry_policy_from_args(args))
     engine.register_table(args.dataset, dataset)
     engine.register_table(_sanitize_table_name(args.dataset), dataset)
     submit_kwargs = {"method": args.method}
@@ -312,6 +355,7 @@ def _build_service(args) -> tuple[SupgService, object, dict]:
         max_window_ms=args.window_ms,
         jobs=args.jobs,
         default_seed=args.seed,
+        window_deadline_s=getattr(args, "window_deadline", None),
     )
     return service, dataset, submit_kwargs
 
@@ -432,17 +476,29 @@ def _make_socket_server(service, host: str, port: int, submit_kwargs):
 
     class Handler(socketserver.StreamRequestHandler):
         def handle(self) -> None:
-            buffer = ""
-            while True:
-                raw = self.rfile.readline()
-                if not raw:
-                    break
-                buffer += raw.decode("utf-8", errors="replace")
-                statements, buffer = split_script(buffer)
-                for chunk in statements:
-                    self._respond(chunk)
-            if buffer.strip():
-                self._respond(buffer)
+            # One misbehaving client — disconnecting mid-statement,
+            # resetting the connection, or sending garbage bytes — must
+            # never take the server down: log one line, drop the
+            # connection, keep serving everyone else.  Garbage decodes
+            # via errors="replace" and surfaces as a per-statement
+            # syntax error on this client's own connection.
+            try:
+                buffer = ""
+                while True:
+                    raw = self.rfile.readline()
+                    if not raw:
+                        break
+                    buffer += raw.decode("utf-8", errors="replace")
+                    statements, buffer = split_script(buffer)
+                    for chunk in statements:
+                        self._respond(chunk)
+                if buffer.strip():
+                    self._respond(buffer)
+            except (ConnectionError, OSError, ValueError) as exc:
+                print(
+                    f"client {self.client_address}: dropped ({exc})",
+                    file=sys.stderr,
+                )
 
         def _respond(self, chunk: str) -> None:
             if not _holds_statement(chunk):
@@ -467,6 +523,14 @@ def _make_socket_server(service, host: str, port: int, submit_kwargs):
     class Server(socketserver.ThreadingTCPServer):
         allow_reuse_address = True
         daemon_threads = True
+
+        def handle_error(self, request, client_address) -> None:
+            # Anything the handler's own guard missed (e.g. a reset
+            # during the StreamRequestHandler setup/finish handshake):
+            # one stderr line instead of socketserver's full traceback,
+            # and the accept loop keeps running.
+            exc = sys.exc_info()[1]
+            print(f"client {client_address}: dropped ({exc})", file=sys.stderr)
 
     return Server((host, port), Handler)
 
@@ -582,6 +646,20 @@ def _cmd_store(args, out) -> int:
         )
     usage = SampleStore.disk_usage(store_dir)
     print(f"total     : {usage['files']} spill files, {usage['total_bytes']} bytes", file=out)
+    quarantined = SampleStore.quarantine_entries(store_dir)
+    for entry in quarantined:
+        age = max(0.0, now - entry["mtime"])
+        print(
+            f"quarantine: {entry['path'].name}  {entry['bytes']:>9d} B  "
+            f"{age:8.0f}s old  {entry['reason']}",
+            file=out,
+        )
+    if quarantined:
+        print(
+            f"quarantine: {len(quarantined)} corrupted spill(s) set aside "
+            f"(under {QUARANTINE_DIRNAME}/; `repro store clear` removes them)",
+            file=out,
+        )
     stats = SampleStore.persistent_stats(store_dir)
     if stats:
         print(

@@ -49,8 +49,22 @@ memory miss consults the directory before touching the oracle.
 Separate processes — parallel sweep-cell workers, repeated CLI
 invocations, CI runs — thereby share one pool of oracle labels.  Spill
 files that are truncated, corrupt, version-mismatched, or keyed to a
-different dataset are ignored (the store falls back to a fresh draw,
-never crashes, and never serves wrong labels).
+different dataset are never served: the store falls back to a fresh
+draw and moves the defective file into ``<store_dir>/quarantine/``
+alongside a ``*.reason.json`` report, so operators can see *that* and
+*why* labels were re-paid (``repro store ls`` surfaces both).
+
+Fault tolerance
+---------------
+
+Constructing a store (or :class:`StageRuntime`) with a
+:class:`~repro.oracle.retry.RetryPolicy` wraps every oracle label
+lookup in a :class:`~repro.oracle.retry.RetryingOracle`.  The wrapper
+sits *below* budget and cache accounting and the sampling stream is
+consumed before the oracle is called, so a retried draw is bit-identical
+to an unfaulted one and labels are charged exactly once.  All label
+functions also pass through the :func:`repro.faults.wrap_label_fn`
+seam, which is inert unless a fault-injection plan is active.
 
 Constructing the store with ``max_disk_bytes`` caps the spill
 directory: after each spill, the oldest spill files (by modification
@@ -68,6 +82,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -76,7 +91,9 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
-from ..oracle import oracle_from_labels
+from ..faults import wrap_label_fn
+from ..oracle.base import BudgetedOracle
+from ..oracle.retry import RetryPolicy, RetryingOracle
 from ..sampling.designs import LabeledSample, LabelFn, SampleDesign, draw_labeled_sample
 from .types import SelectionResult
 
@@ -102,6 +119,12 @@ SPILL_FORMAT_VERSION = 1
 
 #: Filename pattern of spill files inside a ``store_dir``.
 SPILL_GLOB = "sample-*.npz"
+
+#: Subdirectory of a ``store_dir`` holding quarantined (defective)
+#: spill files and their ``*.reason.json`` reports.  Outside the
+#: root-level ``SPILL_GLOB``, so quarantined files are invisible to
+#: loading, eviction, and usage accounting.
+QUARANTINE_DIRNAME = "quarantine"
 
 #: Sidecar file holding best-effort cumulative counters for a
 #: ``store_dir`` (spills, disk hits, evictions) across processes.
@@ -167,6 +190,7 @@ class SampleStore:
         max_entries: int = DEFAULT_MAX_ENTRIES,
         store_dir: str | os.PathLike | None = None,
         max_disk_bytes: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
@@ -176,6 +200,7 @@ class SampleStore:
             raise ValueError("max_disk_bytes requires a store_dir")
         self.max_entries = max_entries
         self.max_disk_bytes = max_disk_bytes
+        self.retry_policy = retry_policy
         self.store_dir = Path(store_dir).expanduser() if store_dir is not None else None
         if self.store_dir is not None:
             self.store_dir.mkdir(parents=True, exist_ok=True)
@@ -186,6 +211,8 @@ class SampleStore:
         self.disk_hits = 0
         self.disk_errors = 0
         self.disk_evictions = 0
+        self.quarantined = 0
+        self.oracle_retries = 0
         self.labels_drawn = 0
         self.labels_saved = 0
 
@@ -215,7 +242,7 @@ class SampleStore:
                 self._bump_persistent_stats(disk_hits=1)
                 return spilled
         rng = np.random.default_rng(int(seed))
-        sample = draw_labeled_sample(design, dataset, rng, ground_truth_labeler(dataset))
+        sample = self._draw_fresh(design, dataset, rng)
         self.misses += 1
         self.labels_drawn += sample.oracle_calls
         self._insert(key, sample)
@@ -238,6 +265,29 @@ class SampleStore:
         if self.store_dir is not None and self._spill_path(fingerprint, design, int(seed)).exists():
             return "disk"
         return None
+
+    def _draw_fresh(
+        self, design: SampleDesign, dataset: "Dataset", rng: np.random.Generator
+    ) -> LabeledSample:
+        """One oracle draw through the fault seam and the retry policy.
+
+        The retry wrapper sees only the label lookup: the design's draw
+        consumed ``rng`` before any oracle call, so retries never touch
+        the sampling stream and a recovered draw is bit-identical to an
+        unfaulted one.  A draw that exhausts the policy raises
+        :class:`~repro.oracle.retry.OracleUnavailableError` with no
+        counters charged and nothing cached.
+        """
+        label_fn = wrap_label_fn(ground_truth_labeler(dataset))
+        retrier = None
+        if self.retry_policy is not None:
+            retrier = RetryingOracle(label_fn, self.retry_policy)
+            label_fn = retrier.query
+        try:
+            return draw_labeled_sample(design, dataset, rng, label_fn)
+        finally:
+            if retrier is not None:
+                self.oracle_retries += retrier.retries_used
 
     def _insert(self, key: tuple, sample: LabeledSample) -> None:
         self._entries[key] = sample
@@ -263,6 +313,8 @@ class SampleStore:
             "disk_hits": self.disk_hits,
             "disk_errors": self.disk_errors,
             "disk_evictions": self.disk_evictions,
+            "quarantined": self.quarantined,
+            "oracle_retries": self.oracle_retries,
             "labels_drawn": self.labels_drawn,
             "labels_saved": self.labels_saved,
             "nbytes": self.nbytes,
@@ -329,7 +381,10 @@ class SampleStore:
         """Load a spilled sample, or ``None`` when absent or unusable.
 
         Any defect — unreadable archive, missing fields, format-version
-        or key mismatch, misaligned arrays — downgrades to a fresh draw.
+        or key mismatch, misaligned arrays — downgrades to a fresh draw
+        and quarantines the file (it can never be served, so leaving it
+        in place would re-reject it on every lookup and hide the defect
+        from operators).
         """
         path = self._spill_path(fingerprint, design, seed)
         if not path.exists():
@@ -353,8 +408,9 @@ class SampleStore:
                 if indices.size != design.budget:
                     raise ValueError("spill size disagrees with design budget")
                 rng_state = json.loads(str(payload["rng_state"][()]))
-        except Exception:
+        except Exception as exc:
             self.disk_errors += 1
+            self._quarantine(path, fingerprint, design, seed, exc)
             return None
         return LabeledSample(
             design=design,
@@ -364,6 +420,70 @@ class SampleStore:
             mass=mass,
             rng_state=rng_state,
         )
+
+    def _quarantine(
+        self,
+        path: Path,
+        fingerprint: str,
+        design: SampleDesign,
+        seed: int,
+        defect: Exception,
+    ) -> None:
+        """Move a defective spill to ``quarantine/`` with a reason report.
+
+        Best-effort: if the move itself fails (permissions, the file
+        vanished under a concurrent worker) the fresh-draw fallback has
+        already happened and nothing else is at stake.
+        """
+        if self.store_dir is None:  # pragma: no cover - callers guarantee a dir
+            return
+        reason = str(defect) or type(defect).__name__
+        quarantine_dir = self.store_dir / QUARANTINE_DIRNAME
+        try:
+            quarantine_dir.mkdir(exist_ok=True)
+            target = quarantine_dir / path.name
+            os.replace(path, target)
+            report = {
+                "file": path.name,
+                "reason": reason,
+                "quarantined_at": time.time(),
+                "expected_key": self._key_meta(fingerprint, design, seed),
+            }
+            target.with_name(target.name + ".reason.json").write_text(
+                json.dumps(report, indent=2, sort_keys=True)
+            )
+        except OSError:
+            return
+        self.quarantined += 1
+        self._bump_persistent_stats(quarantined=1)
+
+    @staticmethod
+    def quarantine_entries(store_dir: str | os.PathLike) -> list[dict]:
+        """Quarantined spill files in a directory, oldest first.
+
+        Each entry maps ``path`` / ``bytes`` / ``mtime`` / ``reason``
+        (``None`` when the reason report is missing or unreadable).
+        """
+        directory = Path(store_dir).expanduser() / QUARANTINE_DIRNAME
+        entries: list[dict] = []
+        for path in directory.glob(SPILL_GLOB):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            reason = None
+            report = path.with_name(path.name + ".reason.json")
+            try:
+                payload = json.loads(report.read_text())
+                if isinstance(payload, dict):
+                    reason = payload.get("reason")
+            except (OSError, ValueError):
+                pass
+            entries.append(
+                {"path": path, "bytes": stat.st_size, "mtime": stat.st_mtime, "reason": reason}
+            )
+        entries.sort(key=lambda entry: (entry["mtime"], entry["path"].name))
+        return entries
 
     # -- disk-tier management --------------------------------------------------
 
@@ -504,6 +624,19 @@ class SampleStore:
                 continue
             removed += 1
             freed += entry["bytes"]
+        for entry in cls.quarantine_entries(store_dir):
+            report = entry["path"].with_name(entry["path"].name + ".reason.json")
+            try:
+                entry["path"].unlink()
+            except OSError:
+                continue
+            report.unlink(missing_ok=True)
+            removed += 1
+            freed += entry["bytes"]
+        try:
+            (Path(store_dir).expanduser() / QUARANTINE_DIRNAME).rmdir()
+        except OSError:
+            pass
         stats_path = Path(store_dir).expanduser() / STATS_FILENAME
         try:
             stats_path.unlink()
@@ -527,14 +660,24 @@ class ExecutionContext:
 
     store: SampleStore = field(default_factory=SampleStore)
 
+    @property
+    def retry_policy(self) -> RetryPolicy | None:
+        """The session's oracle retry policy (owned by the store, which
+        is the single component every oracle-touching path shares)."""
+        return self.store.retry_policy
+
     def fetch(self, dataset: "Dataset", design: SampleDesign, seed: int) -> LabeledSample:
         """Stage ``draw_sample`` with store-backed reuse."""
         return self.store.fetch(dataset, design, seed)
 
     def labeler(self, dataset: "Dataset") -> LabelFn:
         """Ground-truth label access for non-cacheable stages (e.g. the
-        gamma-dependent stage 2 of Algorithm 5)."""
-        return ground_truth_labeler(dataset)
+        gamma-dependent stage 2 of Algorithm 5), fault-seamed and
+        retried like every other oracle path."""
+        label_fn = wrap_label_fn(ground_truth_labeler(dataset))
+        if self.retry_policy is not None:
+            label_fn = RetryingOracle(label_fn, self.retry_policy).query
+        return label_fn
 
     def select(self, selector, dataset: "Dataset", seed: int = 0) -> SelectionResult:
         """Run one staged selection inside this session."""
@@ -582,6 +725,7 @@ class StageRuntime:
         oracle=None,
         context: ExecutionContext | None = None,
         budget: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.dataset = dataset
         self.seed = seed
@@ -591,8 +735,18 @@ class StageRuntime:
             and isinstance(seed, (int, np.integer))
         )
         self._context = context if cacheable else None
+        if retry_policy is None and context is not None:
+            retry_policy = context.retry_policy
         if oracle is None:
-            oracle = oracle_from_labels(dataset.labels, budget=budget)
+            # Build the default budget-enforcing oracle over ground
+            # truth, with the fault seam and the retry policy *below*
+            # the budget layer: a retried lookup reveals its labels (and
+            # charges the budget) exactly once, on the attempt that
+            # succeeds.
+            lookup = wrap_label_fn(ground_truth_labeler(dataset))
+            if retry_policy is not None:
+                lookup = RetryingOracle(lookup, retry_policy).query
+            oracle = BudgetedOracle(lookup, budget=budget)
         self._label_fn: LabelFn = oracle.query
         self._rng: np.random.Generator | None = None
         self._resume_state: Mapping[str, object] | None = None

@@ -432,7 +432,9 @@ class QueryPlan:
 
     # -- execution support -----------------------------------------------------
 
-    def prewarm(self, store: "SampleStore") -> None:
+    def prewarm(
+        self, store: "SampleStore", isolate_failures: bool = False
+    ) -> "Mapping[tuple, Exception]":
         """Draw every distinct (dataset, design, seed) exactly once.
 
         Fills ``store`` — and, when it has a disk tier, the spill
@@ -440,11 +442,32 @@ class QueryPlan:
         forking workers: they then serve every shared design from the
         inherited memory tier or the spilled files instead of racing
         to re-draw the same key.
+
+        Args:
+            isolate_failures: when set, a failed draw (e.g. a
+                permanently unavailable oracle) no longer propagates —
+                the failing group is recorded and the remaining groups
+                still warm up, so callers can fail only the executions
+                that actually needed the broken draw.
+
+        Returns:
+            ``key → exception`` for groups whose draw failed; empty
+            when everything warmed (always empty without
+            ``isolate_failures``, since the first failure raises).
         """
-        for fingerprint, design, seed in self._groups:
+        failures: "OrderedDict[tuple, Exception]" = OrderedDict()
+        for key in self._groups:
+            fingerprint, design, seed = key
             dataset = self._datasets.get(fingerprint)
-            if dataset is not None:
+            if dataset is None:
+                continue
+            try:
                 store.fetch(dataset, design, seed)
+            except Exception as exc:
+                if not isolate_failures:
+                    raise
+                failures[key] = exc
+        return failures
 
     def batches(self) -> list[list[int]]:
         """Independent execution batches, in first-appearance order.

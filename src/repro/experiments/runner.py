@@ -56,6 +56,9 @@ re-label the same keys.
 from __future__ import annotations
 
 import multiprocessing
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Mapping, Sequence
 
 from ..core.base import Selector
@@ -63,6 +66,7 @@ from ..core.pipeline import ExecutionContext, SampleStore
 from ..core.planning import plan_executions, require_fork_or_warn, resolve_n_jobs
 from ..core.types import ApproxQuery
 from ..datasets import Dataset
+from ..faults import maybe_kill_worker
 from ..metrics import evaluate_selection
 from .results import MethodSummary, TrialRecord, quality_of, summarize_trials
 
@@ -125,6 +129,7 @@ def _init_trial_worker(
 
 
 def _run_trial_chunk(trials: Sequence[int]) -> list[TrialRecord]:
+    maybe_kill_worker(trials)  # chaos seam; no-op unless a fault plan is active
     factory, dataset, base_seed, method_name = _WORKER_STATE["spec"]
     return [
         _run_single_trial(factory, dataset, base_seed, method_name, t)
@@ -224,6 +229,50 @@ def _chunk_trials(trials: int, jobs: int) -> list[list[int]]:
     ]
 
 
+def _map_chunks_with_recovery(
+    chunks: Sequence[Sequence[int]],
+    worker_fn: Callable,
+    initializer: Callable,
+    initargs: tuple,
+    recover_fn: Callable,
+    what: str,
+) -> list:
+    """Fan chunks across a fork pool, surviving worker death.
+
+    ``ProcessPoolExecutor`` (rather than ``multiprocessing.Pool``, which
+    hangs forever when a worker is killed) reports a dead worker as
+    :class:`BrokenProcessPool` on the affected futures; chunks whose
+    future completed keep their results, and the broken ones are re-run
+    in the parent via ``recover_fn`` — every trial is seeded, so the
+    re-run is bit-identical to what the dead worker would have produced.
+    """
+    ctx = multiprocessing.get_context("fork")
+    results: list = [None] * len(chunks)
+    broken: list[int] = []
+    with ProcessPoolExecutor(
+        max_workers=len(chunks),
+        mp_context=ctx,
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        futures = [(i, pool.submit(worker_fn, chunk)) for i, chunk in enumerate(chunks)]
+        for i, future in futures:
+            try:
+                results[i] = future.result()
+            except BrokenProcessPool:
+                broken.append(i)
+    for i in broken:
+        results[i] = recover_fn(chunks[i])
+    if broken:
+        warnings.warn(
+            f"{what} recovered {len(broken)} trial chunk(s) in the parent after "
+            "a worker process died; results are unaffected",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return results
+
+
 def _run_trials_parallel(
     factory: SelectorFactory,
     dataset: Dataset,
@@ -234,13 +283,17 @@ def _run_trials_parallel(
 ) -> list[TrialRecord]:
     """Fan seed-chunks across a fork pool; record order matches sequential."""
     chunks = _chunk_trials(trials, jobs)
-    ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(
-        processes=len(chunks),
-        initializer=_init_trial_worker,
-        initargs=(factory, dataset, base_seed, method_name),
-    ) as pool:
-        chunk_records = pool.map(_run_trial_chunk, chunks)
+    chunk_records = _map_chunks_with_recovery(
+        chunks,
+        _run_trial_chunk,
+        _init_trial_worker,
+        (factory, dataset, base_seed, method_name),
+        lambda chunk: [
+            _run_single_trial(factory, dataset, base_seed, method_name, t)
+            for t in chunk
+        ],
+        "run_trials",
+    )
     return [record for chunk in chunk_records for record in chunk]
 
 
@@ -336,6 +389,7 @@ def _init_panel_worker(
 
 
 def _run_panel_chunk(trials: Sequence[int]) -> list[list[TrialRecord]]:
+    maybe_kill_worker(trials)  # chaos seam; no-op unless a fault plan is active
     slots, dataset, base_seed, share_samples, store_dir = _WORKER_STATE["panel"]
     context = _make_context(store_dir) if share_samples else None
     return _panel_chunk_records(slots, dataset, trials, base_seed, context)
@@ -364,13 +418,20 @@ def _run_panel(
         if store_dir is not None and share_samples:
             _prewarm_store_dir(slots, dataset, trials, base_seed, store_dir)
         chunks = _chunk_trials(trials, jobs)
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(
-            processes=len(chunks),
-            initializer=_init_panel_worker,
-            initargs=(tuple(slots), dataset, base_seed, share_samples, store_dir),
-        ) as pool:
-            chunk_results = pool.map(_run_panel_chunk, chunks)
+        chunk_results = _map_chunks_with_recovery(
+            chunks,
+            _run_panel_chunk,
+            _init_panel_worker,
+            (tuple(slots), dataset, base_seed, share_samples, store_dir),
+            lambda chunk: _panel_chunk_records(
+                slots,
+                dataset,
+                chunk,
+                base_seed,
+                _make_context(store_dir) if share_samples else None,
+            ),
+            what,
+        )
         return [
             [record for chunk in chunk_results for record in chunk[slot]]
             for slot in range(len(slots))

@@ -4,6 +4,12 @@ from __future__ import annotations
 
 from .base import BudgetedOracle, BudgetExhaustedError, oracle_from_labels
 from .labeling import LabelingStats, SimulatedLabelingService
+from .retry import (
+    OracleUnavailableError,
+    RetryPolicy,
+    RetryingOracle,
+    TransientOracleError,
+)
 from .cost import (
     DATASET_COST_MODELS,
     GPU_HOURLY_COST,
@@ -16,6 +22,10 @@ __all__ = [
     "BudgetedOracle",
     "BudgetExhaustedError",
     "oracle_from_labels",
+    "TransientOracleError",
+    "OracleUnavailableError",
+    "RetryPolicy",
+    "RetryingOracle",
     "CostModel",
     "CostBreakdown",
     "DATASET_COST_MODELS",

@@ -1,0 +1,211 @@
+"""Oracle retry layer: timeouts, capped backoff, typed failure.
+
+The paper's cost model treats the oracle as a slow, expensive, *human or
+heavyweight-model* labeling service (Table 5) — exactly the kind of
+dependency that fails transiently in production.  A retried oracle call
+must never change results (labels are deterministic per record) and
+must never double-charge the label budget (a failed call reveals no
+labels, so nothing was paid for).  This module provides the wrapper
+that makes both properties hold mechanically:
+
+- :class:`TransientOracleError` — what a flaky oracle (or the fault
+  harness, :mod:`repro.faults`) raises when a call *may* be retried.
+- :class:`OracleUnavailableError` — the typed permanent failure raised
+  once the retry policy is exhausted; callers (the service, the
+  pipeline) surface it on exactly the queries that needed the draw.
+- :class:`RetryPolicy` — declarative knobs: per-call retry cap, a
+  per-attempt timeout, capped exponential backoff with *deterministic*
+  jitter (seeded, so two runs of the same workload back off
+  identically), and an optional total retry budget accounted
+  separately from the label budget.
+- :class:`RetryingOracle` — wraps any label function.  It sits *below*
+  :class:`~repro.oracle.base.BudgetedOracle` and below the sample
+  store's labeler, so retries happen before any budget or cache
+  bookkeeping: a draw that eventually succeeds charges its labels
+  exactly once, a draw that never succeeds charges nothing.
+
+Only :class:`TransientOracleError` and per-attempt timeouts are
+retried.  Every other exception (``BudgetExhaustedError``, label-shape
+errors, user-UDF bugs) propagates unchanged — retrying a deterministic
+failure only burns time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "TransientOracleError",
+    "OracleUnavailableError",
+    "RetryPolicy",
+    "RetryingOracle",
+]
+
+
+class TransientOracleError(RuntimeError):
+    """The oracle failed in a way that is safe to retry."""
+
+
+class OracleUnavailableError(RuntimeError):
+    """The oracle kept failing after the retry policy was exhausted.
+
+    Attributes:
+        attempts: total calls made (initial try plus retries).
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`RetryingOracle` responds to transient failures.
+
+    Attributes:
+        retries: maximum retries per ``query()`` call (0 disables
+            retrying but keeps timeout detection).
+        timeout: per-attempt wall-clock limit in seconds; a call that
+            exceeds it counts as a transient failure.  ``None`` waits
+            forever (no watchdog thread is spawned).
+        backoff: base delay before the first retry, in seconds.
+        backoff_cap: upper bound on any single delay (the exponential
+            doubling stops here).
+        jitter: fraction of each delay randomized symmetrically around
+            it, drawn from a generator seeded with ``seed`` — the
+            backoff sequence is deterministic per oracle instance.
+        seed: jitter stream seed.
+        retry_budget: optional cap on *total* retries across the
+            oracle's lifetime, accounted separately from the label
+            budget; exceeding it raises
+            :class:`OracleUnavailableError`.
+    """
+
+    retries: int = 3
+    timeout: float | None = None
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    retry_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {self.backoff}")
+        if self.backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be non-negative, got {self.backoff_cap}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be non-negative or None, got {self.retry_budget}"
+            )
+
+
+class RetryingOracle:
+    """Retry wrapper around a labeling function.
+
+    Args:
+        label_fn: maps an array of record indices to an array of 0/1
+            labels; may raise :class:`TransientOracleError` or hang.
+        policy: the retry configuration.
+
+    Counters (:attr:`attempts`, :attr:`retries_used`,
+    :attr:`seconds_waiting`) expose the retry accounting the chaos
+    gates assert on — label accounting is untouched by design, since
+    this wrapper sits below every budget/cache layer.
+    """
+
+    def __init__(self, label_fn: Callable[[np.ndarray], np.ndarray], policy: RetryPolicy) -> None:
+        self._label_fn = label_fn
+        self.policy = policy
+        self._rng = np.random.default_rng(policy.seed)
+        self.attempts = 0
+        self.retries_used = 0
+        self.seconds_waiting = 0.0
+
+    def query(self, indices: np.ndarray) -> np.ndarray:
+        """Label the given indices, retrying transient failures.
+
+        Raises:
+            OracleUnavailableError: the per-call retry cap or the total
+                retry budget was exhausted without a successful call.
+            Exception: any non-transient error from ``label_fn``,
+                unchanged and unretried.
+        """
+        failures = 0
+        while True:
+            self.attempts += 1
+            try:
+                return self._attempt(indices)
+            except TransientOracleError as exc:
+                failures += 1
+                if failures > self.policy.retries:
+                    raise OracleUnavailableError(
+                        f"oracle still failing after {failures - 1} retries: {exc}",
+                        attempts=failures,
+                    ) from exc
+                if (
+                    self.policy.retry_budget is not None
+                    and self.retries_used >= self.policy.retry_budget
+                ):
+                    raise OracleUnavailableError(
+                        f"oracle retry budget of {self.policy.retry_budget} exhausted: {exc}",
+                        attempts=failures,
+                    ) from exc
+                self.retries_used += 1
+                delay = self._backoff(failures)
+                if delay > 0.0:
+                    time.sleep(delay)
+                    self.seconds_waiting += delay
+
+    def _backoff(self, failure_number: int) -> float:
+        """Capped exponential delay with deterministic symmetric jitter."""
+        base = min(
+            self.policy.backoff_cap, self.policy.backoff * (2.0 ** (failure_number - 1))
+        )
+        if base <= 0.0:
+            return 0.0
+        spread = self.policy.jitter * (2.0 * self._rng.uniform() - 1.0)
+        return base * (1.0 + spread)
+
+    def _attempt(self, indices: np.ndarray) -> np.ndarray:
+        """One oracle call, bounded by the policy's timeout.
+
+        The timeout runs the call on a watchdog daemon thread; a call
+        that overruns is *abandoned* (its thread finishes in the
+        background and its result is discarded) and reported as
+        transient.  Abandonment is safe here because label lookups are
+        read-only and idempotent per record.
+        """
+        if self.policy.timeout is None:
+            return self._label_fn(indices)
+        box: dict[str, object] = {}
+        done = threading.Event()
+
+        def run() -> None:
+            try:
+                box["result"] = self._label_fn(indices)
+            except BaseException as exc:  # re-raised on the caller thread
+                box["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=run, name="oracle-call", daemon=True)
+        worker.start()
+        if not done.wait(self.policy.timeout):
+            raise TransientOracleError(
+                f"oracle call timed out after {self.policy.timeout}s"
+            )
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        return box["result"]  # type: ignore[return-value]

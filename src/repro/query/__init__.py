@@ -5,7 +5,7 @@ from __future__ import annotations
 from .ast import ParsedQuery, QueryKind, UdfCall
 from .engine import QueryExecution, SupgEngine
 from .parser import QuerySyntaxError, parse_query, parse_script, split_script
-from .service import SubmitTicket, SupgService
+from .service import QueryError, SubmitTicket, SupgService
 
 __all__ = [
     "ParsedQuery",
@@ -19,4 +19,5 @@ __all__ = [
     "QueryExecution",
     "SupgService",
     "SubmitTicket",
+    "QueryError",
 ]

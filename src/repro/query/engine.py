@@ -42,6 +42,9 @@ unbudgeted oracle whose accounting is inherently per-query.
 from __future__ import annotations
 
 import multiprocessing
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -58,7 +61,9 @@ from ..core.planning import (
 from ..core.registry import default_selector, make_selector
 from ..core.types import SelectionResult
 from ..datasets import Dataset
+from ..faults import maybe_kill_worker, wrap_label_fn
 from ..oracle import BudgetedOracle
+from ..oracle.retry import RetryPolicy, RetryingOracle
 from .ast import ParsedQuery, QueryKind
 from .parser import parse_query, parse_script
 
@@ -136,6 +141,7 @@ def _init_batch_worker(
 
 
 def _run_batch(indices: Sequence[int]) -> list[tuple[int, SelectionResult]]:
+    maybe_kill_worker(indices)  # chaos seam; no-op unless a fault plan is active
     compiled, context = _WORKER_STATE["batch"]
     return [(index, compiled[index].run(context)) for index in indices]
 
@@ -155,6 +161,13 @@ class SupgEngine:
             labels are real savings).  Mutually exclusive with
             ``context``; construct the context's store with
             ``SampleStore(store_dir=...)`` instead.
+        retry_policy: oracle retry configuration
+            (:class:`~repro.oracle.retry.RetryPolicy`) applied to every
+            label-drawing path of this session — store draws, fresh
+            draws, and oracle UDFs.  Mutually exclusive with
+            ``context`` for the same reason as ``store_dir``; construct
+            the context's store with ``SampleStore(retry_policy=...)``
+            instead.
 
     Example::
 
@@ -174,18 +187,26 @@ class SupgEngine:
         self,
         context: ExecutionContext | None = None,
         store_dir: str | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if context is not None and store_dir is not None:
             raise ValueError(
                 "SupgEngine(context=..., store_dir=...) is ambiguous; construct "
                 "the context with SampleStore(store_dir=...) instead"
             )
+        if context is not None and retry_policy is not None:
+            raise ValueError(
+                "SupgEngine(context=..., retry_policy=...) is ambiguous; construct "
+                "the context with SampleStore(retry_policy=...) instead"
+            )
         self._tables: dict[str, Dataset] = {}
         self._oracle_udfs: dict[str, OracleUdf] = {}
         self._proxy_udfs: dict[str, ProxyUdf] = {}
         self._derived: dict[tuple[str, str], Dataset] = {}
         if context is None:
-            context = ExecutionContext(store=SampleStore(store_dir=store_dir))
+            context = ExecutionContext(
+                store=SampleStore(store_dir=store_dir, retry_policy=retry_policy)
+            )
         self._context = context
 
     # -- registration ----------------------------------------------------------
@@ -450,7 +471,15 @@ class SupgEngine:
         if workers > 1 and not require_fork_or_warn("execute_many(jobs=...)"):
             workers = 1
         if workers > 1:
-            results = self._run_batches_parallel(compiled, plan, context, workers)
+            results, recovered = self._run_batches_parallel(compiled, plan, context, workers)
+            if recovered:
+                warnings.warn(
+                    f"execute_many recovered {len(recovered)} execution group(s) "
+                    "sequentially after a worker process died; results are "
+                    "unaffected",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         else:
             results = [job.run(context) for job in compiled]
         return [
@@ -466,26 +495,53 @@ class SupgEngine:
         plan: QueryPlan,
         context: ExecutionContext | None,
         workers: int,
-    ) -> list[SelectionResult]:
+    ) -> tuple[list[SelectionResult], list[list[int]]]:
         """Fan the plan's independent batches across a fork pool.
 
         Workers inherit the pre-warmed store copy-on-write; a group's
         statements stay together so any residual lazy draw (e.g. an
         oracle-UDF statement) happens once on one worker.
+
+        Built on :class:`~concurrent.futures.ProcessPoolExecutor`
+        rather than ``multiprocessing.Pool`` because a worker that dies
+        mid-batch (OOM kill, segfault, chaos injection) must *surface*
+        — the executor raises ``BrokenProcessPool`` where a plain pool
+        would hang ``map()`` forever.  Batches lost to a dead worker
+        are re-executed sequentially in the parent from the already
+        pre-warmed store, so the recovered results are bit-identical to
+        an unfaulted run.
+
+        Returns:
+            ``(results, recovered_batches)`` — results in statement
+            order, plus the batches (execution-index lists) that had to
+            be re-executed after a worker death.
         """
         batches = plan.batches()
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(
-            processes=min(workers, len(batches)),
+        fork = multiprocessing.get_context("fork")
+        results: list[SelectionResult | None] = [None] * len(compiled)
+        recovered: list[list[int]] = []
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(batches)),
+            mp_context=fork,
             initializer=_init_batch_worker,
             initargs=(tuple(compiled), context),
         ) as pool:
-            batch_results = pool.map(_run_batch, batches)
-        results: list[SelectionResult | None] = [None] * len(compiled)
-        for batch in batch_results:
-            for index, result in batch:
-                results[index] = result
-        return results
+            futures = [(pool.submit(_run_batch, batch), batch) for batch in batches]
+            for future, batch in futures:
+                try:
+                    for index, result in future.result():
+                        results[index] = result
+                except BrokenProcessPool:
+                    # The worker running this batch (or a pool-mate that
+                    # poisoned the executor) died; every unfinished
+                    # future fails the same way.  Collect them for
+                    # in-parent re-execution rather than failing the
+                    # whole batch call.
+                    recovered.append(batch)
+        for batch in recovered:
+            for index in batch:
+                results[index] = compiled[index].run(context)
+        return results, recovered
 
     # -- resolution helpers ---------------------------------------------------
 
@@ -523,11 +579,18 @@ class SupgEngine:
         udf = self._oracle_udfs.get(parsed.predicate.name.upper())
         if udf is None:
             return None  # the selector labels from dataset ground truth
+        retry_policy = self._context.retry_policy
 
         def build() -> BudgetedOracle:
-            def lookup(indices: np.ndarray) -> np.ndarray:
+            def raw_lookup(indices: np.ndarray) -> np.ndarray:
                 return np.asarray(udf(dataset, indices))
 
+            # Same layering as the built-in paths: fault seam and retry
+            # below the budget layer, so a retried UDF call charges its
+            # labels only on the attempt that succeeds.
+            lookup = wrap_label_fn(raw_lookup)
+            if retry_policy is not None:
+                lookup = RetryingOracle(lookup, retry_policy).query
             return BudgetedOracle(lookup, budget=budget)
 
         return build

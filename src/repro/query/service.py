@@ -38,6 +38,35 @@ over the same statements in arrival order: window membership only
 decides *when* a query runs and which draws are shared, never what any
 query returns.
 
+Failure semantics
+-----------------
+
+Sharing a window must never mean sharing a failure.  The isolation
+rules, outermost first:
+
+- A statement that fails — selector error, budget exhaustion, a
+  permanently unavailable oracle — fails only its *own* ticket, with a
+  :class:`QueryError` carrying the window id and the underlying cause.
+  Window-mates proceed normally.  (Compile-time errors such as an
+  unknown table surface raw, exactly as ``engine.execute()`` would
+  raise them.)
+- A prewarm draw that fails takes down only the executions that
+  needed that draw; the window's other groups still warm and execute.
+- A fork worker that dies mid-window is detected
+  (``BrokenProcessPool``), and its groups are re-executed sequentially
+  in the parent from the already pre-drawn store — bit-identical
+  results, logged as ``recovered_groups``.
+- With ``window_deadline_s`` set, a window that hangs past the
+  deadline is abandoned: its unfinished tickets fail with a
+  :class:`QueryError` and the scheduler moves on.
+- If the scheduler thread itself dies, every queued and in-flight
+  ticket is failed with the scheduler's exception — ``result()``
+  never blocks forever on a dead service — and later ``submit()``
+  calls raise immediately.
+- ``close(drain=True, timeout=...)`` bounds the final drain; whatever
+  is still unfinished when the timeout expires fails with a
+  :class:`QueryError` instead of blocking shutdown.
+
 Example::
 
     engine = SupgEngine(store_dir="/var/cache/supg")
@@ -61,13 +90,65 @@ from .parser import parse_query
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .ast import ParsedQuery
 
-__all__ = ["SupgService", "SubmitTicket"]
+__all__ = ["SupgService", "SubmitTicket", "QueryError"]
 
 #: Default window-close thresholds: small enough that an interactive
 #: client never waits noticeably, large enough that a burst of
 #: concurrent submissions lands in one window.
 DEFAULT_WINDOW_QUERIES = 8
 DEFAULT_WINDOW_MS = 25.0
+
+
+class QueryError(RuntimeError):
+    """One query's failure, isolated to its own ticket.
+
+    Embeds the underlying cause's message (so existing ``match=``
+    patterns keep working) and carries structured context for
+    programmatic handling.
+
+    Attributes:
+        number: the failed query's submission number, when known.
+        window: index into :attr:`SupgService.window_log` of the window
+            that failed it, when known.
+        phase: where the failure happened (``"planning"``,
+            ``"execution"``, ``"deadline"``, ``"scheduler"``,
+            ``"shutdown"``).
+        cause: the underlying exception, when one exists (also chained
+            as ``__cause__``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        number: int | None = None,
+        window: int | None = None,
+        phase: str | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.number = number
+        self.window = window
+        self.phase = phase
+        self.cause = cause
+        if cause is not None:
+            self.__cause__ = cause
+
+    @classmethod
+    def wrap(
+        cls,
+        cause: BaseException,
+        number: int | None = None,
+        window: int | None = None,
+        phase: str = "execution",
+    ) -> "QueryError":
+        """Wrap an underlying failure with query/window context."""
+        return cls(
+            f"query #{number} failed during {phase} in window {window}: {cause}",
+            number=number,
+            window=window,
+            phase=phase,
+            cause=cause,
+        )
 
 
 class SubmitTicket:
@@ -81,13 +162,20 @@ class SubmitTicket:
         sql: the submitted statement text.
         window: index of the plan window that served the query (into
             :attr:`SupgService.window_log`), set on completion.
+        state: where the query is in its lifecycle — ``"queued"``
+            (waiting for a window), ``"executing"`` (its window is
+            running), ``"folded"`` (absorbed late into an executing
+            window), ``"done"``.  Included in timeout errors so a hung
+            ``result()`` call says what it was waiting on.
     """
 
     def __init__(self, number: int, sql: str) -> None:
         self.number = number
         self.sql = sql
         self.window: int | None = None
+        self.state = "queued"
         self._event = threading.Event()
+        self._lock = threading.Lock()
         self._result: QueryExecution | None = None
         self._exception: BaseException | None = None
 
@@ -95,18 +183,23 @@ class SubmitTicket:
         """Whether the query has finished (successfully or not)."""
         return self._event.is_set()
 
+    def _timeout_error(self, timeout: float | None) -> TimeoutError:
+        return TimeoutError(
+            f"query #{self.number} did not complete within {timeout}s "
+            f"(state: {self.state})"
+        )
+
     def result(self, timeout: float | None = None) -> QueryExecution:
         """Block until the window executes; return the execution.
 
         Raises:
             TimeoutError: the window did not complete within ``timeout``
-                seconds.
+                seconds; the message includes the ticket's current
+                :attr:`state`.
             Exception: whatever the execution itself raised.
         """
         if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"query #{self.number} did not complete within {timeout}s"
-            )
+            raise self._timeout_error(timeout)
         if self._exception is not None:
             raise self._exception
         assert self._result is not None
@@ -115,9 +208,7 @@ class SubmitTicket:
     def exception(self, timeout: float | None = None) -> BaseException | None:
         """Block until done; return the error (or ``None`` on success)."""
         if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"query #{self.number} did not complete within {timeout}s"
-            )
+            raise self._timeout_error(timeout)
         return self._exception
 
     def _finish(
@@ -125,11 +216,23 @@ class SubmitTicket:
         result: QueryExecution | None = None,
         error: BaseException | None = None,
         window: int | None = None,
-    ) -> None:
-        self._result = result
-        self._exception = error
-        self.window = window
-        self._event.set()
+    ) -> bool:
+        """Resolve the ticket; idempotent (the first resolution wins).
+
+        Idempotence is what makes the failure paths composable: a
+        deadline abandonment, a scheduler-crash sweep, and the
+        (possibly still running) window execution may all try to finish
+        the same ticket, and exactly one of them succeeds.
+        """
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._result = result
+            self._exception = error
+            self.window = window
+            self.state = "done"
+            self._event.set()
+            return True
 
 
 @dataclass
@@ -162,6 +265,11 @@ class SupgService:
             windows sequentially.
         default_seed: seed for submissions that do not pass one.
         stage_budget: stage-1/2 budget for joint-target queries.
+        window_deadline_s: wall-clock budget for one window's
+            planning + execution; a window still running past it is
+            abandoned (its unfinished tickets fail with
+            :class:`QueryError`) and the scheduler moves on.  ``None``
+            (the default) never aborts.
     """
 
     def __init__(
@@ -172,6 +280,7 @@ class SupgService:
         jobs: int | None = None,
         default_seed: int = 0,
         stage_budget: int = 1000,
+        window_deadline_s: float | None = None,
     ) -> None:
         if max_window_queries <= 0:
             raise ValueError(
@@ -179,16 +288,23 @@ class SupgService:
             )
         if max_window_ms <= 0:
             raise ValueError(f"max_window_ms must be positive, got {max_window_ms}")
+        if window_deadline_s is not None and window_deadline_s <= 0:
+            raise ValueError(
+                f"window_deadline_s must be positive or None, got {window_deadline_s}"
+            )
         resolve_n_jobs(jobs)  # validate eagerly, before the thread starts
         self.engine = engine
         self.max_window_queries = max_window_queries
         self.max_window_ms = max_window_ms
+        self.window_deadline_s = window_deadline_s
         self._jobs = jobs
         self._default_seed = default_seed
         self._stage_budget = stage_budget
         self._arrival = threading.Condition()
         self._pending: list[_Submission] = []
+        self._inflight: list[_Submission] = []
         self._closed = False
+        self._scheduler_error: BaseException | None = None
         self._submitted = 0
         self._windows: list[dict] = []
         self._thread = threading.Thread(
@@ -226,7 +342,8 @@ class SupgService:
 
         Raises:
             repro.query.parser.QuerySyntaxError: malformed statement.
-            RuntimeError: the service has been closed.
+            RuntimeError: the service has been closed, or its scheduler
+                thread has died.
         """
         parsed = parse_query(sql)
         submission = _Submission(
@@ -238,6 +355,10 @@ class SupgService:
             ticket=SubmitTicket(0, sql),
         )
         with self._arrival:
+            if self._scheduler_error is not None:
+                raise RuntimeError(
+                    "cannot submit: the SupgService scheduler thread has died"
+                ) from self._scheduler_error
             if self._closed:
                 raise RuntimeError("cannot submit to a closed SupgService")
             submission.ticket.number = self._submitted
@@ -246,13 +367,50 @@ class SupgService:
             self._arrival.notify_all()
         return submission.ticket
 
-    def close(self) -> None:
-        """Drain the queue (remaining arrivals run in final windows)
-        and stop the scheduler.  Idempotent."""
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the scheduler.  Idempotent.
+
+        Args:
+            drain: run the remaining queued arrivals in final windows
+                (the default).  ``False`` fails every queued — not yet
+                executing — submission immediately with a
+                :class:`QueryError` instead of running it.
+            timeout: bound the drain in seconds.  If the scheduler has
+                not finished by then, every still-unresolved ticket is
+                failed with a :class:`QueryError` so no client blocks
+                on a shutdown that cannot complete; the scheduler
+                thread (a daemon) is left to die with the process.
+        """
         with self._arrival:
             self._closed = True
+            dropped = [] if drain else list(self._pending)
+            if not drain:
+                self._pending.clear()
             self._arrival.notify_all()
-        self._thread.join()
+        for submission in dropped:
+            submission.ticket._finish(
+                error=QueryError(
+                    f"query #{submission.ticket.number} dropped: service closed "
+                    "with drain=False",
+                    number=submission.ticket.number,
+                    phase="shutdown",
+                )
+            )
+        self._thread.join(timeout)
+        if not self._thread.is_alive():
+            return
+        with self._arrival:
+            stuck = list(self._pending) + list(self._inflight)
+            self._pending.clear()
+        for submission in stuck:
+            submission.ticket._finish(
+                error=QueryError(
+                    f"query #{submission.ticket.number} aborted: close() drain "
+                    f"timed out after {timeout}s",
+                    number=submission.ticket.number,
+                    phase="shutdown",
+                )
+            )
 
     def __enter__(self) -> "SupgService":
         return self
@@ -267,13 +425,16 @@ class SupgService:
         """Per-window statistics, in execution order.
 
         Each record maps ``queries`` (statements served), ``errors``
-        (compile failures), ``distinct_draws``, ``queries_folded``
-        (statements beyond the first of each group), ``late_folded``
-        (arrivals absorbed after the window closed), ``warm_draws``
-        (groups already in the store before the window pre-drew),
-        ``labels_drawn`` / ``labels_saved`` (store-counter deltas),
-        ``window_seconds``, and ``closed_by`` (``"count"`` /
-        ``"timeout"`` / ``"drain"``).
+        (compile failures plus failed executions), ``distinct_draws``,
+        ``queries_folded`` (statements beyond the first of each group),
+        ``late_folded`` (arrivals absorbed after the window closed),
+        ``warm_draws`` (groups already in the store before the window
+        pre-drew), ``labels_drawn`` / ``labels_saved`` (store-counter
+        deltas), ``recovered_groups`` (execution groups re-run
+        sequentially after a fork worker died), ``window_seconds``,
+        and ``closed_by`` (``"count"`` / ``"timeout"`` / ``"drain"``).
+        A window abandoned at its deadline additionally carries
+        ``deadline_expired=True``.
         """
         with self._arrival:
             return tuple(dict(record) for record in self._windows)
@@ -289,12 +450,46 @@ class SupgService:
             queries_folded=sum(w["queries_folded"] for w in windows),
             late_folded=sum(w["late_folded"] for w in windows),
             window_errors=sum(w["errors"] for w in windows),
+            recovered_groups=sum(w.get("recovered_groups", 0) for w in windows),
         )
         return stats
 
     # -- scheduler -------------------------------------------------------------
 
     def _scheduler(self) -> None:
+        """Thread body: the window loop inside a last-resort guard.
+
+        The guard is the no-hung-ticket backstop: if the loop itself
+        dies (a bug, ``MemoryError``, interpreter shutdown), every
+        queued and in-flight ticket is failed with the exception —
+        otherwise each would block its client's ``result()`` forever —
+        and later ``submit()`` calls fail fast.
+        """
+        try:
+            self._scheduler_loop()
+        except BaseException as exc:  # noqa: B036 - deliberate last resort
+            self._fail_all_outstanding(exc)
+
+    def _fail_all_outstanding(self, exc: BaseException) -> None:
+        with self._arrival:
+            self._scheduler_error = exc
+            self._closed = True
+            stuck = list(self._inflight) + list(self._pending)
+            self._pending.clear()
+            self._inflight = []
+            self._arrival.notify_all()
+        for submission in stuck:
+            submission.ticket._finish(
+                error=QueryError(
+                    f"query #{submission.ticket.number} aborted: the service "
+                    f"scheduler thread crashed: {exc}",
+                    number=submission.ticket.number,
+                    phase="scheduler",
+                    cause=exc,
+                )
+            )
+
+    def _scheduler_loop(self) -> None:
         """Collect arrivals into windows; runs until closed and drained."""
         while True:
             with self._arrival:
@@ -315,16 +510,84 @@ class SupgService:
                     closed_by = "drain"
                 window = self._pending[: self.max_window_queries]
                 del self._pending[: len(window)]
+                self._inflight = list(window)
+            if not window:
+                # close(drain=False) emptied the queue while we waited
+                # for the window to fill; nothing to execute or log.
+                continue
             try:
-                self._execute_window(window, closed_by)
+                self._dispatch_window(window, closed_by)
             except Exception as exc:
                 # A window must never take the scheduler down with it:
                 # fail the window's tickets and keep serving — a hung
                 # submit()/result() on every later client is strictly
                 # worse than one failed window.
                 for submission in window:
-                    if not submission.ticket.done():
-                        submission.ticket._finish(error=exc)
+                    submission.ticket._finish(error=exc)
+            # Deliberately NOT a finally: a BaseException escaping the
+            # dispatch must leave _inflight populated so the scheduler
+            # crash guard can fail exactly these tickets.
+            with self._arrival:
+                self._inflight = []
+
+    def _dispatch_window(self, window: list[_Submission], closed_by: str) -> None:
+        """Run one window, under the service's deadline when one is set.
+
+        The deadline path runs the window on a disposable daemon thread
+        and abandons it on overrun: the thread cannot be killed, but
+        its later attempts to finish tickets or append a window record
+        are no-ops (idempotent tickets, the ``abandoned`` flag), so the
+        scheduler safely moves on to the next window.
+        """
+        if self.window_deadline_s is None:
+            self._execute_window(window, closed_by)
+            return
+        abandoned = threading.Event()
+
+        def run() -> None:
+            try:
+                self._execute_window(window, closed_by, abandoned=abandoned)
+            except Exception as exc:
+                for submission in window:
+                    submission.ticket._finish(error=exc)
+
+        worker = threading.Thread(target=run, name="supg-window", daemon=True)
+        worker.start()
+        worker.join(self.window_deadline_s)
+        if not worker.is_alive():
+            return
+        with self._arrival:
+            abandoned.set()
+            unfinished = [s for s in window if not s.ticket.done()]
+            window_index = len(self._windows)
+            self._windows.append(
+                {
+                    "queries": len(window),
+                    "errors": len(unfinished),
+                    "distinct_draws": 0,
+                    "queries_folded": 0,
+                    "late_folded": 0,
+                    "warm_draws": 0,
+                    "labels_drawn": 0,
+                    "labels_saved": 0,
+                    "recovered_groups": 0,
+                    "window_seconds": self.window_deadline_s,
+                    "closed_by": closed_by,
+                    "deadline_expired": True,
+                }
+            )
+        for submission in unfinished:
+            submission.ticket._finish(
+                error=QueryError(
+                    f"query #{submission.ticket.number} aborted: window "
+                    f"{window_index} exceeded its deadline of "
+                    f"{self.window_deadline_s}s",
+                    number=submission.ticket.number,
+                    window=window_index,
+                    phase="deadline",
+                ),
+                window=window_index,
+            )
 
     # -- window execution ------------------------------------------------------
 
@@ -377,6 +640,7 @@ class SupgService:
                 plan.fold(planned, dataset=job.dataset)
                 compiled.append(job)
                 submissions.append(submission)
+                submission.ticket.state = "folded"
                 folded.append(submission)
         if folded:
             with self._arrival:
@@ -384,8 +648,14 @@ class SupgService:
                     self._pending.remove(submission)
         return len(folded)
 
-    def _execute_window(self, window: list[_Submission], closed_by: str) -> None:
+    def _execute_window(
+        self,
+        window: list[_Submission],
+        closed_by: str,
+        abandoned: threading.Event | None = None,
+    ) -> None:
         start = time.perf_counter()
+        window_index = len(self._windows)
         compiled = []
         submissions: list[_Submission] = []
         errors = 0
@@ -393,46 +663,78 @@ class SupgService:
             try:
                 job = self._compile_submission(submission, len(compiled))
             except Exception as exc:
-                submission.ticket._finish(error=exc, window=len(self._windows))
+                # Compile errors (unknown table, bad method name) stay
+                # raw: they are the same exceptions engine.execute()
+                # raises, and carry no window context worth adding.
+                submission.ticket._finish(error=exc, window=window_index)
                 errors += 1
                 continue
             compiled.append(job)
             submissions.append(submission)
+            submission.ticket.state = "executing"
 
         store = self.engine.context.store
         plan = None
         warm_draws = 0
         late_folded = 0
+        doomed: dict[int, BaseException] = {}
         before = store.stats()
-        window_index = len(self._windows)
         window_error: Exception | None = None
         if compiled:
             # Planning and prewarm touch real resources (the oracle,
-            # the spill directory); a failure here must fail this
-            # window's tickets, not unwind into the scheduler.
+            # the spill directory); a failure here must fail tickets,
+            # not unwind into the scheduler.  Prewarm failures are
+            # isolated per group: only the executions that needed the
+            # broken draw are doomed, the rest of the window proceeds.
             try:
                 plan = self.engine._plan_compiled(compiled)
                 warm_draws = sum(
                     1 for tier in plan.warm_keys(store).values() if tier is not None
                 )
-                plan.prewarm(store)
+                prewarm_failures = plan.prewarm(store, isolate_failures=True)
                 late_folded = self._fold_late_arrivals(compiled, submissions, plan)
+                if prewarm_failures:
+                    groups = plan.groups
+                    for key, exc in prewarm_failures.items():
+                        for index in groups.get(key, ()):
+                            doomed[index] = exc
             except Exception as exc:
                 window_error = exc
 
-        if window_error is not None:
-            results = None
-        else:
+        outcomes = None
+        recovered_groups = 0
+        if window_error is None and compiled:
             try:
-                results = self._run_window(compiled, plan)
+                outcomes, recovered_groups = self._run_window(compiled, plan, doomed)
             except Exception as exc:
                 window_error = exc
-                results = None
+
+        execution_errors = 0
         if window_error is not None:
             for submission in submissions:
-                submission.ticket._finish(error=window_error, window=window_index)
-        if results is not None:
-            for submission, job, result in zip(submissions, compiled, results):
+                submission.ticket._finish(
+                    error=QueryError.wrap(
+                        window_error,
+                        number=submission.ticket.number,
+                        window=window_index,
+                        phase="planning",
+                    ),
+                    window=window_index,
+                )
+        elif outcomes is not None:
+            for submission, job, (result, error) in zip(submissions, compiled, outcomes):
+                if error is not None:
+                    execution_errors += 1
+                    submission.ticket._finish(
+                        error=QueryError.wrap(
+                            error,
+                            number=submission.ticket.number,
+                            window=window_index,
+                            phase="execution",
+                        ),
+                        window=window_index,
+                    )
+                    continue
                 execution = QueryExecution(
                     parsed=job.parsed,
                     result=result,
@@ -447,7 +749,8 @@ class SupgService:
         )
         record = {
             "queries": len(compiled),
-            "errors": errors + (len(submissions) if window_error is not None else 0),
+            "errors": errors
+            + (len(submissions) if window_error is not None else execution_errors),
             "distinct_draws": plan.distinct_draws if plan is not None else 0,
             "queries_folded": max(
                 0, grouped - (plan.distinct_draws if plan is not None else 0)
@@ -456,20 +759,59 @@ class SupgService:
             "warm_draws": warm_draws,
             "labels_drawn": after["labels_drawn"] - before["labels_drawn"],
             "labels_saved": after["labels_saved"] - before["labels_saved"],
+            "recovered_groups": recovered_groups,
             "window_seconds": time.perf_counter() - start,
             "closed_by": closed_by,
         }
         with self._arrival:
+            if abandoned is not None and abandoned.is_set():
+                # The scheduler already gave up on this window, failed
+                # its tickets, and logged a deadline record; a late
+                # record from the abandoned thread would double-count.
+                return
             self._windows.append(record)
 
-    def _run_window(self, compiled, plan):
+    def _run_window(
+        self, compiled, plan, doomed: Mapping[int, BaseException] | None = None
+    ):
+        """Execute one window's compiled queries.
+
+        Returns ``(outcomes, recovered_groups)`` where ``outcomes`` has
+        one ``(result, error)`` pair per compiled query (exactly one of
+        the two is set) and ``recovered_groups`` counts execution
+        groups re-run in-thread after a fork worker died.
+
+        Statement failures are isolated here: the parallel path fans
+        whole groups to workers, so when any statement in it raises,
+        the window falls back to the sequential per-statement path —
+        deterministic, so only the genuinely failing statements' tickets
+        fail.  Executions doomed by a failed prewarm draw are not run
+        at all (re-attempting a draw that just exhausted its retry
+        policy would only hammer the broken oracle); their outcome is
+        the prewarm failure.
+        """
+        doomed = dict(doomed or {})
         if not compiled:
-            return []
+            return [], 0
         workers = min(resolve_n_jobs(self._jobs), len(compiled))
         if workers > 1 and not require_fork_or_warn("SupgService plan windows"):
             workers = 1
-        if workers > 1:
-            return SupgEngine._run_batches_parallel(
-                compiled, plan, self.engine.context, workers
-            )
-        return [job.run(self.engine.context) for job in compiled]
+        if workers > 1 and not doomed:
+            try:
+                results, recovered = SupgEngine._run_batches_parallel(
+                    compiled, plan, self.engine.context, workers
+                )
+            except Exception:
+                pass  # isolate per statement on the sequential path below
+            else:
+                return [(result, None) for result in results], len(recovered)
+        outcomes: list[tuple] = []
+        for job in compiled:
+            if job.index in doomed:
+                outcomes.append((None, doomed[job.index]))
+                continue
+            try:
+                outcomes.append((job.run(self.engine.context), None))
+            except Exception as exc:
+                outcomes.append((None, exc))
+        return outcomes, 0

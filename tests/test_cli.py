@@ -409,3 +409,157 @@ class TestQueryBoundAndDiagnostics:
         )
         assert code == 0
         assert "of 500 budget" in output
+
+
+class TestServeRobustness:
+    """PR 6: a misbehaving client must never take the server down."""
+
+    def _server(self, window_queries=1, window_ms=500.0):
+        import argparse
+        import threading
+
+        from repro.cli import _build_service, _make_socket_server
+
+        args = argparse.Namespace(
+            dataset="imagenet", size=10000, seed=0, method=None, bound=None,
+            window_queries=window_queries, window_ms=window_ms, jobs=1,
+            store_dir=None,
+        )
+        service, _, submit_kwargs = _build_service(args)
+        server = _make_socket_server(service, "127.0.0.1", 0, submit_kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return service, server, server.server_address[1]
+
+    def _teardown(self, service, server):
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    def _healthy_roundtrip(self, port):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", port), timeout=60) as conn:
+            conn.sendall((RT_SQL + ";").encode())
+            conn.shutdown(socket.SHUT_WR)
+            return conn.makefile().read()
+
+    def test_survives_half_closed_socket_mid_statement(self, capsys):
+        import socket
+
+        service, server, port = self._server()
+        try:
+            # Disconnect mid-statement: no terminating ';', then a hard
+            # close.  The server logs and drops this client only.
+            with socket.create_connection(("127.0.0.1", port), timeout=60) as conn:
+                conn.sendall(b"SELECT * FROM imagenet WHERE PRESENT")
+                conn.shutdown(socket.SHUT_RDWR)
+            assert self._healthy_roundtrip(port).startswith("ok #")
+        finally:
+            self._teardown(service, server)
+
+    def test_survives_garbage_bytes(self):
+        import socket
+
+        service, server, port = self._server()
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=60) as conn:
+                conn.sendall(b"\xff\xfe\x00garbage\x80bytes;\n")
+                conn.shutdown(socket.SHUT_WR)
+                reply = conn.makefile().read()
+            assert reply.startswith("error:")  # its own error, not a crash
+            assert self._healthy_roundtrip(port).startswith("ok #")
+        finally:
+            self._teardown(service, server)
+
+    def test_abrupt_reset_does_not_stop_serving(self):
+        import socket
+        import struct
+
+        service, server, port = self._server()
+        try:
+            conn = socket.create_connection(("127.0.0.1", port), timeout=60)
+            # SO_LINGER 0 makes close() send RST instead of FIN.
+            conn.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            conn.sendall((RT_SQL + ";").encode())
+            conn.close()
+            assert self._healthy_roundtrip(port).startswith("ok #")
+        finally:
+            self._teardown(service, server)
+
+
+class TestOracleRobustnessFlags:
+    def test_flags_build_retry_policy(self):
+        from repro.cli import _retry_policy_from_args
+
+        args = build_parser().parse_args(
+            ["query", "--dataset", "imagenet", "--sql", RT_SQL,
+             "--oracle-timeout", "5.0", "--oracle-retries", "2"]
+        )
+        policy = _retry_policy_from_args(args)
+        assert policy.retries == 2 and policy.timeout == 5.0
+
+    def test_timeout_alone_defaults_retries(self):
+        from repro.cli import _retry_policy_from_args
+
+        args = build_parser().parse_args(
+            ["serve", "--dataset", "imagenet", "--oracle-timeout", "5.0"]
+        )
+        policy = _retry_policy_from_args(args)
+        assert policy.retries == 3 and policy.timeout == 5.0
+
+    def test_no_flags_means_no_policy(self):
+        from repro.cli import _retry_policy_from_args
+
+        args = build_parser().parse_args(
+            ["query", "--dataset", "imagenet", "--sql", RT_SQL]
+        )
+        assert _retry_policy_from_args(args) is None
+
+    def test_query_runs_with_retry_flags(self):
+        code, output = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql", RT_SQL, "--oracle-retries", "2"]
+        )
+        assert code == 0 and "method" in output
+
+    def test_serve_accepts_window_deadline(self, tmp_path):
+        script = tmp_path / "queries.sql"
+        script.write_text(RT_SQL + ";\n")
+        code, output = run_cli(
+            ["serve", "--dataset", "imagenet", "--size", "10000",
+             "--input", str(script), "--window-ms", "50",
+             "--window-deadline", "60", "--oracle-retries", "1"]
+        )
+        assert code == 0 and "service   :" in output
+
+
+class TestStoreQuarantineListing:
+    def test_ls_reports_quarantined_spills(self, tmp_path):
+        store = tmp_path / "labels"
+        code, _ = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql", RT_SQL, "--store-dir", str(store)]
+        )
+        assert code == 0
+        # Corrupt the spill, trigger quarantine via a re-run.
+        from repro.faults import corrupt_spill
+
+        corrupt_spill(store, mode="garbage")
+        code, _ = run_cli(
+            ["query", "--dataset", "imagenet", "--size", "10000",
+             "--sql", RT_SQL, "--store-dir", str(store)]
+        )
+        assert code == 0
+        code, output = run_cli(["store", "ls", "--store-dir", str(store)])
+        assert code == 0
+        assert "quarantine:" in output
+        assert "1 corrupted spill(s) set aside" in output
+        # clear removes quarantined files too; ls goes quiet again.
+        code, _ = run_cli(["store", "clear", "--store-dir", str(store)])
+        assert code == 0
+        code, output = run_cli(["store", "ls", "--store-dir", str(store)])
+        assert code == 0
+        assert "quarantine:" not in output

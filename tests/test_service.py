@@ -373,3 +373,155 @@ class TestNoForkDegradation:
         reference = _engine(beta_dataset)
         for sql, ticket in zip(EIGHT_QUERIES[:4], first + second):
             _assert_same_execution(ticket.result(), reference.execute(sql, seed=3), sql)
+
+
+class TestFailureIsolation:
+    """PR 6 failure semantics: one query's fault stays on its ticket."""
+
+    def _bomb_engine(self, dataset, bomb_seed=99):
+        """An engine whose compiled jobs raise at *run* time when
+        compiled with ``seed == bomb_seed`` — an execution-phase
+        failure (unlike the raw compile errors covered above)."""
+        engine = _engine(dataset)
+        original = engine._compile
+
+        class Bomb:
+            def __init__(self, job):
+                self._job = job
+
+            def __getattr__(self, name):
+                return getattr(self._job, name)
+
+            def run(self, context):
+                raise RuntimeError("boom mid-execution")
+
+        def compile_with_bomb(index, parsed, seed, method, stage_budget, kwargs):
+            job = original(index, parsed, seed, method, stage_budget, kwargs)
+            return Bomb(job) if seed == bomb_seed else job
+
+        engine._compile = compile_with_bomb
+        return engine
+
+    def test_execution_failure_fails_only_its_own_ticket(self, beta_dataset):
+        from repro.query import QueryError
+
+        engine = self._bomb_engine(beta_dataset)
+        with SupgService(engine, max_window_queries=3, max_window_ms=5_000.0) as service:
+            good_a = service.submit(EIGHT_QUERIES[0], seed=3)
+            bad = service.submit(EIGHT_QUERIES[1], seed=99)
+            good_b = service.submit(EIGHT_QUERIES[2], seed=3)
+            error = bad.exception(timeout=120.0)
+            assert isinstance(error, QueryError)
+            assert isinstance(error, RuntimeError)  # back-compat contract
+            assert "boom mid-execution" in str(error)
+            assert error.phase == "execution" and error.window == 0
+            assert error.number == bad.number
+            assert isinstance(error.cause, RuntimeError)
+            # Window-mates are unharmed and bit-identical.
+            reference = _engine(beta_dataset)
+            _assert_same_execution(
+                good_a.result(timeout=120.0),
+                reference.execute(EIGHT_QUERIES[0], seed=3),
+            )
+            _assert_same_execution(
+                good_b.result(timeout=120.0),
+                reference.execute(EIGHT_QUERIES[2], seed=3),
+            )
+            log = service.window_log
+            assert log[0]["errors"] == 1 and log[0]["queries"] == 3
+
+    def test_scheduler_death_fails_all_tickets_and_submits(self, beta_dataset):
+        from repro.query import QueryError
+
+        engine = _engine(beta_dataset)
+        service = SupgService(engine, max_window_queries=2, max_window_ms=5_000.0)
+
+        def die(*args, **kwargs):
+            raise SystemExit("scheduler killed mid-window")
+
+        service._execute_window = die
+        first = service.submit(EIGHT_QUERIES[0], seed=3)
+        second = service.submit(EIGHT_QUERIES[1], seed=3)  # closes the window
+        for ticket in (first, second):
+            error = ticket.exception(timeout=30.0)
+            assert isinstance(error, QueryError)
+            assert "scheduler thread crashed" in str(error)
+            assert error.phase == "scheduler"
+        with pytest.raises(RuntimeError, match="scheduler thread has died"):
+            service.submit(EIGHT_QUERIES[2], seed=3)
+
+    def test_timeout_message_reports_queued_state(self, beta_dataset):
+        engine = _engine(beta_dataset)
+        with SupgService(
+            engine, max_window_queries=8, max_window_ms=60_000.0
+        ) as service:
+            ticket = service.submit(EIGHT_QUERIES[0], seed=3)
+            with pytest.raises(TimeoutError, match=r"state: queued"):
+                ticket.result(timeout=0.05)
+            assert ticket.state == "queued"
+
+    def test_window_deadline_aborts_hung_window(self, beta_dataset):
+        from repro.query import QueryError
+
+        engine = _engine(beta_dataset)
+        hang = threading.Event()
+        original = engine._plan_compiled
+
+        def slow_plan(compiled):
+            if not hang.is_set():
+                hang.set()
+                time.sleep(30.0)  # first window hangs well past the deadline
+            return original(compiled)
+
+        engine._plan_compiled = slow_plan
+        with SupgService(
+            engine,
+            max_window_queries=1,
+            max_window_ms=5_000.0,
+            window_deadline_s=0.3,
+        ) as service:
+            stuck = service.submit(EIGHT_QUERIES[0], seed=3)
+            # While the window hangs, the ticket reports its state.
+            with pytest.raises(TimeoutError, match=r"state: (queued|executing)"):
+                stuck.result(timeout=0.05)
+            error = stuck.exception(timeout=30.0)
+            assert isinstance(error, QueryError)
+            assert "deadline" in str(error) and error.phase == "deadline"
+            # The scheduler moved on: the next window executes normally.
+            healthy = service.submit(EIGHT_QUERIES[1], seed=3)
+            _assert_same_execution(
+                healthy.result(timeout=120.0),
+                _engine(beta_dataset).execute(EIGHT_QUERIES[1], seed=3),
+            )
+            log = service.window_log
+            assert log[0].get("deadline_expired") is True
+            assert log[0]["errors"] == 1
+
+    def test_close_drain_timeout_fails_stuck_tickets(self, beta_dataset):
+        from repro.query import QueryError
+
+        engine = _engine(beta_dataset)
+        service = SupgService(engine, max_window_queries=1, max_window_ms=5_000.0)
+        release = threading.Event()
+
+        def stall(window, closed_by, abandoned=None):
+            release.wait(30.0)
+
+        service._execute_window = stall
+        ticket = service.submit(EIGHT_QUERIES[0], seed=3)
+        service.close(timeout=0.3)
+        error = ticket.exception(timeout=5.0)
+        assert isinstance(error, QueryError)
+        assert "drain timed out" in str(error)
+        release.set()
+
+    def test_close_without_drain_fails_queued_tickets(self, beta_dataset):
+        from repro.query import QueryError
+
+        engine = _engine(beta_dataset)
+        service = SupgService(engine, max_window_queries=8, max_window_ms=60_000.0)
+        ticket = service.submit(EIGHT_QUERIES[0], seed=3)
+        service.close(drain=False, timeout=5.0)
+        error = ticket.exception(timeout=5.0)
+        assert isinstance(error, QueryError)
+        assert "drain=False" in str(error)

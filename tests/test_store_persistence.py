@@ -364,3 +364,102 @@ class TestSpillKeyStability:
             store._spill_path(workload.fingerprint, UNIFORM, 3),
         }
         assert len(paths) == 3
+
+
+class TestQuarantine:
+    """PR 6: defective spills are quarantined, not silently deleted.
+
+    Every corruption mode must (1) still serve the query via a fresh
+    draw with correct label accounting, (2) move the bad file to
+    ``<store_dir>/quarantine/`` with a reason file, exactly once, and
+    (3) show up in the counters and in ``quarantine_entries``.
+    """
+
+    def _quarantine_dir(self, tmp_path):
+        from repro.core.pipeline import QUARANTINE_DIRNAME
+
+        return tmp_path / QUARANTINE_DIRNAME
+
+    def _assert_quarantined_once(self, store, tmp_path, workload, reference):
+        sample = store.fetch(workload, DESIGN, 2)
+        assert store.quarantined == 1 and store.stats()["quarantined"] == 1
+        _assert_samples_equal(reference, sample)  # redraw, not garbage
+        assert store.stats()["labels_drawn"] == reference.oracle_calls
+
+        qdir = self._quarantine_dir(tmp_path)
+        spills = sorted(qdir.glob("sample-*.npz"))
+        reasons = sorted(qdir.glob("*.reason.json"))
+        assert len(spills) == 1 and len(reasons) == 1
+        reason = json.loads(reasons[0].read_text())
+        assert reason["file"] == spills[0].name and reason["reason"]
+
+        # Exactly once: the redraw was re-spilled, so a new store serves
+        # it from disk without quarantining anything further.
+        again = SampleStore(store_dir=tmp_path)
+        served = again.fetch(workload, DESIGN, 2)
+        assert again.disk_hits == 1 and again.quarantined == 0
+        _assert_samples_equal(reference, served)
+
+    def test_truncated_spill_quarantined(self, workload, tmp_path):
+        reference = SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 2)
+        path = (tmp_path / "x").parent.glob("sample-*.npz")
+        (only,) = list(path)
+        only.write_bytes(only.read_bytes()[: only.stat().st_size // 2])
+        self._assert_quarantined_once(
+            SampleStore(store_dir=tmp_path), tmp_path, workload, reference
+        )
+
+    def test_format_version_mismatch_quarantined(self, workload, tmp_path):
+        reference = SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 2)
+        (only,) = list(tmp_path.glob("sample-*.npz"))
+        with np.load(only, allow_pickle=False) as payload:
+            fields = {key: payload[key] for key in payload.files}
+        fields["format_version"] = np.int64(SPILL_FORMAT_VERSION + 1)
+        with open(only, "wb") as handle:
+            np.savez(handle, **fields)
+        self._assert_quarantined_once(
+            SampleStore(store_dir=tmp_path), tmp_path, workload, reference
+        )
+
+    def test_fingerprint_mismatch_quarantined(self, tmp_path):
+        ours = make_beta_dataset(0.01, 1.0, size=5_000, seed=1)
+        theirs = make_beta_dataset(0.01, 2.0, size=5_000, seed=2)
+        store = SampleStore(store_dir=tmp_path)
+        store.fetch(theirs, UNIFORM, 0)
+        (foreign,) = list(tmp_path.glob("sample-*.npz"))
+        os.replace(foreign, store._spill_path(ours.fingerprint, UNIFORM, 0))
+
+        fresh = SampleStore(store_dir=tmp_path)
+        sample = fresh.fetch(ours, UNIFORM, 0)
+        assert fresh.quarantined == 1
+        np.testing.assert_array_equal(sample.labels, ours.labels[sample.indices])
+        (reason_file,) = list(self._quarantine_dir(tmp_path).glob("*.reason.json"))
+        assert json.loads(reason_file.read_text())["reason"]
+
+    def test_quarantine_entries_and_clear_disk(self, workload, tmp_path):
+        SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 2)
+        (only,) = list(tmp_path.glob("sample-*.npz"))
+        only.write_bytes(b"not an npz archive")
+        SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 2)
+
+        entries = SampleStore.quarantine_entries(tmp_path)
+        assert len(entries) == 1 and entries[0]["reason"]
+        assert entries[0]["bytes"] > 0
+
+        # Quarantined files are invisible to the healthy-spill listing
+        # (the redraw re-spilled under the same name at the root, so
+        # compare full paths, not names)...
+        paths = [e["path"] for e in SampleStore.disk_entries(tmp_path)]
+        assert entries[0]["path"] not in paths
+        assert entries[0]["path"].parent.name == "quarantine"
+        # ...and clear_disk removes them along with the live spills.
+        SampleStore.clear_disk(tmp_path)
+        assert not list(tmp_path.glob("sample-*.npz"))
+        assert SampleStore.quarantine_entries(tmp_path) == []
+
+    def test_persistent_quarantine_counter(self, workload, tmp_path):
+        SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 2)
+        (only,) = list(tmp_path.glob("sample-*.npz"))
+        only.write_bytes(b"garbage")
+        SampleStore(store_dir=tmp_path).fetch(workload, DESIGN, 2)
+        assert SampleStore.persistent_stats(tmp_path).get("quarantined") == 1
