@@ -27,6 +27,10 @@ contract (see README "Failure semantics"):
 5. **Fault evidence** — exactly one spill quarantined; retries
    actually happened; with fork available, at least one execution
    group was recovered after the worker kill.
+6. **No leaked shared memory** — after both passes (including the
+   worker kill mid-transfer), no ``supg-plane-*`` segment survives in
+   ``/dev/shm``: every data-plane segment was unlinked by its owner or
+   reclaimed by the parent's crash sweep.
 
 Exit status 0 on success, 1 with a gate-by-gate report otherwise; a
 JSON summary is printed either way.
@@ -41,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 from pathlib import Path
@@ -48,6 +53,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.planning import fork_available
+from repro.core.shm import SEGMENT_PREFIX
 from repro.datasets import load_dataset
 from repro.faults import FaultPlan, corrupt_spill, inject
 from repro.oracle import RetryPolicy
@@ -220,6 +226,15 @@ def main(argv=None) -> int:
     if plan.kill_execution is not None and chaos_stats.get("recovered_groups", 0) == 0:
         failures.append("worker kill requested but no execution group was recovered")
 
+    # Gate 6: no leaked shared-memory segments.  Both passes (and the
+    # killed worker's orphaned result transfer) must leave /dev/shm
+    # clean once their services close.
+    leaked: list[str] = []
+    if os.path.isdir("/dev/shm"):
+        leaked = sorted(p.name for p in Path("/dev/shm").glob(f"{SEGMENT_PREFIX}-*"))
+        if leaked:
+            failures.append(f"leaked shared-memory segments: {', '.join(leaked)}")
+
     summary = {
         "queries": args.queries,
         "fault_rate": args.fault_rate,
@@ -233,6 +248,7 @@ def main(argv=None) -> int:
         "recovered_groups": chaos_stats.get("recovered_groups", 0),
         "typed_failures": errored,
         "hung": chaos_stats["hung"],
+        "leaked_segments": leaked,
         "gates_failed": failures,
     }
     print(json.dumps(summary, indent=2))

@@ -36,6 +36,7 @@ from pathlib import Path
 from .bounds import available_bounds, get_bound
 from .core.pipeline import QUARANTINE_DIRNAME, ExecutionContext, SampleStore
 from .core.planning import plan_budget
+from .core.shm import DATA_PLANE_MODES, default_mode, set_default_mode
 from .core.types import ApproxQuery
 from .datasets import available_datasets, load_dataset
 from .experiments import ALL_EXPERIMENTS, resolve_n_jobs
@@ -70,6 +71,20 @@ def _add_oracle_robustness_flags(sub: argparse.ArgumentParser) -> None:
         "TransientOracleError), with capped exponential backoff; retried "
         "calls are never double-charged against the label budget "
         "(default: 0 unless --oracle-timeout is set, then 3)",
+    )
+
+
+def _add_data_plane_flag(sub: argparse.ArgumentParser) -> None:
+    """``--data-plane``, shared by the commands that fan out workers."""
+    sub.add_argument(
+        "--data-plane",
+        choices=DATA_PLANE_MODES,
+        default=None,
+        help="how parallel workers read dataset statistics and return "
+        "results: 'shm' (POSIX shared memory, default where available), "
+        "'mmap' (memory-mapped spill files in the store directory), or "
+        "'pickle' (everything rides the worker pipe). Results are "
+        "bit-identical across modes",
     )
 
 
@@ -124,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         "reuse labeled oracle samples instead of re-drawing them",
     )
     _add_oracle_robustness_flags(query)
+    _add_data_plane_flag(query)
 
     serve = commands.add_parser(
         "serve",
@@ -186,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(its tickets fail; the service keeps serving). Default: no deadline",
     )
     _add_oracle_robustness_flags(serve)
+    _add_data_plane_flag(serve)
 
     plan = commands.add_parser(
         "plan",
@@ -246,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run draws zero new oracle labels).  With --jobs 1 the run also "
         "prints the store's reuse counters.",
     )
+    _add_data_plane_flag(experiment)
 
     return parser
 
@@ -297,7 +315,11 @@ def _cmd_query(args, out) -> int:
     sql = args.sql if args.sql else args.sql_file.read_text()
     dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
     store_dir = str(args.store_dir) if args.store_dir is not None else None
-    engine = SupgEngine(store_dir=store_dir, retry_policy=_retry_policy_from_args(args))
+    engine = SupgEngine(
+        store_dir=store_dir,
+        retry_policy=_retry_policy_from_args(args),
+        data_plane=getattr(args, "data_plane", None),
+    )
     engine.register_table(args.dataset, dataset)
     # Also register a sanitized alias the SQL can use for dataset names
     # that are not valid dialect identifiers.
@@ -316,6 +338,12 @@ def _cmd_query(args, out) -> int:
         # Multi-statement input runs as one planned batch: shared
         # oracle draws are paid for once, then groups fan across
         # --jobs workers.  Results match a sequential execute() loop.
+        workers = resolve_n_jobs(args.jobs)
+        plane_label = getattr(args, "data_plane", None) or default_mode()
+        print(
+            f"workers   : {workers} (data plane: {plane_label})",
+            file=out,
+        )
         executions = engine.execute_many(
             statements, seed=args.seed, method=args.method, jobs=args.jobs, **kwargs
         )
@@ -343,7 +371,11 @@ def _build_service(args) -> tuple[SupgService, object, dict]:
     """Engine + service + submit kwargs shared by the serve input modes."""
     dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
     store_dir = str(args.store_dir) if args.store_dir is not None else None
-    engine = SupgEngine(store_dir=store_dir, retry_policy=_retry_policy_from_args(args))
+    engine = SupgEngine(
+        store_dir=store_dir,
+        retry_policy=_retry_policy_from_args(args),
+        data_plane=getattr(args, "data_plane", None),
+    )
     engine.register_table(args.dataset, dataset)
     engine.register_table(_sanitize_table_name(args.dataset), dataset)
     submit_kwargs = {"method": args.method}
@@ -386,10 +418,15 @@ def _service_summary_lines(service) -> list[str]:
 
 def _cmd_serve(args, out) -> int:
     try:
-        resolve_n_jobs(args.jobs)
+        workers = resolve_n_jobs(args.jobs)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    plane_label = getattr(args, "data_plane", None) or default_mode()
+    print(
+        f"workers   : {workers} per window (data plane: {plane_label})",
+        file=out,
+    )
     service, dataset, submit_kwargs = _build_service(args)
     try:
         if args.port is not None:
@@ -677,6 +714,18 @@ def _cmd_experiment(args, out) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # Experiment drivers build their own planes via the ambient default;
+    # scope the override to this run so embedding callers are unaffected.
+    previous_plane = default_mode()
+    if getattr(args, "data_plane", None) is not None:
+        set_default_mode(args.data_plane)
+    try:
+        return _run_experiment(args, driver, jobs, out)
+    finally:
+        set_default_mode(previous_plane)
+
+
+def _run_experiment(args, driver, jobs: int, out) -> int:
     params = inspect.signature(driver).parameters
     kwargs = {}
     if "n_jobs" in params:

@@ -24,6 +24,7 @@ from .planning import (
     BudgetPlan,
     PlannedExecution,
     QueryPlan,
+    effective_workers,
     expected_positive_fraction,
     plan_budget,
     plan_executions,
@@ -35,6 +36,11 @@ from .registry import (
     make_selector,
     sample_reusable_selectors,
     selector_class,
+)
+from .shm import (
+    PlaneIntegrityError,
+    SharedArrayPlane,
+    downcast_indices,
 )
 from .theory import (
     estimator_variance_term,
@@ -92,6 +98,10 @@ __all__ = [
     "QueryPlan",
     "plan_executions",
     "resolve_n_jobs",
+    "effective_workers",
+    "SharedArrayPlane",
+    "PlaneIntegrityError",
+    "downcast_indices",
     "available_selectors",
     "make_selector",
     "default_selector",

@@ -66,16 +66,24 @@ __all__ = [
     "QueryPlan",
     "plan_executions",
     "resolve_n_jobs",
+    "effective_workers",
     "fork_available",
     "require_fork_or_warn",
 ]
+
+#: Ceiling on ``n_jobs=-1``: past this, fork + store contention costs
+#: more than the extra cores return for this workload shape, and a
+#: many-core host (CI runners, shared build boxes) should not fork 64
+#: workers for an 8-query window.
+MAX_AUTO_WORKERS = 16
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalize an ``n_jobs`` request to a positive worker count.
 
     ``None`` and ``1`` mean sequential; ``-1`` means one worker per
-    available core (the joblib convention).
+    available core (the joblib convention), capped at
+    :data:`MAX_AUTO_WORKERS`.
 
     Raises:
         ValueError: for zero or other negative values.
@@ -83,10 +91,25 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     if n_jobs is None:
         return 1
     if n_jobs == -1:
-        return os.cpu_count() or 1
+        return max(1, min(os.cpu_count() or 1, MAX_AUTO_WORKERS))
     if n_jobs <= 0:
         raise ValueError(f"n_jobs must be positive or -1, got {n_jobs}")
     return n_jobs
+
+
+def effective_workers(n_jobs: int | None, tasks: int, what: str) -> int:
+    """The worker count a fan-out will actually use.
+
+    The one code path behind every fan-out in the repo (engine batches,
+    service windows, trial/cell chunks): normalize the request via
+    :func:`resolve_n_jobs`, never exceed the number of independent
+    tasks, and degrade to sequential (warning once per process, tagged
+    with ``what``) on platforms without ``fork``.
+    """
+    workers = min(resolve_n_jobs(n_jobs), max(int(tasks), 1))
+    if workers > 1 and not require_fork_or_warn(what):
+        workers = 1
+    return workers
 
 
 def fork_available() -> bool:

@@ -1,0 +1,584 @@
+"""Shared-memory data plane for multi-process execution.
+
+Every fan-out in this repo (batch planner, service windows, panel
+cells) forks workers that need two kinds of array traffic:
+
+- **Outbound** — each dataset's derived statistics (proxy scores,
+  sorted scores, ``argsort`` order, importance weights).  Fork
+  inheritance already shares these copy-on-write, but COW pages are
+  private the moment any process dirties them, and nothing is shared
+  at all once datasets grow past RAM.  A :class:`SharedArrayPlane`
+  *publishes* each statistic exactly once — into a POSIX shared-memory
+  segment (``mode="shm"``) or an mmap'd ``.npy`` file keyed by the
+  dataset fingerprint (``mode="mmap"``) — and hands back a read-only
+  view backed by the shared pages, so every fork worker attaches
+  zero-copy.  ``mode="pickle"`` disables the plane (the pre-plane
+  behavior) for comparison and as the degradation path when
+  :mod:`multiprocessing.shared_memory` is unavailable.
+- **Return** — :class:`~repro.core.types.SelectionResult` index
+  arrays.  Low-threshold recall sets reach a meaningful fraction of
+  the dataset, so shipping them back through the pool pipe serializes
+  megabytes per query.  :meth:`SharedArrayPlane.encode_batch` (worker
+  side) downcasts every index array to the smallest dtype that can
+  address the dataset (:func:`downcast_indices`), then either inlines
+  the batch on the pipe (small results) or packs all of its arrays
+  into one shm segment / spill file and ships only a handle.
+  :meth:`SharedArrayPlane.decode_batch` (parent side) reconstructs
+  bit-identical results and releases the transfer, accounting bytes to
+  ``bytes_shipped`` (pipe) or ``bytes_shm`` (segment/file).
+
+Lifecycle guarantees, chaos-tested by ``scripts/chaos_smoke.py``:
+
+- The parent's ``resource_tracker`` is started *before* any worker
+  forks (see ``__init__``), so worker-created segments register with
+  the same tracker the parent unlinks through — no spurious
+  "leaked shared_memory" warnings at exit.
+- Worker result segments have deterministic names
+  (``{uid}-c{call}-r{batch head}``), so a worker that dies mid-batch
+  (``BrokenProcessPool``) leaves a segment the parent can
+  :meth:`reclaim` by name.
+- :meth:`close` detaches every published dataset (their statistics
+  revert to locally owned arrays), unlinks every segment, and removes
+  the plane's spill directory; a ``weakref.finalize`` guard does the
+  same if a plane is dropped without ``close()`` — in the owning
+  process only, so forked copies dying cannot unlink the parent's
+  segments.
+- A corrupted mmap result spill is quarantined with a reason report
+  (mirroring the sample store's convention) and surfaces as
+  :class:`PlaneIntegrityError`, which callers treat like a dead
+  worker: re-run the batch in the parent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import shutil
+import tempfile
+import time
+import weakref
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .types import SelectionResult
+
+try:  # pragma: no cover - import guard for exotic builds
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+__all__ = [
+    "DATA_PLANE_MODES",
+    "PlaneIntegrityError",
+    "SharedArrayPlane",
+    "default_mode",
+    "downcast_indices",
+    "set_default_mode",
+]
+
+#: Valid ``data_plane`` settings, in degradation order.
+DATA_PLANE_MODES = ("shm", "mmap", "pickle")
+
+#: Prefix of every shm segment and spill directory this module creates;
+#: the chaos smoke asserts nothing with this prefix survives a run.
+SEGMENT_PREFIX = "supg-plane"
+
+#: Batches whose combined (downcast) index payload is at most this many
+#: bytes ride the worker pipe inline; larger batches transfer through a
+#: segment or spill file.
+DEFAULT_INLINE_BYTES = 1 << 20
+
+QUARANTINE_DIRNAME = "quarantine"
+
+_plane_ids = itertools.count()
+
+#: Closed planes park their (already unlinked) segments here instead of
+#: unmapping them — see :meth:`SharedArrayPlane._release`.
+_retired_segments: list = []
+
+_DEFAULT_MODE = "shm" if shared_memory is not None else "mmap"
+
+
+def default_mode() -> str:
+    """The ambient data-plane mode new planes and engines use."""
+    return _DEFAULT_MODE
+
+
+def set_default_mode(mode: str) -> None:
+    """Set the ambient data-plane mode (the CLI's ``--data-plane``)."""
+    global _DEFAULT_MODE
+    if mode not in DATA_PLANE_MODES:
+        raise ValueError(
+            f"data plane mode must be one of {DATA_PLANE_MODES}, got {mode!r}"
+        )
+    _DEFAULT_MODE = mode
+
+
+class PlaneIntegrityError(RuntimeError):
+    """A result transfer could not be decoded (corrupt or missing).
+
+    The transfer's payload has been quarantined (mmap spills) or
+    released; the caller re-runs the affected batch in-process, exactly
+    like recovery from a dead worker.
+    """
+
+
+def downcast_indices(indices: np.ndarray, size: int) -> np.ndarray:
+    """Indices recast to the smallest unsigned dtype addressing ``size``.
+
+    Keyed off the dataset size — not the array contents — so the
+    transfer dtype is deterministic for a given table regardless of
+    what a query selected.  Datasets beyond ``uint32`` range (4B+
+    records) keep the platform dtype.
+    """
+    arr = np.asarray(indices)
+    bound = max(int(size) - 1, 0)
+    for dtype in (np.uint8, np.uint16, np.uint32):
+        if bound <= np.iinfo(dtype).max:
+            return arr.astype(dtype, copy=False)
+    return arr
+
+
+def _upcast_indices(indices: np.ndarray) -> np.ndarray:
+    """Restore a transferred index array to the canonical ``intp`` dtype."""
+    return np.asarray(indices).astype(np.intp)
+
+
+# -- transfer payloads ---------------------------------------------------------
+#
+# What a worker actually returns through the pool pipe.  Arrays are
+# either carried inline (small batches / pickle mode) or replaced by a
+# (offset, count, dtype) reference into the batch's segment / file.
+
+
+@dataclass(frozen=True)
+class _ArrayRef:
+    offset: int
+    count: int
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class _EncodedResult:
+    index: int
+    tau: float
+    oracle_calls: int
+    details: Mapping[str, object]
+    indices: "np.ndarray | _ArrayRef"
+    sampled: "np.ndarray | _ArrayRef"
+
+
+@dataclass(frozen=True)
+class _EncodedBatch:
+    transport: "tuple[str, str] | None"  # ("shm", name) / ("mmap", path) / None
+    nbytes: int
+    crc: "int | None"
+    entries: "tuple[_EncodedResult, ...]"
+
+
+class SharedArrayPlane:
+    """One session's shared arrays: published statistics + result transfers.
+
+    Args:
+        mode: ``"shm"`` (POSIX shared memory), ``"mmap"`` (files under
+            ``directory``), or ``"pickle"`` (inert — arrays stay
+            process-local and results ride the pipe).  Defaults to the
+            ambient :func:`default_mode`.  ``"shm"`` silently degrades
+            to ``"mmap"`` where :mod:`multiprocessing.shared_memory`
+            is missing.
+        directory: parent directory for the plane's spill files (mmap
+            statistics, mmap result transfers, their quarantine).  The
+            plane creates — and owns — a uniquely named subdirectory,
+            so planes sharing a store directory never collide; a
+            temporary directory is used when ``None``.
+        inline_bytes: per-batch threshold below which result transfers
+            stay on the pipe.
+    """
+
+    def __init__(
+        self,
+        mode: str | None = None,
+        directory: "str | os.PathLike | None" = None,
+        inline_bytes: int = DEFAULT_INLINE_BYTES,
+    ) -> None:
+        mode = default_mode() if mode is None else mode
+        if mode not in DATA_PLANE_MODES:
+            raise ValueError(
+                f"data plane mode must be one of {DATA_PLANE_MODES}, got {mode!r}"
+            )
+        if mode == "shm" and shared_memory is None:  # pragma: no cover
+            mode = "mmap"
+        self.mode = mode
+        self.inline_bytes = int(inline_bytes)
+        self.uid = f"{SEGMENT_PREFIX}-{os.getpid():x}-{next(_plane_ids):x}"
+        self.bytes_shipped = 0
+        self.bytes_shm = 0
+        self._segments: dict[str, object] = {}
+        self._views: dict[tuple[str, str], np.ndarray] = {}
+        self._datasets: list[weakref.ref] = []
+        self._directory: Path | None = None
+        if mode != "pickle":
+            if mode == "mmap" or directory is not None:
+                base = (
+                    Path(directory).expanduser()
+                    if directory is not None
+                    else Path(tempfile.gettempdir())
+                )
+                self._directory = base / self.uid
+            if mode == "shm" and resource_tracker is not None:
+                # Start the parent's resource tracker before any fork:
+                # workers inherit its pipe, so their segment
+                # registrations and the parent's unlinks meet in one
+                # tracker and nothing is reported leaked at exit.
+                resource_tracker.ensure_running()
+        self._finalizer = weakref.finalize(
+            self,
+            SharedArrayPlane._release,
+            self._segments,
+            self._views,
+            self._datasets,
+            self._directory,
+            os.getpid(),
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Release every segment, spill file, and dataset patch.  Idempotent.
+
+        Published datasets are detached first: any statistic that
+        resolves to a plane-backed view reverts to a locally owned
+        array (copied out while the mapping is still valid), so
+        datasets outlive the plane unharmed.
+        """
+        if self.closed:
+            return
+        self._finalizer()
+
+    @staticmethod
+    def _release(
+        segments: dict,
+        views: dict,
+        datasets: list,
+        directory: "Path | None",
+        owner_pid: int,
+    ) -> None:
+        # Also runs as the GC finalizer; fork copies of the plane die
+        # with their worker, and must never unlink the owner's state.
+        if os.getpid() != owner_pid:
+            return
+        SharedArrayPlane._detach_datasets(views, datasets)
+        views.clear()
+        for shm in list(segments.values()):
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            # Never unmap in-process: ``np.ndarray(buffer=shm.buf)``
+            # does NOT keep the buffer exported, so ``close()`` would
+            # silently pull the pages out from under any view a caller
+            # still holds (a segfault, not an exception).  The name is
+            # unlinked above; retiring the object keeps the mapping
+            # alive until process exit, after which the kernel frees
+            # the pages.  Cost: the published statistics of each closed
+            # plane stay resident for the rest of the process.
+            _retired_segments.append(shm)
+        segments.clear()
+        if directory is not None:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    @staticmethod
+    def _detach_datasets(views: dict, datasets: list) -> None:
+        ours = {id(view) for view in views.values()}
+        for ref in datasets:
+            dataset = ref()
+            if dataset is None:
+                continue
+            cache = dataset.__dict__
+            # Copy plane-backed statistics back to locally owned arrays
+            # while the mapping is still valid: a few-ms memcpy beats
+            # recomputing an O(n log n) sort on the next access.
+            for attr in ("sorted_scores", "score_order"):
+                if attr in cache and id(cache[attr]) in ours:
+                    restored = np.array(cache[attr])
+                    restored.flags.writeable = False
+                    cache[attr] = restored
+            weights = cache.get("_weight_cache") or {}
+            for key in list(weights):
+                if id(weights[key]) in ours:
+                    restored = np.array(weights[key])
+                    restored.flags.writeable = False
+                    weights[key] = restored
+            if id(dataset.proxy_scores) in ours:
+                restored = np.array(dataset.proxy_scores, dtype=float)
+                object.__setattr__(dataset, "proxy_scores", restored)
+        datasets.clear()
+
+    def register_dataset(self, dataset) -> None:
+        """Remember a published dataset so :meth:`close` can detach it."""
+        self._datasets.append(weakref.ref(dataset))
+
+    def counters(self) -> Mapping[str, int]:
+        """Byte accounting for the return path."""
+        return {"bytes_shipped": self.bytes_shipped, "bytes_shm": self.bytes_shm}
+
+    # -- published statistics --------------------------------------------------
+
+    def share(self, fingerprint: str, name: str, array: np.ndarray) -> np.ndarray:
+        """Publish one statistic; return the plane-backed read-only view.
+
+        Idempotent per ``(fingerprint, name)``: the first call copies
+        the array into shared pages, later calls return the existing
+        view.  In ``pickle`` mode the array is returned unchanged.
+        """
+        if self.mode == "pickle" or self.closed:
+            return array
+        key = (str(fingerprint), str(name))
+        view = self._views.get(key)
+        if view is not None:
+            return view
+        arr = np.ascontiguousarray(array)
+        if self.mode == "shm":
+            segment_name = f"{self.uid}-s{len(self._segments):x}"
+            shm = shared_memory.SharedMemory(
+                name=segment_name, create=True, size=max(int(arr.nbytes), 1)
+            )
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+            view.flags.writeable = False
+            self._segments[segment_name] = shm
+        else:
+            path = self._stat_path(key[0], key[1])
+            view = self._share_mmap(path, arr)
+            if view is None:
+                return array  # unusable file; stay process-local
+        self._views[key] = view
+        return view
+
+    def view(self, fingerprint: str, name: str) -> "np.ndarray | None":
+        """The published view for a statistic, or ``None``."""
+        return self._views.get((str(fingerprint), str(name)))
+
+    def _stat_path(self, fingerprint: str, name: str) -> Path:
+        return self._directory / f"stat-{fingerprint[:16]}-{name}.npy"
+
+    def _share_mmap(self, path: Path, arr: np.ndarray) -> "np.ndarray | None":
+        self._directory.mkdir(parents=True, exist_ok=True)
+        if not path.exists():
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            try:
+                with open(tmp, "wb") as handle:
+                    np.save(handle, arr)
+                os.replace(tmp, path)
+            except OSError:
+                tmp.unlink(missing_ok=True)
+                return None
+        try:
+            return np.load(path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            self._quarantine(path, exc)
+            return None
+
+    # -- result transfer -------------------------------------------------------
+
+    def result_segment_name(self, call_id: int, batch_head: int) -> str:
+        """Deterministic transfer name so the parent can sweep after a crash."""
+        return f"{self.uid}-c{int(call_id):x}-r{int(batch_head):x}"
+
+    def _result_path(self, call_id: int, batch_head: int) -> Path:
+        return self._directory / f"{self.result_segment_name(call_id, batch_head)}.bin"
+
+    def encode_batch(
+        self,
+        call_id: int,
+        batch_head: int,
+        items: Iterable[tuple[int, SelectionResult, int]],
+    ) -> _EncodedBatch:
+        """Worker side: pack one batch's results for transfer.
+
+        ``items`` yields ``(execution index, result, dataset size)``.
+        Index arrays are downcast first; the whole batch then either
+        rides the pipe inline or lands in one segment / spill file.
+        """
+        prepared = []
+        total = 0
+        for index, result, size in items:
+            idx = downcast_indices(result.indices, size)
+            smp = downcast_indices(result.sampled_indices, size)
+            prepared.append((index, result, idx, smp))
+            total += int(idx.nbytes) + int(smp.nbytes)
+
+        transport = None
+        crc = None
+        refs: dict[int, _ArrayRef] = {}
+        if self.mode != "pickle" and total > self.inline_bytes:
+            arrays = [a for (_, _, idx, smp) in prepared for a in (idx, smp)]
+            offset = 0
+            for arr in arrays:
+                refs[id(arr)] = _ArrayRef(offset, int(arr.size), arr.dtype.str)
+                offset += int(arr.nbytes)
+            if self.mode == "shm":
+                name = self.result_segment_name(call_id, batch_head)
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(total, 1)
+                )
+                for arr in arrays:
+                    ref = refs[id(arr)]
+                    shm.buf[ref.offset : ref.offset + ref.nbytes] = arr.tobytes()
+                shm.close()  # data persists until the parent unlinks it
+                transport = ("shm", name)
+            else:
+                blob = b"".join(arr.tobytes() for arr in arrays)
+                crc = zlib.crc32(blob)
+                path = self._result_path(call_id, batch_head)
+                self._directory.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+                with open(tmp, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+                transport = ("mmap", str(path))
+
+        entries = tuple(
+            _EncodedResult(
+                index=index,
+                tau=result.tau,
+                oracle_calls=result.oracle_calls,
+                details=result.details,
+                indices=refs.get(id(idx), idx),
+                sampled=refs.get(id(smp), smp),
+            )
+            for index, result, idx, smp in prepared
+        )
+        return _EncodedBatch(
+            transport=transport, nbytes=total, crc=crc, entries=entries
+        )
+
+    def decode_batch(
+        self, payload: _EncodedBatch
+    ) -> list[tuple[int, SelectionResult]]:
+        """Parent side: reconstruct a batch and release its transfer.
+
+        Raises:
+            PlaneIntegrityError: the transfer's segment or spill file is
+                missing or corrupt (the file is quarantined first).
+                The caller re-runs the batch in-process.
+        """
+        data: bytes | None = None
+        if payload.transport is not None:
+            kind, ident = payload.transport
+            if kind == "shm":
+                try:
+                    shm = shared_memory.SharedMemory(name=ident)
+                except (FileNotFoundError, OSError) as exc:
+                    raise PlaneIntegrityError(
+                        f"result segment {ident!r} is missing"
+                    ) from exc
+                data = bytes(shm.buf[: payload.nbytes])
+                shm.unlink()
+                shm.close()
+                self.bytes_shm += payload.nbytes
+            else:
+                path = Path(ident)
+                try:
+                    data = path.read_bytes()
+                except OSError as exc:
+                    raise PlaneIntegrityError(
+                        f"result spill {path.name} is unreadable: {exc}"
+                    ) from exc
+                if len(data) != payload.nbytes or zlib.crc32(data) != payload.crc:
+                    defect = ValueError(
+                        f"result spill {path.name} failed checksum "
+                        f"({len(data)} bytes, expected {payload.nbytes})"
+                    )
+                    self._quarantine(path, defect)
+                    raise PlaneIntegrityError(str(defect))
+                path.unlink(missing_ok=True)
+                self.bytes_shm += payload.nbytes
+
+        out: list[tuple[int, SelectionResult]] = []
+        for entry in payload.entries:
+            idx = self._resolve(entry.indices, data)
+            smp = self._resolve(entry.sampled, data)
+            result = SelectionResult.from_transfer(
+                indices=_upcast_indices(idx),
+                tau=entry.tau,
+                oracle_calls=entry.oracle_calls,
+                sampled_indices=_upcast_indices(smp),
+                details=entry.details,
+            )
+            out.append((entry.index, result))
+        return out
+
+    def _resolve(
+        self, spec: "np.ndarray | _ArrayRef", data: "bytes | None"
+    ) -> np.ndarray:
+        if isinstance(spec, _ArrayRef):
+            return np.frombuffer(
+                data, dtype=np.dtype(spec.dtype), count=spec.count, offset=spec.offset
+            )
+        arr = np.asarray(spec)
+        self.bytes_shipped += int(arr.nbytes)
+        return arr
+
+    def reclaim(self, call_id: int, batch_head: int) -> bool:
+        """Best-effort release of a transfer orphaned by a dead worker.
+
+        Returns ``True`` when an orphaned segment or spill file was
+        actually found and removed.
+        """
+        if self.mode == "shm" and shared_memory is not None:
+            name = self.result_segment_name(call_id, batch_head)
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, OSError):
+                return False
+            shm.unlink()
+            shm.close()
+            return True
+        if self.mode == "mmap" and self._directory is not None:
+            path = self._result_path(call_id, batch_head)
+            existed = path.exists()
+            path.unlink(missing_ok=True)
+            return existed
+        return False
+
+    # -- quarantine ------------------------------------------------------------
+
+    def _quarantine(self, path: Path, defect: Exception) -> None:
+        """Move a defective plane file aside with a reason report.
+
+        Mirrors the sample store's quarantine convention: a rejected
+        file must never be re-read, and operators get a
+        ``*.reason.json`` explaining why it was pulled.
+        """
+        if self._directory is None:
+            return
+        quarantine_dir = self._directory / QUARANTINE_DIRNAME
+        try:
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = quarantine_dir / path.name
+            os.replace(path, target)
+            report = {
+                "file": path.name,
+                "reason": str(defect) or type(defect).__name__,
+                "quarantined_at": time.time(),
+            }
+            target.with_name(target.name + ".reason.json").write_text(
+                json.dumps(report, indent=2, sort_keys=True)
+            )
+        except OSError:
+            return

@@ -152,6 +152,86 @@ class Dataset:
             cache[key] = weights
         return weights
 
+    # ------------------------------------------------------------------
+    # Shared-memory data plane.  Before a fan-out forks workers, the
+    # parent publishes this dataset's big arrays into a
+    # :class:`~repro.core.shm.SharedArrayPlane`; the cached statistics
+    # then resolve to plane-backed read-only views, so fork workers
+    # read truly shared pages instead of copy-on-write ones.  Values
+    # are bytewise identical either way — publishing never changes what
+    # any selector computes.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _weight_stat_name(key: tuple[float, float]) -> str:
+        return f"weights-{key[0]:g}-{key[1]:g}"
+
+    def publish(self, plane) -> None:
+        """Move this dataset's statistics into a shared-array plane.
+
+        Idempotent, and a no-op for a ``pickle``-mode plane.  The
+        fingerprint is resolved first (it hashes the original proxy
+        scores); ``sorted_scores`` / ``score_order`` are computed here
+        if not already cached, and every importance-weight vector
+        cached so far moves too — call this *after* a plan prewarm so
+        the designs' weights are included.  ``plane.close()`` reverts
+        every statistic to a locally owned array.
+        """
+        if plane is None or plane.mode == "pickle":
+            return
+        fingerprint = self.fingerprint
+        self.__dict__["sorted_scores"] = plane.share(
+            fingerprint, "sorted-scores", self.sorted_scores
+        )
+        self.__dict__["score_order"] = plane.share(
+            fingerprint, "score-order", self.score_order
+        )
+        object.__setattr__(
+            self,
+            "proxy_scores",
+            plane.share(fingerprint, "proxy-scores", self.proxy_scores),
+        )
+        cache = self.__dict__.setdefault("_weight_cache", {})
+        for key in list(cache):
+            cache[key] = plane.share(
+                fingerprint, self._weight_stat_name(key), cache[key]
+            )
+        plane.register_dataset(self)
+
+    def attach(self, plane) -> bool:
+        """Resolve cached statistics to a plane's published views.
+
+        The fork path never needs this — workers inherit the published
+        views directly — but a dataset object that arrived by pickle
+        (same content, fresh caches) can re-attach by fingerprint
+        instead of recomputing.  Returns whether anything attached.
+        """
+        if plane is None or plane.mode == "pickle":
+            return False
+        fingerprint = self.fingerprint
+        attached = False
+        for attr, name in (
+            ("sorted_scores", "sorted-scores"),
+            ("score_order", "score-order"),
+        ):
+            view = plane.view(fingerprint, name)
+            if view is not None:
+                self.__dict__[attr] = view
+                attached = True
+        view = plane.view(fingerprint, "proxy-scores")
+        if view is not None:
+            object.__setattr__(self, "proxy_scores", view)
+            attached = True
+        cache = self.__dict__.setdefault("_weight_cache", {})
+        for key in list(cache):
+            view = plane.view(fingerprint, self._weight_stat_name(key))
+            if view is not None:
+                cache[key] = view
+                attached = True
+        if attached:
+            plane.register_dataset(self)
+        return attached
+
     def select_above(self, tau: float) -> np.ndarray:
         """Indices of ``D(tau) = {x : A(x) >= tau}``."""
         return np.flatnonzero(self.proxy_scores >= tau)

@@ -63,7 +63,8 @@ from typing import Callable, Mapping, Sequence
 
 from ..core.base import Selector
 from ..core.pipeline import ExecutionContext, SampleStore
-from ..core.planning import plan_executions, require_fork_or_warn, resolve_n_jobs
+from ..core.planning import effective_workers, plan_executions, resolve_n_jobs
+from ..core.shm import SharedArrayPlane
 from ..core.types import ApproxQuery
 from ..datasets import Dataset
 from ..faults import maybe_kill_worker
@@ -137,12 +138,10 @@ def _run_trial_chunk(trials: Sequence[int]) -> list[TrialRecord]:
     ]
 
 
-# Platform fork detection lives with the planner (core.planning); the
-# wrapper keeps this module's call sites readable and funnels the
-# no-fork degradation through the planner's warn-once helper.  Only
-# consulted when n_jobs > 1 was actually requested.
-def _fork_available() -> bool:
-    return require_fork_or_warn("parallel trial fan-out (n_jobs > 1)")
+#: The warn-once tag every runner fan-out hands to
+#: :func:`~repro.core.planning.effective_workers` (which funnels the
+#: no-fork degradation through the planner's warn-once helper).
+_FANOUT_TAG = "parallel trial fan-out (n_jobs > 1)"
 
 
 def _prewarm_store_dir(
@@ -331,9 +330,9 @@ def run_trials(
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
-    jobs = min(resolve_n_jobs(n_jobs), trials)
+    jobs = effective_workers(n_jobs, trials, _FANOUT_TAG)
     _reject_context_with_parallelism(context, jobs, "run_trials")
-    if jobs > 1 and _fork_available():
+    if jobs > 1:
         records = _run_trials_parallel(
             factory, dataset, trials, base_seed, method_name, jobs
         )
@@ -411,27 +410,36 @@ def _run_panel(
     run sequentially under one shared context."""
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
-    jobs = min(resolve_n_jobs(n_jobs), trials)
+    jobs = effective_workers(n_jobs, trials, _FANOUT_TAG)
     _reject_context_with_parallelism(context, jobs, what)
     _validate_sharing(context, share_samples, store_dir, what)
-    if jobs > 1 and _fork_available():
+    if jobs > 1:
         if store_dir is not None and share_samples:
             _prewarm_store_dir(slots, dataset, trials, base_seed, store_dir)
-        chunks = _chunk_trials(trials, jobs)
-        chunk_results = _map_chunks_with_recovery(
-            chunks,
-            _run_panel_chunk,
-            _init_panel_worker,
-            (tuple(slots), dataset, base_seed, share_samples, store_dir),
-            lambda chunk: _panel_chunk_records(
-                slots,
-                dataset,
-                chunk,
-                base_seed,
-                _make_context(store_dir) if share_samples else None,
-            ),
-            what,
-        )
+        # Publish the dataset's statistics (computed by the prewarm
+        # above, or right here) into a shared-array plane before the
+        # workers fork, so every chunk reads the same shared pages
+        # instead of dirtying copy-on-write ones.
+        plane = SharedArrayPlane(directory=store_dir)
+        dataset.publish(plane)
+        try:
+            chunks = _chunk_trials(trials, jobs)
+            chunk_results = _map_chunks_with_recovery(
+                chunks,
+                _run_panel_chunk,
+                _init_panel_worker,
+                (tuple(slots), dataset, base_seed, share_samples, store_dir),
+                lambda chunk: _panel_chunk_records(
+                    slots,
+                    dataset,
+                    chunk,
+                    base_seed,
+                    _make_context(store_dir) if share_samples else None,
+                ),
+                what,
+            )
+        finally:
+            plane.close()
         return [
             [record for chunk in chunk_results for record in chunk[slot]]
             for slot in range(len(slots))
@@ -647,9 +655,9 @@ def run_sweep_cells(
             cell if "store_dir" in cell else {**cell, "store_dir": store_dir}
             for cell in cell_list
         ]
-    jobs = min(resolve_n_jobs(n_jobs), len(cell_list))
+    jobs = effective_workers(n_jobs, len(cell_list), _FANOUT_TAG)
     _reject_context_with_parallelism(context, jobs, "run_sweep_cells")
-    if jobs > 1 and _fork_available():
+    if jobs > 1:
         _prewarm_cells(cell_list)
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(

@@ -54,11 +54,11 @@ from ..core.joint import JointSelector
 from ..core.pipeline import ExecutionContext, SampleStore
 from ..core.planning import (
     QueryPlan,
+    effective_workers,
     plan_executions,
-    require_fork_or_warn,
-    resolve_n_jobs,
 )
 from ..core.registry import default_selector, make_selector
+from ..core.shm import PlaneIntegrityError, SharedArrayPlane
 from ..core.types import SelectionResult
 from ..datasets import Dataset
 from ..faults import maybe_kill_worker, wrap_label_fn
@@ -128,22 +128,33 @@ class _CompiledQuery:
 
 
 # Worker-process state for the batch fan-out, installed by the pool
-# initializer.  Compiled queries and the warm context travel to workers
-# by fork inheritance (datasets, closures, and the pre-drawn sample
-# store are shared copy-on-write rather than pickled per task).
+# initializer.  Compiled queries, the warm context, and the shared-array
+# plane travel to workers by fork inheritance (datasets, closures, the
+# pre-drawn sample store, and the plane's published views are shared
+# pages rather than pickled per task).
 _WORKER_STATE: dict[str, tuple] = {}
 
 
 def _init_batch_worker(
-    compiled: Sequence[_CompiledQuery], context: ExecutionContext | None
+    compiled: Sequence[_CompiledQuery],
+    context: ExecutionContext | None,
+    plane: SharedArrayPlane | None = None,
+    call_id: int = 0,
 ) -> None:
-    _WORKER_STATE["batch"] = (tuple(compiled), context)
+    _WORKER_STATE["batch"] = (tuple(compiled), context, plane, call_id)
 
 
-def _run_batch(indices: Sequence[int]) -> list[tuple[int, SelectionResult]]:
+def _run_batch(indices: Sequence[int]):
     maybe_kill_worker(indices)  # chaos seam; no-op unless a fault plan is active
-    compiled, context = _WORKER_STATE["batch"]
-    return [(index, compiled[index].run(context)) for index in indices]
+    compiled, context, plane, call_id = _WORKER_STATE["batch"]
+    pairs = [(index, compiled[index].run(context)) for index in indices]
+    if plane is None:
+        return pairs
+    return plane.encode_batch(
+        call_id,
+        indices[0],
+        ((index, result, compiled[index].dataset.size) for index, result in pairs),
+    )
 
 
 class SupgEngine:
@@ -168,6 +179,13 @@ class SupgEngine:
             ``context`` for the same reason as ``store_dir``; construct
             the context's store with ``SampleStore(retry_policy=...)``
             instead.
+        data_plane: how parallel fan-outs share arrays with workers —
+            ``"shm"`` (POSIX shared memory), ``"mmap"`` (files under
+            the store directory), or ``"pickle"`` (the plane is
+            disabled; results ride the pool pipe).  ``None`` uses the
+            ambient :func:`repro.core.shm.default_mode` (the CLI's
+            ``--data-plane``).  Results are bit-identical in every
+            mode.
 
     Example::
 
@@ -188,6 +206,7 @@ class SupgEngine:
         context: ExecutionContext | None = None,
         store_dir: str | None = None,
         retry_policy: RetryPolicy | None = None,
+        data_plane: str | None = None,
     ) -> None:
         if context is not None and store_dir is not None:
             raise ValueError(
@@ -208,6 +227,10 @@ class SupgEngine:
                 store=SampleStore(store_dir=store_dir, retry_policy=retry_policy)
             )
         self._context = context
+        self._data_plane = data_plane
+        self._plane: SharedArrayPlane | None = None
+        self._plane_calls = 0
+        self._retired_transfer = {"bytes_shipped": 0, "bytes_shm": 0}
 
     # -- registration ----------------------------------------------------------
 
@@ -239,8 +262,53 @@ class SupgEngine:
         return self._context
 
     def session_stats(self) -> Mapping[str, int]:
-        """Sample-store reuse counters for this engine session."""
-        return self._context.stats()
+        """Sample-store reuse counters plus data-plane byte accounting."""
+        stats = dict(self._context.stats())
+        stats.update(self.transfer_stats())
+        return stats
+
+    def transfer_stats(self) -> Mapping[str, int]:
+        """Result-transfer byte counters for this engine session.
+
+        ``bytes_shipped`` counts index-array bytes that rode the worker
+        pipe inline; ``bytes_shm`` counts bytes moved through shm
+        segments / mmap spills instead.  Totals persist across plane
+        releases.
+        """
+        totals = dict(self._retired_transfer)
+        if self._plane is not None:
+            for key, value in self._plane.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def _ensure_plane(self) -> SharedArrayPlane:
+        """The session's shared-array plane, (re)created on demand."""
+        if self._plane is not None and self._plane.closed:
+            self.release_plane()
+        if self._plane is None:
+            store_dir = self._context.store.store_dir
+            self._plane = SharedArrayPlane(
+                mode=self._data_plane, directory=store_dir
+            )
+        return self._plane
+
+    def release_plane(self) -> None:
+        """Release the shared-array plane (segments, spill files).
+
+        Published datasets revert to locally owned statistics and the
+        byte counters fold into :meth:`transfer_stats`; the next
+        parallel batch simply builds a fresh plane.  Idempotent.
+        """
+        if self._plane is None:
+            return
+        for key, value in self._plane.counters().items():
+            self._retired_transfer[key] = self._retired_transfer.get(key, 0) + value
+        self._plane.close()
+        self._plane = None
+
+    def close(self) -> None:
+        """Release session resources; the engine stays usable."""
+        self.release_plane()
 
     def reset_session(self) -> None:
         """Drop cached samples and derived datasets (registrations stay)."""
@@ -467,9 +535,7 @@ class SupgEngine:
         context = self._context if reuse_samples else None
         if context is not None:
             plan.prewarm(context.store)
-        workers = min(resolve_n_jobs(jobs), len(compiled))
-        if workers > 1 and not require_fork_or_warn("execute_many(jobs=...)"):
-            workers = 1
+        workers = effective_workers(jobs, len(compiled), "execute_many(jobs=...)")
         if workers > 1:
             results, recovered = self._run_batches_parallel(compiled, plan, context, workers)
             if recovered:
@@ -489,8 +555,8 @@ class SupgEngine:
             for job, result in zip(compiled, results)
         ]
 
-    @staticmethod
     def _run_batches_parallel(
+        self,
         compiled: Sequence[_CompiledQuery],
         plan: QueryPlan,
         context: ExecutionContext | None,
@@ -498,18 +564,27 @@ class SupgEngine:
     ) -> tuple[list[SelectionResult], list[list[int]]]:
         """Fan the plan's independent batches across a fork pool.
 
-        Workers inherit the pre-warmed store copy-on-write; a group's
+        Before forking, every distinct dataset in the batch is
+        published into the session's shared-array plane, so workers
+        read the big statistics (proxy scores, sorted scores,
+        importance weights) from genuinely shared pages; a group's
         statements stay together so any residual lazy draw (e.g. an
-        oracle-UDF statement) happens once on one worker.
+        oracle-UDF statement) happens once on one worker.  Workers
+        return results through the plane's spill-or-shm transfer
+        (:meth:`~repro.core.shm.SharedArrayPlane.encode_batch`): small
+        batches ride the pipe, large index arrays come back through a
+        segment the parent decodes and releases.
 
         Built on :class:`~concurrent.futures.ProcessPoolExecutor`
         rather than ``multiprocessing.Pool`` because a worker that dies
         mid-batch (OOM kill, segfault, chaos injection) must *surface*
         — the executor raises ``BrokenProcessPool`` where a plain pool
-        would hang ``map()`` forever.  Batches lost to a dead worker
-        are re-executed sequentially in the parent from the already
-        pre-warmed store, so the recovered results are bit-identical to
-        an unfaulted run.
+        would hang ``map()`` forever.  Batches lost to a dead worker —
+        or whose transfer cannot be decoded (the corrupt spill is
+        quarantined) — are re-executed sequentially in the parent from
+        the already pre-warmed store, so the recovered results are
+        bit-identical to an unfaulted run; any segment the dead worker
+        left behind is reclaimed by its deterministic name.
 
         Returns:
             ``(results, recovered_batches)`` — results in statement
@@ -517,6 +592,14 @@ class SupgEngine:
             be re-executed after a worker death.
         """
         batches = plan.batches()
+        plane = self._ensure_plane()
+        call_id = self._plane_calls
+        self._plane_calls += 1
+        datasets: dict[int, Dataset] = {}
+        for job in compiled:
+            datasets.setdefault(id(job.dataset), job.dataset)
+        for dataset in datasets.values():
+            dataset.publish(plane)
         fork = multiprocessing.get_context("fork")
         results: list[SelectionResult | None] = [None] * len(compiled)
         recovered: list[list[int]] = []
@@ -524,19 +607,28 @@ class SupgEngine:
             max_workers=min(workers, len(batches)),
             mp_context=fork,
             initializer=_init_batch_worker,
-            initargs=(tuple(compiled), context),
+            initargs=(tuple(compiled), context, plane, call_id),
         ) as pool:
             futures = [(pool.submit(_run_batch, batch), batch) for batch in batches]
             for future, batch in futures:
                 try:
-                    for index, result in future.result():
-                        results[index] = result
+                    payload = future.result()
                 except BrokenProcessPool:
                     # The worker running this batch (or a pool-mate that
                     # poisoned the executor) died; every unfinished
                     # future fails the same way.  Collect them for
                     # in-parent re-execution rather than failing the
-                    # whole batch call.
+                    # whole batch call, and sweep any result segment
+                    # the worker created before dying.
+                    plane.reclaim(call_id, batch[0])
+                    recovered.append(batch)
+                    continue
+                try:
+                    for index, result in plane.decode_batch(payload):
+                        results[index] = result
+                except PlaneIntegrityError:
+                    # The transfer itself was damaged (quarantined
+                    # already); recover exactly like a dead worker.
                     recovered.append(batch)
         for batch in recovered:
             for index in batch:

@@ -83,7 +83,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Mapping
 
-from ..core.planning import require_fork_or_warn, resolve_n_jobs
+from ..core.planning import effective_workers, resolve_n_jobs
 from .engine import QueryExecution, SupgEngine
 from .parser import parse_query
 
@@ -398,6 +398,11 @@ class SupgService:
             )
         self._thread.join(timeout)
         if not self._thread.is_alive():
+            # No window can be in flight anymore: release the engine's
+            # shared-array plane so a stopped service leaves no shm
+            # segments or spill files behind.  (The engine stays
+            # usable — a later parallel batch rebuilds the plane.)
+            self.engine.release_plane()
             return
         with self._arrival:
             stuck = list(self._pending) + list(self._inflight)
@@ -430,7 +435,9 @@ class SupgService:
         ``late_folded`` (arrivals absorbed after the window closed),
         ``warm_draws`` (groups already in the store before the window
         pre-drew), ``labels_drawn`` / ``labels_saved`` (store-counter
-        deltas), ``recovered_groups`` (execution groups re-run
+        deltas), ``bytes_shipped`` / ``bytes_shm`` (result bytes that
+        rode the worker pipe vs the shared-memory plane),
+        ``recovered_groups`` (execution groups re-run
         sequentially after a fork worker died), ``window_seconds``,
         and ``closed_by`` (``"count"`` / ``"timeout"`` / ``"drain"``).
         A window abandoned at its deadline additionally carries
@@ -679,6 +686,7 @@ class SupgService:
         late_folded = 0
         doomed: dict[int, BaseException] = {}
         before = store.stats()
+        transfer_before = self.engine.transfer_stats()
         window_error: Exception | None = None
         if compiled:
             # Planning and prewarm touch real resources (the oracle,
@@ -744,6 +752,7 @@ class SupgService:
                 submission.ticket._finish(result=execution, window=window_index)
 
         after = store.stats()
+        transfer_after = self.engine.transfer_stats()
         grouped = (
             plan.n_executions - len(plan.ungrouped) if plan is not None else 0
         )
@@ -759,6 +768,9 @@ class SupgService:
             "warm_draws": warm_draws,
             "labels_drawn": after["labels_drawn"] - before["labels_drawn"],
             "labels_saved": after["labels_saved"] - before["labels_saved"],
+            "bytes_shipped": transfer_after["bytes_shipped"]
+            - transfer_before["bytes_shipped"],
+            "bytes_shm": transfer_after["bytes_shm"] - transfer_before["bytes_shm"],
             "recovered_groups": recovered_groups,
             "window_seconds": time.perf_counter() - start,
             "closed_by": closed_by,
@@ -793,12 +805,12 @@ class SupgService:
         doomed = dict(doomed or {})
         if not compiled:
             return [], 0
-        workers = min(resolve_n_jobs(self._jobs), len(compiled))
-        if workers > 1 and not require_fork_or_warn("SupgService plan windows"):
-            workers = 1
+        workers = effective_workers(
+            self._jobs, len(compiled), "SupgService plan windows"
+        )
         if workers > 1 and not doomed:
             try:
-                results, recovered = SupgEngine._run_batches_parallel(
+                results, recovered = self.engine._run_batches_parallel(
                     compiled, plan, self.engine.context, workers
                 )
             except Exception:

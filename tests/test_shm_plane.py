@@ -1,0 +1,344 @@
+"""The shared-memory data plane: ``repro.core.shm``.
+
+Contracts pinned here:
+
+1. Transfer index arrays are downcast to the smallest integer dtype
+   that can address the dataset, and decode back to ``np.intp`` with
+   identical values.
+2. ``Dataset.publish`` / ``attach`` are idempotent, and fork children
+   see the published views without recomputing.
+3. ``execute_many`` stays bit-identical to the sequential loop under
+   every data-plane mode, including after worker death.
+4. No shared-memory segment outlives its plane: explicit ``close()``,
+   garbage collection, worker kill, and ``SupgService.close()`` all
+   leave ``/dev/shm`` clean — and a dataset published to a dead plane
+   is still readable (views are detached, never unmapped).
+5. A corrupted mmap result spill is quarantined with a reason report
+   and surfaces as :class:`PlaneIntegrityError`, not as wrong data.
+"""
+
+from __future__ import annotations
+
+import gc
+import glob
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.shm import (
+    DATA_PLANE_MODES,
+    PlaneIntegrityError,
+    QUARANTINE_DIRNAME,
+    SharedArrayPlane,
+    downcast_indices,
+)
+from repro.core.types import SelectionResult
+from repro.datasets import make_beta_dataset
+from repro.faults import FaultPlan, inject
+from repro.query import SupgEngine, SupgService
+
+RT = (
+    "SELECT * FROM t WHERE P(x) = True ORACLE LIMIT 400 USING A(x) "
+    "RECALL TARGET {gamma}% WITH PROBABILITY 95%"
+)
+PT = (
+    "SELECT * FROM t WHERE P(x) = True ORACLE LIMIT 400 USING A(x) "
+    "PRECISION TARGET 80% WITH PROBABILITY 95%"
+)
+BATCH = [RT.format(gamma=80), RT.format(gamma=90), PT]
+
+HAS_DEV_SHM = os.path.isdir("/dev/shm")
+
+
+def _segments_of(uid: str) -> list[str]:
+    return glob.glob(f"/dev/shm/{uid}*")
+
+
+def _engine(dataset, **kwargs) -> SupgEngine:
+    engine = SupgEngine(**kwargs)
+    engine.register_table("t", dataset)
+    return engine
+
+
+def _assert_identical(got, want) -> None:
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert a.method == b.method
+        np.testing.assert_array_equal(a.result.indices, b.result.indices)
+        assert a.result.indices.dtype == b.result.indices.dtype
+        assert a.result.tau == b.result.tau
+        assert a.result.oracle_calls == b.result.oracle_calls
+        np.testing.assert_array_equal(a.result.sampled_indices, b.result.sampled_indices)
+
+
+@pytest.fixture
+def dataset():
+    return make_beta_dataset(0.01, 1.0, size=20_000, seed=11)
+
+
+class TestDowncast:
+    """Satellite: smallest safe transfer dtype, keyed on dataset size."""
+
+    @pytest.mark.parametrize(
+        "size, expected",
+        [
+            (1, np.uint8),
+            (256, np.uint8),
+            (257, np.uint16),
+            (65_536, np.uint16),
+            (65_537, np.uint32),
+            (2**32, np.uint32),
+        ],
+    )
+    def test_dtype_ladder(self, size, expected):
+        arr = np.array([0, size - 1], dtype=np.intp)
+        out = downcast_indices(arr, size)
+        assert out.dtype == np.dtype(expected)
+        np.testing.assert_array_equal(out.astype(np.intp), arr)
+
+    def test_beyond_uint32_keeps_platform_dtype(self):
+        arr = np.array([0, 7], dtype=np.intp)
+        assert downcast_indices(arr, 2**32 + 1).dtype == np.dtype(np.intp)
+
+    def test_keyed_on_size_not_contents(self):
+        # Small values in a big table must still use the table's dtype,
+        # so the wire format is deterministic per dataset.
+        arr = np.array([1, 2, 3], dtype=np.intp)
+        assert downcast_indices(arr, 100_000).dtype == np.dtype(np.uint32)
+
+    @pytest.mark.parametrize("mode", ["shm", "mmap", "pickle"])
+    def test_round_trip_through_transfer(self, mode, tmp_path):
+        plane = SharedArrayPlane(mode=mode, directory=tmp_path, inline_bytes=0)
+        try:
+            result = SelectionResult(
+                indices=np.array([3, 5, 19_999], dtype=np.intp),
+                tau=0.25,
+                oracle_calls=7,
+                sampled_indices=np.array([2, 3], dtype=np.intp),
+                details={"k": 1.5},
+            )
+            payload = plane.encode_batch(0, 0, [(0, result, 20_000)])
+            [(index, decoded)] = plane.decode_batch(payload)
+            assert index == 0
+            assert decoded.indices.dtype == np.dtype(np.intp)
+            np.testing.assert_array_equal(decoded.indices, result.indices)
+            np.testing.assert_array_equal(
+                decoded.sampled_indices, result.sampled_indices
+            )
+            assert decoded.tau == result.tau
+            assert decoded.oracle_calls == result.oracle_calls
+            assert dict(decoded.details) == dict(result.details)
+        finally:
+            plane.close()
+
+
+class TestPublishAttach:
+    def test_publish_is_idempotent(self, dataset, tmp_path):
+        plane = SharedArrayPlane(directory=tmp_path)
+        try:
+            dataset.sampling_weights(0.5, 0.1)  # a cached weight vector moves too
+            dataset.publish(plane)
+            first = dataset.__dict__["sorted_scores"]
+            dataset.publish(plane)
+            assert dataset.__dict__["sorted_scores"] is first
+            assert not first.flags.writeable
+            np.testing.assert_array_equal(first, np.sort(np.asarray(dataset.proxy_scores)))
+        finally:
+            plane.close()
+
+    def test_attach_resolves_fresh_caches_by_fingerprint(self, dataset, tmp_path):
+        plane = SharedArrayPlane(directory=tmp_path)
+        try:
+            dataset.publish(plane)
+            twin = make_beta_dataset(0.01, 1.0, size=20_000, seed=11)
+            assert twin.__dict__.get("sorted_scores") is None
+            assert twin.attach(plane)
+            assert twin.__dict__["sorted_scores"] is dataset.__dict__["sorted_scores"]
+        finally:
+            plane.close()
+
+    def test_attach_to_empty_plane_is_a_noop(self, dataset, tmp_path):
+        plane = SharedArrayPlane(directory=tmp_path)
+        try:
+            assert not dataset.attach(plane)
+        finally:
+            plane.close()
+
+    def test_pickle_mode_publish_is_inert(self, dataset):
+        plane = SharedArrayPlane(mode="pickle")
+        try:
+            before = dataset.sorted_scores
+            dataset.publish(plane)
+            assert dataset.sorted_scores is before
+        finally:
+            plane.close()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+    def test_fork_child_inherits_published_views(self, dataset, tmp_path):
+        plane = SharedArrayPlane(directory=tmp_path)
+        try:
+            dataset.publish(plane)
+            view = dataset.__dict__["sorted_scores"]
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:  # child: the cache entry must be the view itself
+                ok = dataset.__dict__.get("sorted_scores") is view and bool(
+                    np.isfinite(dataset.sorted_scores).all()
+                )
+                os.write(write_fd, b"1" if ok else b"0")
+                os._exit(0)
+            os.close(write_fd)
+            verdict = os.read(read_fd, 1)
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+            assert verdict == b"1"
+        finally:
+            plane.close()
+
+
+class TestExecuteManyParity:
+    @pytest.mark.parametrize("mode", DATA_PLANE_MODES)
+    def test_parallel_matches_sequential(self, dataset, mode, tmp_path):
+        sequential = _engine(dataset).execute_many(BATCH, seed=5)
+        engine = _engine(dataset, store_dir=str(tmp_path), data_plane=mode)
+        try:
+            parallel = engine.execute_many(BATCH, seed=5, jobs=2)
+            _assert_identical(parallel, sequential)
+            stats = engine.session_stats()
+            assert stats["bytes_shipped"] >= 0 and stats["bytes_shm"] >= 0
+        finally:
+            engine.release_plane()
+
+    def test_forced_segment_transfer_matches_inline(self, dataset, tmp_path):
+        sequential = _engine(dataset).execute_many(BATCH, seed=5)
+        engine = _engine(dataset, store_dir=str(tmp_path))
+        try:
+            engine._ensure_plane().inline_bytes = 0  # everything via segments
+            parallel = engine.execute_many(BATCH, seed=5, jobs=2)
+            _assert_identical(parallel, sequential)
+            assert engine.transfer_stats()["bytes_shm"] > 0
+        finally:
+            engine.release_plane()
+
+
+class TestLifecycle:
+    def test_close_detaches_and_unlinks(self, dataset, tmp_path):
+        plane = SharedArrayPlane(directory=tmp_path)
+        dataset.publish(plane)
+        uid = plane.uid
+        reference = np.array(dataset.sorted_scores)
+        plane.close()
+        assert plane.closed
+        if HAS_DEV_SHM:
+            assert _segments_of(uid) == []
+        # Statistics revert to locally owned arrays, values intact.
+        np.testing.assert_array_equal(dataset.sorted_scores, reference)
+        assert float(dataset.proxy_scores[0]) == float(np.asarray(dataset.proxy_scores)[0])
+        plane.close()  # idempotent
+
+    def test_gc_finalizer_detaches_published_datasets(self, dataset, tmp_path):
+        # Regression: a plane dying by garbage collection (engine
+        # dropped without release_plane) must not leave the dataset
+        # pointing at unmapped pages — that was a segfault, not a test
+        # failure, before the finalizer learned to detach.
+        engine = _engine(dataset, store_dir=str(tmp_path))
+        engine.execute_many(BATCH, seed=5, jobs=2)
+        uid = engine._plane.uid
+        del engine
+        gc.collect()
+        assert np.isfinite(dataset.sorted_scores).all()
+        assert np.isfinite(np.asarray(dataset.proxy_scores)).all()
+        if HAS_DEV_SHM:
+            assert _segments_of(uid) == []
+
+    def test_release_plane_folds_counters(self, dataset, tmp_path):
+        engine = _engine(dataset, store_dir=str(tmp_path))
+        engine.execute_many(BATCH, seed=5, jobs=2)
+        live = engine.transfer_stats()
+        engine.release_plane()
+        assert engine._plane is None
+        assert engine.transfer_stats() == live  # retired, not lost
+        engine.release_plane()  # idempotent
+
+    def test_worker_death_leaves_no_segments(self, dataset, tmp_path):
+        sequential = _engine(dataset).execute_many(BATCH, seed=5)
+        engine = _engine(dataset, store_dir=str(tmp_path))
+        engine._ensure_plane().inline_bytes = 0  # force segment transfers
+        uid = engine._plane.uid
+        with inject(FaultPlan(seed=3, kill_execution=1)) as plan:
+            with pytest.warns(RuntimeWarning, match="recovered"):
+                recovered = engine.execute_many(BATCH, seed=5, jobs=2)
+            assert plan.worker_killed
+        _assert_identical(recovered, sequential)
+        engine.release_plane()
+        if HAS_DEV_SHM:
+            assert _segments_of(uid) == []
+
+    def test_service_close_releases_the_plane(self, dataset, tmp_path):
+        engine = _engine(dataset, store_dir=str(tmp_path))
+        service = SupgService(engine, max_window_queries=2, max_window_ms=500, jobs=2)
+        tickets = [service.submit(sql, seed=5) for sql in BATCH[:2]]
+        for ticket in tickets:
+            ticket.result()
+        uid = engine._plane.uid if engine._plane is not None else None
+        service.close()
+        assert engine._plane is None
+        if HAS_DEV_SHM and uid is not None:
+            assert _segments_of(uid) == []
+        log = service.window_log
+        assert log and "bytes_shipped" in log[0] and "bytes_shm" in log[0]
+
+
+class TestCorruptSpill:
+    def _payload(self, plane):
+        result = SelectionResult(
+            indices=np.arange(512, dtype=np.intp),
+            tau=0.5,
+            oracle_calls=64,
+            sampled_indices=np.arange(64, dtype=np.intp),
+            details={},
+        )
+        return plane.encode_batch(1, 0, [(0, result, 100_000)])
+
+    def test_corrupted_mmap_spill_is_quarantined(self, tmp_path):
+        plane = SharedArrayPlane(mode="mmap", directory=tmp_path, inline_bytes=0)
+        try:
+            payload = self._payload(plane)
+            kind, ident = payload.transport
+            assert kind == "mmap"
+            path = Path(ident)
+            blob = bytearray(path.read_bytes())
+            blob[0] ^= 0xFF
+            path.write_bytes(bytes(blob))
+            with pytest.raises(PlaneIntegrityError):
+                plane.decode_batch(payload)
+            quarantined = list((plane._directory / QUARANTINE_DIRNAME).iterdir())
+            assert any(p.name.endswith(".reason.json") for p in quarantined)
+            report = next(p for p in quarantined if p.name.endswith(".reason.json"))
+            assert "checksum" in json.loads(report.read_text())["reason"]
+        finally:
+            plane.close()
+
+    def test_missing_shm_segment_raises(self, tmp_path):
+        plane = SharedArrayPlane(mode="shm", directory=tmp_path, inline_bytes=0)
+        try:
+            payload = self._payload(plane)
+            assert payload.transport[0] == "shm"
+            assert plane.reclaim(1, 0)  # simulate the segment vanishing
+            with pytest.raises(PlaneIntegrityError):
+                plane.decode_batch(payload)
+        finally:
+            plane.close()
+
+    def test_reclaim_reports_whether_anything_was_found(self, tmp_path):
+        plane = SharedArrayPlane(mode="shm", directory=tmp_path, inline_bytes=0)
+        try:
+            assert not plane.reclaim(9, 9)
+            self._payload(plane)
+            assert plane.reclaim(1, 0)
+            assert not plane.reclaim(1, 0)
+        finally:
+            plane.close()
