@@ -27,10 +27,18 @@ contract (see README "Failure semantics"):
 5. **Fault evidence** — exactly one spill quarantined; retries
    actually happened; with fork available, at least one execution
    group was recovered after the worker kill.
-6. **No leaked shared memory** — after both passes (including the
-   worker kill mid-transfer), no ``supg-plane-*`` segment survives in
-   ``/dev/shm``: every data-plane segment was unlinked by its owner or
-   reclaimed by the parent's crash sweep.
+6. **No leaked shared memory** — after all passes (including the
+   worker kill mid-transfer and the overload burst), no
+   ``supg-plane-*`` segment survives in ``/dev/shm``: every data-plane
+   segment was unlinked by its owner or reclaimed by the parent's
+   crash sweep.
+7. **Overload contract** — a 2×-capacity concurrent submit burst
+   against a hard oracle outage (:func:`run_overload_pass`) resolves
+   every ticket to a bit-identical success or a *typed* error
+   (``AdmissionRejected`` / ``QueryShedError`` / ``QueryError``), trips
+   the circuit breaker, fast-fails while open, and recovers through a
+   half-open probe once the outage lifts — no hangs, no untyped
+   failures.
 
 Exit status 0 on success, 1 with a gate-by-gate report otherwise; a
 JSON summary is printed either way.
@@ -48,16 +56,25 @@ import json
 import os
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
+
+import threading
 
 from repro.core.planning import fork_available
 from repro.core.shm import SEGMENT_PREFIX
 from repro.datasets import load_dataset
 from repro.faults import FaultPlan, corrupt_spill, inject
-from repro.oracle import RetryPolicy
-from repro.query import QueryError, SupgEngine, SupgService
+from repro.oracle import OracleCircuitBreaker, RetryPolicy
+from repro.query import (
+    AdmissionRejected,
+    QueryError,
+    QueryShedError,
+    SupgEngine,
+    SupgService,
+)
 
 RT = (
     "SELECT * FROM t WHERE P(x) = True ORACLE LIMIT {budget} USING A(x) "
@@ -132,6 +149,169 @@ def run_pass(
     stats = dict(service.session_stats())
     stats["hung"] = hung
     return outcomes, stats
+
+
+def run_overload_pass(
+    store_dir: str, jobs: int, ticket_timeout: float, size: int
+) -> tuple[list[str], dict]:
+    """Overload + outage pass: a 2×-capacity burst against a dead oracle.
+
+    24 concurrent submitters (mixed interactive/batch lanes, four
+    client identities) hit a service capped at ``max_queue_depth=8``
+    with ``shed_oldest`` admission, while the first 10 oracle calls
+    fail unconditionally (:class:`FaultPlan` ``outage_calls``) — enough
+    consecutive exhausted draws to trip the circuit breaker
+    (threshold 3), after which the outage lifts and a half-open probe
+    must recover the service.
+
+    Gates (the overload contract from README "Overload behavior"):
+
+    - **No hangs** — every submitter thread resolves within the
+      timeout, whether to a result, a shed, or a rejection.
+    - **Typed outcomes only** — every non-success is
+      :class:`AdmissionRejected`, :class:`QueryShedError`, or
+      :class:`QueryError`; anything else fails the gate.
+    - **Bit-identical successes** — every query that does succeed
+      matches a fault-free sequential reference exactly.
+    - **Breaker evidence** — the breaker tripped at least once and
+      fast-failed at least one window, and recovered (a success after
+      the outage).
+
+    Returns ``(failures, summary)``.
+    """
+    statements = build_workload(24)
+    reference_engine = SupgEngine()
+    reference_engine.register_table(
+        "t", load_dataset("beta(0.01,1)", size=size, seed=7)
+    )
+    reference = [
+        reference_engine.execute(sql, seed=seed) for sql, seed in statements
+    ]
+
+    breaker = OracleCircuitBreaker(threshold=3, cooldown_s=0.05)
+    engine = SupgEngine(
+        store_dir=store_dir,
+        retry_policy=RetryPolicy(retries=1, backoff=0.0, backoff_cap=0.0, seed=3),
+    )
+    engine.register_table("t", load_dataset("beta(0.01,1)", size=size, seed=7))
+    service = SupgService(
+        engine,
+        max_window_queries=4,
+        max_window_ms=25.0,
+        jobs=jobs,
+        max_queue_depth=8,
+        admission="shed_oldest",
+        max_inflight_windows=2,
+        breaker=breaker,
+    )
+    outcomes: list[tuple] = [None] * len(statements)
+
+    def client(i: int, sql: str, seed: int) -> None:
+        lane = "interactive" if i % 5 == 0 else "batch"
+        try:
+            ticket = service.submit(
+                sql, seed=seed, client_id=f"client-{i % 4}", lane=lane
+            )
+        except AdmissionRejected as exc:
+            outcomes[i] = ("rejected", exc)
+            return
+        except Exception as exc:  # untyped admission failure: gate catches it
+            outcomes[i] = ("untyped", exc)
+            return
+        try:
+            error = ticket.exception(timeout=ticket_timeout)
+        except TimeoutError:
+            outcomes[i] = ("hung", ticket.state)
+            return
+        if error is None:
+            outcomes[i] = ("success", ticket.result().result)
+        elif isinstance(error, QueryShedError):
+            outcomes[i] = ("shed", error)
+        elif isinstance(error, QueryError):
+            outcomes[i] = ("query_error", error)
+        else:
+            outcomes[i] = ("untyped", error)
+
+    plan = FaultPlan(seed=5, outage_calls=10)
+    try:
+        with inject(plan):
+            threads = [
+                threading.Thread(target=client, args=(i, sql, seed))
+                for i, (sql, seed) in enumerate(statements)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=ticket_timeout + 30.0)
+            hung_threads = sum(1 for thread in threads if thread.is_alive())
+            # The breaker may still be open when the burst drains; prove
+            # recovery explicitly: after the cooldown, a fresh submission
+            # must succeed via the half-open probe (the outage budget is
+            # spent, so the oracle is healthy again).
+            time.sleep(0.1)
+            recovery = service.submit(statements[0][0], seed=statements[0][1])
+            recovery_error = recovery.exception(timeout=ticket_timeout)
+            recovery_result = None if recovery_error else recovery.result().result
+    finally:
+        service.close(timeout=ticket_timeout)
+
+    failures: list[str] = []
+    counts = {"success": 0, "rejected": 0, "shed": 0, "query_error": 0}
+    for i, outcome in enumerate(outcomes):
+        if outcome is None or outcome[0] == "hung" or hung_threads:
+            failures.append(f"overload: submitter #{i} hung or never resolved")
+            continue
+        kind, value = outcome
+        if kind == "untyped":
+            failures.append(
+                f"overload: query #{i} failed with untyped "
+                f"{type(value).__name__}: {value}"
+            )
+            continue
+        counts[kind] += 1
+        if kind == "success":
+            ref = reference[i].result
+            if not (
+                np.array_equal(value.indices, ref.indices)
+                and value.tau == ref.tau
+                and value.oracle_calls == ref.oracle_calls
+            ):
+                failures.append(
+                    f"overload: query #{i} succeeded but diverged from the "
+                    "fault-free reference"
+                )
+    if breaker.tripped_total < 1:
+        failures.append("overload: the oracle outage never tripped the breaker")
+    if breaker.fast_failures < 1:
+        failures.append("overload: the open breaker never fast-failed a window")
+    if recovery_error is not None:
+        failures.append(
+            f"overload: post-outage recovery query failed: {recovery_error}"
+        )
+    else:
+        ref = reference[0].result
+        if not (
+            np.array_equal(recovery_result.indices, ref.indices)
+            and recovery_result.tau == ref.tau
+            and recovery_result.oracle_calls == ref.oracle_calls
+        ):
+            failures.append(
+                "overload: post-outage recovery query diverged from the "
+                "fault-free reference"
+            )
+    stats = dict(service.session_stats())
+    summary = {
+        "burst": len(statements),
+        "max_queue_depth": 8,
+        **counts,
+        "breaker_trips": breaker.tripped_total,
+        "breaker_fast_failures": breaker.fast_failures,
+        "recovered_after_outage": recovery_error is None,
+        "admitted": stats["admitted"],
+        "rejected_at_admission": stats["rejected"],
+        "shed_at_admission": stats["shed"],
+    }
+    return failures, summary
 
 
 def main(argv=None) -> int:
@@ -226,6 +406,17 @@ def main(argv=None) -> int:
     if plan.kill_execution is not None and chaos_stats.get("recovered_groups", 0) == 0:
         failures.append("worker kill requested but no execution group was recovered")
 
+    # Gate 7 (run before the leak sweep so its segments are covered):
+    # the overload contract — a 2×-capacity concurrent burst against a
+    # dead oracle resolves every ticket to a bit-identical success or a
+    # typed error, trips and recovers the circuit breaker, and leaves
+    # nothing hung.
+    with tempfile.TemporaryDirectory() as overload_dir:
+        overload_failures, overload_summary = run_overload_pass(
+            overload_dir, args.jobs, args.ticket_timeout, args.size
+        )
+    failures.extend(overload_failures)
+
     # Gate 6: no leaked shared-memory segments.  Both passes (and the
     # killed worker's orphaned result transfer) must leave /dev/shm
     # clean once their services close.
@@ -249,6 +440,7 @@ def main(argv=None) -> int:
         "typed_failures": errored,
         "hung": chaos_stats["hung"],
         "leaked_segments": leaked,
+        "overload": overload_summary,
         "gates_failed": failures,
     }
     print(json.dumps(summary, indent=2))

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
 from pathlib import Path
@@ -42,8 +43,16 @@ from .datasets import available_datasets, load_dataset
 from .experiments import ALL_EXPERIMENTS, resolve_n_jobs
 from .experiments.io import save_result
 from .metrics import evaluate_selection
-from .oracle import RetryPolicy
-from .query import QuerySyntaxError, SupgEngine, SupgService, parse_script, split_script
+from .oracle import OracleCircuitBreaker, RetryPolicy
+from .query import (
+    AdmissionRejected,
+    QueryShedError,
+    QuerySyntaxError,
+    SupgEngine,
+    SupgService,
+    parse_script,
+    split_script,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -200,6 +209,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="abort a plan window still running after this many seconds "
         "(its tickets fail; the service keeps serving). Default: no deadline",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="cap on queued (not yet dispatched) statements; a full queue "
+        "resolves per --admission. Default: unbounded",
+    )
+    serve.add_argument(
+        "--admission",
+        default="block",
+        choices=["block", "reject", "shed_oldest"],
+        help="what a full queue does to new submissions: block until space, "
+        "reject with a typed overload reply, or shed the oldest batch-lane "
+        "statement (default: block)",
+    )
+    serve.add_argument(
+        "--inflight-windows",
+        type=int,
+        default=1,
+        help="plan windows executing concurrently (over disjoint table/seed "
+        "groups); the --jobs budget is split fairly across them (default: 1)",
+    )
+    serve.add_argument(
+        "--lane-default",
+        default="batch",
+        choices=["interactive", "batch"],
+        help="scheduling lane for submitted statements (default: batch)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=0,
+        help="trip an oracle circuit breaker after this many consecutive "
+        "oracle failures (0 disables the breaker)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before allowing a half-open probe",
     )
     _add_oracle_robustness_flags(serve)
     _add_data_plane_flag(serve)
@@ -381,6 +431,12 @@ def _build_service(args) -> tuple[SupgService, object, dict]:
     submit_kwargs = {"method": args.method}
     if args.bound is not None:
         submit_kwargs["bound"] = get_bound(args.bound)
+    breaker = None
+    if getattr(args, "breaker_threshold", 0):
+        breaker = OracleCircuitBreaker(
+            threshold=args.breaker_threshold,
+            cooldown_s=getattr(args, "breaker_cooldown", 30.0),
+        )
     service = SupgService(
         engine,
         max_window_queries=args.window_queries,
@@ -388,8 +444,38 @@ def _build_service(args) -> tuple[SupgService, object, dict]:
         jobs=args.jobs,
         default_seed=args.seed,
         window_deadline_s=getattr(args, "window_deadline", None),
+        max_queue_depth=getattr(args, "max_queue", None),
+        admission=getattr(args, "admission", "block"),
+        default_lane=getattr(args, "lane_default", "batch"),
+        max_inflight_windows=getattr(args, "inflight_windows", 1),
+        breaker=breaker,
     )
     return service, dataset, submit_kwargs
+
+
+#: Client-visible control words (not SUPG statements): either returns
+#: the service's health snapshot as one JSON line.
+_HEALTH_COMMANDS = frozenset({"stats", "health", ".stats", ".health"})
+
+
+def _health_command(chunk: str) -> bool:
+    """Whether a chunk is a health-snapshot request, not a statement."""
+    return chunk.strip().rstrip(";").strip().lower() in _HEALTH_COMMANDS
+
+
+def _health_line(service) -> str:
+    return json.dumps(service.health(), sort_keys=True)
+
+
+def _overload_line(service, exc) -> str:
+    """The typed one-line overload reply (client contract: parse the
+    ``retry_after`` and back off)."""
+    hint = getattr(exc, "retry_after_hint", None)
+    if hint is None:
+        hint = getattr(exc, "retry_after", None)
+    if hint is None:
+        hint = service._retry_hint()
+    return f"ERROR overloaded retry_after={hint:.3f}"
 
 
 def _holds_statement(chunk: str) -> bool:
@@ -407,13 +493,20 @@ def _holds_statement(chunk: str) -> bool:
 
 def _service_summary_lines(service) -> list[str]:
     stats = service.session_stats()
-    return [
+    lines = [
         f"service   : {stats['windows']} windows, {stats['queries_served']} queries, "
         f"{stats['queries_folded']} folded ({stats['late_folded']} late), "
         f"{stats['window_errors']} errors",
         f"labels    : {stats['labels_drawn']} drawn, {stats['labels_saved']} "
         f"saved vs per-query draws",
     ]
+    if stats["rejected"] or stats["shed"] or stats["cancelled"] or stats["blocked_ms"]:
+        lines.append(
+            f"admission : {stats['admitted']} admitted, {stats['rejected']} "
+            f"rejected, {stats['shed']} shed, {stats['cancelled']} cancelled, "
+            f"{stats['blocked_ms']}ms blocked"
+        )
+    return lines
 
 
 def _cmd_serve(args, out) -> int:
@@ -459,6 +552,9 @@ def _serve_stream(service, stream, dataset, submit_kwargs, args, out) -> int:
                 return
             try:
                 execution = ticket.result()  # waits; sets ticket.window
+            except QueryShedError as exc:
+                print(f"-- query {ticket.number + 1} (window {ticket.window}) --", file=out)
+                print(_overload_line(service, exc), file=out)
             except Exception as exc:  # surface per-query failures, keep serving
                 print(f"-- query {ticket.number + 1} (window {ticket.window}) --", file=out)
                 print(f"error     : {exc}", file=out)
@@ -469,12 +565,17 @@ def _serve_stream(service, stream, dataset, submit_kwargs, args, out) -> int:
 
     def submit_chunks(chunks) -> None:
         for chunk in chunks:
+            if _health_command(chunk):
+                print(_health_line(service), file=out)
+                continue
             if not _holds_statement(chunk):
                 continue
             try:
                 tickets.append(service.submit(chunk, **submit_kwargs))
             except QuerySyntaxError as exc:
                 print(f"syntax error: {exc}", file=out)
+            except AdmissionRejected as exc:
+                print(_overload_line(service, exc), file=out)
 
     buffer = ""
     for line in stream:
@@ -507,7 +608,11 @@ def _make_socket_server(service, host: str, port: int, submit_kwargs):
     Clients send ``;``-delimited statements; each gets a one-line
     ``ok``/``error`` response in its own submission order.  Folding
     happens across clients: concurrent submissions land in the same
-    plan window regardless of which connection carried them.
+    plan window regardless of which connection carried them.  Each
+    connection's peer address is its ``client_id``, so round-robin
+    fairness applies per connection; a full admission queue answers
+    ``ERROR overloaded retry_after=…`` and the line ``stats;`` (or
+    ``health;``) returns the service's health snapshot as JSON.
     """
     import socketserver
 
@@ -538,11 +643,25 @@ def _make_socket_server(service, host: str, port: int, submit_kwargs):
                 )
 
         def _respond(self, chunk: str) -> None:
+            if _health_command(chunk):
+                try:
+                    self.wfile.write((_health_line(service) + "\n").encode())
+                except OSError:
+                    pass
+                return
             if not _holds_statement(chunk):
                 return
             try:
-                ticket = service.submit(chunk, **submit_kwargs)
+                ticket = service.submit(
+                    chunk,
+                    client_id=f"{self.client_address[0]}:{self.client_address[1]}",
+                    **submit_kwargs,
+                )
                 execution = ticket.result()
+            except (AdmissionRejected, QueryShedError) as exc:
+                # Typed overload reply: the client's cue to back off and
+                # resubmit, distinct from a per-query failure.
+                line = _overload_line(service, exc) + "\n"
             except Exception as exc:
                 line = f"error: {exc}\n"
             else:

@@ -1,0 +1,57 @@
+"""Locks that survive ``fork()``.
+
+The engine's parallel path uses the ``fork`` start method so workers
+inherit datasets and compiled queries without pickling.  That same
+inheritance is a trap for locks: a lock held by *any* thread at fork
+time is copied into the child in its locked state, with no owning
+thread to ever release it — the classic inherited-lock deadlock.  With
+concurrent plan windows, one window's thread can be holding the sample
+store's lock at the exact moment another window forks its worker pool.
+
+:class:`ForkSafeLock` wraps an ``RLock`` and registers every live
+instance (via a :class:`weakref.WeakSet`) for reinitialization in
+forked children through :func:`os.register_at_fork`.  The child gets a
+fresh, unlocked lock; this is sound because a forked child has exactly
+one thread, so whatever critical section the parent was in does not
+exist in the child.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+
+__all__ = ["ForkSafeLock"]
+
+_LIVE: "weakref.WeakSet[ForkSafeLock]" = weakref.WeakSet()
+
+
+class ForkSafeLock:
+    """Reentrant lock reset to a fresh, unlocked state in forked children."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        _LIVE.add(self)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return self._lock.acquire(blocking, timeout)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "ForkSafeLock":
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._lock.release()
+
+
+def _reset_in_child() -> None:
+    for lock in list(_LIVE):
+        lock._lock = threading.RLock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on POSIX
+    os.register_at_fork(after_in_child=_reset_in_child)

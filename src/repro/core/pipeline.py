@@ -95,6 +95,7 @@ from ..faults import wrap_label_fn
 from ..oracle.base import BudgetedOracle
 from ..oracle.retry import RetryPolicy, RetryingOracle
 from ..sampling.designs import LabeledSample, LabelFn, SampleDesign, draw_labeled_sample
+from .forksafe import ForkSafeLock
 from .types import SelectionResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -205,6 +206,12 @@ class SampleStore:
         if self.store_dir is not None:
             self.store_dir.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[tuple, LabeledSample] = OrderedDict()
+        # Concurrent plan windows share one store; the LRU dict, its
+        # counters, and the draw-or-load decision mutate together, so
+        # the public entry points serialize on one reentrant lock.
+        # Fork-safe: window threads may hold it while another window
+        # forks a worker pool (see repro.core.forksafe).
+        self._lock = ForkSafeLock()
         self._cap_warning_emitted = False
         self.hits = 0
         self.misses = 0
@@ -225,30 +232,39 @@ class SampleStore:
         return sum(sample.nbytes for sample in self._entries.values())
 
     def fetch(self, dataset: "Dataset", design: SampleDesign, seed: int) -> LabeledSample:
-        """Return the labeled sample for (dataset, design, seed), drawing on miss."""
+        """Return the labeled sample for (dataset, design, seed), drawing on miss.
+
+        Thread-safe, and deliberately coarse about it: the lock is held
+        across a miss's oracle draw, so two windows racing on the same
+        key draw once and hit once — the cost-model invariant (one
+        payment per distinct key) holds under concurrency, at the price
+        of serializing concurrent *distinct* fresh draws.  Windows over
+        warm keys are unaffected (hits hold the lock for microseconds).
+        """
         key = (dataset.fingerprint, design, int(seed))
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            self.labels_saved += entry.oracle_calls
-            return entry
-        if self.store_dir is not None:
-            spilled = self._load_spill(dataset.fingerprint, design, int(seed))
-            if spilled is not None:
-                self.disk_hits += 1
-                self.labels_saved += spilled.oracle_calls
-                self._insert(key, spilled)
-                self._bump_persistent_stats(disk_hits=1)
-                return spilled
-        rng = np.random.default_rng(int(seed))
-        sample = self._draw_fresh(design, dataset, rng)
-        self.misses += 1
-        self.labels_drawn += sample.oracle_calls
-        self._insert(key, sample)
-        if self.store_dir is not None:
-            self._write_spill(dataset.fingerprint, design, int(seed), sample)
-        return sample
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self.labels_saved += entry.oracle_calls
+                return entry
+            if self.store_dir is not None:
+                spilled = self._load_spill(dataset.fingerprint, design, int(seed))
+                if spilled is not None:
+                    self.disk_hits += 1
+                    self.labels_saved += spilled.oracle_calls
+                    self._insert(key, spilled)
+                    self._bump_persistent_stats(disk_hits=1)
+                    return spilled
+            rng = np.random.default_rng(int(seed))
+            sample = self._draw_fresh(design, dataset, rng)
+            self.misses += 1
+            self.labels_drawn += sample.oracle_calls
+            self._insert(key, sample)
+            if self.store_dir is not None:
+                self._write_spill(dataset.fingerprint, design, int(seed), sample)
+            return sample
 
     def locate(self, fingerprint: str, design: SampleDesign, seed: int) -> str | None:
         """Which tier could serve a key right now, without drawing.
@@ -260,8 +276,9 @@ class SampleStore:
         before any oracle label is paid for.
         """
         key = (fingerprint, design, int(seed))
-        if key in self._entries:
-            return "memory"
+        with self._lock:
+            if key in self._entries:
+                return "memory"
         if self.store_dir is not None and self._spill_path(fingerprint, design, int(seed)).exists():
             return "disk"
         return None
@@ -302,23 +319,25 @@ class SampleStore:
         entries can never be served and explicit deletion of
         ``store_dir`` is the only cleanup ever needed.
         """
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Mapping[str, int]:
-        """Snapshot of the reuse counters."""
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "disk_hits": self.disk_hits,
-            "disk_errors": self.disk_errors,
-            "disk_evictions": self.disk_evictions,
-            "quarantined": self.quarantined,
-            "oracle_retries": self.oracle_retries,
-            "labels_drawn": self.labels_drawn,
-            "labels_saved": self.labels_saved,
-            "nbytes": self.nbytes,
-        }
+        """Consistent snapshot of the reuse counters."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "disk_errors": self.disk_errors,
+                "disk_evictions": self.disk_evictions,
+                "quarantined": self.quarantined,
+                "oracle_retries": self.oracle_retries,
+                "labels_drawn": self.labels_drawn,
+                "labels_saved": self.labels_saved,
+                "nbytes": self.nbytes,
+            }
 
     # -- persistent tier -------------------------------------------------------
 

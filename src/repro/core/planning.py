@@ -67,6 +67,7 @@ __all__ = [
     "plan_executions",
     "resolve_n_jobs",
     "effective_workers",
+    "worker_share",
     "fork_available",
     "require_fork_or_warn",
 ]
@@ -110,6 +111,20 @@ def effective_workers(n_jobs: int | None, tasks: int, what: str) -> int:
     if workers > 1 and not require_fork_or_warn(what):
         workers = 1
     return workers
+
+
+def worker_share(n_jobs: int | None, consumers: int) -> int:
+    """Split one worker budget fairly across concurrent consumers.
+
+    With ``max_inflight_windows > 1`` the service's ``jobs`` setting is
+    a *host* budget, not a per-window one: each concurrently executing
+    window gets an equal integer share (at least 1, so a window can
+    always run sequentially) and the host is never oversubscribed by
+    windows each forking the full budget.
+    """
+    if consumers <= 0:
+        raise ValueError(f"consumers must be positive, got {consumers}")
+    return max(1, resolve_n_jobs(n_jobs) // consumers)
 
 
 def fork_available() -> bool:

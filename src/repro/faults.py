@@ -86,6 +86,12 @@ class FaultPlan:
             (once, enforced by a cross-process latch); ``None`` kills
             nobody.
         kill_exit_code: exit status of the killed worker.
+        outage_calls: simulate a hard oracle outage — the *first* this
+            many oracle calls fail unconditionally (before the seeded
+            rate stream is consulted), then the outage lifts.  This is
+            the deterministic way to trip a circuit breaker: a rate
+            faults calls probabilistically, an outage guarantees N
+            consecutive failures followed by recovery.
     """
 
     seed: int = 0
@@ -94,9 +100,11 @@ class FaultPlan:
     hang_seconds: float = 30.0
     kill_execution: int | None = None
     kill_exit_code: int = 17
+    outage_calls: int = 0
 
     faults_injected: int = field(default=0, init=False, compare=False)
     hangs_injected: int = field(default=0, init=False, compare=False)
+    outages_injected: int = field(default=0, init=False, compare=False)
     _rng: np.random.Generator = field(init=False, repr=False, compare=False)
     _lock: threading.Lock = field(init=False, repr=False, compare=False)
     _install_pid: int | None = field(default=None, init=False, repr=False, compare=False)
@@ -111,13 +119,31 @@ class FaultPlan:
             raise ValueError("oracle failure and hang rates must sum to at most 1")
         if self.hang_seconds < 0:
             raise ValueError(f"hang_seconds must be non-negative, got {self.hang_seconds}")
+        if self.outage_calls < 0:
+            raise ValueError(f"outage_calls must be non-negative, got {self.outage_calls}")
         self._rng = np.random.default_rng(self.seed)
         self._lock = threading.Lock()
 
     # -- seam hooks ------------------------------------------------------------
 
     def maybe_fault(self) -> None:
-        """One draw from the fault stream; hangs or raises per the rates."""
+        """One draw from the fault stream; hangs or raises per the rates.
+
+        An ``outage_calls`` window is consumed first and
+        unconditionally, *without* advancing the seeded rate stream, so
+        adding an outage leaves the rate faults of the remaining calls
+        exactly where they were.
+        """
+        if self.outage_calls > 0:
+            outage = 0
+            with self._lock:
+                if self.outages_injected < self.outage_calls:
+                    self.outages_injected += 1
+                    outage = self.outages_injected
+            if outage:
+                raise TransientOracleError(
+                    f"injected oracle outage call #{outage} of {self.outage_calls}"
+                )
         if self.oracle_failure_rate <= 0.0 and self.oracle_hang_rate <= 0.0:
             return
         with self._lock:
@@ -150,6 +176,7 @@ class FaultPlan:
         self._rng = np.random.default_rng(self.seed)
         self.faults_injected = 0
         self.hangs_injected = 0
+        self.outages_injected = 0
         if self.kill_execution is not None and self._latch_dir is None:
             self._latch_dir = tempfile.mkdtemp(prefix="repro-faults-")
 

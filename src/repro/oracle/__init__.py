@@ -5,6 +5,8 @@ from __future__ import annotations
 from .base import BudgetedOracle, BudgetExhaustedError, oracle_from_labels
 from .labeling import LabelingStats, SimulatedLabelingService
 from .retry import (
+    CircuitOpenError,
+    OracleCircuitBreaker,
     OracleUnavailableError,
     RetryPolicy,
     RetryingOracle,
@@ -24,8 +26,10 @@ __all__ = [
     "oracle_from_labels",
     "TransientOracleError",
     "OracleUnavailableError",
+    "CircuitOpenError",
     "RetryPolicy",
     "RetryingOracle",
+    "OracleCircuitBreaker",
     "CostModel",
     "CostBreakdown",
     "DATASET_COST_MODELS",

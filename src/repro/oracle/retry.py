@@ -42,8 +42,10 @@ import numpy as np
 __all__ = [
     "TransientOracleError",
     "OracleUnavailableError",
+    "CircuitOpenError",
     "RetryPolicy",
     "RetryingOracle",
+    "OracleCircuitBreaker",
 ]
 
 
@@ -61,6 +63,151 @@ class OracleUnavailableError(RuntimeError):
     def __init__(self, message: str, attempts: int = 0) -> None:
         super().__init__(message)
         self.attempts = attempts
+
+
+class CircuitOpenError(OracleUnavailableError):
+    """Failed fast: the oracle circuit breaker is open.
+
+    Subclasses :class:`OracleUnavailableError` so existing "oracle is
+    down" handling (the service's typed ``QueryError`` wrapping, chaos
+    gates) applies unchanged; carries backpressure hints on top.
+
+    Attributes:
+        retry_after: seconds until the breaker will allow a half-open
+            probe.
+        failures: consecutive oracle failures that tripped the breaker.
+    """
+
+    def __init__(
+        self, message: str, retry_after: float = 0.0, failures: int = 0
+    ) -> None:
+        super().__init__(message, attempts=0)
+        self.retry_after = retry_after
+        self.failures = failures
+
+
+class OracleCircuitBreaker:
+    """Trip after N consecutive oracle failures; fail fast while open.
+
+    When the oracle is *down* (every call raising until the retry
+    policy exhausts), letting each queued draw burn its full retry
+    budget turns one dependency outage into minutes of head-of-line
+    blocking.  The breaker converts that into fast, typed failures:
+
+    - **closed** — normal operation.  :meth:`record_failure` after each
+      draw that exhausted its retries; ``threshold`` *consecutive*
+      failures trip the breaker (any success resets the count).
+    - **open** — :meth:`check` raises :class:`CircuitOpenError`
+      immediately (no oracle contact) until ``cooldown_s`` has passed.
+    - **half-open** — after the cooldown, :meth:`check` admits exactly
+      one caller as a probe (returns ``True``); its
+      :meth:`record_success` closes the breaker, its
+      :meth:`record_failure` re-opens it for a fresh cooldown.  A probe
+      that turns out not to touch the oracle at all (e.g. a window
+      served entirely from warm draws) must call :meth:`abstain` so the
+      probe slot is released.
+
+    Thread-safe; shared by every window of a service.  ``clock`` is
+    injectable (monotonic seconds) so tests advance time explicitly.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be positive, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = time.monotonic if clock is None else clock
+        self._lock = threading.Lock()
+        self._consecutive = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.tripped_total = 0
+        self.fast_failures = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"``."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at < self.cooldown_s:
+            return "open"
+        return "half_open"
+
+    def check(self) -> bool:
+        """Gate one oracle-touching operation.
+
+        Returns ``False`` when closed (proceed normally) or ``True``
+        when this caller holds the half-open probe slot (proceed, and
+        *must* later call :meth:`record_success`,
+        :meth:`record_failure`, or :meth:`abstain`).
+
+        Raises:
+            CircuitOpenError: the breaker is open (or another caller
+                already holds the probe); fail fast without touching
+                the oracle.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return False
+            if state == "half_open" and not self._probing:
+                self._probing = True
+                return True
+            self.fast_failures += 1
+            remaining = max(
+                0.0, self.cooldown_s - (self._clock() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                f"oracle circuit breaker open after {self._consecutive} "
+                f"consecutive failures; retry in {remaining:.1f}s",
+                retry_after=remaining,
+                failures=self._consecutive,
+            )
+
+    def record_success(self) -> None:
+        """A genuine oracle call succeeded: close the breaker."""
+        with self._lock:
+            self._consecutive = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A draw exhausted its retries: count it, maybe trip/re-open."""
+        with self._lock:
+            self._probing = False
+            self._consecutive += 1
+            if self._opened_at is not None:
+                # Half-open probe failed: re-open for a fresh cooldown.
+                self._opened_at = self._clock()
+            elif self._consecutive >= self.threshold:
+                self._opened_at = self._clock()
+                self.tripped_total += 1
+
+    def abstain(self) -> None:
+        """The gated operation never touched the oracle; release the probe."""
+        with self._lock:
+            self._probing = False
+
+    def snapshot(self) -> dict:
+        """State summary for health endpoints."""
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._consecutive,
+                "tripped_total": self.tripped_total,
+                "fast_failures": self.fast_failures,
+            }
 
 
 @dataclass(frozen=True)

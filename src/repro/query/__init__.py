@@ -5,7 +5,13 @@ from __future__ import annotations
 from .ast import ParsedQuery, QueryKind, UdfCall
 from .engine import QueryExecution, SupgEngine
 from .parser import QuerySyntaxError, parse_query, parse_script, split_script
-from .service import QueryError, SubmitTicket, SupgService
+from .service import (
+    AdmissionRejected,
+    QueryError,
+    QueryShedError,
+    SubmitTicket,
+    SupgService,
+)
 
 __all__ = [
     "ParsedQuery",
@@ -20,4 +26,6 @@ __all__ = [
     "SupgService",
     "SubmitTicket",
     "QueryError",
+    "QueryShedError",
+    "AdmissionRejected",
 ]

@@ -50,6 +50,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..core.forksafe import ForkSafeLock
 from ..core.joint import JointSelector
 from ..core.pipeline import ExecutionContext, SampleStore
 from ..core.planning import (
@@ -231,6 +232,10 @@ class SupgEngine:
         self._plane: SharedArrayPlane | None = None
         self._plane_calls = 0
         self._retired_transfer = {"bytes_shipped": 0, "bytes_shm": 0}
+        # Concurrent service windows share one engine: plane lifecycle,
+        # call-id allocation, transfer accounting, and the derived-
+        # dataset cache are the mutable session state they race on.
+        self._lock = ForkSafeLock()
 
     # -- registration ----------------------------------------------------------
 
@@ -275,22 +280,24 @@ class SupgEngine:
         segments / mmap spills instead.  Totals persist across plane
         releases.
         """
-        totals = dict(self._retired_transfer)
-        if self._plane is not None:
-            for key, value in self._plane.counters().items():
-                totals[key] = totals.get(key, 0) + value
-        return totals
+        with self._lock:
+            totals = dict(self._retired_transfer)
+            if self._plane is not None:
+                for key, value in self._plane.counters().items():
+                    totals[key] = totals.get(key, 0) + value
+            return totals
 
     def _ensure_plane(self) -> SharedArrayPlane:
         """The session's shared-array plane, (re)created on demand."""
-        if self._plane is not None and self._plane.closed:
-            self.release_plane()
-        if self._plane is None:
-            store_dir = self._context.store.store_dir
-            self._plane = SharedArrayPlane(
-                mode=self._data_plane, directory=store_dir
-            )
-        return self._plane
+        with self._lock:
+            if self._plane is not None and self._plane.closed:
+                self.release_plane()
+            if self._plane is None:
+                store_dir = self._context.store.store_dir
+                self._plane = SharedArrayPlane(
+                    mode=self._data_plane, directory=store_dir
+                )
+            return self._plane
 
     def release_plane(self) -> None:
         """Release the shared-array plane (segments, spill files).
@@ -299,12 +306,13 @@ class SupgEngine:
         byte counters fold into :meth:`transfer_stats`; the next
         parallel batch simply builds a fresh plane.  Idempotent.
         """
-        if self._plane is None:
-            return
-        for key, value in self._plane.counters().items():
-            self._retired_transfer[key] = self._retired_transfer.get(key, 0) + value
-        self._plane.close()
-        self._plane = None
+        with self._lock:
+            if self._plane is None:
+                return
+            for key, value in self._plane.counters().items():
+                self._retired_transfer[key] = self._retired_transfer.get(key, 0) + value
+            self._plane.close()
+            self._plane = None
 
     def close(self) -> None:
         """Release session resources; the engine stays usable."""
@@ -592,14 +600,20 @@ class SupgEngine:
             be re-executed after a worker death.
         """
         batches = plan.batches()
-        plane = self._ensure_plane()
-        call_id = self._plane_calls
-        self._plane_calls += 1
-        datasets: dict[int, Dataset] = {}
-        for job in compiled:
-            datasets.setdefault(id(job.dataset), job.dataset)
-        for dataset in datasets.values():
-            dataset.publish(plane)
+        # One critical section covers plane acquisition, call-id
+        # allocation, and dataset publication: a concurrent window must
+        # not release/rebuild the plane between this window taking a
+        # reference and forking its pool, and publish() mutates each
+        # dataset's plane handles.
+        with self._lock:
+            plane = self._ensure_plane()
+            call_id = self._plane_calls
+            self._plane_calls += 1
+            datasets: dict[int, Dataset] = {}
+            for job in compiled:
+                datasets.setdefault(id(job.dataset), job.dataset)
+            for dataset in datasets.values():
+                dataset.publish(plane)
         fork = multiprocessing.get_context("fork")
         results: list[SelectionResult | None] = [None] * len(compiled)
         recovered: list[list[int]] = []
@@ -620,11 +634,14 @@ class SupgEngine:
                     # in-parent re-execution rather than failing the
                     # whole batch call, and sweep any result segment
                     # the worker created before dying.
-                    plane.reclaim(call_id, batch[0])
+                    with self._lock:
+                        plane.reclaim(call_id, batch[0])
                     recovered.append(batch)
                     continue
                 try:
-                    for index, result in plane.decode_batch(payload):
+                    with self._lock:
+                        decoded = list(plane.decode_batch(payload))
+                    for index, result in decoded:
                         results[index] = result
                 except PlaneIntegrityError:
                     # The transfer itself was damaged (quarantined
@@ -653,12 +670,15 @@ class SupgEngine:
         # execute() would discard the cached sorted-score statistics and
         # give each query a fresh fingerprint, defeating sample reuse.
         key = (parsed.table, parsed.proxy.name.upper())
-        derived = self._derived.get(key)
-        if derived is None:
-            scores = np.asarray(udf(dataset), dtype=float)
-            derived = dataset.with_scores(scores, name=f"{dataset.name}|{parsed.proxy.name}")
-            self._derived[key] = derived
-        return derived
+        with self._lock:
+            derived = self._derived.get(key)
+            if derived is None:
+                scores = np.asarray(udf(dataset), dtype=float)
+                derived = dataset.with_scores(
+                    scores, name=f"{dataset.name}|{parsed.proxy.name}"
+                )
+                self._derived[key] = derived
+            return derived
 
     def _oracle_factory(
         self, parsed: ParsedQuery, dataset: Dataset, budget: int | None

@@ -38,6 +38,40 @@ over the same statements in arrival order: window membership only
 decides *when* a query runs and which draws are shared, never what any
 query returns.
 
+Overload behavior
+-----------------
+
+Admission is bounded and failure under load is *typed*, never silent:
+
+- ``max_queue_depth`` caps the pending queue.  A full queue resolves
+  per the ``admission`` mode: ``"block"`` (wait for space, up to
+  ``admission_timeout_s``, then raise :class:`AdmissionRejected`),
+  ``"reject"`` (raise :class:`AdmissionRejected` immediately, with a
+  ``retry_after_hint``), or ``"shed_oldest"`` (fail the oldest queued
+  *batch-lane* ticket with :class:`QueryShedError` and admit the new
+  arrival).  All three paths are counted in :meth:`session_stats`
+  (``admitted`` / ``rejected`` / ``shed`` / ``blocked_ms``).
+- Tickets carry a ``client_id`` and a ``lane`` (``"interactive"`` or
+  ``"batch"``).  Window membership is chosen by equal-weight
+  round-robin across clients, so one flooding client cannot starve
+  others, and the scheduler dispatches at most
+  ``max_interactive_staleness`` batch windows while an interactive
+  ticket is pending — the interactive lane's bounded-staleness
+  guarantee.
+- With ``max_inflight_windows > 1``, windows over disjoint
+  ``(table, seed)`` groups execute concurrently on worker threads,
+  each budgeted a fair share of the service's ``jobs`` via
+  :func:`~repro.core.planning.worker_share`.
+- An optional :class:`~repro.oracle.retry.OracleCircuitBreaker` trips
+  after N consecutive :class:`~repro.oracle.retry.OracleUnavailableError`
+  draws; while open, windows fail fast with typed errors instead of
+  burning every ticket's full retry budget, and half-open probes
+  re-close the breaker once the oracle recovers.
+- ``window_log`` is a ring buffer (``window_log_limit`` records) with
+  monotonic cumulative counters, so a week-long serve run does not
+  grow memory without bound; :meth:`health` snapshots queue depth,
+  inflight windows, breaker state, and per-lane latency percentiles.
+
 Failure semantics
 -----------------
 
@@ -80,23 +114,50 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
-from ..core.planning import effective_workers, resolve_n_jobs
+import numpy as np
+
+from ..core.planning import effective_workers, resolve_n_jobs, worker_share
+from ..oracle.retry import (
+    CircuitOpenError,
+    OracleCircuitBreaker,
+    OracleUnavailableError,
+)
 from .engine import QueryExecution, SupgEngine
 from .parser import parse_query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .ast import ParsedQuery
 
-__all__ = ["SupgService", "SubmitTicket", "QueryError"]
+__all__ = [
+    "SupgService",
+    "SubmitTicket",
+    "QueryError",
+    "QueryShedError",
+    "AdmissionRejected",
+]
 
 #: Default window-close thresholds: small enough that an interactive
 #: client never waits noticeably, large enough that a burst of
 #: concurrent submissions lands in one window.
 DEFAULT_WINDOW_QUERIES = 8
 DEFAULT_WINDOW_MS = 25.0
+
+#: Ring-buffer capacity for per-window records (cumulative counters
+#: keep counting past it).
+DEFAULT_WINDOW_LOG_LIMIT = 512
+
+#: Per-lane latency samples kept for the health snapshot's percentiles.
+LANE_LATENCY_SAMPLES = 2048
+
+#: The two scheduling lanes a ticket may ride.
+LANES = ("interactive", "batch")
+
+#: Admission modes for a full queue.
+ADMISSION_MODES = ("block", "reject", "shed_oldest")
 
 
 class QueryError(RuntimeError):
@@ -112,7 +173,8 @@ class QueryError(RuntimeError):
             that failed it, when known.
         phase: where the failure happened (``"planning"``,
             ``"execution"``, ``"deadline"``, ``"scheduler"``,
-            ``"shutdown"``).
+            ``"shutdown"``, ``"admission"``, ``"breaker"``,
+            ``"cancelled"``).
         cause: the underlying exception, when one exists (also chained
             as ``__cause__``).
     """
@@ -151,6 +213,34 @@ class QueryError(RuntimeError):
         )
 
 
+class QueryShedError(QueryError):
+    """A queued ticket sacrificed under overload (``shed_oldest``).
+
+    The shed query never executed; resubmitting it is always safe.
+    """
+
+
+class AdmissionRejected(RuntimeError):
+    """``submit()`` refused a statement because the queue is full.
+
+    Raised in the *submitting* client (no ticket exists), so callers
+    can apply backpressure — wait ``retry_after_hint`` seconds and
+    resubmit.
+
+    Attributes:
+        queue_depth: pending statements at rejection time.
+        retry_after_hint: suggested wait before resubmitting, in
+            seconds (roughly one plan window).
+    """
+
+    def __init__(
+        self, message: str, queue_depth: int = 0, retry_after_hint: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.retry_after_hint = retry_after_hint
+
+
 class SubmitTicket:
     """Future-style handle for one submitted query.
 
@@ -160,28 +250,77 @@ class SubmitTicket:
     Attributes:
         number: the service-wide submission number (arrival order).
         sql: the submitted statement text.
+        client_id: the submitting client's identity (fairness unit).
+        lane: ``"interactive"`` or ``"batch"``.
         window: index of the plan window that served the query (into
             :attr:`SupgService.window_log`), set on completion.
         state: where the query is in its lifecycle — ``"queued"``
             (waiting for a window), ``"executing"`` (its window is
             running), ``"folded"`` (absorbed late into an executing
-            window), ``"done"``.  Included in timeout errors so a hung
-            ``result()`` call says what it was waiting on.
+            window), ``"cancelled"``, ``"done"``.  Included in timeout
+            errors so a hung ``result()`` call says what it was
+            waiting on.
     """
 
-    def __init__(self, number: int, sql: str) -> None:
+    def __init__(
+        self,
+        number: int,
+        sql: str,
+        client_id: str = "default",
+        lane: str = "batch",
+    ) -> None:
         self.number = number
         self.sql = sql
+        self.client_id = client_id
+        self.lane = lane
         self.window: int | None = None
         self.state = "queued"
         self._event = threading.Event()
         self._lock = threading.Lock()
         self._result: QueryExecution | None = None
         self._exception: BaseException | None = None
+        self._dispatched = False
+        self._cancel_hook: Callable[[], None] | None = None
 
     def done(self) -> bool:
         """Whether the query has finished (successfully or not)."""
         return self._event.is_set()
+
+    def cancel(self) -> bool:
+        """Cancel the query if it has not been dispatched to a window.
+
+        Returns ``True`` when the cancellation won: the ticket resolves
+        immediately with a :class:`QueryError` (``phase="cancelled"``),
+        the statement never executes, and the service counts it in
+        ``session_stats()["cancelled"]``.  Returns ``False`` once the
+        query is already in flight (or finished) — an executing window
+        cannot be unwound.
+        """
+        with self._lock:
+            if self._event.is_set() or self._dispatched:
+                return False
+            self.state = "cancelled"
+            self._exception = QueryError(
+                f"query #{self.number} cancelled before dispatch",
+                number=self.number,
+                phase="cancelled",
+            )
+            self._event.set()
+        # Outside the ticket lock: the hook takes the service's arrival
+        # lock, and the scheduler takes ticket locks *under* it — the
+        # release above is what keeps the orderings acyclic.
+        hook = self._cancel_hook
+        if hook is not None:
+            hook()
+        return True
+
+    def _mark_dispatched(self) -> bool:
+        """Claim the ticket for a window; loses to an earlier cancel."""
+        with self._lock:
+            if self.state == "cancelled" or self._event.is_set():
+                return False
+            self._dispatched = True
+            return True
 
     def _timeout_error(self, timeout: float | None) -> TimeoutError:
         return TimeoutError(
@@ -220,9 +359,9 @@ class SubmitTicket:
         """Resolve the ticket; idempotent (the first resolution wins).
 
         Idempotence is what makes the failure paths composable: a
-        deadline abandonment, a scheduler-crash sweep, and the
-        (possibly still running) window execution may all try to finish
-        the same ticket, and exactly one of them succeeds.
+        deadline abandonment, a scheduler-crash sweep, a cancel, and
+        the (possibly still running) window execution may all try to
+        finish the same ticket, and exactly one of them succeeds.
         """
         with self._lock:
             if self._event.is_set():
@@ -245,6 +384,8 @@ class _Submission:
     stage_budget: int
     selector_kwargs: Mapping[str, object]
     ticket: SubmitTicket
+    client_id: str = "default"
+    lane: str = "batch"
     arrived: float = field(default_factory=time.monotonic)
 
 
@@ -260,9 +401,11 @@ class SupgService:
         max_window_ms: close the open window this many milliseconds
             after its first statement arrived, even if not full.
         jobs: worker processes for each window's group fan-out
-            (``-1`` = all cores; ``None``/``1`` = in-thread).  On
-            platforms without ``fork`` the service warns once and runs
-            windows sequentially.
+            (``-1`` = all cores; ``None``/``1`` = in-thread).  With
+            concurrent windows the budget is split across them via
+            :func:`~repro.core.planning.worker_share`.  On platforms
+            without ``fork`` the service warns once and runs windows
+            sequentially.
         default_seed: seed for submissions that do not pass one.
         stage_budget: stage-1/2 budget for joint-target queries.
         window_deadline_s: wall-clock budget for one window's
@@ -270,6 +413,27 @@ class SupgService:
             abandoned (its unfinished tickets fail with
             :class:`QueryError`) and the scheduler moves on.  ``None``
             (the default) never aborts.
+        max_queue_depth: cap on queued (not yet dispatched)
+            submissions; ``None`` (the default) admits unboundedly.
+        admission: what a full queue does to ``submit()`` —
+            ``"block"`` (default), ``"reject"``, or ``"shed_oldest"``.
+        admission_timeout_s: how long ``"block"`` admission waits for
+            queue space before raising :class:`AdmissionRejected`;
+            ``None`` waits forever.
+        default_client: ``client_id`` for submissions that pass none.
+        default_lane: lane for submissions that pass none
+            (``"batch"``).
+        max_interactive_staleness: K in the bounded-staleness
+            guarantee — at most K batch windows are dispatched while an
+            interactive ticket waits.
+        max_inflight_windows: windows executing concurrently (worker
+            threads); windows sharing a coarse ``(table, seed)`` group
+            never overlap.  ``1`` (the default) executes windows
+            in-line on the scheduler thread.
+        window_log_limit: ring-buffer capacity of :attr:`window_log`.
+        breaker: optional
+            :class:`~repro.oracle.retry.OracleCircuitBreaker` guarding
+            the oracle-touching prewarm path.
     """
 
     def __init__(
@@ -281,6 +445,15 @@ class SupgService:
         default_seed: int = 0,
         stage_budget: int = 1000,
         window_deadline_s: float | None = None,
+        max_queue_depth: int | None = None,
+        admission: str = "block",
+        admission_timeout_s: float | None = 30.0,
+        default_client: str = "default",
+        default_lane: str = "batch",
+        max_interactive_staleness: int = 1,
+        max_inflight_windows: int = 1,
+        window_log_limit: int = DEFAULT_WINDOW_LOG_LIMIT,
+        breaker: OracleCircuitBreaker | None = None,
     ) -> None:
         if max_window_queries <= 0:
             raise ValueError(
@@ -292,21 +465,87 @@ class SupgService:
             raise ValueError(
                 f"window_deadline_s must be positive or None, got {window_deadline_s}"
             )
+        if max_queue_depth is not None and max_queue_depth <= 0:
+            raise ValueError(
+                f"max_queue_depth must be positive or None, got {max_queue_depth}"
+            )
+        if admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_MODES}, got {admission!r}"
+            )
+        if admission_timeout_s is not None and admission_timeout_s <= 0:
+            raise ValueError(
+                "admission_timeout_s must be positive or None, "
+                f"got {admission_timeout_s}"
+            )
+        if default_lane not in LANES:
+            raise ValueError(f"default_lane must be one of {LANES}, got {default_lane!r}")
+        if max_interactive_staleness < 0:
+            raise ValueError(
+                "max_interactive_staleness must be non-negative, "
+                f"got {max_interactive_staleness}"
+            )
+        if max_inflight_windows <= 0:
+            raise ValueError(
+                f"max_inflight_windows must be positive, got {max_inflight_windows}"
+            )
+        if window_log_limit <= 0:
+            raise ValueError(
+                f"window_log_limit must be positive, got {window_log_limit}"
+            )
         resolve_n_jobs(jobs)  # validate eagerly, before the thread starts
         self.engine = engine
         self.max_window_queries = max_window_queries
         self.max_window_ms = max_window_ms
         self.window_deadline_s = window_deadline_s
+        self.max_queue_depth = max_queue_depth
+        self.admission = admission
+        self.admission_timeout_s = admission_timeout_s
+        self.default_client = default_client
+        self.default_lane = default_lane
+        self.max_interactive_staleness = max_interactive_staleness
+        self.max_inflight_windows = max_inflight_windows
+        self.window_log_limit = window_log_limit
+        self._breaker = breaker
         self._jobs = jobs
         self._default_seed = default_seed
         self._stage_budget = stage_budget
         self._arrival = threading.Condition()
         self._pending: list[_Submission] = []
-        self._inflight: list[_Submission] = []
+        #: token -> the window's submissions; populated from formation
+        #: until the dispatch completes, so the scheduler-crash sweep
+        #: can fail exactly the in-flight tickets.
+        self._inflight: dict[int, list[_Submission]] = {}
+        #: token -> coarse (table, seed) keys of windows currently
+        #: executing on worker threads (concurrent-window mode only).
+        self._running: dict[int, set] = {}
+        self._window_token = 0
         self._closed = False
         self._scheduler_error: BaseException | None = None
         self._submitted = 0
-        self._windows: list[dict] = []
+        self._windows: deque[dict] = deque(maxlen=window_log_limit)
+        self._windows_total = 0
+        self._window_seq = 0
+        self._batch_windows_stale = 0
+        self._blocked_seconds = 0.0
+        self._counters = {
+            "admitted": 0,
+            "rejected": 0,
+            "shed": 0,
+            "cancelled": 0,
+        }
+        self._totals = {
+            "windows": 0,
+            "queries_served": 0,
+            "queries_folded": 0,
+            "late_folded": 0,
+            "window_errors": 0,
+            "recovered_groups": 0,
+        }
+        self._lane_latency = {
+            lane: deque(maxlen=LANE_LATENCY_SAMPLES) for lane in LANES
+        }
+        self._lane_stats = {lane: {"served": 0, "errors": 0} for lane in LANES}
         self._thread = threading.Thread(
             target=self._scheduler, name="supg-service-scheduler", daemon=True
         )
@@ -320,9 +559,12 @@ class SupgService:
         seed: int | None = None,
         method: str | None = None,
         stage_budget: int | None = None,
+        client_id: str | None = None,
+        lane: str | None = None,
+        admission_timeout: float | None = None,
         **selector_kwargs,
     ) -> SubmitTicket:
-        """Enqueue one statement; returns immediately with a ticket.
+        """Enqueue one statement; returns with a ticket once admitted.
 
         The statement is parsed synchronously, so syntax errors raise
         here (in the submitting client) rather than poisoning a window.
@@ -338,34 +580,138 @@ class SupgService:
                 oracle draw.
             method: selector registry name override.
             stage_budget: joint-query stage budget override.
+            client_id: fairness identity; defaults to the service's
+                ``default_client``.
+            lane: ``"interactive"`` or ``"batch"``; defaults to the
+                service's ``default_lane``.
+            admission_timeout: per-call override of
+                ``admission_timeout_s`` for ``"block"`` admission.
             **selector_kwargs: forwarded to the selector constructor.
 
         Raises:
             repro.query.parser.QuerySyntaxError: malformed statement.
+            AdmissionRejected: the queue is full (``"reject"`` mode, a
+                ``"block"`` deadline expiring, or nothing sheddable).
             RuntimeError: the service has been closed, or its scheduler
                 thread has died.
         """
         parsed = parse_query(sql)
+        lane = self.default_lane if lane is None else lane
+        if lane not in LANES:
+            raise ValueError(f"lane must be one of {LANES}, got {lane!r}")
+        client = self.default_client if client_id is None else str(client_id)
         submission = _Submission(
             parsed=parsed,
             seed=self._default_seed if seed is None else seed,
             method=method,
             stage_budget=self._stage_budget if stage_budget is None else stage_budget,
             selector_kwargs=dict(selector_kwargs),
-            ticket=SubmitTicket(0, sql),
+            ticket=SubmitTicket(0, sql, client_id=client, lane=lane),
+            client_id=client,
+            lane=lane,
         )
+        timeout = (
+            self.admission_timeout_s if admission_timeout is None else admission_timeout
+        )
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._arrival:
-            if self._scheduler_error is not None:
-                raise RuntimeError(
-                    "cannot submit: the SupgService scheduler thread has died"
-                ) from self._scheduler_error
-            if self._closed:
-                raise RuntimeError("cannot submit to a closed SupgService")
+            self._check_open()
+            while (
+                self.max_queue_depth is not None
+                and len(self._pending) >= self.max_queue_depth
+            ):
+                if self.admission == "reject":
+                    self._counters["rejected"] += 1
+                    raise AdmissionRejected(
+                        f"admission queue full ({len(self._pending)} pending, "
+                        f"cap {self.max_queue_depth}); retry in "
+                        f"{self._retry_hint():.3f}s",
+                        queue_depth=len(self._pending),
+                        retry_after_hint=self._retry_hint(),
+                    )
+                if self.admission == "shed_oldest":
+                    if self._shed_oldest():
+                        continue  # a slot opened; re-check the cap
+                    self._counters["rejected"] += 1
+                    raise AdmissionRejected(
+                        f"admission queue full ({len(self._pending)} pending) "
+                        "and nothing sheddable (all interactive)",
+                        queue_depth=len(self._pending),
+                        retry_after_hint=self._retry_hint(),
+                    )
+                # "block": wait for the scheduler to drain a window.
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self._counters["rejected"] += 1
+                    raise AdmissionRejected(
+                        f"admission queue still full after blocking {timeout}s "
+                        f"({len(self._pending)} pending, cap {self.max_queue_depth})",
+                        queue_depth=len(self._pending),
+                        retry_after_hint=self._retry_hint(),
+                    )
+                waited_from = time.monotonic()
+                self._arrival.wait(remaining)
+                self._blocked_seconds += time.monotonic() - waited_from
+                self._check_open()
             submission.ticket.number = self._submitted
             self._submitted += 1
+            self._counters["admitted"] += 1
             self._pending.append(submission)
+            submission.ticket._cancel_hook = lambda: self._on_cancel(submission)
             self._arrival.notify_all()
         return submission.ticket
+
+    def _check_open(self) -> None:
+        """Raise (under the arrival lock) if submissions are impossible."""
+        if self._scheduler_error is not None:
+            raise RuntimeError(
+                "cannot submit: the SupgService scheduler thread has died"
+            ) from self._scheduler_error
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed SupgService")
+
+    def _retry_hint(self) -> float:
+        """Suggested client backoff: roughly one plan window."""
+        return max(0.001, self.max_window_ms / 1000.0)
+
+    def _shed_oldest(self) -> bool:
+        """Fail the oldest queued batch-lane ticket; True if one shed.
+
+        Interactive tickets are never shed — they are the priority
+        lane — so a queue full of interactive work reports back
+        pressure via :class:`AdmissionRejected` instead.
+        """
+        victim = next(
+            (
+                s
+                for s in self._pending
+                if s.lane != "interactive" and s.ticket.state != "cancelled"
+            ),
+            None,
+        )
+        if victim is None:
+            return False
+        self._pending.remove(victim)
+        self._counters["shed"] += 1
+        victim.ticket._finish(
+            error=QueryShedError(
+                f"query #{victim.ticket.number} shed under overload: admission "
+                f"queue at cap {self.max_queue_depth}; resubmit when load drops",
+                number=victim.ticket.number,
+                phase="admission",
+            )
+        )
+        return True
+
+    def _on_cancel(self, submission: _Submission) -> None:
+        """Cancel hook: drop a cancelled submission from the queue."""
+        with self._arrival:
+            try:
+                self._pending.remove(submission)
+            except ValueError:
+                return  # already dispatched (or shed); nothing to count here
+            self._counters["cancelled"] += 1
+            self._arrival.notify_all()
 
     def close(self, drain: bool = True, timeout: float | None = None) -> None:
         """Stop the scheduler.  Idempotent.
@@ -405,7 +751,8 @@ class SupgService:
             self.engine.release_plane()
             return
         with self._arrival:
-            stuck = list(self._pending) + list(self._inflight)
+            stuck = [s for subs in self._inflight.values() for s in subs]
+            stuck.extend(self._pending)
             self._pending.clear()
         for submission in stuck:
             submission.ticket._finish(
@@ -427,39 +774,96 @@ class SupgService:
 
     @property
     def window_log(self) -> tuple[dict, ...]:
-        """Per-window statistics, in execution order.
+        """Per-window statistics, oldest retained first (ring buffer).
 
-        Each record maps ``queries`` (statements served), ``errors``
-        (compile failures plus failed executions), ``distinct_draws``,
-        ``queries_folded`` (statements beyond the first of each group),
-        ``late_folded`` (arrivals absorbed after the window closed),
-        ``warm_draws`` (groups already in the store before the window
-        pre-drew), ``labels_drawn`` / ``labels_saved`` (store-counter
-        deltas), ``bytes_shipped`` / ``bytes_shm`` (result bytes that
-        rode the worker pipe vs the shared-memory plane),
-        ``recovered_groups`` (execution groups re-run
-        sequentially after a fork worker died), ``window_seconds``,
-        and ``closed_by`` (``"count"`` / ``"timeout"`` / ``"drain"``).
-        A window abandoned at its deadline additionally carries
-        ``deadline_expired=True``.
+        Each record maps ``index`` (monotonic window number), ``lane``,
+        ``queries`` (statements served), ``errors`` (compile failures
+        plus failed executions), ``distinct_draws``, ``queries_folded``
+        (statements beyond the first of each group), ``late_folded``
+        (arrivals absorbed after the window closed), ``warm_draws``
+        (groups already in the store before the window pre-drew),
+        ``labels_drawn`` / ``labels_saved`` (store-counter deltas),
+        ``bytes_shipped`` / ``bytes_shm`` (result bytes that rode the
+        worker pipe vs the shared-memory plane), ``recovered_groups``
+        (execution groups re-run sequentially after a fork worker
+        died), ``window_seconds``, and ``closed_by`` (``"count"`` /
+        ``"timeout"`` / ``"drain"``).  A window abandoned at its
+        deadline additionally carries ``deadline_expired=True``; a
+        window failed fast by the circuit breaker carries
+        ``breaker_open=True``.  Only the newest ``window_log_limit``
+        records are retained; the cumulative counters in
+        :meth:`session_stats` keep counting past the buffer.
         """
         with self._arrival:
             return tuple(dict(record) for record in self._windows)
 
     def session_stats(self) -> Mapping[str, int]:
-        """Engine store counters plus the service's window accounting."""
+        """Engine store counters plus the service's cumulative accounting.
+
+        Window aggregates (``windows``, ``queries_served``, …) are
+        cumulative counters, not sums over :attr:`window_log` — they
+        stay exact after the ring buffer starts dropping old records.
+        Admission accounting: ``admitted`` / ``rejected`` / ``shed`` /
+        ``cancelled`` / ``blocked_ms``.
+        """
         stats = dict(self.engine.session_stats())
         with self._arrival:
-            windows = [dict(record) for record in self._windows]
-        stats.update(
-            windows=len(windows),
-            queries_served=sum(w["queries"] for w in windows),
-            queries_folded=sum(w["queries_folded"] for w in windows),
-            late_folded=sum(w["late_folded"] for w in windows),
-            window_errors=sum(w["errors"] for w in windows),
-            recovered_groups=sum(w.get("recovered_groups", 0) for w in windows),
-        )
+            stats.update(self._totals)
+            stats.update(self._counters)
+            stats["blocked_ms"] = int(self._blocked_seconds * 1000.0)
+        if self._breaker is not None:
+            stats["breaker_fast_failures"] = self._breaker.fast_failures
+            stats["breaker_trips"] = self._breaker.tripped_total
         return stats
+
+    def health(self) -> Mapping[str, object]:
+        """Live operational snapshot (what ``repro serve`` exposes).
+
+        Reports queue depth, inflight windows, cumulative admission
+        counters, circuit-breaker state, and per-lane pending/served
+        counts with p50/p99 latency in milliseconds (over the last
+        ``LANE_LATENCY_SAMPLES`` completions per lane).
+        """
+        with self._arrival:
+            lanes: dict[str, dict] = {}
+            for lane in LANES:
+                samples = np.asarray(self._lane_latency[lane], dtype=float)
+                entry: dict[str, object] = {
+                    "pending": sum(1 for s in self._pending if s.lane == lane),
+                    "served": self._lane_stats[lane]["served"],
+                    "errors": self._lane_stats[lane]["errors"],
+                    "p50_ms": (
+                        float(np.percentile(samples, 50) * 1000.0)
+                        if samples.size
+                        else None
+                    ),
+                    "p99_ms": (
+                        float(np.percentile(samples, 99) * 1000.0)
+                        if samples.size
+                        else None
+                    ),
+                }
+                lanes[lane] = entry
+            snapshot: dict[str, object] = {
+                "queue_depth": len(self._pending),
+                "max_queue_depth": self.max_queue_depth,
+                "admission": self.admission,
+                "inflight_windows": len(self._inflight),
+                "max_inflight_windows": self.max_inflight_windows,
+                "windows_total": self._windows_total,
+                "admitted": self._counters["admitted"],
+                "rejected": self._counters["rejected"],
+                "shed": self._counters["shed"],
+                "cancelled": self._counters["cancelled"],
+                "blocked_ms": int(self._blocked_seconds * 1000.0),
+                "lanes": lanes,
+            }
+        snapshot["breaker"] = (
+            self._breaker.snapshot()
+            if self._breaker is not None
+            else {"state": "disabled"}
+        )
+        return snapshot
 
     # -- scheduler -------------------------------------------------------------
 
@@ -481,9 +885,11 @@ class SupgService:
         with self._arrival:
             self._scheduler_error = exc
             self._closed = True
-            stuck = list(self._inflight) + list(self._pending)
+            stuck = [s for subs in self._inflight.values() for s in subs]
+            stuck.extend(self._pending)
             self._pending.clear()
-            self._inflight = []
+            self._inflight = {}
+            self._running = {}
             self._arrival.notify_all()
         for submission in stuck:
             submission.ticket._finish(
@@ -503,7 +909,7 @@ class SupgService:
                 while not self._pending and not self._closed:
                     self._arrival.wait()
                 if not self._pending and self._closed:
-                    return
+                    break
                 closed_by = "drain" if self._closed else "timeout"
                 deadline = self._pending[0].arrived + self.max_window_ms / 1000.0
                 while not self._closed and len(self._pending) < self.max_window_queries:
@@ -515,27 +921,169 @@ class SupgService:
                     closed_by = "count"
                 elif self._closed:
                     closed_by = "drain"
-                window = self._pending[: self.max_window_queries]
-                del self._pending[: len(window)]
-                self._inflight = list(window)
+                window = self._take_window()
+                token = None
+                if window:
+                    token = self._window_token
+                    self._window_token += 1
+                    self._inflight[token] = list(window)
+                # Queue space was freed (taken or purged submissions):
+                # wake blocked admission waiters.
+                self._arrival.notify_all()
             if not window:
-                # close(drain=False) emptied the queue while we waited
-                # for the window to fill; nothing to execute or log.
+                # close(drain=False) emptied the queue while we waited,
+                # or everything left was cancelled; nothing to execute.
                 continue
+            if self.max_inflight_windows <= 1:
+                try:
+                    self._dispatch_window(window, closed_by)
+                except Exception as exc:
+                    # A window must never take the scheduler down with
+                    # it: fail the window's tickets and keep serving — a
+                    # hung submit()/result() on every later client is
+                    # strictly worse than one failed window.
+                    for submission in window:
+                        submission.ticket._finish(error=exc)
+                # Deliberately NOT a finally: a BaseException escaping
+                # the dispatch must leave _inflight populated so the
+                # scheduler crash guard can fail exactly these tickets.
+                with self._arrival:
+                    self._inflight.pop(token, None)
+                    self._arrival.notify_all()
+            else:
+                self._launch_concurrent(window, closed_by, token)
+        self._await_running_windows()
+
+    def _take_window(self) -> list[_Submission]:
+        """Select the next window's members (call under ``_arrival``).
+
+        Purges cancelled tickets, picks the window's lane (batch vs
+        interactive, honoring the bounded-staleness counter), and fills
+        the window by equal-weight round-robin across ``client_id`` so
+        a flooding client cannot push other clients' queries out of the
+        next window.
+        """
+        # Purge cancels that raced past the eager removal hook.
+        for submission in [
+            s for s in self._pending if s.ticket.state == "cancelled"
+        ]:
+            self._pending.remove(submission)
+            self._counters["cancelled"] += 1
+        interactive = [s for s in self._pending if s.lane == "interactive"]
+        batch = [s for s in self._pending if s.lane != "interactive"]
+        if not self._pending:
+            return []
+        if interactive and not batch:
+            lane = "interactive"
+        elif batch and not interactive:
+            lane = "batch"
+        elif (
+            self._batch_windows_stale >= self.max_interactive_staleness
+            or self._pending[0].lane == "interactive"
+        ):
+            lane = "interactive"
+        else:
+            lane = "batch"
+        if lane == "interactive":
+            self._batch_windows_stale = 0
+            candidates = interactive
+        else:
+            if interactive:
+                self._batch_windows_stale += 1
+            candidates = batch
+        chosen = self._round_robin(candidates, self.max_window_queries)
+        window: list[_Submission] = []
+        for submission in chosen:
+            self._pending.remove(submission)
+            if submission.ticket._mark_dispatched():
+                window.append(submission)
+            else:
+                self._counters["cancelled"] += 1
+        return window
+
+    @staticmethod
+    def _round_robin(candidates: list[_Submission], limit: int) -> list[_Submission]:
+        """Equal-weight round-robin across clients, FIFO within each.
+
+        Clients are cycled in order of their oldest pending arrival,
+        taking one statement per client per cycle until the window is
+        full — the fairness bound: with C active clients, any client's
+        oldest statement is at worst in position C of the window.
+        """
+        queues: "OrderedDict[str, list[_Submission]]" = OrderedDict()
+        for submission in candidates:
+            queues.setdefault(submission.client_id, []).append(submission)
+        chosen: list[_Submission] = []
+        while queues and len(chosen) < limit:
+            for client in list(queues):
+                queue = queues[client]
+                chosen.append(queue.pop(0))
+                if not queue:
+                    del queues[client]
+                if len(chosen) >= limit:
+                    break
+        return chosen
+
+    @staticmethod
+    def _coarse_key(submission: _Submission) -> tuple:
+        """Conservative disjointness key for concurrent windows.
+
+        Two windows may overlap in time only when their ``(table,
+        seed)`` sets are disjoint — a superset of sharing a real
+        ``(fingerprint × design × seed)`` group, computable without
+        compiling on the scheduler thread.  (Correctness never depends
+        on this — the store serializes draws — it keeps fold accounting
+        and label savings attributed to single windows.)
+        """
+        seed = submission.seed
+        return (submission.parsed.table, seed if isinstance(seed, int) else None)
+
+    def _launch_concurrent(
+        self, window: list[_Submission], closed_by: str, token: int
+    ) -> None:
+        """Run one window on a worker thread, capped and disjoint."""
+        keys = {self._coarse_key(s) for s in window}
+        with self._arrival:
+            while (
+                len(self._running) >= self.max_inflight_windows
+                or any(keys & running for running in self._running.values())
+            ):
+                self._arrival.wait(timeout=0.5)
+            self._running[token] = keys
+
+        def run() -> None:
             try:
                 self._dispatch_window(window, closed_by)
             except Exception as exc:
-                # A window must never take the scheduler down with it:
-                # fail the window's tickets and keep serving — a hung
-                # submit()/result() on every later client is strictly
-                # worse than one failed window.
                 for submission in window:
                     submission.ticket._finish(error=exc)
-            # Deliberately NOT a finally: a BaseException escaping the
-            # dispatch must leave _inflight populated so the scheduler
-            # crash guard can fail exactly these tickets.
-            with self._arrival:
-                self._inflight = []
+            except BaseException as exc:
+                # A BaseException on a window thread is not a scheduler
+                # death: fail this window's tickets and let the service
+                # keep running.
+                for submission in window:
+                    submission.ticket._finish(
+                        error=QueryError(
+                            f"query #{submission.ticket.number} aborted: window "
+                            f"thread crashed: {exc}",
+                            number=submission.ticket.number,
+                            phase="scheduler",
+                            cause=exc if isinstance(exc, Exception) else None,
+                        )
+                    )
+            finally:
+                with self._arrival:
+                    self._running.pop(token, None)
+                    self._inflight.pop(token, None)
+                    self._arrival.notify_all()
+
+        threading.Thread(target=run, name="supg-window-runner", daemon=True).start()
+
+    def _await_running_windows(self) -> None:
+        """Drain barrier: wait for concurrent window threads to finish."""
+        with self._arrival:
+            while self._running:
+                self._arrival.wait(timeout=1.0)
 
     def _dispatch_window(self, window: list[_Submission], closed_by: str) -> None:
         """Run one window, under the service's deadline when one is set.
@@ -566,9 +1114,12 @@ class SupgService:
         with self._arrival:
             abandoned.set()
             unfinished = [s for s in window if not s.ticket.done()]
-            window_index = len(self._windows)
-            self._windows.append(
+            window_index = self._window_seq
+            self._window_seq += 1
+            self._append_record_locked(
                 {
+                    "index": window_index,
+                    "lane": window[0].lane if window else self.default_lane,
                     "queries": len(window),
                     "errors": len(unfinished),
                     "distinct_draws": 0,
@@ -597,6 +1148,42 @@ class SupgService:
             )
 
     # -- window execution ------------------------------------------------------
+
+    def _append_record_locked(self, record: dict) -> None:
+        """Append one window record + bump the cumulative counters.
+
+        Caller must hold ``_arrival``.  The record lands in the ring
+        buffer (old records fall off); the totals are monotonic.
+        """
+        self._windows.append(record)
+        self._windows_total += 1
+        totals = self._totals
+        totals["windows"] += 1
+        totals["queries_served"] += record.get("queries", 0)
+        totals["queries_folded"] += record.get("queries_folded", 0)
+        totals["late_folded"] += record.get("late_folded", 0)
+        totals["window_errors"] += record.get("errors", 0)
+        totals["recovered_groups"] += record.get("recovered_groups", 0)
+
+    def _finish_submission(
+        self,
+        submission: _Submission,
+        result: QueryExecution | None = None,
+        error: BaseException | None = None,
+        window: int | None = None,
+    ) -> bool:
+        """Finish a ticket and record its lane latency (first win only)."""
+        finished = submission.ticket._finish(result=result, error=error, window=window)
+        if not finished:
+            return False
+        lane = submission.lane if submission.lane in self._lane_latency else "batch"
+        latency = time.monotonic() - submission.arrived
+        with self._arrival:
+            self._lane_latency[lane].append(latency)
+            self._lane_stats[lane]["served"] += 1
+            if error is not None:
+                self._lane_stats[lane]["errors"] += 1
+        return True
 
     def _compile_submission(self, submission: _Submission, index: int):
         return self.engine._compile(
@@ -631,29 +1218,35 @@ class SupgService:
         """
         # Snapshot under the lock, compile outside it: compilation can
         # be slow (first-use proxy-UDF derivation scores the whole
-        # dataset) and must not stall concurrent submit() calls.  Only
-        # the scheduler thread — this thread — ever removes from the
-        # pending queue, so the snapshot stays removable afterwards.
+        # dataset) and must not stall concurrent submit() calls.  With
+        # concurrent windows, another window may fold or take a
+        # snapshotted submission first, so each fold re-checks and
+        # *claims* its submission under the lock before committing.
         with self._arrival:
             snapshot = list(self._pending)
-        folded: list[_Submission] = []
+        folded = 0
         for submission in snapshot:
             try:
                 job = self._compile_submission(submission, len(compiled))
             except Exception:
                 continue  # stays queued; its own window surfaces the error
             planned = self._planned_execution(job)
-            if plan.covers(planned.key):
-                plan.fold(planned, dataset=job.dataset)
-                compiled.append(job)
-                submissions.append(submission)
-                submission.ticket.state = "folded"
-                folded.append(submission)
-        if folded:
+            if not plan.covers(planned.key):
+                continue
             with self._arrival:
-                for submission in folded:
-                    self._pending.remove(submission)
-        return len(folded)
+                if submission not in self._pending:
+                    continue  # another window claimed it meanwhile
+                self._pending.remove(submission)
+                if not submission.ticket._mark_dispatched():
+                    self._counters["cancelled"] += 1
+                    continue
+                self._arrival.notify_all()  # queue space freed
+            plan.fold(planned, dataset=job.dataset)
+            compiled.append(job)
+            submissions.append(submission)
+            submission.ticket.state = "folded"
+            folded += 1
+        return folded
 
     def _execute_window(
         self,
@@ -662,7 +1255,10 @@ class SupgService:
         abandoned: threading.Event | None = None,
     ) -> None:
         start = time.perf_counter()
-        window_index = len(self._windows)
+        with self._arrival:
+            window_index = self._window_seq
+            self._window_seq += 1
+        lane = window[0].lane if window else self.default_lane
         compiled = []
         submissions: list[_Submission] = []
         errors = 0
@@ -673,7 +1269,7 @@ class SupgService:
                 # Compile errors (unknown table, bad method name) stay
                 # raw: they are the same exceptions engine.execute()
                 # raises, and carry no window context worth adding.
-                submission.ticket._finish(error=exc, window=window_index)
+                self._finish_submission(submission, error=exc, window=window_index)
                 errors += 1
                 continue
             compiled.append(job)
@@ -681,10 +1277,57 @@ class SupgService:
             submission.ticket.state = "executing"
 
         store = self.engine.context.store
+        breaker = self._breaker
+
+        # Circuit breaker gate: while open, fail the window fast with a
+        # typed error instead of letting every ticket burn its full
+        # oracle retry budget against a dead dependency.
+        if compiled and breaker is not None:
+            probing = False
+            try:
+                probing = breaker.check()
+            except CircuitOpenError as exc:
+                for submission in submissions:
+                    self._finish_submission(
+                        submission,
+                        error=QueryError.wrap(
+                            exc,
+                            number=submission.ticket.number,
+                            window=window_index,
+                            phase="breaker",
+                        ),
+                        window=window_index,
+                    )
+                record = {
+                    "index": window_index,
+                    "lane": lane,
+                    "queries": len(window),
+                    "errors": errors + len(submissions),
+                    "distinct_draws": 0,
+                    "queries_folded": 0,
+                    "late_folded": 0,
+                    "warm_draws": 0,
+                    "labels_drawn": 0,
+                    "labels_saved": 0,
+                    "bytes_shipped": 0,
+                    "bytes_shm": 0,
+                    "recovered_groups": 0,
+                    "window_seconds": time.perf_counter() - start,
+                    "closed_by": closed_by,
+                    "breaker_open": True,
+                }
+                with self._arrival:
+                    if abandoned is None or not abandoned.is_set():
+                        self._append_record_locked(record)
+                return
+        else:
+            probing = False
+
         plan = None
         warm_draws = 0
         late_folded = 0
         doomed: dict[int, BaseException] = {}
+        prewarm_failures: Mapping[tuple, Exception] = {}
         before = store.stats()
         transfer_before = self.engine.transfer_stats()
         window_error: Exception | None = None
@@ -718,9 +1361,15 @@ class SupgService:
                 window_error = exc
 
         execution_errors = 0
+        oracle_failures = sum(
+            1
+            for exc in prewarm_failures.values()
+            if isinstance(exc, OracleUnavailableError)
+        )
         if window_error is not None:
             for submission in submissions:
-                submission.ticket._finish(
+                self._finish_submission(
+                    submission,
                     error=QueryError.wrap(
                         window_error,
                         number=submission.ticket.number,
@@ -733,7 +1382,13 @@ class SupgService:
             for submission, job, (result, error) in zip(submissions, compiled, outcomes):
                 if error is not None:
                     execution_errors += 1
-                    submission.ticket._finish(
+                    if (
+                        isinstance(error, OracleUnavailableError)
+                        and job.index not in doomed
+                    ):
+                        oracle_failures += 1
+                    self._finish_submission(
+                        submission,
                         error=QueryError.wrap(
                             error,
                             number=submission.ticket.number,
@@ -749,14 +1404,36 @@ class SupgService:
                     dataset=job.dataset,
                     method=job.method,
                 )
-                submission.ticket._finish(result=execution, window=window_index)
+                self._finish_submission(submission, result=execution, window=window_index)
 
         after = store.stats()
         transfer_after = self.engine.transfer_stats()
+        labels_delta = after["labels_drawn"] - before["labels_drawn"]
+
+        # Breaker accounting: only genuine oracle contact moves the
+        # state — windows served entirely from warm draws abstain, so a
+        # half-open probe stays available for a window that will
+        # actually exercise the oracle.
+        if compiled and breaker is not None:
+            if window_error is not None:
+                if isinstance(window_error, OracleUnavailableError):
+                    breaker.record_failure()
+                else:
+                    breaker.abstain()
+            elif oracle_failures:
+                for _ in range(oracle_failures):
+                    breaker.record_failure()
+            elif labels_delta > 0:
+                breaker.record_success()
+            elif probing:
+                breaker.abstain()
+
         grouped = (
             plan.n_executions - len(plan.ungrouped) if plan is not None else 0
         )
         record = {
+            "index": window_index,
+            "lane": lane,
             "queries": len(compiled),
             "errors": errors
             + (len(submissions) if window_error is not None else execution_errors),
@@ -766,7 +1443,7 @@ class SupgService:
             ),
             "late_folded": late_folded,
             "warm_draws": warm_draws,
-            "labels_drawn": after["labels_drawn"] - before["labels_drawn"],
+            "labels_drawn": labels_delta,
             "labels_saved": after["labels_saved"] - before["labels_saved"],
             "bytes_shipped": transfer_after["bytes_shipped"]
             - transfer_before["bytes_shipped"],
@@ -781,7 +1458,7 @@ class SupgService:
                 # its tickets, and logged a deadline record; a late
                 # record from the abandoned thread would double-count.
                 return
-            self._windows.append(record)
+            self._append_record_locked(record)
 
     def _run_window(
         self, compiled, plan, doomed: Mapping[int, BaseException] | None = None
@@ -792,6 +1469,11 @@ class SupgService:
         one ``(result, error)`` pair per compiled query (exactly one of
         the two is set) and ``recovered_groups`` counts execution
         groups re-run in-thread after a fork worker died.
+
+        The window's worker budget is its fair share of the service's
+        ``jobs`` across currently running windows
+        (:func:`~repro.core.planning.worker_share`), so concurrent
+        windows cannot oversubscribe the host.
 
         Statement failures are isolated here: the parallel path fans
         whole groups to workers, so when any statement in it raises,
@@ -805,8 +1487,12 @@ class SupgService:
         doomed = dict(doomed or {})
         if not compiled:
             return [], 0
+        with self._arrival:
+            concurrent = max(1, len(self._running))
         workers = effective_workers(
-            self._jobs, len(compiled), "SupgService plan windows"
+            worker_share(self._jobs, concurrent),
+            len(compiled),
+            "SupgService plan windows",
         )
         if workers > 1 and not doomed:
             try:
