@@ -29,9 +29,9 @@ contract (see README "Failure semantics"):
    group was recovered after the worker kill.
 6. **No leaked shared memory** — after all passes (including the
    worker kill mid-transfer and the overload burst), no
-   ``supg-plane-*`` segment survives in ``/dev/shm``: every data-plane
-   segment was unlinked by its owner or reclaimed by the parent's
-   crash sweep.
+   ``supg-plane-*`` or ``supg-zonemap-*`` segment survives in
+   ``/dev/shm``: every data-plane and zone-map-index segment was
+   unlinked by its owner or reclaimed by the parent's crash sweep.
 7. **Overload contract** — a 2×-capacity concurrent submit burst
    against a hard oracle outage (:func:`run_overload_pass`) resolves
    every ticket to a bit-identical success or a *typed* error
@@ -65,6 +65,7 @@ import threading
 
 from repro.core.planning import fork_available
 from repro.core.shm import SEGMENT_PREFIX
+from repro.core.zonemap import ZONEMAP_SEGMENT_PREFIX
 from repro.datasets import load_dataset
 from repro.faults import FaultPlan, corrupt_spill, inject
 from repro.oracle import OracleCircuitBreaker, RetryPolicy
@@ -419,10 +420,13 @@ def main(argv=None) -> int:
 
     # Gate 6: no leaked shared-memory segments.  Both passes (and the
     # killed worker's orphaned result transfer) must leave /dev/shm
-    # clean once their services close.
+    # clean once their services close — including the zone-map index
+    # segments, which publish under their own prefix.
     leaked: list[str] = []
     if os.path.isdir("/dev/shm"):
-        leaked = sorted(p.name for p in Path("/dev/shm").glob(f"{SEGMENT_PREFIX}-*"))
+        for prefix in (SEGMENT_PREFIX, ZONEMAP_SEGMENT_PREFIX):
+            leaked.extend(p.name for p in Path("/dev/shm").glob(f"{prefix}-*"))
+        leaked.sort()
         if leaked:
             failures.append(f"leaked shared-memory segments: {', '.join(leaked)}")
 

@@ -24,9 +24,13 @@ starvation), times the shared-memory data plane (the same 8 queries through a
 parallel ``execute_many`` with published dataset statistics, against
 eight naive independent clients that each build their own engine and
 statistics — and *fails* if the parallel path does not beat them),
-and proves the persistent sample store by re-running a panel against a
-warm spill directory (the second run must draw zero oracle labels).
-The output file (``BENCH_PR8.json`` by default) extends the repo's
+times threshold scans through the stratified score zone map at 10M
+records (``count_above`` + ``select_above`` at 0.1%/1%/10%
+selectivity against the dense O(n) passes, byte-identical index sets
+required — and *fails* below a 1.5x advantage, with 4x the recorded
+target), and proves the persistent sample store by re-running a panel
+against a warm spill directory (the second run must draw zero oracle
+labels).  The output file (``BENCH_PR9.json`` by default) extends the repo's
 performance trajectory — future PRs append ``BENCH_PR<k>.json`` files
 and should beat (or at least not regress) these numbers.
 
@@ -642,6 +646,81 @@ def time_shm_plane(dataset, budget: int, repeats: int = 3) -> dict[str, object]:
     }
 
 
+def time_zonemap_scan(size: int, repeats: int = 5) -> dict[str, object]:
+    """Indexed threshold scans through the score zone map vs dense passes.
+
+    Builds a ``size``-record synthetic workload (10M by default — the
+    scale the service targets), then times the two dataset-scale
+    lookups every query pays — ``count_above`` (candidate-scan count
+    probes) and ``select_above`` (recall-set / selection
+    materialization) — at thresholds retaining ~0.1%, 1%, and 10% of
+    the records, against the dense O(n) passes they replaced.  Parity
+    is checked first: every indexed selection must be byte-identical
+    (values and dtype) to ``np.flatnonzero(scores >= tau)``.  The
+    acceptance gate hard-fails below 1.5x; the recorded target is 4x.
+    """
+    print(f"  building beta(0.01, 1) workload, n={size} ...")
+    dataset = make_beta_dataset(0.01, 1.0, size=size, seed=0)
+    zone_map = dataset.zone_map
+    if zone_map is None:
+        raise SystemExit(f"zonemap scan: {size}-record dataset was not indexed")
+    scores = dataset.proxy_scores
+    sorted_scores = dataset.sorted_scores
+    fractions = (0.001, 0.01, 0.1)
+    taus = [float(sorted_scores[int(size * (1.0 - f))]) for f in fractions]
+
+    for tau in [*taus, 0.0, float("inf")]:
+        dense_indices = np.flatnonzero(scores >= tau)
+        indexed_indices = dataset.select_above(tau)
+        if indexed_indices.dtype != dense_indices.dtype or not np.array_equal(
+            indexed_indices, dense_indices
+        ):
+            raise SystemExit(
+                f"zonemap scan broke parity at tau={tau}: indexed selection "
+                "differs from the dense pass"
+            )
+
+    def run_indexed():
+        for tau in taus:
+            dataset.count_above(tau)
+            dataset.select_above(tau)
+
+    def run_dense():
+        for tau in taus:
+            int(np.count_nonzero(scores >= tau))
+            np.flatnonzero(scores >= tau)
+
+    indexed = _best(run_indexed, repeats)
+    dense = _best(run_dense, repeats)
+    speedup = dense / indexed
+    print(
+        f"  {'zonemap scan':20s} indexed {indexed * 1e3:.1f} ms, "
+        f"dense {dense * 1e3:.1f} ms ({speedup:.1f}x over "
+        f"{len(taus)} thresholds; {zone_map.strata} strata, "
+        f"{zone_map.nbytes} B index)"
+    )
+    # The acceptance gate: skipping must decisively beat the dense
+    # passes at service scale; 4x is the recorded target.
+    if speedup < 1.5:
+        raise SystemExit(
+            f"zonemap scan regression: indexed path is only {speedup:.2f}x "
+            "the dense pass (required >= 1.5x)"
+        )
+    if speedup < 4.0:
+        print(f"  WARNING: zonemap scan speedup {speedup:.2f}x is below the 4x target")
+    return {
+        "records": size,
+        "selectivities": list(fractions),
+        "strata": zone_map.strata,
+        "stratum_size": zone_map.stratum_size,
+        "index_bytes": zone_map.nbytes,
+        "indexed_seconds": indexed,
+        "dense_seconds": dense,
+        "speedup": speedup,
+        "results_identical": True,
+    }
+
+
 def check_store_persistence(dataset, budget: int, trials: int = 3) -> dict[str, object]:
     """Two store-dir runs of one panel: the second must draw nothing."""
     query = ApproxQuery.recall_target(GAMMA, DELTA, budget)
@@ -699,6 +778,7 @@ def _speedup_checks(payload: dict, baseline: dict, max_regression: float) -> lis
         ("service_window", "speedup", "folded service window speedup"),
         ("service_saturation", "throughput_ratio", "service saturation throughput ratio"),
         ("shm_plane", "speedup", "shm data-plane speedup"),
+        ("zonemap_scan", "speedup", "zonemap scan speedup"),
     )
     for key, field, label in ratio_metrics:
         old = baseline.get(key, {}).get(field)
@@ -771,10 +851,14 @@ def compare_to_baseline(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_PR8.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR9.json"))
     parser.add_argument("--size", type=int, default=1_000_000)
     parser.add_argument("--budget", type=int, default=10_000)
     parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument(
+        "--zonemap-size", type=int, default=10_000_000,
+        help="record count for the zone-map scan benchmark",
+    )
     parser.add_argument(
         "--compare", type=Path, default=None,
         help="baseline BENCH_*.json to check regressions against",
@@ -813,6 +897,8 @@ def main(argv: list[str] | None = None) -> int:
     service_saturation = time_service_saturation(dataset, args.budget)
     print("timing shared-memory data plane:")
     shm_plane = time_shm_plane(dataset, args.budget)
+    print("timing zone-map threshold scans:")
+    zonemap_scan = time_zonemap_scan(args.zonemap_size)
     print("checking persistent sample store:")
     persistence = check_store_persistence(dataset, args.budget)
 
@@ -838,6 +924,7 @@ def main(argv: list[str] | None = None) -> int:
         "service_window": service_window,
         "service_saturation": service_saturation,
         "shm_plane": shm_plane,
+        "zonemap_scan": zonemap_scan,
         "store_persistence": persistence,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -54,13 +54,16 @@ from .thresholds import (
     SELECT_EVERYTHING,
     SELECT_NOTHING,
     empirical_precision,
+    empirical_precision_batch,
     empirical_recall,
+    empirical_recall_batch,
     max_recall_threshold,
     min_precision_threshold,
     precision_lower_bound,
     precision_lower_bound_batch,
 )
 from .types import ApproxQuery, SelectionResult, TargetType
+from .zonemap import ScoreZoneMap, SkipEstimate
 from .uniform import (
     DEFAULT_CANDIDATE_STEP,
     UniformCIPrecision,
@@ -119,6 +122,10 @@ __all__ = [
     "precision_lower_bound_batch",
     "empirical_recall",
     "empirical_precision",
+    "empirical_recall_batch",
+    "empirical_precision_batch",
+    "ScoreZoneMap",
+    "SkipEstimate",
     "conservative_recall_target",
     "precision_candidate_scan",
     "precision_candidate_scan_reference",

@@ -253,7 +253,10 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
         # trials read one order statistic instead of re-sorting O(n log n).
         cut_rank = min(dataset.size, max(1, math.ceil(n_match_ub / self.query.gamma)))
         tau_min = float(dataset.descending_scores[cut_rank - 1])
-        region = np.flatnonzero(dataset.proxy_scores >= tau_min)
+        # select_above skips through the dataset's zone map when one
+        # exists (bit-identical to the dense flatnonzero scan), so the
+        # stage-1 region costs O(region) instead of a full O(n) pass.
+        region = dataset.select_above(tau_min)
 
         # Stage 2: candidate scan over a weighted sample from the region.
         # Reweighting is relative to uniform-over-region, which preserves
@@ -273,6 +276,7 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
             delta=self.query.delta / 2.0,
             bound=self.bound,
             step=self.step,
+            dataset=dataset,
         )
         tau = max(tau, tau_min)
         details: dict[str, object] = {

@@ -631,9 +631,15 @@ class SampleStore:
     def clear_disk(cls, store_dir: str | os.PathLike) -> Mapping[str, int]:
         """Delete every spill file (and the stats sidecar) in a directory.
 
-        Only files this module wrote are touched — foreign files in the
-        directory are left alone.  Returns the removed count and bytes.
+        Zone-map sidecars (``zonemap-*.npz``, written by the query
+        engine next to the spills) are cleared too: they are derivable
+        indexes, not labeled data, so "clear the store" should leave
+        nothing behind.  Only files this repo wrote are touched —
+        foreign files in the directory are left alone.  Returns the
+        removed count and bytes.
         """
+        from .zonemap import SIDECAR_GLOB as ZONEMAP_SIDECAR_GLOB
+
         removed = 0
         freed = 0
         for entry in cls.disk_entries(store_dir, include_keys=False):
@@ -643,6 +649,14 @@ class SampleStore:
                 continue
             removed += 1
             freed += entry["bytes"]
+        for path in Path(store_dir).expanduser().glob(ZONEMAP_SIDECAR_GLOB):
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
         for entry in cls.quarantine_entries(store_dir):
             report = entry["path"].with_name(entry["path"].name + ".reason.json")
             try:
@@ -843,6 +857,13 @@ def materialize_selection(
     distinct sets come from the samples' caches, so replaying a
     store-served sample across a gamma axis or a method panel pays
     their unique passes once.
+
+    The ``R2`` half (``dataset.select_above(tau)``) skips through the
+    dataset's zone map when one exists (:mod:`repro.core.zonemap`):
+    instead of an O(n) boolean mask, it binary-searches the stratum
+    bounds and materializes only the boundary stratum plus the
+    cumulative tail of the sorted order — byte-identical output,
+    O(selected) work.
     """
     sample_list = tuple(samples)
     sampled = sample_list[0].distinct_indices

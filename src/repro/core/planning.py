@@ -53,6 +53,7 @@ from ..sampling import DEFAULT_EXPONENT, DEFAULT_MIXING, proxy_sampling_weights
 from ..sampling.designs import SampleDesign
 from .types import ApproxQuery, TargetType
 from .uniform import DEFAULT_CANDIDATE_STEP, minimum_positive_draws
+from .zonemap import SkipEstimate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..datasets import Dataset
@@ -309,6 +310,10 @@ class PlannedExecution:
         note: why the execution is *not* plannable (oracle UDF,
             generator seed, joint query, no declared design) — empty
             for grouped executions.
+        skip: zone-map cost estimate (strata touched × stratum size)
+            for the execution's materialization, when its dataset is
+            indexed — ``None`` for unindexed datasets and unplanned
+            executions.
     """
 
     index: int
@@ -317,6 +322,7 @@ class PlannedExecution:
     design: SampleDesign | None = None
     seed: int | None = None
     note: str = ""
+    skip: SkipEstimate | None = None
 
     @property
     def key(self) -> tuple | None:
@@ -554,7 +560,10 @@ class QueryPlan:
             note = f" ({execution.note})" if execution.note else ""
             lines.append(f"unplanned  : #{index} {execution.label}{note}")
         for execution in self.executions:
-            lines.append(f"#{execution.index:<10d}: {execution.label}")
+            line = f"#{execution.index:<10d}: {execution.label}"
+            if execution.skip is not None:
+                line += f" [{execution.skip.render()}]"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -598,8 +607,30 @@ def plan_executions(
                     fingerprint=dataset.fingerprint,
                     design=design,
                     seed=int(seed),
+                    skip=_skip_estimate(dataset, selector),
                 )
             )
         else:
             executions.append(PlannedExecution(index=index, label=label, note=note))
     return QueryPlan(executions, datasets)
+
+
+def _skip_estimate(
+    dataset: "Dataset", selector: object
+) -> SkipEstimate | None:
+    """Zone-map cost estimate for one plannable execution, or ``None``.
+
+    Uses the per-stratum proxy-score mass as the expected positive
+    count (the calibrated-proxy assumption :func:`plan_budget` already
+    makes), so the estimate needs no oracle labels: an RT query keeps
+    the smallest score tail holding ``gamma`` of the expected positive
+    mass, a PT query the largest tail whose expected precision still
+    meets ``gamma``.
+    """
+    zone_map = dataset.zone_map
+    query = getattr(selector, "query", None)
+    if zone_map is None or not isinstance(query, ApproxQuery):
+        return None
+    return zone_map.plan_estimate(
+        recall=query.target_type is TargetType.RECALL, gamma=query.gamma
+    )

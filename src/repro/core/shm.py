@@ -323,6 +323,9 @@ class SharedArrayPlane:
                     restored = np.array(weights[key])
                     restored.flags.writeable = False
                     weights[key] = restored
+            zone_map = cache.get("zone_map")
+            if zone_map is not None:
+                zone_map.localize(ours)
             if id(dataset.proxy_scores) in ours:
                 restored = np.array(dataset.proxy_scores, dtype=float)
                 object.__setattr__(dataset, "proxy_scores", restored)
@@ -338,12 +341,25 @@ class SharedArrayPlane:
 
     # -- published statistics --------------------------------------------------
 
-    def share(self, fingerprint: str, name: str, array: np.ndarray) -> np.ndarray:
+    def share(
+        self,
+        fingerprint: str,
+        name: str,
+        array: np.ndarray,
+        segment_prefix: str | None = None,
+    ) -> np.ndarray:
         """Publish one statistic; return the plane-backed read-only view.
 
         Idempotent per ``(fingerprint, name)``: the first call copies
         the array into shared pages, later calls return the existing
         view.  In ``pickle`` mode the array is returned unchanged.
+
+        ``segment_prefix`` renames the backing shm segment's leading
+        component (default: the plane's own ``supg-plane`` uid), so
+        subsystems with their own cleanup contract — the zone-map index
+        publishes under ``supg-zonemap`` — stay distinguishable in
+        ``/dev/shm``.  Lifecycle is unchanged: prefixed segments are
+        owned, tracked, and unlinked by this plane like any other.
         """
         if self.mode == "pickle" or self.closed:
             return array
@@ -353,7 +369,12 @@ class SharedArrayPlane:
             return view
         arr = np.ascontiguousarray(array)
         if self.mode == "shm":
-            segment_name = f"{self.uid}-s{len(self._segments):x}"
+            stem = (
+                self.uid
+                if segment_prefix is None
+                else f"{segment_prefix}-{self.uid.removeprefix(SEGMENT_PREFIX + '-')}"
+            )
+            segment_name = f"{stem}-s{len(self._segments):x}"
             shm = shared_memory.SharedMemory(
                 name=segment_name, create=True, size=max(int(arr.nbytes), 1)
             )

@@ -35,7 +35,9 @@ __all__ = [
     "precision_lower_bound",
     "precision_lower_bound_batch",
     "empirical_recall",
+    "empirical_recall_batch",
     "empirical_precision",
+    "empirical_precision_batch",
 ]
 
 #: Threshold above every score: ``D(tau)`` is empty.
@@ -80,6 +82,54 @@ def empirical_precision(
     if denom == 0.0:
         return 1.0
     return float(np.sum(above * o * m) / denom)
+
+
+# -- batch curve sweeps ----------------------------------------------------------
+#
+# The scalar functions above re-validate (and re-coerce) all three
+# sample arrays on *every* call, so a caller probing a curve at T
+# thresholds pays T array coercions and T full O(s) masked reductions.
+# The batch variants validate once, sort once, and answer every probe
+# from suffix cumulative sums — O(s log s + T log s) for the whole
+# sweep.  Values match the scalar functions up to summation round-off
+# (cumulative vs pairwise summation; last-ulp differences only).
+
+
+def _suffix_sums(values: np.ndarray) -> np.ndarray:
+    """``out[i] = values[i:].sum()`` with a trailing 0 (length n+1)."""
+    out = np.zeros(values.size + 1)
+    out[:-1] = np.cumsum(values[::-1])[::-1]
+    return out
+
+
+def empirical_recall_batch(
+    scores: np.ndarray, labels: np.ndarray, mass: np.ndarray, taus: np.ndarray
+) -> np.ndarray:
+    """:func:`empirical_recall` evaluated at every threshold in ``taus``."""
+    a, o, m = _validate_sample(scores, labels, mass)
+    t = np.atleast_1d(np.asarray(taus, dtype=float))
+    order = np.argsort(a, kind="stable")
+    positive_mass = _suffix_sums((o * m)[order])
+    denom = positive_mass[0]
+    if denom == 0.0:
+        return np.ones(t.shape)
+    starts = np.searchsorted(a[order], t, side="left")
+    return positive_mass[starts] / denom
+
+
+def empirical_precision_batch(
+    scores: np.ndarray, labels: np.ndarray, mass: np.ndarray, taus: np.ndarray
+) -> np.ndarray:
+    """:func:`empirical_precision` evaluated at every threshold in ``taus``."""
+    a, o, m = _validate_sample(scores, labels, mass)
+    t = np.atleast_1d(np.asarray(taus, dtype=float))
+    order = np.argsort(a, kind="stable")
+    retained_mass = _suffix_sums(m[order])
+    positive_mass = _suffix_sums((o * m)[order])
+    starts = np.searchsorted(a[order], t, side="left")
+    denom = retained_mass[starts]
+    safe = np.where(denom == 0.0, 1.0, denom)
+    return np.where(denom == 0.0, 1.0, positive_mass[starts] / safe)
 
 
 def max_recall_threshold(

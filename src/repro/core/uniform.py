@@ -126,6 +126,7 @@ def precision_candidate_scan(
     delta: float,
     bound: ConfidenceBound,
     step: int = DEFAULT_CANDIDATE_STEP,
+    dataset: "Dataset | None" = None,
 ) -> tuple[float, Mapping[str, object]]:
     """The candidate-threshold loop shared by Algorithms 3 and 5.
 
@@ -155,10 +156,24 @@ def precision_candidate_scan(
         bound: confidence-bound method.
         step: candidate spacing ``m``; clamped to the sample size so
             small test budgets still yield at least one candidate.
+        dataset: when given and zone-map indexed, the scan resolves
+            its *dataset-scale* lookups through the index — the grid's
+            candidate thresholds map to the few strata they can cut
+            through (rather than n-record count scans), and the chosen
+            threshold's selection cardinality comes from the
+            cumulative tail counts.  Pure telemetry plus O(log) count
+            lookups: the candidate set, the accept tests, and the
+            returned ``tau`` are unchanged, because each candidate's
+            *statistical* test depends on the sample and the union
+            bound over all ``M`` candidates — dropping grid points
+            would change ``delta / M`` and break bit-identity.
 
     Returns:
         ``(tau, details)`` with the number of candidates examined and
-        accepted in ``details``.
+        accepted in ``details``; zone-mapped datasets additionally
+        report ``candidate_strata`` (distinct strata the candidate
+        grid cuts through) and ``selected_count`` (rows the returned
+        threshold selects, 0 for :data:`SELECT_NOTHING`).
     """
     a = np.asarray(scores, dtype=float)
     o = np.asarray(labels, dtype=float)
@@ -199,9 +214,20 @@ def precision_candidate_scan(
     accepted = lowers > gamma
 
     details = {"candidates": num_candidates, "accepted": int(np.count_nonzero(accepted))}
-    if not np.any(accepted):
-        return SELECT_NOTHING, details
-    return float(taus[accepted].min()), details
+    tau = SELECT_NOTHING if not np.any(accepted) else float(taus[accepted].min())
+
+    zone_map = dataset.zone_map if dataset is not None else None
+    if zone_map is not None:
+        # Map the candidate grid onto the index: each candidate tau can
+        # cut through exactly one stratum, so the distinct boundary
+        # strata bound the dataset-side work any per-candidate lookup
+        # needs.  The chosen tau's selection size is one cumulative
+        # tail-count lookup (O(log K + log S)) instead of an O(n) count.
+        boundary_strata = np.searchsorted(zone_map.highs, taus, side="left")
+        details["candidate_strata"] = int(np.unique(boundary_strata).size)
+        details["selected_count"] = int(dataset.count_above(tau))
+
+    return tau, details
 
 
 def precision_candidate_scan_reference(
@@ -359,5 +385,6 @@ class UniformCIPrecision(Selector):
             delta=self.query.delta,
             bound=self.bound,
             step=self.step,
+            dataset=dataset,
         )
         return tau, details

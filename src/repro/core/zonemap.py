@@ -1,0 +1,503 @@
+"""Stratified score zone-map index: data skipping for threshold queries.
+
+Every SUPG hot path ultimately asks one of two questions about the
+dataset's proxy scores: *how many* records lie at or above a threshold
+``tau`` (recall-set sizing, planner estimates), and *which* records do
+(``Dataset.select_above``, ``materialize_selection``).  Both were O(n)
+full-array passes per query, even though the engine already pays to
+fully sort every dataset's scores (``Dataset.sorted_scores`` /
+``score_order``, shared zero-copy across workers since the data plane
+landed).
+
+A :class:`ScoreZoneMap` partitions the *sorted score order* into K
+equi-depth strata of ~:data:`DEFAULT_STRATUM_SIZE` records and keeps,
+per stratum: the record range (``offsets``), the score min/max
+(``lows``/``highs``), and the summed proxy score (``score_mass`` — the
+expected positive count under a calibrated proxy, the same assumption
+the budget planner already makes).  Because strata are contiguous in
+score order, any threshold cuts through **at most one** stratum:
+
+- ``locate(tau)`` binary-searches the K stratum bounds, then at most
+  one stratum's slice of the sorted scores — O(log K + log S) instead
+  of O(n) — and returns the global cut position, *identical* to
+  ``np.searchsorted(sorted_scores, tau, side="left")``.
+- ``count_above(tau)`` is the cumulative tail count past that cut.
+- ``select_above(tau)`` materializes the boundary stratum plus the
+  cumulative tail by sorting ``score_order[cut:]`` — the cut indices
+  are distinct integers, so any sort kind restores ascending order —
+  **byte-identical** to the dense
+  ``np.flatnonzero(proxy_scores >= tau)``, because the cut position
+  splits the stable argsort exactly at the ``>= tau`` boundary.
+
+When a selection retains more than :data:`DENSE_FALLBACK_FRACTION` of
+the dataset, sorting the tail costs more than the dense boolean mask,
+so ``select_above`` falls back to the dense path (still bit-identical;
+counted in ``zonemap_dense_fallbacks``).  Datasets below
+:data:`MIN_INDEXED_SIZE` records skip the index entirely
+(``Dataset.zone_map`` is ``None``) — at that size the dense pass is
+already cheap and the index bookkeeping is pure overhead.
+
+The index arrays are tiny (4 arrays of K ≈ n / 8192 entries), so they
+publish through the :class:`~repro.core.shm.SharedArrayPlane` like any
+other dataset statistic — under the dedicated ``supg-zonemap`` segment
+prefix so the chaos smoke can assert cleanup separately — and persist
+as an ``.npz`` sidecar next to the sample store's spills / the plane's
+mmap statistics (:meth:`ScoreZoneMap.save_sidecar`), keyed and
+validated by dataset fingerprint so a stale sidecar is never served.
+
+NaN proxy scores would break the dense/indexed equivalence (NaN
+compares false against every ``tau`` but sorts to the end of
+``sorted_scores``), so :class:`~repro.datasets.base.Dataset` rejects
+them at construction.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_STRATUM_SIZE",
+    "DENSE_FALLBACK_FRACTION",
+    "MIN_INDEXED_SIZE",
+    "SIDECAR_FORMAT_VERSION",
+    "SIDECAR_GLOB",
+    "ZONEMAP_SEGMENT_PREFIX",
+    "ScoreZoneMap",
+    "SkipEstimate",
+]
+
+#: Records per stratum (equi-depth).  ~8k keeps the boundary-stratum
+#: binary search inside one or two cache lines of scores while the
+#: whole index for a 100M-record dataset stays under ~400 KB.
+DEFAULT_STRATUM_SIZE = 8192
+
+#: Below this many records the dense path is already cheap and
+#: ``Dataset.zone_map`` stays ``None`` (callers can still force-build
+#: via ``Dataset.build_zone_map`` for tests and micro-benchmarks).
+MIN_INDEXED_SIZE = 4 * DEFAULT_STRATUM_SIZE
+
+#: Selections retaining more than this fraction of the dataset fall
+#: back to the dense boolean mask: one vectorized O(n) compare beats
+#: radix-sorting an O(n)-sized index tail.
+DENSE_FALLBACK_FRACTION = 0.25
+
+#: Shared-memory segments holding published zone-map arrays use this
+#: prefix (instead of the plane's ``supg-plane``), so the chaos smoke's
+#: leak sweep can assert on them by name.
+ZONEMAP_SEGMENT_PREFIX = "supg-zonemap"
+
+SIDECAR_FORMAT_VERSION = 1
+
+#: Filename pattern of persisted sidecars inside a store directory.
+SIDECAR_GLOB = "zonemap-*.npz"
+
+#: Plane statistic names, aligned with :attr:`ScoreZoneMap._ARRAYS`.
+_STAT_NAMES = ("zonemap-offsets", "zonemap-lows", "zonemap-highs", "zonemap-mass")
+
+
+@dataclass(frozen=True)
+class SkipEstimate:
+    """A planner-facing cost estimate: strata touched × stratum size.
+
+    Attributes:
+        strata: total stratum count K of the dataset's zone map.
+        stratum_size: records per (full) stratum.
+        start_stratum: first stratum the estimated selection reaches
+            into (``strata`` when the estimated selection is empty).
+        strata_touched: strata the selection is expected to read.
+        est_selected: estimated records selected (tail count).
+        est_skipped: estimated records never touched (the prefix).
+    """
+
+    strata: int
+    stratum_size: int
+    start_stratum: int
+    strata_touched: int
+    est_selected: int
+    est_skipped: int
+
+    def render(self) -> str:
+        """Short human-readable form for plan output."""
+        return (
+            f"zonemap ~{self.strata_touched}/{self.strata} strata, "
+            f"~{self.est_selected} rows, {self.est_skipped} skipped"
+        )
+
+
+class ScoreZoneMap:
+    """Equi-depth strata over one dataset's sorted proxy scores.
+
+    Construct via :meth:`build` (from the cached ascending
+    ``sorted_scores``), :meth:`load_sidecar`, or :meth:`attach`.  The
+    map holds only per-stratum summaries — the score arrays themselves
+    stay on the dataset — so instances are cheap to publish, pickle,
+    and persist.
+
+    Per-process telemetry accrues in :attr:`counters` (aggregated into
+    ``SupgEngine.session_stats()``); counts from forked workers die
+    with the worker, so the totals reflect parent-process selections —
+    prewarm, sequential execution, and recovery — which is where the
+    skipped work was previously spent.
+    """
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        score_mass: np.ndarray,
+        dense_fraction: float = DENSE_FALLBACK_FRACTION,
+    ) -> None:
+        self.offsets = np.asarray(offsets, dtype=np.intp)
+        self.lows = np.asarray(lows, dtype=float)
+        self.highs = np.asarray(highs, dtype=float)
+        self.score_mass = np.asarray(score_mass, dtype=float)
+        if (
+            self.offsets.ndim != 1
+            or self.offsets.size < 2
+            or self.lows.shape != self.highs.shape
+            or self.lows.shape != self.score_mass.shape
+            or self.lows.size != self.offsets.size - 1
+        ):
+            raise ValueError("zone-map arrays are misaligned")
+        self.dense_fraction = float(dense_fraction)
+        #: Cumulative suffix sums of ``score_mass`` (length K+1): the
+        #: expected positives at or above each stratum boundary, under
+        #: a calibrated proxy.  Derived locally, never shared.
+        self.tail_mass = np.concatenate(
+            [np.cumsum(self.score_mass[::-1])[::-1], [0.0]]
+        )
+        self.counters: dict[str, int] = {
+            "zonemap_selects": 0,
+            "strata_touched": 0,
+            "records_skipped": 0,
+            "zonemap_dense_fallbacks": 0,
+        }
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        sorted_scores: np.ndarray,
+        stratum_size: int | None = None,
+        dense_fraction: float = DENSE_FALLBACK_FRACTION,
+    ) -> "ScoreZoneMap":
+        """Build the index from ascending sorted scores.
+
+        Deterministic in the inputs, so a map built before publishing
+        and a map rebuilt (or attached) in a fork child are
+        element-identical.
+        """
+        scores = np.asarray(sorted_scores, dtype=float)
+        if scores.ndim != 1 or scores.size == 0:
+            raise ValueError("sorted_scores must be a non-empty 1-D array")
+        size = int(scores.size)
+        depth = DEFAULT_STRATUM_SIZE if stratum_size is None else int(stratum_size)
+        if depth <= 0:
+            raise ValueError(f"stratum_size must be positive, got {depth}")
+        strata = -(-size // depth)  # ceil division
+        offsets = np.minimum(
+            np.arange(strata + 1, dtype=np.intp) * depth, size
+        )
+        lows = scores[offsets[:-1]]
+        highs = scores[offsets[1:] - 1]
+        score_mass = np.add.reduceat(scores, offsets[:-1])
+        return cls(offsets, lows, highs, score_mass, dense_fraction=dense_fraction)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Records covered (the dataset size)."""
+        return int(self.offsets[-1])
+
+    @property
+    def strata(self) -> int:
+        """Stratum count K."""
+        return int(self.lows.size)
+
+    @property
+    def stratum_size(self) -> int:
+        """Records per full stratum (the last stratum may be shorter)."""
+        return int(self.offsets[1] - self.offsets[0])
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the shared index arrays."""
+        return int(
+            self.offsets.nbytes
+            + self.lows.nbytes
+            + self.highs.nbytes
+            + self.score_mass.nbytes
+        )
+
+    def describe(self) -> dict[str, int]:
+        """Summary dict for CLI and telemetry output."""
+        return {
+            "records": self.size,
+            "strata": self.strata,
+            "stratum_size": self.stratum_size,
+            "nbytes": self.nbytes,
+        }
+
+    # -- skipping lookups ------------------------------------------------------
+
+    def locate(self, tau: float, sorted_scores: np.ndarray) -> tuple[int, int]:
+        """The global cut for ``tau``: ``(position, boundary stratum)``.
+
+        ``position`` equals ``np.searchsorted(sorted_scores, tau,
+        side="left")`` — the first sorted position with score >= tau —
+        but is found through the stratum bounds: strata whose ``high``
+        is below ``tau`` cannot contain the cut, and because strata are
+        contiguous in score order exactly one stratum can straddle it.
+        ``boundary stratum`` is K when the selection is empty.
+        """
+        j = int(np.searchsorted(self.highs, tau, side="left"))
+        if j >= self.strata:
+            return self.size, self.strata
+        low = int(self.offsets[j])
+        if self.lows[j] >= tau:
+            return low, j
+        high = int(self.offsets[j + 1])
+        return low + int(
+            np.searchsorted(sorted_scores[low:high], tau, side="left")
+        ), j
+
+    def count_above(self, tau: float, sorted_scores: np.ndarray) -> int:
+        """``|{x : A(x) >= tau}|`` via the cumulative tail count."""
+        position, _ = self.locate(tau, sorted_scores)
+        return self.size - position
+
+    def select_above(
+        self,
+        tau: float,
+        sorted_scores: np.ndarray,
+        score_order: np.ndarray,
+        proxy_scores: np.ndarray,
+    ) -> np.ndarray:
+        """Indices of ``{x : A(x) >= tau}``, ascending.
+
+        Byte-identical to ``np.flatnonzero(proxy_scores >= tau)``: the
+        cut position splits the stable argsort exactly at the
+        ``>= tau`` boundary, so ``score_order[position:]`` *is* the
+        selected index set, and sorting it restores ascending order in
+        O(selected log selected).  The indices are distinct integers,
+        so the sort kind cannot change the result and the default
+        introsort (3-10x faster than numpy's stable mergesort on wide
+        integers) is safe.  Large selections take the dense mask
+        instead (see :data:`DENSE_FALLBACK_FRACTION`).
+        """
+        position, stratum = self.locate(tau, sorted_scores)
+        selected = self.size - position
+        self.counters["zonemap_selects"] += 1
+        if selected == 0:
+            self.counters["records_skipped"] += self.size
+            return np.zeros(0, dtype=np.intp)
+        if selected > self.dense_fraction * self.size:
+            self.counters["zonemap_dense_fallbacks"] += 1
+            self.counters["strata_touched"] += self.strata
+            return np.flatnonzero(proxy_scores >= tau)
+        self.counters["strata_touched"] += self.strata - stratum
+        self.counters["records_skipped"] += position
+        return np.sort(score_order[position:])
+
+    # -- planner estimates -----------------------------------------------------
+
+    def plan_estimate(self, recall: bool, gamma: float) -> SkipEstimate:
+        """Expected skipping for a query, from per-stratum score mass.
+
+        Under a calibrated proxy (``Pr[O=1|A] = A`` — the budget
+        planner's standing assumption) ``score_mass`` is each stratum's
+        expected positive count, so:
+
+        - a **recall**-target query keeps roughly the smallest score
+          tail holding ``gamma`` of the total expected positive mass;
+        - a **precision**-target query keeps roughly the largest tail
+          whose expected precision (tail mass / tail count) still
+          meets ``gamma`` (tail precision is monotone in the start
+          stratum because scores are sorted).
+        """
+        total = float(self.tail_mass[0])
+        if recall:
+            if total <= 0.0:
+                start = 0
+            else:
+                qualifying = np.flatnonzero(
+                    self.tail_mass[:-1] >= gamma * total
+                )
+                start = int(qualifying.max()) if qualifying.size else 0
+        else:
+            tail_counts = (self.size - self.offsets[:-1]).astype(float)
+            precision = self.tail_mass[:-1] / tail_counts
+            qualifying = np.flatnonzero(precision >= gamma)
+            start = int(qualifying.min()) if qualifying.size else self.strata
+        return SkipEstimate(
+            strata=self.strata,
+            stratum_size=self.stratum_size,
+            start_stratum=start,
+            strata_touched=self.strata - start,
+            est_selected=self.size - int(self.offsets[start]),
+            est_skipped=int(self.offsets[start]),
+        )
+
+    # -- shared-memory plane ---------------------------------------------------
+
+    def publish(self, plane, fingerprint: str) -> None:
+        """Move the index arrays into a shared-array plane.
+
+        Idempotent; segments carry the :data:`ZONEMAP_SEGMENT_PREFIX`
+        so they are distinguishable from the plane's own statistics in
+        ``/dev/shm`` (and in the chaos smoke's leak sweep).
+        """
+        if plane is None or plane.mode == "pickle":
+            return
+        for attr, name in zip(
+            ("offsets", "lows", "highs", "score_mass"), _STAT_NAMES
+        ):
+            setattr(
+                self,
+                attr,
+                plane.share(
+                    fingerprint,
+                    name,
+                    getattr(self, attr),
+                    segment_prefix=ZONEMAP_SEGMENT_PREFIX,
+                ),
+            )
+
+    @classmethod
+    def attach(cls, plane, fingerprint: str) -> "ScoreZoneMap | None":
+        """Rebuild a map over a plane's already-published index arrays.
+
+        Returns ``None`` unless every index array is published for the
+        fingerprint.  The attached map is element-identical to the one
+        built before publishing (:meth:`build` is deterministic and
+        the plane stores the built arrays verbatim).
+        """
+        if plane is None or plane.mode == "pickle":
+            return None
+        views = [plane.view(fingerprint, name) for name in _STAT_NAMES]
+        if any(view is None for view in views):
+            return None
+        return cls(*views)
+
+    def localize(self, view_ids: "set[int]") -> None:
+        """Copy plane-backed arrays back to locally owned memory.
+
+        Called by the plane's detach pass when it closes, exactly like
+        the dataset's sorted-score statistics: a few-KB memcpy keeps
+        the map usable after its segments are unlinked.
+        """
+        for attr in ("offsets", "lows", "highs", "score_mass"):
+            array = getattr(self, attr)
+            if id(array) in view_ids:
+                setattr(self, attr, np.array(array))
+
+    # -- sidecar persistence ---------------------------------------------------
+
+    @staticmethod
+    def sidecar_path(directory: "str | os.PathLike", fingerprint: str) -> Path:
+        return Path(directory) / f"zonemap-{fingerprint[:40]}.npz"
+
+    def save_sidecar(self, directory: "str | os.PathLike", fingerprint: str) -> Path | None:
+        """Persist the index next to the store's spills (atomic, best-effort).
+
+        The sidecar records the format version, the owning dataset's
+        fingerprint, and the covered size, so :meth:`load_sidecar` can
+        reject stale or foreign files instead of serving them.
+        """
+        path = self.sidecar_path(directory, fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(
+                        handle,
+                        format_version=np.asarray(SIDECAR_FORMAT_VERSION),
+                        fingerprint=np.asarray(fingerprint),
+                        size=np.asarray(self.size),
+                        offsets=self.offsets,
+                        lows=self.lows,
+                        highs=self.highs,
+                        score_mass=self.score_mass,
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return None
+        return path
+
+    @classmethod
+    def load_sidecar(
+        cls,
+        directory: "str | os.PathLike",
+        fingerprint: str,
+        expected_size: int | None = None,
+    ) -> "ScoreZoneMap | None":
+        """Load a persisted index, or ``None`` when absent or stale.
+
+        Staleness means any mismatch: format version, recorded
+        fingerprint, or covered size.  A stale file is left in place
+        (the index is derivable, so there is nothing to quarantine) and
+        simply rebuilt by the caller.
+        """
+        path = cls.sidecar_path(directory, fingerprint)
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if int(payload["format_version"]) != SIDECAR_FORMAT_VERSION:
+                    return None
+                if str(payload["fingerprint"]) != fingerprint:
+                    return None
+                zone_map = cls(
+                    payload["offsets"],
+                    payload["lows"],
+                    payload["highs"],
+                    payload["score_mass"],
+                )
+        except (OSError, KeyError, ValueError):
+            return None
+        if expected_size is not None and zone_map.size != int(expected_size):
+            return None
+        return zone_map
+
+    @staticmethod
+    def sidecar_entries(directory: "str | os.PathLike") -> "list[dict[str, object]]":
+        """Inventory of zone-map sidecars in a store directory.
+
+        What ``repro store ls`` prints alongside spills: file name,
+        bytes on disk, recorded fingerprint, stratum count, and covered
+        size.  Unreadable files are reported with an ``error`` field
+        instead of being skipped silently.
+        """
+        entries: list[dict[str, object]] = []
+        base = Path(directory)
+        if not base.is_dir():
+            return entries
+        for path in sorted(base.glob(SIDECAR_GLOB)):
+            entry: dict[str, object] = {
+                "file": path.name,
+                "bytes": path.stat().st_size,
+            }
+            try:
+                with np.load(path, allow_pickle=False) as payload:
+                    entry["fingerprint"] = str(payload["fingerprint"])
+                    entry["strata"] = int(payload["offsets"].size - 1)
+                    entry["records"] = int(payload["size"])
+                    entry["stale"] = (
+                        int(payload["format_version"]) != SIDECAR_FORMAT_VERSION
+                    )
+            except (OSError, KeyError, ValueError) as exc:
+                entry["error"] = str(exc) or type(exc).__name__
+            entries.append(entry)
+        return entries

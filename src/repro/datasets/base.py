@@ -51,6 +51,16 @@ class Dataset:
             )
         if scores.size == 0:
             raise ValueError("a dataset must contain at least one record")
+        if np.isnan(scores).any():
+            # NaN compares false against every threshold, so it would be
+            # *silently excluded* by the dense ``>= tau`` path while the
+            # sorted-order (zone-map) path would place it at the end of
+            # the sort and include it — a bit-identity break.  Reject it
+            # loudly instead of choosing either behavior.
+            raise ValueError(
+                "proxy scores must not contain NaN; recompute or impute the "
+                "proxy before constructing a Dataset"
+            )
         if np.any(scores < 0) or np.any(scores > 1):
             raise ValueError("proxy scores must lie in [0, 1]")
         if not np.all(np.isin(labels, (0, 1))):
@@ -132,6 +142,34 @@ class Dataset:
         out.flags.writeable = False
         return out
 
+    @cached_property
+    def zone_map(self):
+        """The dataset's stratified score zone map, or ``None``.
+
+        Built once (like :attr:`sorted_scores`, which it is derived
+        from) for datasets of at least
+        :data:`~repro.core.zonemap.MIN_INDEXED_SIZE` records; smaller
+        datasets return ``None`` and every threshold lookup stays on
+        the dense path.  See :mod:`repro.core.zonemap`.
+        """
+        from ..core.zonemap import MIN_INDEXED_SIZE, ScoreZoneMap
+
+        if self.size < MIN_INDEXED_SIZE:
+            return None
+        return ScoreZoneMap.build(self.sorted_scores)
+
+    def build_zone_map(self, stratum_size: int | None = None):
+        """Force-build (and cache) a zone map, bypassing the size gate.
+
+        Tests and micro-benchmarks use this to exercise the indexed
+        path on small datasets; production code reads :attr:`zone_map`.
+        """
+        from ..core.zonemap import ScoreZoneMap
+
+        zone_map = ScoreZoneMap.build(self.sorted_scores, stratum_size=stratum_size)
+        self.__dict__["zone_map"] = zone_map
+        return zone_map
+
     def sampling_weights(self, exponent: float, mixing: float) -> np.ndarray:
         """Defensive importance-sampling weights, cached per ``(exponent, mixing)``.
 
@@ -196,6 +234,9 @@ class Dataset:
             cache[key] = plane.share(
                 fingerprint, self._weight_stat_name(key), cache[key]
             )
+        zone_map = self.zone_map
+        if zone_map is not None:
+            zone_map.publish(plane, fingerprint)
         plane.register_dataset(self)
 
     def attach(self, plane) -> bool:
@@ -228,13 +269,43 @@ class Dataset:
             if view is not None:
                 cache[key] = view
                 attached = True
+        from ..core.zonemap import ScoreZoneMap
+
+        zone_map = ScoreZoneMap.attach(plane, fingerprint)
+        if zone_map is not None:
+            self.__dict__["zone_map"] = zone_map
+            attached = True
         if attached:
             plane.register_dataset(self)
         return attached
 
     def select_above(self, tau: float) -> np.ndarray:
-        """Indices of ``D(tau) = {x : A(x) >= tau}``."""
-        return np.flatnonzero(self.proxy_scores >= tau)
+        """Indices of ``D(tau) = {x : A(x) >= tau}``, ascending.
+
+        Large datasets resolve ``tau`` through the zone map — binary
+        search over stratum bounds plus at most one boundary stratum,
+        then the cumulative tail of :attr:`score_order` — touching
+        O(selected) records instead of all n.  Byte-identical to the
+        dense ``np.flatnonzero`` scan, which remains the path for small
+        datasets and near-total selections.
+        """
+        zone_map = self.zone_map
+        if zone_map is None:
+            return np.flatnonzero(self.proxy_scores >= tau)
+        return zone_map.select_above(
+            tau, self.sorted_scores, self.score_order, self.proxy_scores
+        )
+
+    def count_above(self, tau: float) -> int:
+        """``|D(tau)|`` without materializing it.
+
+        O(log strata) through the zone map's cumulative counts; the
+        dense count for unindexed datasets.
+        """
+        zone_map = self.zone_map
+        if zone_map is None:
+            return int(np.count_nonzero(self.proxy_scores >= tau))
+        return zone_map.count_above(tau, self.sorted_scores)
 
     def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
         """A new dataset restricted to ``indices`` (order preserved)."""

@@ -240,11 +240,19 @@ class SupgEngine:
     # -- registration ----------------------------------------------------------
 
     def register_table(self, name: str, dataset: Dataset) -> None:
-        """Register a dataset under a table name."""
+        """Register a dataset under a table name.
+
+        When the engine has a persistent store directory, the dataset's
+        zone-map index is primed here: loaded from its fingerprint-keyed
+        sidecar when a fresh one exists, otherwise built and persisted —
+        so a restarted session skips the build exactly like it skips
+        re-drawing spilled samples.
+        """
         if not name:
             raise ValueError("table name must be non-empty")
         self._tables[name] = dataset
         self._invalidate_derived(table=name)
+        self._prime_zone_map(dataset)
 
     def register_oracle_udf(self, name: str, fn: OracleUdf) -> None:
         """Register a WHERE-clause oracle predicate by UDF name."""
@@ -267,10 +275,61 @@ class SupgEngine:
         return self._context
 
     def session_stats(self) -> Mapping[str, int]:
-        """Sample-store reuse counters plus data-plane byte accounting."""
+        """Sample-store reuse counters, data-plane byte accounting, and
+        zone-map skipping telemetry."""
         stats = dict(self._context.stats())
         stats.update(self.transfer_stats())
+        stats.update(self.skipping_stats())
         return stats
+
+    def skipping_stats(self) -> Mapping[str, int]:
+        """Zone-map data-skipping counters, summed over session datasets.
+
+        ``zonemap_selects`` counts indexed ``select_above`` calls,
+        ``strata_touched``/``records_skipped`` the strata read and the
+        records those selections never visited, and
+        ``zonemap_dense_fallbacks`` the selections that reverted to the
+        dense scan (near-total selections).  Only maps already built in
+        this process are read (never forcing a build), so the totals
+        reflect parent-side work — prewarm, sequential execution, and
+        worker-death recovery; counts inside forked workers die with
+        the fork.
+        """
+        totals = {
+            "zonemap_selects": 0,
+            "strata_touched": 0,
+            "records_skipped": 0,
+            "zonemap_dense_fallbacks": 0,
+        }
+        seen: set[int] = set()
+        with self._lock:
+            datasets = list(self._tables.values()) + list(self._derived.values())
+        for dataset in datasets:
+            zone_map = dataset.__dict__.get("zone_map")
+            if zone_map is None or id(zone_map) in seen:
+                continue
+            seen.add(id(zone_map))
+            for key, value in zone_map.counters.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
+    def _prime_zone_map(self, dataset: Dataset) -> None:
+        """Serve a dataset's zone map from the store-dir sidecar tier."""
+        from ..core.zonemap import MIN_INDEXED_SIZE, ScoreZoneMap
+
+        store_dir = self._context.store.store_dir
+        if store_dir is None or dataset.size < MIN_INDEXED_SIZE:
+            return
+        if "zone_map" not in dataset.__dict__:
+            cached = ScoreZoneMap.load_sidecar(
+                store_dir, dataset.fingerprint, expected_size=dataset.size
+            )
+            if cached is not None:
+                dataset.__dict__["zone_map"] = cached
+                return
+        zone_map = dataset.zone_map
+        if zone_map is not None:
+            zone_map.save_sidecar(store_dir, dataset.fingerprint)
 
     def transfer_stats(self) -> Mapping[str, int]:
         """Result-transfer byte counters for this engine session.
@@ -678,6 +737,7 @@ class SupgEngine:
                     scores, name=f"{dataset.name}|{parsed.proxy.name}"
                 )
                 self._derived[key] = derived
+                self._prime_zone_map(derived)
             return derived
 
     def _oracle_factory(

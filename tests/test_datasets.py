@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.thresholds import SELECT_EVERYTHING, SELECT_NOTHING
 from repro.datasets import (
     EVALUATION_DATASETS,
     Dataset,
@@ -29,6 +30,32 @@ class TestDatasetContainer:
         np.testing.assert_array_equal(tiny_dataset.select_above(0.7), [0, 1, 2])
         assert tiny_dataset.select_above(2.0).size == 0
         assert tiny_dataset.select_above(0.0).size == 10
+
+    def test_select_above_sentinels(self, tiny_dataset):
+        # The selector sentinels must honor their contracts exactly.
+        assert tiny_dataset.select_above(SELECT_NOTHING).size == 0
+        np.testing.assert_array_equal(
+            tiny_dataset.select_above(SELECT_EVERYTHING), np.arange(10)
+        )
+
+    def test_select_above_ties_are_inclusive(self, tiny_dataset):
+        # tau equal to a stored score keeps that record (>= semantics).
+        np.testing.assert_array_equal(tiny_dataset.select_above(0.75), [0, 1, 2])
+        np.testing.assert_array_equal(tiny_dataset.select_above(0.05), np.arange(10))
+
+    def test_count_above_matches_selection(self, tiny_dataset):
+        for tau in (0.0, 0.05, 0.3, 0.75, 0.951, SELECT_NOTHING, SELECT_EVERYTHING):
+            assert tiny_dataset.count_above(tau) == tiny_dataset.select_above(tau).size
+
+    def test_nan_scores_rejected(self):
+        # NaN would silently break dense/indexed select equivalence
+        # (compares false against every tau, sorts to the end), so the
+        # container refuses it up front.
+        with pytest.raises(ValueError, match="NaN"):
+            Dataset(
+                proxy_scores=np.array([0.2, np.nan, 0.8]),
+                labels=np.array([0, 0, 1]),
+            )
 
     def test_subset_preserves_alignment(self, tiny_dataset):
         sub = tiny_dataset.subset(np.array([0, 5, 9]))

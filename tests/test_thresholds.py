@@ -11,7 +11,9 @@ from repro.core.thresholds import (
     SELECT_EVERYTHING,
     SELECT_NOTHING,
     empirical_precision,
+    empirical_precision_batch,
     empirical_recall,
+    empirical_recall_batch,
     max_recall_threshold,
     min_precision_threshold,
     precision_lower_bound,
@@ -37,6 +39,42 @@ class TestEmpiricalCurves:
 
     def test_precision_empty_retained(self):
         assert empirical_precision(SCORES, LABELS, ONES, 0.99) == 1.0
+
+
+class TestBatchCurves:
+    """Batch sweeps validate once and must match the scalar probes."""
+
+    TAUS = np.array([0.0, 0.05, 0.3, 0.5, 0.55, 0.7, 0.9, 0.99, 1.0])
+
+    def test_recall_batch_matches_scalar_loop(self, rng):
+        mass = rng.uniform(0.1, 5.0, size=10)
+        batch = empirical_recall_batch(SCORES, LABELS, mass, self.TAUS)
+        scalar = [empirical_recall(SCORES, LABELS, mass, t) for t in self.TAUS]
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12)
+
+    def test_precision_batch_matches_scalar_loop(self, rng):
+        mass = rng.uniform(0.1, 5.0, size=10)
+        batch = empirical_precision_batch(SCORES, LABELS, mass, self.TAUS)
+        scalar = [empirical_precision(SCORES, LABELS, mass, t) for t in self.TAUS]
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12)
+
+    def test_ties_and_duplicates_in_taus(self):
+        taus = np.array([0.5, 0.5, SCORES[3], SCORES[3]])
+        batch = empirical_recall_batch(SCORES, LABELS, ONES, taus)
+        assert batch[0] == batch[1] and batch[2] == batch[3]
+
+    def test_no_positives_recall_is_one(self):
+        zeros = np.zeros(10)
+        batch = empirical_recall_batch(SCORES, zeros, ONES, self.TAUS)
+        np.testing.assert_array_equal(batch, np.ones(self.TAUS.size))
+
+    def test_empty_retained_precision_is_one(self):
+        batch = empirical_precision_batch(SCORES, LABELS, ONES, np.array([0.99, 2.0]))
+        assert batch[1] == 1.0
+
+    def test_batch_validates_once(self):
+        with pytest.raises(ValueError):
+            empirical_recall_batch(SCORES, LABELS[:5], ONES, self.TAUS)
 
 
 class TestMaxRecallThreshold:

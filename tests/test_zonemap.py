@@ -1,0 +1,340 @@
+"""Tests for the stratified score zone-map index.
+
+The index is a pure performance structure: every test here ultimately
+pins the same contract — indexed lookups are byte-identical to the
+dense O(n) passes they replace — plus the lifecycle around it (plane
+publish/attach, sidecar persistence, engine telemetry).
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.shm import SharedArrayPlane
+from repro.core.thresholds import SELECT_EVERYTHING, SELECT_NOTHING
+from repro.core.zonemap import (
+    DEFAULT_STRATUM_SIZE,
+    MIN_INDEXED_SIZE,
+    SIDECAR_FORMAT_VERSION,
+    ZONEMAP_SEGMENT_PREFIX,
+    ScoreZoneMap,
+    SkipEstimate,
+)
+from repro.datasets import Dataset, make_beta_dataset
+from repro.query import SupgEngine
+
+HAS_DEV_SHM = os.path.isdir("/dev/shm")
+
+RT = (
+    "SELECT * FROM t WHERE P(x) = True ORACLE LIMIT 400 USING A(x) "
+    "RECALL TARGET {gamma}% WITH PROBABILITY 95%"
+)
+PT = (
+    "SELECT * FROM t WHERE P(x) = True ORACLE LIMIT 400 USING A(x) "
+    "PRECISION TARGET 80% WITH PROBABILITY 95%"
+)
+BATCH = [RT.format(gamma=80), RT.format(gamma=90), PT]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """Large enough to build the index without forcing (> MIN_INDEXED_SIZE)."""
+    return make_beta_dataset(0.01, 1.0, size=MIN_INDEXED_SIZE + 5_000, seed=11)
+
+
+def tau_panel(dataset, rng):
+    """Thresholds hitting every interesting regime: random cuts, exact
+    tie values from the data, and both sentinel boundaries."""
+    scores = dataset.proxy_scores
+    return np.concatenate(
+        [
+            rng.uniform(0.0, 1.0, size=40),
+            rng.choice(scores, size=20, replace=False),  # exact ties
+            [0.0, 1.0, SELECT_EVERYTHING, SELECT_NOTHING, -1.0, np.min(scores), np.max(scores)],
+        ]
+    )
+
+
+class TestBuild:
+    def test_structure(self, dataset):
+        zone_map = dataset.zone_map
+        assert zone_map is not None
+        assert zone_map.size == len(dataset)
+        assert zone_map.strata == -(-len(dataset) // DEFAULT_STRATUM_SIZE)
+        assert zone_map.stratum_size == DEFAULT_STRATUM_SIZE
+        # Per-stratum bounds bracket the sorted slice they summarize.
+        scores = dataset.sorted_scores
+        for j in range(zone_map.strata):
+            low, high = zone_map.offsets[j], zone_map.offsets[j + 1]
+            assert zone_map.lows[j] == scores[low]
+            assert zone_map.highs[j] == scores[high - 1]
+            assert zone_map.score_mass[j] == pytest.approx(scores[low:high].sum())
+
+    def test_last_stratum_may_be_short(self):
+        zone_map = ScoreZoneMap.build(np.linspace(0, 1, 100), stratum_size=30)
+        assert zone_map.strata == 4
+        assert int(zone_map.offsets[-1]) == 100
+
+    def test_describe_and_nbytes(self, dataset):
+        info = dataset.zone_map.describe()
+        assert info["records"] == len(dataset)
+        assert info["strata"] == dataset.zone_map.strata
+        assert info["nbytes"] == dataset.zone_map.nbytes > 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ScoreZoneMap.build(np.array([]))
+        with pytest.raises(ValueError, match="positive"):
+            ScoreZoneMap.build(np.linspace(0, 1, 10), stratum_size=0)
+        with pytest.raises(ValueError, match="misaligned"):
+            ScoreZoneMap(
+                offsets=np.array([0, 5]),
+                lows=np.array([0.0, 0.5]),
+                highs=np.array([0.4, 0.9]),
+                score_mass=np.array([1.0, 2.0]),
+            )
+
+    def test_dataset_below_threshold_has_no_index(self, tiny_dataset):
+        assert tiny_dataset.zone_map is None
+        # ... but force-building still works for benchmarks/tests.
+        forced = tiny_dataset.build_zone_map(stratum_size=4)
+        assert forced is tiny_dataset.zone_map
+        assert forced.strata == 3
+
+
+class TestLocate:
+    def test_matches_global_searchsorted(self, dataset, rng):
+        zone_map = dataset.zone_map
+        scores = dataset.sorted_scores
+        for tau in tau_panel(dataset, rng):
+            position, stratum = zone_map.locate(float(tau), scores)
+            assert position == np.searchsorted(scores, tau, side="left")
+            if position < len(dataset):
+                assert zone_map.offsets[stratum] <= position < zone_map.offsets[stratum + 1]
+            else:
+                assert stratum == zone_map.strata
+
+    def test_count_above_matches_dense(self, dataset, rng):
+        for tau in tau_panel(dataset, rng):
+            dense = int(np.count_nonzero(dataset.proxy_scores >= tau))
+            assert dataset.count_above(float(tau)) == dense
+
+
+class TestSelectAbove:
+    def test_bit_identical_to_dense(self, dataset, rng):
+        zone_map = dataset.zone_map
+        for tau in tau_panel(dataset, rng):
+            dense = np.flatnonzero(dataset.proxy_scores >= tau)
+            indexed = zone_map.select_above(
+                float(tau),
+                dataset.sorted_scores,
+                dataset.score_order,
+                dataset.proxy_scores,
+            )
+            np.testing.assert_array_equal(indexed, dense)
+            assert indexed.dtype == dense.dtype
+
+    def test_boundary_semantics(self, dataset):
+        assert dataset.select_above(SELECT_NOTHING).size == 0
+        assert dataset.select_above(SELECT_EVERYTHING).size == len(dataset)
+        np.testing.assert_array_equal(
+            dataset.select_above(SELECT_EVERYTHING), np.arange(len(dataset))
+        )
+
+    def test_counters_accrue(self):
+        data = make_beta_dataset(0.01, 1.0, size=MIN_INDEXED_SIZE, seed=3)
+        zone_map = data.zone_map
+        before = dict(zone_map.counters)
+        data.select_above(0.9)  # tiny selection: indexed path
+        data.select_above(0.0)  # full selection: dense fallback
+        data.select_above(SELECT_NOTHING)  # empty: all skipped
+        assert zone_map.counters["zonemap_selects"] == before["zonemap_selects"] + 3
+        assert zone_map.counters["zonemap_dense_fallbacks"] >= before["zonemap_dense_fallbacks"] + 1
+        assert zone_map.counters["records_skipped"] >= before["records_skipped"] + len(data)
+
+
+class TestPlanEstimate:
+    def test_recall_tail_holds_gamma_mass(self, dataset):
+        zone_map = dataset.zone_map
+        estimate = zone_map.plan_estimate(recall=True, gamma=0.9)
+        assert isinstance(estimate, SkipEstimate)
+        total = float(zone_map.tail_mass[0])
+        kept = float(zone_map.tail_mass[estimate.start_stratum])
+        assert kept >= 0.9 * total
+        assert estimate.strata_touched + estimate.start_stratum == zone_map.strata
+        assert estimate.est_selected + estimate.est_skipped == len(dataset)
+
+    def test_higher_recall_touches_more(self, dataset):
+        low = dataset.zone_map.plan_estimate(recall=True, gamma=0.5)
+        high = dataset.zone_map.plan_estimate(recall=True, gamma=0.99)
+        assert high.strata_touched >= low.strata_touched
+
+    def test_precision_estimate_bounded(self, dataset):
+        estimate = dataset.zone_map.plan_estimate(recall=False, gamma=0.8)
+        assert 0 <= estimate.start_stratum <= dataset.zone_map.strata
+        assert "zonemap" in estimate.render()
+
+
+class TestSidecar:
+    def test_round_trip(self, dataset, tmp_path):
+        zone_map = dataset.zone_map
+        path = zone_map.save_sidecar(tmp_path, dataset.fingerprint)
+        assert path is not None and path.exists()
+        loaded = ScoreZoneMap.load_sidecar(
+            tmp_path, dataset.fingerprint, expected_size=len(dataset)
+        )
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.offsets, zone_map.offsets)
+        np.testing.assert_array_equal(loaded.lows, zone_map.lows)
+        np.testing.assert_array_equal(loaded.highs, zone_map.highs)
+        np.testing.assert_array_equal(loaded.score_mass, zone_map.score_mass)
+
+    def test_rejects_foreign_fingerprint(self, dataset, tmp_path):
+        dataset.zone_map.save_sidecar(tmp_path, dataset.fingerprint)
+        assert ScoreZoneMap.load_sidecar(tmp_path, "deadbeef" * 5) is None
+
+    def test_rejects_size_mismatch(self, dataset, tmp_path):
+        dataset.zone_map.save_sidecar(tmp_path, dataset.fingerprint)
+        assert (
+            ScoreZoneMap.load_sidecar(
+                tmp_path, dataset.fingerprint, expected_size=len(dataset) + 1
+            )
+            is None
+        )
+
+    def test_rejects_stale_format(self, dataset, tmp_path):
+        zone_map = dataset.zone_map
+        path = ScoreZoneMap.sidecar_path(tmp_path, dataset.fingerprint)
+        np.savez(
+            path,
+            format_version=np.asarray(SIDECAR_FORMAT_VERSION + 1),
+            fingerprint=np.asarray(dataset.fingerprint),
+            size=np.asarray(len(dataset)),
+            offsets=zone_map.offsets,
+            lows=zone_map.lows,
+            highs=zone_map.highs,
+            score_mass=zone_map.score_mass,
+        )
+        assert ScoreZoneMap.load_sidecar(tmp_path, dataset.fingerprint) is None
+        [entry] = ScoreZoneMap.sidecar_entries(tmp_path)
+        assert entry["stale"] is True
+
+    def test_entries_report_corruption(self, tmp_path):
+        (tmp_path / "zonemap-bad.npz").write_bytes(b"not an npz")
+        [entry] = ScoreZoneMap.sidecar_entries(tmp_path)
+        assert "error" in entry
+
+    def test_entries_missing_dir(self, tmp_path):
+        assert ScoreZoneMap.sidecar_entries(tmp_path / "absent") == []
+
+
+@pytest.mark.skipif(not HAS_DEV_SHM, reason="needs /dev/shm")
+class TestPlaneInteraction:
+    def test_publish_attach_identical_and_clean(self, dataset):
+        plane = SharedArrayPlane(mode="shm")
+        built = ScoreZoneMap.build(dataset.sorted_scores)
+        original = {
+            name: np.array(getattr(built, name))
+            for name in ("offsets", "lows", "highs", "score_mass")
+        }
+        try:
+            built.publish(plane, dataset.fingerprint)
+            segments = glob.glob(f"/dev/shm/{ZONEMAP_SEGMENT_PREFIX}-{plane.uid.split('-', 2)[-1]}*")
+            assert len(segments) == 4
+            attached = ScoreZoneMap.attach(plane, dataset.fingerprint)
+            assert attached is not None
+            for name, want in original.items():
+                np.testing.assert_array_equal(getattr(attached, name), want)
+        finally:
+            plane.close()
+        leftovers = glob.glob(f"/dev/shm/{ZONEMAP_SEGMENT_PREFIX}-*")
+        assert not any(plane.uid.split("-", 2)[-1] in leak for leak in leftovers)
+
+    def test_attach_without_publish_is_none(self, dataset):
+        plane = SharedArrayPlane(mode="shm")
+        try:
+            assert ScoreZoneMap.attach(plane, dataset.fingerprint) is None
+        finally:
+            plane.close()
+
+    def test_detach_keeps_dataset_usable(self, dataset):
+        # Close the plane mid-session: the detach pass must localize the
+        # published index arrays so later selections still work.
+        data = make_beta_dataset(0.01, 1.0, size=MIN_INDEXED_SIZE, seed=5)
+        plane = SharedArrayPlane(mode="shm")
+        data.publish(plane)
+        plane.close()
+        tau = 0.9
+        np.testing.assert_array_equal(
+            data.select_above(tau), np.flatnonzero(data.proxy_scores >= tau)
+        )
+
+
+class TestEngineTelemetry:
+    def test_session_stats_carries_skipping_counters(self, dataset):
+        engine = SupgEngine()
+        engine.register_table("t", dataset)
+        engine.execute(RT.format(gamma=90), seed=0)
+        stats = engine.session_stats()
+        for key in (
+            "zonemap_selects",
+            "strata_touched",
+            "records_skipped",
+            "zonemap_dense_fallbacks",
+        ):
+            assert key in stats
+        assert stats["zonemap_selects"] > 0
+        assert stats["records_skipped"] > 0
+
+    def test_sidecar_written_and_reused(self, tmp_path):
+        data = make_beta_dataset(0.01, 1.0, size=MIN_INDEXED_SIZE, seed=9)
+        engine = SupgEngine(store_dir=str(tmp_path))
+        engine.register_table("t", data)
+        path = ScoreZoneMap.sidecar_path(tmp_path, data.fingerprint)
+        assert path.exists()
+        # A second engine (fresh dataset object, same content) primes
+        # from the sidecar instead of rebuilding.
+        clone = make_beta_dataset(0.01, 1.0, size=MIN_INDEXED_SIZE, seed=9)
+        assert "zone_map" not in clone.__dict__
+        engine2 = SupgEngine(store_dir=str(tmp_path))
+        engine2.register_table("t", clone)
+        zone_map = clone.__dict__.get("zone_map")
+        assert zone_map is not None
+        np.testing.assert_array_equal(zone_map.offsets, data.zone_map.offsets)
+
+    def test_small_dataset_not_indexed_by_engine(self, tiny_dataset, tmp_path):
+        engine = SupgEngine(store_dir=str(tmp_path))
+        engine.register_table("t", tiny_dataset)
+        assert not ScoreZoneMap.sidecar_path(tmp_path, tiny_dataset.fingerprint).exists()
+
+
+class TestParallelBitIdentity:
+    """The ISSUE's pin: indexed selection under jobs > 1 matches jobs=1."""
+
+    def test_execute_many_jobs2_matches_sequential(self):
+        data = make_beta_dataset(0.01, 1.0, size=MIN_INDEXED_SIZE, seed=11)
+        data.build_zone_map()  # force the indexed path everywhere
+
+        sequential_engine = SupgEngine()
+        sequential_engine.register_table("t", data)
+        sequential = sequential_engine.execute_many(BATCH, seed=0, jobs=1)
+
+        parallel_engine = SupgEngine()
+        parallel_engine.register_table("t", data)
+        parallel = parallel_engine.execute_many(BATCH, seed=0, jobs=2)
+
+        assert len(sequential) == len(parallel) == len(BATCH)
+        for a, b in zip(sequential, parallel):
+            np.testing.assert_array_equal(a.result.indices, b.result.indices)
+            assert a.result.indices.dtype == b.result.indices.dtype
+            assert a.result.tau == b.result.tau
+            assert a.result.oracle_calls == b.result.oracle_calls
+
+
+class TestNaNRejection:
+    def test_dataset_rejects_nan_scores(self):
+        scores = np.array([0.1, np.nan, 0.9])
+        with pytest.raises(ValueError, match="NaN"):
+            Dataset(proxy_scores=scores, labels=np.array([0, 0, 1]))
