@@ -39,6 +39,12 @@ contract (see README "Failure semantics"):
    the circuit breaker, fast-fails while open, and recovers through a
    half-open probe once the outage lifts — no hangs, no untyped
    failures.
+8. **Backend corruption recovery** — a disk statistics backend whose
+   ``stat-*.npy`` file is corrupted on disk
+   (:func:`run_backend_corruption_pass`) quarantines the damaged file
+   with a reason report, rebuilds the statistic from the source
+   scores, and answers the same batch (under ``jobs`` workers)
+   bit-identically to the pre-corruption run.
 
 Exit status 0 on success, 1 with a gate-by-gate report otherwise; a
 JSON summary is printed either way.
@@ -65,9 +71,10 @@ import threading
 
 from repro.core.planning import fork_available
 from repro.core.shm import SEGMENT_PREFIX
-from repro.core.zonemap import ZONEMAP_SEGMENT_PREFIX
+from repro.core.stats_backend import statistic_entries
+from repro.core.zonemap import MIN_INDEXED_SIZE, ZONEMAP_SEGMENT_PREFIX
 from repro.datasets import load_dataset
-from repro.faults import FaultPlan, corrupt_spill, inject
+from repro.faults import FaultPlan, corrupt_spill, corrupt_statistic, inject
 from repro.oracle import OracleCircuitBreaker, RetryPolicy
 from repro.query import (
     AdmissionRejected,
@@ -315,6 +322,84 @@ def run_overload_pass(
     return failures, summary
 
 
+def run_backend_corruption_pass(
+    store_dir: str, jobs: int, size: int
+) -> tuple[list[str], dict]:
+    """Disk-backend corruption gate: quarantine, rebuild, bit-identity.
+
+    Warms a disk statistics backend with a small query batch, corrupts
+    one ``stat-*.npy`` file on disk, then replays the batch through a
+    fresh engine over the same store (with ``jobs`` workers, so the
+    rebuilt memmaps also cross the fork boundary).  The damaged file
+    must be quarantined with a reason report, the statistic rebuilt
+    warm, and every result byte-identical to the pre-corruption run.
+
+    Returns ``(failures, summary)``.
+    """
+    failures: list[str] = []
+    batch = [
+        (RT.format(gamma=90, budget=400), 0),
+        (PT.format(gamma=85, budget=400), 1),
+        (RT.format(gamma=95, budget=200), 2),
+    ]
+    statements = [sql for sql, _ in batch]
+
+    def run(engine):
+        executions = []
+        for (sql, seed) in batch:
+            executions.append(engine.execute(sql, seed=seed))
+        # One parallel replay of the whole batch on top, so the paged
+        # scans also run inside fork workers.
+        executions.extend(engine.execute_many(statements, seed=9, jobs=jobs))
+        return [
+            (e.result.indices.tobytes(), e.result.tau, e.result.oracle_calls)
+            for e in executions
+        ]
+
+    warm_engine = SupgEngine(store_dir=store_dir, backend="disk")
+    warm_engine.register_table("t", load_dataset("beta(0.01,1)", size=size, seed=7))
+    baseline = run(warm_engine)
+
+    corrupted = corrupt_statistic(store_dir, which=0, mode="garbage")
+
+    recovery_engine = SupgEngine(store_dir=store_dir, backend="disk")
+    recovery_engine.register_table(
+        "t", load_dataset("beta(0.01,1)", size=size, seed=7)
+    )
+    recovered = run(recovery_engine)
+    stats = recovery_engine.backend_stats()
+
+    if recovered != baseline:
+        failures.append(
+            "backend corruption: post-recovery results diverged from the "
+            "pre-corruption run"
+        )
+    if stats["stats_quarantined"] != 1:
+        failures.append(
+            f"backend corruption: expected exactly 1 quarantined statistic, "
+            f"got {stats['stats_quarantined']}"
+        )
+    reason = Path(store_dir) / "quarantine" / (corrupted.name + ".reason.json")
+    if not reason.exists():
+        failures.append(
+            f"backend corruption: no reason report at {reason.name}"
+        )
+    stale = [e["file"] for e in statistic_entries(store_dir) if e["state"] != "warm"]
+    if stale:
+        failures.append(
+            f"backend corruption: statistics not rebuilt warm: {', '.join(stale)}"
+        )
+
+    summary = {
+        "corrupted_statistic": corrupted.name,
+        "stats_quarantined": stats["stats_quarantined"],
+        "sorts_performed": stats["sorts_performed"],
+        "bytes_paged": stats["bytes_paged"],
+        "results_identical": recovered == baseline,
+    }
+    return failures, summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--size", type=int, default=20000)
@@ -418,6 +503,16 @@ def main(argv=None) -> int:
         )
     failures.extend(overload_failures)
 
+    # Gate 8: disk-backend statistic corruption must quarantine,
+    # rebuild, and recover bit-identically.  The dataset is floored at
+    # zone-map scale so the replay exercises the *paged* scan path, not
+    # the small-table dense fallback.
+    with tempfile.TemporaryDirectory() as backend_dir:
+        backend_failures, backend_summary = run_backend_corruption_pass(
+            backend_dir, args.jobs, max(args.size, 2 * MIN_INDEXED_SIZE)
+        )
+    failures.extend(backend_failures)
+
     # Gate 6: no leaked shared-memory segments.  Both passes (and the
     # killed worker's orphaned result transfer) must leave /dev/shm
     # clean once their services close — including the zone-map index
@@ -445,6 +540,7 @@ def main(argv=None) -> int:
         "hung": chaos_stats["hung"],
         "leaked_segments": leaked,
         "overload": overload_summary,
+        "backend_corruption": backend_summary,
         "gates_failed": failures,
     }
     print(json.dumps(summary, indent=2))

@@ -28,9 +28,15 @@ times threshold scans through the stratified score zone map at 10M
 records (``count_above`` + ``select_above`` at 0.1%/1%/10%
 selectivity against the dense O(n) passes, byte-identical index sets
 required — and *fails* below a 1.5x advantage, with 4x the recorded
-target), and proves the persistent sample store by re-running a panel
+target), exercises the out-of-core disk statistics backend at the same
+scale (chunked external sort into ``stat-*.npy`` files, paged scans
+verified byte-identical from a separate bounded-RSS process — failing
+when the probe's memory growth exceeds 25% of the statistics
+footprint, when ``bytes_paged`` exceeds 10% of the score column at
+<=1% selectivity, or when warm paged scans lose to the dense pass),
+and proves the persistent sample store by re-running a panel
 against a warm spill directory (the second run must draw zero oracle
-labels).  The output file (``BENCH_PR9.json`` by default) extends the repo's
+labels).  The output file (``BENCH_PR10.json`` by default) extends the repo's
 performance trajectory — future PRs append ``BENCH_PR<k>.json`` files
 and should beat (or at least not regress) these numbers.
 
@@ -53,9 +59,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
 import platform
 import statistics
+import subprocess
 import sys
 import tempfile
 import threading
@@ -72,6 +81,7 @@ from repro.core.importance import (
     ImportanceCIRecall,
 )
 from repro.core.pipeline import ExecutionContext, SampleStore
+from repro.core.stats_backend import DiskBackend, statistic_entries
 from repro.core.types import ApproxQuery
 from repro.core.uniform import (
     UniformCIPrecision,
@@ -83,6 +93,7 @@ from repro.datasets import make_beta_dataset
 from repro.experiments.figures import figure13_panel
 from repro.experiments.runner import compare_methods, sweep
 from repro.query import SupgEngine, SupgService
+from repro.sampling import DEFAULT_EXPONENT, DEFAULT_MIXING
 
 GAMMA = 0.9
 DELTA = 0.05
@@ -721,6 +732,156 @@ def time_zonemap_scan(size: int, repeats: int = 5) -> dict[str, object]:
     }
 
 
+#: Child program for the out-of-core RSS probe.  A fresh interpreter
+#: opens the disk backend's statistic files as memmaps plus the zone-map
+#: sidecar and runs paged threshold scans — never touching the dense
+#: score column — then reports its ``ru_maxrss`` high-water mark before
+#: and after the scans.  A separate process is the only honest way to
+#: measure this: the parent already holds the 10M-record dataset (and a
+#: warm page cache of the build) in its own RSS.
+_OUTOFCORE_CHILD = """\
+import hashlib, json, resource, sys
+import numpy as np
+from repro.core.stats_backend import DiskBackend
+from repro.core.zonemap import ScoreZoneMap
+
+store, fingerprint, size = sys.argv[1], sys.argv[2], int(sys.argv[3])
+taus = [float(raw) for raw in sys.argv[4:]]
+backend = DiskBackend(store)
+baseline_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+sorted_scores = np.load(backend.stat_path(fingerprint, "sorted-scores"), mmap_mode="r")
+score_order = np.load(backend.stat_path(fingerprint, "score-order"), mmap_mode="r")
+zone_map = ScoreZoneMap.load_sidecar(store, fingerprint, size)
+if zone_map is None:
+    raise SystemExit("out-of-core child: zone-map sidecar missing or stale")
+counters = {"bytes_paged": 0}
+digests = []
+for tau in taus:
+    selection = zone_map.select_above_paged(tau, sorted_scores, score_order, counters)
+    digests.append(hashlib.sha256(selection.tobytes()).hexdigest())
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({"baseline_kb": baseline_kb, "peak_kb": peak_kb,
+                  "bytes_paged": counters["bytes_paged"], "digests": digests}))
+"""
+
+
+def time_outofcore_scan(size: int, repeats: int = 5) -> dict[str, object]:
+    """Disk-backend threshold scans: paged, bounded-RSS, byte-identical.
+
+    Builds the 10M-record workload's statistics *out of core* (chunked
+    external sort into ``stat-*.npy`` files), then gates the three
+    claims the disk backend makes:
+
+    - **Bit identity** — paged selections at ~0.1% and ~1% selectivity
+      must hash identically to ``np.flatnonzero(scores >= tau)``,
+      verified from a separate process that never sees the dense
+      column.
+    - **Bounded memory** — that child's peak-RSS growth while scanning
+      must stay under 25% of the on-disk statistics footprint (the
+      whole point of paging: O(selected), not O(n)).
+    - **Bounded I/O** — ``bytes_paged`` must stay under 10% of the
+      score column at these selectivities.
+
+    Wall-clock is gated too: warm paged scans must not lose to the
+    dense in-memory pass (hard floor 1.0x — the scans only touch the
+    selection, so even through a memmap they should win).
+    """
+    print(f"  building beta(0.01, 1) workload, n={size} ...")
+    dataset = make_beta_dataset(0.01, 1.0, size=size, seed=0)
+    scores = dataset.proxy_scores
+    with tempfile.TemporaryDirectory(prefix="repro-outofcore-") as store:
+        backend = DiskBackend(store)
+        dataset.use_backend(backend)
+        dataset.prime_zone_map(store)
+        build_start = time.perf_counter()
+        sorted_scores = dataset.sorted_scores
+        dataset.sampling_weights(DEFAULT_EXPONENT, DEFAULT_MIXING)
+        zone_map = dataset.zone_map
+        build = time.perf_counter() - build_start
+        if zone_map is None:
+            raise SystemExit(f"out-of-core scan: {size}-record dataset was not indexed")
+        footprint = sum(entry["bytes"] for entry in statistic_entries(store))
+
+        fractions = (0.001, 0.01)
+        taus = [float(sorted_scores[int(size * (1.0 - f))]) for f in fractions]
+        expected = [
+            hashlib.sha256(np.flatnonzero(scores >= tau).tobytes()).hexdigest()
+            for tau in taus
+        ]
+
+        child = subprocess.run(
+            [sys.executable, "-c", _OUTOFCORE_CHILD, store,
+             dataset.fingerprint, str(size), *[repr(tau) for tau in taus]],
+            capture_output=True, text=True, env=dict(os.environ),
+        )
+        if child.returncode != 0:
+            raise SystemExit(
+                f"out-of-core RSS probe failed:\n{child.stdout}{child.stderr}"
+            )
+        probe = json.loads(child.stdout)
+        if probe["digests"] != expected:
+            raise SystemExit(
+                "out-of-core scan broke parity: paged selections differ "
+                "from the dense pass"
+            )
+        rss_growth = (probe["peak_kb"] - probe["baseline_kb"]) * 1024
+
+        def run_paged():
+            for tau in taus:
+                dataset.count_above(tau)
+                dataset.select_above(tau)
+
+        def run_dense():
+            for tau in taus:
+                int(np.count_nonzero(scores >= tau))
+                np.flatnonzero(scores >= tau)
+
+        paged = _best(run_paged, repeats)
+        dense = _best(run_dense, repeats)
+        speedup = dense / paged
+        bytes_paged = probe["bytes_paged"]
+        print(
+            f"  {'out-of-core scan':20s} paged {paged * 1e3:.1f} ms, "
+            f"dense {dense * 1e3:.1f} ms ({speedup:.1f}x; "
+            f"build {build:.1f} s, {footprint} B statistics, "
+            f"probe RSS +{rss_growth // 1024} KiB, {bytes_paged} B paged)"
+        )
+        if rss_growth >= 0.25 * footprint:
+            raise SystemExit(
+                f"out-of-core scan leaked memory: probe RSS grew "
+                f"{rss_growth} B against a {footprint} B statistics "
+                "footprint (cap: 25%)"
+            )
+        if bytes_paged >= 0.10 * scores.nbytes:
+            raise SystemExit(
+                f"out-of-core scan paged {bytes_paged} B for <=1% "
+                f"selectivity over a {scores.nbytes} B score column "
+                "(cap: 10%)"
+            )
+        # The acceptance gate: paging only the selection must at least
+        # match the dense in-memory pass it replaces.
+        if speedup < 1.0:
+            raise SystemExit(
+                f"out-of-core scan regression: paged path is only "
+                f"{speedup:.2f}x the dense pass (required >= 1.0x)"
+            )
+        return {
+            "records": size,
+            "selectivities": list(fractions),
+            "chunk_records": backend.chunk_records,
+            "statistics_bytes": footprint,
+            "build_seconds": build,
+            "probe_rss_growth_bytes": rss_growth,
+            "bytes_paged": bytes_paged,
+            "chunks_merged": backend.counters["chunks_merged"],
+            "peak_chunk_bytes": backend.counters["peak_chunk_bytes"],
+            "paged_seconds": paged,
+            "dense_seconds": dense,
+            "speedup": speedup,
+            "results_identical": True,
+        }
+
+
 def check_store_persistence(dataset, budget: int, trials: int = 3) -> dict[str, object]:
     """Two store-dir runs of one panel: the second must draw nothing."""
     query = ApproxQuery.recall_target(GAMMA, DELTA, budget)
@@ -779,6 +940,7 @@ def _speedup_checks(payload: dict, baseline: dict, max_regression: float) -> lis
         ("service_saturation", "throughput_ratio", "service saturation throughput ratio"),
         ("shm_plane", "speedup", "shm data-plane speedup"),
         ("zonemap_scan", "speedup", "zonemap scan speedup"),
+        ("outofcore_scan", "speedup", "out-of-core scan speedup"),
     )
     for key, field, label in ratio_metrics:
         old = baseline.get(key, {}).get(field)
@@ -851,7 +1013,7 @@ def compare_to_baseline(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--output", type=Path, default=Path("BENCH_PR9.json"))
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR10.json"))
     parser.add_argument("--size", type=int, default=1_000_000)
     parser.add_argument("--budget", type=int, default=10_000)
     parser.add_argument("--trials", type=int, default=5)
@@ -899,6 +1061,8 @@ def main(argv: list[str] | None = None) -> int:
     shm_plane = time_shm_plane(dataset, args.budget)
     print("timing zone-map threshold scans:")
     zonemap_scan = time_zonemap_scan(args.zonemap_size)
+    print("timing out-of-core disk-backend scans:")
+    outofcore_scan = time_outofcore_scan(args.zonemap_size)
     print("checking persistent sample store:")
     persistence = check_store_persistence(dataset, args.budget)
 
@@ -925,6 +1089,7 @@ def main(argv: list[str] | None = None) -> int:
         "service_saturation": service_saturation,
         "shm_plane": shm_plane,
         "zonemap_scan": zonemap_scan,
+        "outofcore_scan": outofcore_scan,
         "store_persistence": persistence,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

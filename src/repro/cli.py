@@ -38,6 +38,7 @@ from .bounds import available_bounds, get_bound
 from .core.pipeline import QUARANTINE_DIRNAME, ExecutionContext, SampleStore
 from .core.planning import plan_budget
 from .core.shm import DATA_PLANE_MODES, default_mode, set_default_mode
+from .core.stats_backend import statistic_entries
 from .core.types import ApproxQuery
 from .core.zonemap import MIN_INDEXED_SIZE, ScoreZoneMap
 from .datasets import available_datasets, load_dataset
@@ -98,6 +99,29 @@ def _add_data_plane_flag(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_flags(sub: argparse.ArgumentParser) -> None:
+    """``--backend`` / ``--chunk-records``, shared by query and serve."""
+    sub.add_argument(
+        "--backend",
+        choices=("memory", "disk"),
+        default=None,
+        help="where dataset statistics (sorted scores, argsort order, "
+        "importance weights) live: 'memory' (RAM ndarrays, default) or "
+        "'disk' (fingerprint-keyed .npy files under --store-dir opened "
+        "as memmap windows; construction is chunked so peak RSS stays "
+        "O(--chunk-records), for datasets larger than RAM). Query "
+        "results are byte-identical across backends",
+    )
+    sub.add_argument(
+        "--chunk-records",
+        type=int,
+        default=None,
+        help="records per chunk for the disk backend's external sort "
+        "and streaming weight passes (default 1048576); requires "
+        "--backend disk",
+    )
+
+
 def _retry_policy_from_args(args) -> RetryPolicy | None:
     """A :class:`RetryPolicy` when either robustness flag was passed.
 
@@ -150,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_oracle_robustness_flags(query)
     _add_data_plane_flag(query)
+    _add_backend_flags(query)
 
     serve = commands.add_parser(
         "serve",
@@ -254,6 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_oracle_robustness_flags(serve)
     _add_data_plane_flag(serve)
+    _add_backend_flags(serve)
 
     plan = commands.add_parser(
         "plan",
@@ -374,11 +400,17 @@ def _cmd_query(args, out) -> int:
     sql = args.sql if args.sql else args.sql_file.read_text()
     dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
     store_dir = str(args.store_dir) if args.store_dir is not None else None
-    engine = SupgEngine(
-        store_dir=store_dir,
-        retry_policy=_retry_policy_from_args(args),
-        data_plane=getattr(args, "data_plane", None),
-    )
+    try:
+        engine = SupgEngine(
+            store_dir=store_dir,
+            retry_policy=_retry_policy_from_args(args),
+            data_plane=getattr(args, "data_plane", None),
+            backend=getattr(args, "backend", None),
+            chunk_records=getattr(args, "chunk_records", None),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     engine.register_table(args.dataset, dataset)
     # Also register a sanitized alias the SQL can use for dataset names
     # that are not valid dialect identifiers.
@@ -434,6 +466,8 @@ def _build_service(args) -> tuple[SupgService, object, dict]:
         store_dir=store_dir,
         retry_policy=_retry_policy_from_args(args),
         data_plane=getattr(args, "data_plane", None),
+        backend=getattr(args, "backend", None),
+        chunk_records=getattr(args, "chunk_records", None),
     )
     engine.register_table(args.dataset, dataset)
     engine.register_table(_sanitize_table_name(args.dataset), dataset)
@@ -529,7 +563,12 @@ def _cmd_serve(args, out) -> int:
         f"workers   : {workers} per window (data plane: {plane_label})",
         file=out,
     )
-    service, dataset, submit_kwargs = _build_service(args)
+    try:
+        service, dataset, submit_kwargs = _build_service(args)
+    except ValueError as exc:
+        # e.g. --backend disk without --store-dir
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         if args.port is not None:
             return _serve_socket(service, args, submit_kwargs, out)
@@ -800,7 +839,7 @@ def _cmd_store(args, out) -> int:
     if args.action == "clear":
         summary = SampleStore.clear_disk(store_dir)
         print(
-            f"cleared   : {summary['files_removed']} spill files, "
+            f"cleared   : {summary['files_removed']} store files, "
             f"{summary['bytes_freed']} bytes freed",
             file=out,
         )
@@ -842,6 +881,19 @@ def _cmd_store(args, out) -> int:
             f"zonemap   : {entry['file']}  {entry['bytes']:>9d} B  {what}",
             file=out,
         )
+    for entry in statistic_entries(store_dir):
+        if "error" in entry:
+            what = f"<unreadable: {entry['error']}> [{entry['state']}]"
+        else:
+            fingerprint = entry.get("fingerprint") or "?"
+            what = (
+                f"{entry.get('dtype', '?')} x{entry.get('records', '?')}, "
+                f"dataset={fingerprint[:12]} [{entry['state']}]"
+            )
+        print(
+            f"backend   : {entry['file']}  {entry['bytes']:>9d} B  {what}",
+            file=out,
+        )
     quarantined = SampleStore.quarantine_entries(store_dir)
     for entry in quarantined:
         age = max(0.0, now - entry["mtime"])
@@ -852,7 +904,7 @@ def _cmd_store(args, out) -> int:
         )
     if quarantined:
         print(
-            f"quarantine: {len(quarantined)} corrupted spill(s) set aside "
+            f"quarantine: {len(quarantined)} corrupted file(s) set aside "
             f"(under {QUARANTINE_DIRNAME}/; `repro store clear` removes them)",
             file=out,
         )

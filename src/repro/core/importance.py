@@ -256,7 +256,16 @@ class ImportanceCIPrecisionTwoStage(_ImportanceSelector):
         # select_above skips through the dataset's zone map when one
         # exists (bit-identical to the dense flatnonzero scan), so the
         # stage-1 region costs O(region) instead of a full O(n) pass.
+        # Under a disk statistics backend the same call runs the paged
+        # variant: only the boundary stratum and the selected tail are
+        # faulted in from the statistic files, never the whole column.
         region = dataset.select_above(tau_min)
+
+        # Stage-2 region construction stays on provider views
+        # throughout: the weight lookup below fancy-indexes the
+        # (possibly memmap'd) weight vector with the region — paging in
+        # only the touched elements — and never materializes a full
+        # column with np.asarray.
 
         # Stage 2: candidate scan over a weighted sample from the region.
         # Reweighting is relative to uniform-over-region, which preserves

@@ -483,9 +483,13 @@ class SampleStore:
         Each entry maps ``path`` / ``bytes`` / ``mtime`` / ``reason``
         (``None`` when the reason report is missing or unreadable).
         """
+        from .stats_backend import STAT_FILE_GLOB
+
         directory = Path(store_dir).expanduser() / QUARANTINE_DIRNAME
         entries: list[dict] = []
-        for path in directory.glob(SPILL_GLOB):
+        # Spill quarantine and statistic-file quarantine share the
+        # directory and the reason-report convention.
+        for path in (*directory.glob(SPILL_GLOB), *directory.glob(STAT_FILE_GLOB)):
             try:
                 stat = path.stat()
             except OSError:
@@ -632,12 +636,15 @@ class SampleStore:
         """Delete every spill file (and the stats sidecar) in a directory.
 
         Zone-map sidecars (``zonemap-*.npz``, written by the query
-        engine next to the spills) are cleared too: they are derivable
-        indexes, not labeled data, so "clear the store" should leave
-        nothing behind.  Only files this repo wrote are touched —
-        foreign files in the directory are left alone.  Returns the
-        removed count and bytes.
+        engine next to the spills) and backend statistic files
+        (``stat-*.npy`` plus their ``.meta.json`` sidecars, written by
+        the disk statistics backend) are cleared too: they are
+        derivable statistics, not labeled data, so "clear the store"
+        should leave nothing behind.  Only files this repo wrote are
+        touched — foreign files in the directory are left alone.
+        Returns the removed count and bytes.
         """
+        from .stats_backend import statistic_files
         from .zonemap import SIDECAR_GLOB as ZONEMAP_SIDECAR_GLOB
 
         removed = 0
@@ -649,7 +656,8 @@ class SampleStore:
                 continue
             removed += 1
             freed += entry["bytes"]
-        for path in Path(store_dir).expanduser().glob(ZONEMAP_SIDECAR_GLOB):
+        base = Path(store_dir).expanduser()
+        for path in (*base.glob(ZONEMAP_SIDECAR_GLOB), *statistic_files(store_dir)):
             try:
                 size = path.stat().st_size
                 path.unlink()

@@ -223,6 +223,7 @@ class SharedArrayPlane:
         self.uid = f"{SEGMENT_PREFIX}-{os.getpid():x}-{next(_plane_ids):x}"
         self.bytes_shipped = 0
         self.bytes_shm = 0
+        self.stats_inherited = 0
         self._segments: dict[str, object] = {}
         self._views: dict[tuple[str, str], np.ndarray] = {}
         self._datasets: list[weakref.ref] = []
@@ -336,8 +337,17 @@ class SharedArrayPlane:
         self._datasets.append(weakref.ref(dataset))
 
     def counters(self) -> Mapping[str, int]:
-        """Byte accounting for the return path."""
-        return {"bytes_shipped": self.bytes_shipped, "bytes_shm": self.bytes_shm}
+        """Byte accounting for the return path.
+
+        ``stats_inherited`` counts publishes satisfied by a statistic
+        that was already file-backed (disk statistics backend): zero
+        bytes copied, workers share the store file's page cache.
+        """
+        return {
+            "bytes_shipped": self.bytes_shipped,
+            "bytes_shm": self.bytes_shm,
+            "stats_inherited": self.stats_inherited,
+        }
 
     # -- published statistics --------------------------------------------------
 
@@ -362,6 +372,16 @@ class SharedArrayPlane:
         owned, tracked, and unlinked by this plane like any other.
         """
         if self.mode == "pickle" or self.closed:
+            return array
+        if isinstance(array, np.memmap):
+            # Already file-backed — the disk statistics backend's mmap
+            # window.  Fork workers inherit the mapping and attachers
+            # reopen the same store file by path, so copying the bytes
+            # into a plane segment would duplicate storage that is
+            # already shareable.  Publish becomes "hand workers the file
+            # path": return the view unchanged, unregistered, so plane
+            # close never materializes it into RAM either.
+            self.stats_inherited += 1
             return array
         key = (str(fingerprint), str(name))
         view = self._views.get(key)

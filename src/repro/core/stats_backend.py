@@ -1,0 +1,742 @@
+"""Statistics backends: one provider interface from Dataset to zone map.
+
+SUPG's selectors only ever touch a dataset through a handful of derived
+statistics — the ascending sorted proxy scores (Algorithm 5's stage-1
+cut), the stable argsort order that maps sorted positions back to record
+indices, and the defensive importance-weight vectors (Algorithms 4-5).
+Historically those lived as ad-hoc ``Dataset`` cached properties, which
+assumes every statistic is a fully materialized ``ndarray`` in RAM and
+caps the system at memory-sized datasets.
+
+This module puts a provider interface between *what a statistic is* and
+*where its bytes live*:
+
+``InMemoryBackend``
+    The historical behavior, bit for bit: ``np.sort``,
+    ``np.argsort(kind="stable")`` and
+    :func:`repro.sampling.proxy_sampling_weights` on RAM arrays.
+
+``DiskBackend``
+    Statistics live in fingerprint-keyed ``.npy`` files under the store
+    directory and are handed back as read-only ``np.memmap`` windows.
+    Construction never materializes an O(n) temporary: the sort runs as
+    a chunked external merge sort (stable, byte-identical to
+    ``np.argsort(kind="stable")``) and the weight vectors stream through
+    in O(chunk) passes whose floating-point result is bit-identical to
+    the one-shot in-memory computation (see
+    :func:`chunked_pairwise_sum`).  Peak RSS during construction and
+    scans is O(chunk_records), not O(n).
+
+Bit-identity across backends is the contract, not an aspiration: every
+query result, every random draw, and every selection must be
+byte-identical whichever backend serves the statistics.  The only
+permitted divergence is the internal byte layout of equal-comparing
+signed zeros inside ``sorted_scores`` (``np.sort`` is not stable, the
+external merge is) — value-identical, and invisible to ``searchsorted``
+and every selection path, which go through the stable ``score_order``.
+
+Corrupt or stale backend files (fingerprint/shape/dtype mismatch,
+truncation, garbage) are quarantined with a forensic reason sidecar —
+the same convention as the sample store's spill quarantine — and the
+statistic is rebuilt from the source scores on the next access.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+from numpy.lib.format import open_memmap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..datasets.base import Dataset
+
+__all__ = [
+    "DEFAULT_CHUNK_RECORDS",
+    "STAT_FILE_GLOB",
+    "STAT_META_GLOB",
+    "StatisticsBackend",
+    "InMemoryBackend",
+    "DiskBackend",
+    "chunked_argsort",
+    "chunked_pairwise_sum",
+    "external_stable_argsort",
+    "weight_stat_name",
+    "statistic_entries",
+]
+
+#: Default records per chunk for the disk backend's external sort and
+#: streaming weight passes.  1M float64 records is 8 MiB per buffer —
+#: small enough that construction peaks far below the dataset footprint,
+#: large enough that the merge runs at memory bandwidth.
+DEFAULT_CHUNK_RECORDS = 1 << 20
+
+#: Backend statistic files under a store directory.  The shared-array
+#: plane's mmap files use the same ``stat-`` naming but live in a
+#: per-plane *subdirectory* (``store_dir/supg-plane-*/``), so this glob
+#: only ever sees backend-owned files.
+STAT_FILE_GLOB = "stat-*.npy"
+
+#: Metadata sidecars (full fingerprint, record count, dtype) validating
+#: each statistic file.  Named ``<stat file>.meta.json`` so the pair
+#: sorts together and neither glob matches the other.
+STAT_META_GLOB = "stat-*.npy.meta.json"
+
+_META_SUFFIX = ".meta.json"
+_QUARANTINE_DIRNAME = "quarantine"  # shared with SampleStore spills
+_STAT_FORMAT_VERSION = 1
+
+#: numpy's pairwise summation stops recursing at blocks of 128 elements
+#: (``PW_BLOCKSIZE`` in the ufunc reduce loops); the chunked emulation
+#: must never split below that or the leaf accumulation order diverges.
+_NUMPY_PAIRWISE_BLOCK = 128
+
+
+def _fresh_counters() -> dict[str, int]:
+    return {
+        "sorts_performed": 0,
+        "weight_passes": 0,
+        "chunks_merged": 0,
+        "bytes_paged": 0,
+        "peak_chunk_bytes": 0,
+        "stats_quarantined": 0,
+    }
+
+
+def _note_chunk(counters: dict[str, int] | None, nbytes: int) -> None:
+    if counters is None:
+        return
+    if nbytes > counters["peak_chunk_bytes"]:
+        counters["peak_chunk_bytes"] = int(nbytes)
+
+
+def weight_stat_name(exponent: float, mixing: float) -> str:
+    """Canonical statistic name for a defensive weight vector.
+
+    Shared by :meth:`Dataset.publish` (plane segment names) and
+    :class:`DiskBackend` (file names) so a weight vector is the same
+    statistic everywhere it is cached.
+    """
+    return f"weights-{float(exponent):g}-{float(mixing):g}"
+
+
+# ----------------------------------------------------------------------
+# Chunked external merge sort.
+#
+# Phase 1 argsorts each contiguous chunk with ``kind="stable"`` and
+# writes the runs (sorted scores + global indices) into a scratch
+# buffer.  Phase 2 repeatedly merges *adjacent* run pairs blockwise:
+# because the left run's indices are all smaller than the right run's,
+# a merge that breaks score ties in favor of the left run reproduces the
+# global stable argsort exactly.  Buffers ping-pong between passes; the
+# initial buffer is chosen by pass-count parity so the final pass lands
+# in the caller's primary buffer.  Peak RSS is O(chunk): each step
+# touches at most one chunk-sized block per run plus the merged block.
+# ----------------------------------------------------------------------
+
+
+def _copy_range(src, dst, lo: int, hi: int, out: int, chunk: int) -> None:
+    """Copy ``src[lo:hi]`` to ``dst[out:...]`` for each (scores, order) pair."""
+    for start in range(lo, hi, chunk):
+        stop = min(start + chunk, hi)
+        for s, d in zip(src, dst):
+            d[out : out + (stop - start)] = s[start:stop]
+        out += stop - start
+
+
+def _merge_adjacent_runs(
+    src,
+    dst,
+    a_lo: int,
+    a_hi: int,
+    b_hi: int,
+    chunk: int,
+    counters: dict[str, int] | None,
+) -> None:
+    """Stable-merge runs ``[a_lo, a_hi)`` and ``[a_hi, b_hi)`` into ``dst``.
+
+    Ties emit the left run first; since the left run holds strictly
+    smaller record indices this is exactly stable-argsort tie order.
+    Each iteration loads one block per run, determines the longest
+    prefixes that can be emitted without seeing more data (every left
+    element ``<=`` the left block's last score is final once the right
+    block's strictly-smaller prefix is known, and vice versa), and
+    interleaves them positionally via ``searchsorted`` — no Python-level
+    per-element loop.
+    """
+    src_scores, src_order = src
+    dst_scores, dst_order = dst
+    ia, ib, out = a_lo, a_hi, a_lo
+    while True:
+        if ia == a_hi:
+            _copy_range(src, dst, ib, b_hi, out, chunk)
+            return
+        if ib == b_hi:
+            _copy_range(src, dst, ia, a_hi, out, chunk)
+            return
+        a_blk = np.asarray(src_scores[ia : min(ia + chunk, a_hi)])
+        b_blk = np.asarray(src_scores[ib : min(ib + chunk, b_hi)])
+        last_a = a_blk[-1]
+        last_b = b_blk[-1]
+        if last_a <= last_b:
+            # Every element of a_blk is final; b's strictly-below-last_a
+            # prefix is final (ties wait so the left run emits first).
+            na = int(a_blk.size)
+            nb = int(np.searchsorted(b_blk, last_a, side="left"))
+        else:
+            na = int(np.searchsorted(a_blk, last_b, side="right"))
+            nb = int(b_blk.size)
+        a_emit = a_blk[:na]
+        b_emit = b_blk[:nb]
+        # Final position of each emitted element inside the merged
+        # block: its own rank plus the count of other-run elements that
+        # precede it (left-priority on ties).
+        pos_a = np.arange(na, dtype=np.intp) + np.searchsorted(
+            b_emit, a_emit, side="left"
+        )
+        pos_b = np.arange(nb, dtype=np.intp) + np.searchsorted(
+            a_emit, b_emit, side="right"
+        )
+        merged_scores = np.empty(na + nb, dtype=a_blk.dtype)
+        merged_order = np.empty(na + nb, dtype=np.intp)
+        merged_scores[pos_a] = a_emit
+        merged_scores[pos_b] = b_emit
+        merged_order[pos_a] = np.asarray(src_order[ia : ia + na])
+        merged_order[pos_b] = np.asarray(src_order[ib : ib + nb])
+        dst_scores[out : out + na + nb] = merged_scores
+        dst_order[out : out + na + nb] = merged_order
+        ia += na
+        ib += nb
+        out += na + nb
+        if counters is not None:
+            counters["chunks_merged"] += 1
+        _note_chunk(
+            counters,
+            a_blk.nbytes + b_blk.nbytes + merged_scores.nbytes + merged_order.nbytes,
+        )
+
+
+def external_stable_argsort(
+    values,
+    primary,
+    scratch,
+    chunk_records: int,
+    counters: dict[str, int] | None = None,
+):
+    """Chunked stable argsort of ``values`` into preallocated buffers.
+
+    ``primary`` and ``scratch`` are ``(scores, order)`` pairs of
+    length-n array-likes (typically ``np.memmap``).  On return
+    ``primary[0]`` holds the ascending scores and ``primary[1]`` the
+    stable argsort — byte-identical to
+    ``order = np.argsort(values, kind="stable"); scores = values[order]``
+    — with peak working memory O(chunk_records).  The run-generation
+    buffer is chosen by merge-pass parity so the result always lands in
+    ``primary``.  Returns ``primary``.
+    """
+    n = int(values.shape[0]) if hasattr(values, "shape") else len(values)
+    chunk = max(1, int(chunk_records))
+    runs = max(1, -(-n // chunk))
+    passes = 0
+    r = runs
+    while r > 1:
+        r = (r + 1) // 2
+        passes += 1
+    src, dst = (primary, scratch) if passes % 2 == 0 else (scratch, primary)
+    # Phase 1: chunk-local stable runs.
+    bounds = list(range(0, n, chunk)) + [n]
+    if n == 0:
+        return primary
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        part = np.asarray(values[lo:hi], dtype=float)
+        local = np.argsort(part, kind="stable")
+        src[0][lo:hi] = part[local]
+        src[1][lo:hi] = local + lo
+        _note_chunk(counters, 2 * part.nbytes + 2 * local.nbytes)
+    # Phase 2: merge adjacent run pairs until one run remains.
+    while len(bounds) > 2:
+        new_bounds = [bounds[0]]
+        idx = 0
+        while idx + 2 <= len(bounds) - 1:
+            _merge_adjacent_runs(
+                src, dst, bounds[idx], bounds[idx + 1], bounds[idx + 2], chunk, counters
+            )
+            new_bounds.append(bounds[idx + 2])
+            idx += 2
+        if idx == len(bounds) - 2:
+            # Odd run out: carry it over unchanged.
+            _copy_range(src, dst, bounds[idx], bounds[idx + 1], bounds[idx], chunk)
+            new_bounds.append(bounds[idx + 1])
+        src, dst = dst, src
+        bounds = new_bounds
+    return primary
+
+
+def chunked_argsort(values, chunk_records: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(sorted_values, stable_order)`` via the external merge path.
+
+    In-memory buffers; exists so tests can pin the merge against
+    ``np.argsort(kind="stable")`` without touching disk.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.size
+    primary = (np.empty(n, dtype=np.float64), np.empty(n, dtype=np.intp))
+    scratch = (np.empty(n, dtype=np.float64), np.empty(n, dtype=np.intp))
+    external_stable_argsort(values, primary, scratch, chunk_records)
+    return primary
+
+
+def chunked_pairwise_sum(
+    read: Callable[[int, int], np.ndarray],
+    n: int,
+    chunk_records: int,
+    offset: int = 0,
+) -> np.float64:
+    """``np.sum``-bit-identical total over a column read in segments.
+
+    numpy's pairwise summation splits a reduction of ``n > 128``
+    contiguous doubles at ``n2 = (n // 2) - ((n // 2) % 8)`` — a pure
+    function of ``n``.  Recursing down that exact split tree, summing
+    each leaf segment with ``np.sum`` (which runs the same pairwise
+    kernel on the segment), and combining partials with float64 adds in
+    tree order therefore reproduces the one-shot ``array.sum()`` to the
+    last bit while holding only O(chunk_records) elements at a time.
+    ``read(lo, hi)`` must return the contiguous float64 segment
+    ``column[lo:hi]``.
+    """
+    if n <= 0:
+        return np.float64(0.0)
+    if n <= chunk_records or n <= _NUMPY_PAIRWISE_BLOCK:
+        return np.float64(np.sum(read(offset, offset + n)))
+    half = n // 2
+    half -= half % 8
+    return chunked_pairwise_sum(read, half, chunk_records, offset) + chunked_pairwise_sum(
+        read, n - half, chunk_records, offset + half
+    )
+
+
+# ----------------------------------------------------------------------
+# Backends.
+# ----------------------------------------------------------------------
+
+
+class StatisticsBackend:
+    """Provider interface for a dataset's derived statistics.
+
+    A backend owns *where the bytes live*; :class:`~repro.datasets.base.
+    Dataset` owns *when a statistic is needed* (its cached properties
+    delegate here on first access and memoize the returned view).  The
+    returned arrays are read-only and must be bit-identical across
+    implementations — callers never know or care which backend served
+    them.
+
+    ``counters`` is a plain dict surfaced through
+    ``SupgEngine.session_stats()``: construction work
+    (``sorts_performed``, ``weight_passes``, ``chunks_merged``,
+    ``peak_chunk_bytes``), scan paging (``bytes_paged``, fed by the zone
+    map's paged select path), and integrity events
+    (``stats_quarantined``).
+    """
+
+    kind = "abstract"
+    #: Whether statistics come back as file-backed memmap windows.  The
+    #: dataset routes threshold scans through the zone map's *paged*
+    #: select path when true, so a scan touches only the strata the tau
+    #: cuts rather than faulting in the whole column.
+    paged = False
+
+    def __init__(self) -> None:
+        self.counters = _fresh_counters()
+
+    def sorted_scores(self, dataset: "Dataset") -> np.ndarray:
+        raise NotImplementedError
+
+    def score_order(self, dataset: "Dataset") -> np.ndarray:
+        raise NotImplementedError
+
+    def sampling_weights(
+        self, dataset: "Dataset", exponent: float, mixing: float
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, object]:
+        """Counters plus identity, for ``session_stats()``."""
+        return {"backend": self.kind, **self.counters}
+
+
+class InMemoryBackend(StatisticsBackend):
+    """The historical RAM path, bit for bit."""
+
+    kind = "memory"
+
+    def sorted_scores(self, dataset: "Dataset") -> np.ndarray:
+        self.counters["sorts_performed"] += 1
+        out = np.sort(dataset.proxy_scores)
+        out.flags.writeable = False
+        return out
+
+    def score_order(self, dataset: "Dataset") -> np.ndarray:
+        self.counters["sorts_performed"] += 1
+        out = np.argsort(dataset.proxy_scores, kind="stable")
+        out.flags.writeable = False
+        return out
+
+    def sampling_weights(
+        self, dataset: "Dataset", exponent: float, mixing: float
+    ) -> np.ndarray:
+        from ..sampling import proxy_sampling_weights
+
+        self.counters["weight_passes"] += 1
+        out = proxy_sampling_weights(
+            dataset.proxy_scores, exponent=exponent, mixing=mixing
+        )
+        out.flags.writeable = False
+        return out
+
+
+class DiskBackend(StatisticsBackend):
+    """Fingerprint-keyed statistic files under the store directory.
+
+    Files are named ``stat-<fingerprint16>-<statistic>.npy`` with a
+    ``.meta.json`` sidecar recording the *full* fingerprint, record
+    count and dtype; a file whose sidecar is missing or mismatched is
+    quarantined and rebuilt.  Writes are crash-safe: the array is built
+    in a dot-prefixed temporary, flushed, its sidecar written, then
+    ``os.replace``d into place — readers either see the complete pair
+    or nothing.  Opened views are ``mmap_mode="r"`` windows shared
+    freely across fork workers (and re-openable by path from any
+    process), which is what lets the shared-array plane hand workers
+    file paths instead of copying bytes.
+    """
+
+    kind = "disk"
+    paged = True
+
+    def __init__(self, directory, chunk_records: int = DEFAULT_CHUNK_RECORDS) -> None:
+        super().__init__()
+        self.directory = Path(directory).expanduser()
+        self.chunk_records = max(1, int(chunk_records))
+
+    # -- file naming ---------------------------------------------------
+
+    @staticmethod
+    def stat_filename(fingerprint: str, name: str) -> str:
+        return f"stat-{fingerprint[:16]}-{name}.npy"
+
+    def stat_path(self, fingerprint: str, name: str) -> Path:
+        return self.directory / self.stat_filename(fingerprint, name)
+
+    # -- provider interface --------------------------------------------
+
+    def sorted_scores(self, dataset: "Dataset") -> np.ndarray:
+        return self._sort_statistic(dataset, "sorted-scores", np.float64)
+
+    def score_order(self, dataset: "Dataset") -> np.ndarray:
+        return self._sort_statistic(dataset, "score-order", np.intp)
+
+    def sampling_weights(
+        self, dataset: "Dataset", exponent: float, mixing: float
+    ) -> np.ndarray:
+        exponent = float(exponent)
+        mixing = float(mixing)
+        # Same validation (and messages) as proxy_sampling_weights, so
+        # misuse fails identically whichever backend is active.
+        if exponent < 0:
+            raise ValueError(f"weight exponent must be non-negative, got {exponent}")
+        if not 0.0 <= mixing <= 1.0:
+            raise ValueError(f"defensive mixing weight must lie in [0, 1], got {mixing}")
+        name = weight_stat_name(exponent, mixing)
+        fingerprint = dataset.fingerprint
+        view = self._open(fingerprint, name, dataset.size, np.float64)
+        if view is None:
+            self._build_weights(dataset, fingerprint, name, exponent, mixing)
+            view = self._require(fingerprint, name, dataset.size, np.float64)
+        return view
+
+    # -- open / validate / quarantine ----------------------------------
+
+    def _meta_path(self, path: Path) -> Path:
+        return path.with_name(path.name + _META_SUFFIX)
+
+    def _read_meta(self, path: Path) -> dict | None:
+        meta_path = self._meta_path(path)
+        try:
+            return json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _write_meta(self, path: Path, fingerprint: str, name: str, records: int, dtype) -> None:
+        payload = {
+            "format_version": _STAT_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "stat": name,
+            "records": int(records),
+            "dtype": np.dtype(dtype).str,
+            "chunk_records": self.chunk_records,
+            "created_at": time.time(),
+        }
+        self._meta_path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    def _open(
+        self, fingerprint: str, name: str, records: int, dtype
+    ) -> np.ndarray | None:
+        """A validated read-only memmap of the statistic, or ``None``.
+
+        Any inconsistency — unreadable header, truncated data, missing
+        or mismatched metadata — quarantines the file so the caller
+        rebuilds from source.
+        """
+        path = self.stat_path(fingerprint, name)
+        if not path.exists():
+            return None
+        meta = self._read_meta(path)
+        try:
+            view = np.load(path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            self._quarantine(path, f"unreadable statistic file: {exc}")
+            return None
+        if (
+            meta is None
+            or meta.get("fingerprint") != fingerprint
+            or int(meta.get("records", -1)) != int(records)
+            or view.ndim != 1
+            or view.shape[0] != int(records)
+            or view.dtype != np.dtype(dtype)
+        ):
+            del view
+            self._quarantine(path, "stale or mismatched statistic file")
+            return None
+        return view
+
+    def _require(self, fingerprint: str, name: str, records: int, dtype) -> np.ndarray:
+        view = self._open(fingerprint, name, records, dtype)
+        if view is None:
+            raise OSError(
+                f"statistic {name!r} for dataset {fingerprint[:16]} could not be "
+                f"built under {self.directory} (directory unwritable or file "
+                "corrupted during construction)"
+            )
+        return view
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad statistic file aside with a forensic reason sidecar.
+
+        Mirrors the sample store's spill quarantine: the file (if
+        movable) lands in ``<directory>/quarantine/`` next to a
+        ``.reason.json`` report, its metadata sidecar is removed, and
+        the statistic rebuilds from source on the next access.
+        """
+        self.counters["stats_quarantined"] += 1
+        quarantine = self.directory / _QUARANTINE_DIRNAME
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            target = quarantine / path.name
+            os.replace(path, target)
+            report = {
+                "file": path.name,
+                "reason": reason,
+                "quarantined_at": time.time(),
+            }
+            (quarantine / (path.name + ".reason.json")).write_text(
+                json.dumps(report, indent=2, sort_keys=True)
+            )
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            self._meta_path(path).unlink()
+        except OSError:
+            pass
+
+    # -- construction --------------------------------------------------
+
+    def _scratch_path(self, tag: str) -> Path:
+        return self.directory / f".build-{os.getpid():x}-{tag}.npy"
+
+    def _finalize(self, tmp: Path, final: Path, fingerprint: str, name: str, records: int, dtype) -> None:
+        # Metadata lands before the array file: a reader that races the
+        # rename either misses the .npy entirely (rebuild path) or sees
+        # the complete, validated pair.  The reverse order would let a
+        # reader quarantine a perfectly good freshly-built file.
+        self._write_meta(final, fingerprint, name, records, dtype)
+        os.replace(tmp, final)
+
+    def _sort_statistic(self, dataset: "Dataset", which: str, dtype) -> np.ndarray:
+        fingerprint = dataset.fingerprint
+        view = self._open(fingerprint, which, dataset.size, dtype)
+        if view is not None:
+            return view
+        self._build_sort(dataset, fingerprint)
+        return self._require(fingerprint, which, dataset.size, dtype)
+
+    def _build_sort(self, dataset: "Dataset", fingerprint: str) -> None:
+        """External-merge both sort statistics in one pass over the data."""
+        self.counters["sorts_performed"] += 1
+        n = dataset.size
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp_scores = self._scratch_path("sorted-scores")
+        tmp_order = self._scratch_path("score-order")
+        tmp_scores2 = self._scratch_path("scratch-scores")
+        tmp_order2 = self._scratch_path("scratch-order")
+        scratch_files = [tmp_scores, tmp_order, tmp_scores2, tmp_order2]
+        try:
+            primary = (
+                open_memmap(tmp_scores, mode="w+", dtype=np.float64, shape=(n,)),
+                open_memmap(tmp_order, mode="w+", dtype=np.intp, shape=(n,)),
+            )
+            scratch = (
+                open_memmap(tmp_scores2, mode="w+", dtype=np.float64, shape=(n,)),
+                open_memmap(tmp_order2, mode="w+", dtype=np.intp, shape=(n,)),
+            )
+            external_stable_argsort(
+                dataset.proxy_scores, primary, scratch, self.chunk_records, self.counters
+            )
+            for buf in (*primary, *scratch):
+                buf.flush()
+            del primary, scratch
+            self._finalize(
+                tmp_scores,
+                self.stat_path(fingerprint, "sorted-scores"),
+                fingerprint,
+                "sorted-scores",
+                n,
+                np.float64,
+            )
+            self._finalize(
+                tmp_order,
+                self.stat_path(fingerprint, "score-order"),
+                fingerprint,
+                "score-order",
+                n,
+                np.intp,
+            )
+        finally:
+            for leftover in scratch_files:
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+
+    def _build_weights(
+        self,
+        dataset: "Dataset",
+        fingerprint: str,
+        name: str,
+        exponent: float,
+        mixing: float,
+    ) -> None:
+        """Stream proxy_sampling_weights in O(chunk) passes, bit-identically.
+
+        Pass 1 totals the raw (power-transformed) scores via the
+        pairwise-faithful chunked sum; pass 2 emits each chunk's final
+        weights with the same elementwise expression as the in-memory
+        code.  Elementwise IEEE arithmetic is insensitive to chunk
+        boundaries, and the total is bit-identical by construction, so
+        the file matches ``proxy_sampling_weights`` byte for byte.
+        """
+        self.counters["weight_passes"] += 1
+        scores = dataset.proxy_scores
+        n = dataset.size
+        chunk = self.chunk_records
+
+        def read_raw(lo: int, hi: int) -> np.ndarray:
+            seg = np.asarray(scores[lo:hi], dtype=float)
+            if exponent == 0.0:
+                return np.ones_like(seg)
+            return np.power(seg, exponent)
+
+        total = chunked_pairwise_sum(read_raw, n, chunk)
+        if total == 0.0 and mixing == 0.0:
+            raise ValueError(
+                "all proxy scores are zero and defensive mixing is disabled; "
+                "the sampling distribution is undefined"
+            )
+        uniform = 1.0 / n
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self._scratch_path(name)
+        try:
+            out = open_memmap(tmp, mode="w+", dtype=np.float64, shape=(n,))
+            for lo in range(0, n, chunk):
+                hi = min(lo + chunk, n)
+                if total == 0.0:
+                    out[lo:hi] = uniform
+                else:
+                    raw = read_raw(lo, hi)
+                    out[lo:hi] = (1.0 - mixing) * (raw / total) + mixing * uniform
+                    _note_chunk(self.counters, 2 * raw.nbytes)
+            out.flush()
+            del out
+            self._finalize(
+                tmp, self.stat_path(fingerprint, name), fingerprint, name, n, np.float64
+            )
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Store-directory introspection (``repro store ls``).
+# ----------------------------------------------------------------------
+
+
+def statistic_entries(directory) -> list[dict[str, object]]:
+    """Describe every backend statistic file under ``directory``.
+
+    Each entry reports file name, size, dtype, record count, the owning
+    dataset fingerprint (from the metadata sidecar) and a ``state`` of
+    ``"warm"`` (valid pair) or ``"stale"`` (unreadable, or metadata
+    missing/mismatched — the backend would quarantine and rebuild it on
+    access).
+    """
+    base = Path(directory).expanduser()
+    entries: list[dict[str, object]] = []
+    if not base.is_dir():
+        return entries
+    for path in sorted(base.glob(STAT_FILE_GLOB)):
+        entry: dict[str, object] = {
+            "file": path.name,
+            "bytes": int(path.stat().st_size),
+        }
+        state = "warm"
+        records = None
+        try:
+            view = np.load(path, mmap_mode="r", allow_pickle=False)
+            entry["dtype"] = str(view.dtype)
+            records = int(view.shape[0]) if view.ndim == 1 else None
+            entry["records"] = records
+            del view
+        except (OSError, ValueError) as exc:
+            entry["error"] = str(exc)
+            state = "stale"
+        meta = None
+        meta_path = path.with_name(path.name + _META_SUFFIX)
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            meta = None
+        if meta is None:
+            state = "stale"
+        else:
+            entry["fingerprint"] = meta.get("fingerprint")
+            entry["stat"] = meta.get("stat")
+            if records is not None and int(meta.get("records", -1)) != records:
+                state = "stale"
+        entry["state"] = state
+        entries.append(entry)
+    return entries
+
+
+def statistic_files(directory) -> Iterable[Path]:
+    """Every backend statistic file and metadata sidecar under ``directory``."""
+    base = Path(directory).expanduser()
+    if not base.is_dir():
+        return []
+    return sorted([*base.glob(STAT_FILE_GLOB), *base.glob(STAT_META_GLOB)])

@@ -307,6 +307,42 @@ class ScoreZoneMap:
         self.counters["records_skipped"] += position
         return np.sort(score_order[position:])
 
+    def select_above_paged(
+        self,
+        tau: float,
+        sorted_scores: np.ndarray,
+        score_order: np.ndarray,
+        counters: dict[str, int] | None = None,
+    ) -> np.ndarray:
+        """Out-of-core ``select_above``: page in only what the tau cuts.
+
+        Same indices, byte for byte, as :meth:`select_above` (and hence
+        as the dense scan) — but built for file-backed statistics.  The
+        only pages faulted in are the boundary stratum of
+        ``sorted_scores`` that :meth:`locate` bisects and the
+        ``score_order`` tail that *is* the selection; ``proxy_scores``
+        is never touched and there is no dense-mask fallback, which
+        over a memmap would fault in the entire column and defeat the
+        point.  When ``counters`` (a statistics backend's dict) is
+        given, ``bytes_paged`` accounts the faulted-in byte span.
+        """
+        position, stratum = self.locate(tau, sorted_scores)
+        selected = self.size - position
+        self.counters["zonemap_selects"] += 1
+        if counters is not None:
+            boundary = 0
+            if stratum < self.strata:
+                boundary = int(self.offsets[stratum + 1] - self.offsets[stratum])
+            counters["bytes_paged"] += (
+                boundary * sorted_scores.itemsize + selected * score_order.itemsize
+            )
+        if selected == 0:
+            self.counters["records_skipped"] += self.size
+            return np.zeros(0, dtype=np.intp)
+        self.counters["strata_touched"] += self.strata - stratum
+        self.counters["records_skipped"] += position
+        return np.sort(np.asarray(score_order[position:]))
+
     # -- planner estimates -----------------------------------------------------
 
     def plan_estimate(self, recall: bool, gamma: float) -> SkipEstimate:

@@ -20,6 +20,24 @@ import numpy as np
 
 __all__ = ["Dataset"]
 
+_DEFAULT_BACKEND = None
+
+
+def _default_backend():
+    """Process-wide in-memory backend for datasets with no explicit one.
+
+    Lazy so importing :mod:`repro.datasets` never drags in the core
+    package; shared so standalone datasets don't each carry a counters
+    dict nobody reads.  Engines attach their own per-session backend via
+    :meth:`Dataset.use_backend`.
+    """
+    global _DEFAULT_BACKEND
+    if _DEFAULT_BACKEND is None:
+        from ..core.stats_backend import InMemoryBackend
+
+        _DEFAULT_BACKEND = InMemoryBackend()
+    return _DEFAULT_BACKEND
+
 
 @dataclass(frozen=True)
 class Dataset:
@@ -101,12 +119,35 @@ class Dataset:
     # arrays — the sorted proxy scores (Algorithm 5's stage-1 cut) and
     # the defensive importance weights (Algorithms 4-5) — so a Dataset
     # computes each once and reuses it across the 100+ trials of an
-    # experiment cell.  The caches live in the instance ``__dict__``
-    # (``cached_property`` bypasses the frozen-dataclass setattr), and
-    # ``subset``/``with_scores`` build new instances, so derived
-    # datasets never see stale statistics.  Cached arrays are marked
-    # read-only because they are shared across trials.
+    # experiment cell.  *What* each statistic is lives here; *where its
+    # bytes live* is the attached :class:`~repro.core.stats_backend.
+    # StatisticsBackend` — RAM ndarrays (memory backend) or read-only
+    # ``np.memmap`` windows over fingerprint-keyed store files (disk
+    # backend), bit-identical either way.  The memoized views live in
+    # the instance ``__dict__`` (``cached_property`` bypasses the
+    # frozen-dataclass setattr), and ``subset``/``with_scores`` build
+    # new instances, so derived datasets never see stale statistics.
+    # Cached arrays are read-only because they are shared across trials.
     # ------------------------------------------------------------------
+
+    @property
+    def stats_backend(self):
+        """The provider computing this dataset's derived statistics."""
+        backend = self.__dict__.get("_stats_backend")
+        if backend is None:
+            backend = _default_backend()
+            self.__dict__["_stats_backend"] = backend
+        return backend
+
+    def use_backend(self, backend) -> "Dataset":
+        """Attach a statistics backend; returns ``self`` for chaining.
+
+        Attach before statistics are first touched: views already
+        memoized are kept (they are bit-identical by contract), only
+        future computations route through the new provider.
+        """
+        self.__dict__["_stats_backend"] = backend
+        return self
 
     @cached_property
     def fingerprint(self) -> str:
@@ -125,10 +166,13 @@ class Dataset:
 
     @cached_property
     def sorted_scores(self) -> np.ndarray:
-        """Proxy scores sorted ascending (cached, read-only)."""
-        out = np.sort(self.proxy_scores)
-        out.flags.writeable = False
-        return out
+        """Proxy scores sorted ascending (cached, read-only).
+
+        Served by the attached backend: an ndarray from ``np.sort``
+        (memory) or a memmap window over the store's external-sort
+        output (disk) — the same values either way.
+        """
+        return self.stats_backend.sorted_scores(self)
 
     @property
     def descending_scores(self) -> np.ndarray:
@@ -137,10 +181,25 @@ class Dataset:
 
     @cached_property
     def score_order(self) -> np.ndarray:
-        """``argsort`` of the proxy scores, ascending (cached, read-only)."""
-        out = np.argsort(self.proxy_scores, kind="stable")
-        out.flags.writeable = False
-        return out
+        """Stable ``argsort`` of the proxy scores, ascending (cached, read-only).
+
+        Byte-identical to ``np.argsort(kind="stable")`` whichever
+        backend serves it — the disk backend's external merge preserves
+        tie order exactly.
+        """
+        return self.stats_backend.score_order(self)
+
+    def prime_zone_map(self, store_dir) -> None:
+        """Arm lazy sidecar-backed zone-map priming.
+
+        Records the sidecar directory without touching any statistic:
+        the first :attr:`zone_map` access loads the fingerprint-matching
+        sidecar if one is warm (no sort performed at all), else builds
+        the index and persists it there for the next session.  Called by
+        the engine at table registration — which therefore no longer
+        forces the O(n log n) sort eagerly.
+        """
+        self.__dict__.setdefault("_zonemap_sidecar_dir", str(store_dir))
 
     @cached_property
     def zone_map(self):
@@ -150,13 +209,26 @@ class Dataset:
         from) for datasets of at least
         :data:`~repro.core.zonemap.MIN_INDEXED_SIZE` records; smaller
         datasets return ``None`` and every threshold lookup stays on
-        the dense path.  See :mod:`repro.core.zonemap`.
+        the dense path.  If :meth:`prime_zone_map` armed a sidecar
+        directory, a warm sidecar is loaded *before* any sort is forced,
+        and a cold build is persisted back.  See
+        :mod:`repro.core.zonemap`.
         """
         from ..core.zonemap import MIN_INDEXED_SIZE, ScoreZoneMap
 
         if self.size < MIN_INDEXED_SIZE:
             return None
-        return ScoreZoneMap.build(self.sorted_scores)
+        sidecar_dir = self.__dict__.get("_zonemap_sidecar_dir")
+        if sidecar_dir is not None:
+            zone_map = ScoreZoneMap.load_sidecar(
+                sidecar_dir, self.fingerprint, self.size
+            )
+            if zone_map is not None:
+                return zone_map
+        zone_map = ScoreZoneMap.build(self.sorted_scores)
+        if sidecar_dir is not None:
+            zone_map.save_sidecar(sidecar_dir, self.fingerprint)
+        return zone_map
 
     def build_zone_map(self, stratum_size: int | None = None):
         """Force-build (and cache) a zone map, bypassing the size gate.
@@ -173,20 +245,18 @@ class Dataset:
     def sampling_weights(self, exponent: float, mixing: float) -> np.ndarray:
         """Defensive importance-sampling weights, cached per ``(exponent, mixing)``.
 
-        Thin memoizing wrapper around
-        :func:`repro.sampling.proxy_sampling_weights`; the IS selectors
-        recompute identical weights every trial otherwise, a full O(n)
-        pass over the dataset per selector run.
+        Thin memoizing wrapper over the backend's weight provider
+        (bitwise :func:`repro.sampling.proxy_sampling_weights`, in RAM
+        or streamed to a store file); the IS selectors recompute
+        identical weights every trial otherwise, a full O(n) pass over
+        the dataset per selector run.
         """
-        from ..sampling import proxy_sampling_weights
-
         key = (float(exponent), float(mixing))
         cache: dict[tuple[float, float], np.ndarray]
         cache = self.__dict__.setdefault("_weight_cache", {})
         weights = cache.get(key)
         if weights is None:
-            weights = proxy_sampling_weights(self.proxy_scores, exponent=exponent, mixing=mixing)
-            weights.flags.writeable = False
+            weights = self.stats_backend.sampling_weights(self, key[0], key[1])
             cache[key] = weights
         return weights
 
@@ -287,11 +357,20 @@ class Dataset:
         then the cumulative tail of :attr:`score_order` — touching
         O(selected) records instead of all n.  Byte-identical to the
         dense ``np.flatnonzero`` scan, which remains the path for small
-        datasets and near-total selections.
+        datasets and near-total selections.  Under a paged (disk)
+        backend the scan goes through
+        :meth:`~repro.core.zonemap.ScoreZoneMap.select_above_paged`
+        instead — same bytes out, but only the boundary stratum and the
+        selected tail are ever faulted in from the statistic files.
         """
         zone_map = self.zone_map
         if zone_map is None:
             return np.flatnonzero(self.proxy_scores >= tau)
+        backend = self.stats_backend
+        if backend.paged:
+            return zone_map.select_above_paged(
+                tau, self.sorted_scores, self.score_order, backend.counters
+            )
         return zone_map.select_above(
             tau, self.sorted_scores, self.score_order, self.proxy_scores
         )

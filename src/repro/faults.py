@@ -60,6 +60,7 @@ __all__ = [
     "wrap_label_fn",
     "maybe_kill_worker",
     "corrupt_spill",
+    "corrupt_statistic",
 ]
 
 #: The currently injected plan, or ``None``.  Module-global so that a
@@ -298,6 +299,41 @@ def corrupt_spill(
         path.write_bytes(data[: max(1, len(data) // 3)])
     elif mode == "garbage":
         path.write_bytes(b"this is not an npz archive\n")
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return path
+
+
+def corrupt_statistic(
+    store_dir: str | os.PathLike, which: int = 0, mode: str = "truncate"
+) -> Path:
+    """Damage one backend statistic file in a store directory.
+
+    The disk statistics backend detects the damage on its next open
+    (header parse or metadata validation), quarantines the file with a
+    reason report, and rebuilds the statistic from the source scores —
+    the chaos gate asserts that recovery is byte-identical.
+
+    Args:
+        store_dir: the persistent store directory.
+        which: index into the directory's ``stat-*.npy`` files, sorted
+            by name.
+        mode: ``"truncate"`` keeps the leading third of the file;
+            ``"garbage"`` replaces the contents with non-npy bytes.
+    """
+    from .core.stats_backend import STAT_FILE_GLOB  # deferred: avoids import cycles
+
+    paths = sorted(Path(store_dir).expanduser().glob(STAT_FILE_GLOB))
+    if not paths:
+        raise FileNotFoundError(f"no backend statistic files in {store_dir}")
+    if not 0 <= which < len(paths):
+        raise IndexError(f"statistic index {which} out of range (have {len(paths)})")
+    path = paths[which]
+    if mode == "truncate":
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, len(data) // 3)])
+    elif mode == "garbage":
+        path.write_bytes(b"this is not an npy statistic\n")
     else:
         raise ValueError(f"unknown corruption mode {mode!r}")
     return path

@@ -60,6 +60,12 @@ from ..core.planning import (
 )
 from ..core.registry import default_selector, make_selector
 from ..core.shm import PlaneIntegrityError, SharedArrayPlane
+from ..core.stats_backend import (
+    DEFAULT_CHUNK_RECORDS,
+    DiskBackend,
+    InMemoryBackend,
+    StatisticsBackend,
+)
 from ..core.types import SelectionResult
 from ..datasets import Dataset
 from ..faults import maybe_kill_worker, wrap_label_fn
@@ -187,6 +193,19 @@ class SupgEngine:
             ambient :func:`repro.core.shm.default_mode` (the CLI's
             ``--data-plane``).  Results are bit-identical in every
             mode.
+        backend: where each registered dataset's derived statistics
+            live — ``"memory"`` (RAM ndarrays, the default),
+            ``"disk"`` (fingerprint-keyed ``.npy`` files under the
+            store directory, opened as read-only memmap windows;
+            construction is chunked so peak RSS stays O(chunk_records)
+            rather than O(n)), or an already constructed
+            :class:`~repro.core.stats_backend.StatisticsBackend`.
+            ``"disk"`` requires a persistent ``store_dir``.  Query
+            results are byte-identical across backends.
+        chunk_records: records per chunk for the disk backend's
+            external sort and streaming weight passes (default
+            :data:`~repro.core.stats_backend.DEFAULT_CHUNK_RECORDS`).
+            Only meaningful with ``backend="disk"``.
 
     Example::
 
@@ -208,6 +227,8 @@ class SupgEngine:
         store_dir: str | None = None,
         retry_policy: RetryPolicy | None = None,
         data_plane: str | None = None,
+        backend: "str | StatisticsBackend | None" = None,
+        chunk_records: int | None = None,
     ) -> None:
         if context is not None and store_dir is not None:
             raise ValueError(
@@ -228,28 +249,70 @@ class SupgEngine:
                 store=SampleStore(store_dir=store_dir, retry_policy=retry_policy)
             )
         self._context = context
+        self._stats_backend = self._make_backend(backend, chunk_records)
         self._data_plane = data_plane
         self._plane: SharedArrayPlane | None = None
         self._plane_calls = 0
-        self._retired_transfer = {"bytes_shipped": 0, "bytes_shm": 0}
+        self._retired_transfer = {"bytes_shipped": 0, "bytes_shm": 0, "stats_inherited": 0}
         # Concurrent service windows share one engine: plane lifecycle,
         # call-id allocation, transfer accounting, and the derived-
         # dataset cache are the mutable session state they race on.
         self._lock = ForkSafeLock()
 
+    def _make_backend(
+        self, backend: "str | StatisticsBackend | None", chunk_records: int | None
+    ) -> StatisticsBackend:
+        if isinstance(backend, StatisticsBackend):
+            if chunk_records is not None:
+                raise ValueError(
+                    "chunk_records is part of the backend instance; pass "
+                    "DiskBackend(..., chunk_records=...) or the string 'disk'"
+                )
+            return backend
+        if backend in (None, "memory"):
+            if chunk_records is not None:
+                raise ValueError("chunk_records requires backend='disk'")
+            return InMemoryBackend()
+        if backend == "disk":
+            store_dir = self._context.store.store_dir
+            if store_dir is None:
+                raise ValueError(
+                    "backend='disk' requires a persistent store directory; the "
+                    "statistic files live next to the store's spills (pass "
+                    "store_dir=... or --store-dir)"
+                )
+            return DiskBackend(
+                store_dir,
+                chunk_records=(
+                    DEFAULT_CHUNK_RECORDS if chunk_records is None else chunk_records
+                ),
+            )
+        raise ValueError(
+            f"unknown statistics backend {backend!r}; choose 'memory' or 'disk'"
+        )
+
     # -- registration ----------------------------------------------------------
 
-    def register_table(self, name: str, dataset: Dataset) -> None:
+    def register_table(
+        self,
+        name: str,
+        dataset: Dataset,
+        backend: "StatisticsBackend | None" = None,
+    ) -> None:
         """Register a dataset under a table name.
 
-        When the engine has a persistent store directory, the dataset's
-        zone-map index is primed here: loaded from its fingerprint-keyed
-        sidecar when a fresh one exists, otherwise built and persisted —
-        so a restarted session skips the build exactly like it skips
-        re-drawing spilled samples.
+        The dataset's derived statistics are routed through the
+        engine's statistics backend (or a per-table ``backend``
+        override), and — when the engine has a persistent store
+        directory — its zone-map index is armed for *lazy* sidecar
+        priming: nothing is sorted or built here; the first query that
+        needs the index loads the fingerprint-keyed sidecar when a
+        fresh one exists (zero redundant sorts on a warm restart) and
+        builds + persists it otherwise.
         """
         if not name:
             raise ValueError("table name must be non-empty")
+        dataset.use_backend(backend if backend is not None else self._stats_backend)
         self._tables[name] = dataset
         self._invalidate_derived(table=name)
         self._prime_zone_map(dataset)
@@ -275,12 +338,30 @@ class SupgEngine:
         return self._context
 
     def session_stats(self) -> Mapping[str, int]:
-        """Sample-store reuse counters, data-plane byte accounting, and
-        zone-map skipping telemetry."""
+        """Sample-store reuse counters, data-plane byte accounting,
+        zone-map skipping telemetry, and statistics-backend counters."""
         stats = dict(self._context.stats())
         stats.update(self.transfer_stats())
         stats.update(self.skipping_stats())
+        stats.update(self.backend_stats())
         return stats
+
+    @property
+    def stats_backend(self) -> StatisticsBackend:
+        """The session's statistics backend (registered tables share it)."""
+        return self._stats_backend
+
+    def backend_stats(self) -> Mapping[str, int]:
+        """Statistics-backend counters for this session.
+
+        ``sorts_performed``/``weight_passes`` count constructions (a
+        warm disk file costs zero of either), ``chunks_merged`` and
+        ``peak_chunk_bytes`` describe external-sort work, ``bytes_paged``
+        accounts the bytes paged in by out-of-core threshold scans, and
+        ``stats_quarantined`` counts corrupt statistic files moved aside
+        and rebuilt.
+        """
+        return dict(self._stats_backend.counters)
 
     def skipping_stats(self) -> Mapping[str, int]:
         """Zone-map data-skipping counters, summed over session datasets.
@@ -314,22 +395,20 @@ class SupgEngine:
         return totals
 
     def _prime_zone_map(self, dataset: Dataset) -> None:
-        """Serve a dataset's zone map from the store-dir sidecar tier."""
-        from ..core.zonemap import MIN_INDEXED_SIZE, ScoreZoneMap
+        """Arm the dataset's zone map for the store-dir sidecar tier.
+
+        Deliberately lazy: registration used to force the O(n log n)
+        sort (and the index build) eagerly even when a warm sidecar
+        made both redundant.  Now only the sidecar *directory* is
+        recorded; :attr:`Dataset.zone_map` consults it on first access,
+        loading a warm sidecar without ever touching ``sorted_scores``.
+        """
+        from ..core.zonemap import MIN_INDEXED_SIZE
 
         store_dir = self._context.store.store_dir
         if store_dir is None or dataset.size < MIN_INDEXED_SIZE:
             return
-        if "zone_map" not in dataset.__dict__:
-            cached = ScoreZoneMap.load_sidecar(
-                store_dir, dataset.fingerprint, expected_size=dataset.size
-            )
-            if cached is not None:
-                dataset.__dict__["zone_map"] = cached
-                return
-        zone_map = dataset.zone_map
-        if zone_map is not None:
-            zone_map.save_sidecar(store_dir, dataset.fingerprint)
+        dataset.prime_zone_map(store_dir)
 
     def transfer_stats(self) -> Mapping[str, int]:
         """Result-transfer byte counters for this engine session.
@@ -735,7 +814,7 @@ class SupgEngine:
                 scores = np.asarray(udf(dataset), dtype=float)
                 derived = dataset.with_scores(
                     scores, name=f"{dataset.name}|{parsed.proxy.name}"
-                )
+                ).use_backend(self._stats_backend)
                 self._derived[key] = derived
                 self._prime_zone_map(derived)
             return derived

@@ -361,7 +361,7 @@ class TestStoreSubcommand:
         assert "spills=1" in output  # persistent history
         code, output = run_cli(["store", "clear", "--store-dir", str(store)])
         assert code == 0
-        assert "1 spill files" in output
+        assert "1 store files" in output
         code, output = run_cli(["store", "ls", "--store-dir", str(store)])
         assert code == 0
         assert "0 spill files" in output
@@ -556,7 +556,7 @@ class TestStoreQuarantineListing:
         code, output = run_cli(["store", "ls", "--store-dir", str(store)])
         assert code == 0
         assert "quarantine:" in output
-        assert "1 corrupted spill(s) set aside" in output
+        assert "1 corrupted file(s) set aside" in output
         # clear removes quarantined files too; ls goes quiet again.
         code, _ = run_cli(["store", "clear", "--store-dir", str(store)])
         assert code == 0

@@ -1,0 +1,400 @@
+"""Statistics-backend tests: the bit-identity contract across providers.
+
+The disk backend's external merge sort, streaming weight passes, and
+paged threshold scans must be *byte-identical* to the in-memory path —
+every sorted array, every weight vector, every selection, every query
+result.  These tests pin that contract at three layers: the chunked
+primitives against their numpy references, ``Dataset`` statistics
+across backends, and full engine executions (including ``jobs > 1``
+and corruption recovery).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.stats_backend import (
+    DEFAULT_CHUNK_RECORDS,
+    DiskBackend,
+    InMemoryBackend,
+    chunked_argsort,
+    chunked_pairwise_sum,
+    statistic_entries,
+    weight_stat_name,
+)
+from repro.core.pipeline import SampleStore
+from repro.core.shm import SharedArrayPlane
+from repro.core.zonemap import MIN_INDEXED_SIZE
+from repro.datasets import Dataset, make_beta_dataset
+from repro.faults import FaultPlan, corrupt_statistic, inject
+from repro.query import SupgEngine
+from repro.sampling import proxy_sampling_weights
+
+RT = (
+    "SELECT * FROM t WHERE O(x) = True ORACLE LIMIT 600 "
+    "USING A(x) RECALL TARGET {gamma}% WITH PROBABILITY 95%"
+)
+PT = (
+    "SELECT * FROM t WHERE O(x) = True ORACLE LIMIT 600 "
+    "USING A(x) PRECISION TARGET 80% WITH PROBABILITY 95%"
+)
+
+
+def make_dataset(size=MIN_INDEXED_SIZE, seed=3):
+    return make_beta_dataset(0.01, 1.0, size=size, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Chunked external sort: property-style pins against np.argsort(stable).
+# ----------------------------------------------------------------------
+
+
+class TestChunkedArgsort:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 100, 1000, 4097])
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 17, 100, 10**6])
+    def test_byte_identity_random_with_ties(self, n, chunk):
+        rng = np.random.default_rng(n * 1000 + chunk)
+        values = rng.random(n)
+        values[rng.random(n) < 0.3] = 0.5  # heavy tie mass
+        sorted_values, order = chunked_argsort(values, chunk)
+        ref_order = np.argsort(values, kind="stable")
+        assert order.tobytes() == ref_order.tobytes()
+        assert order.dtype == ref_order.dtype
+        assert sorted_values.tobytes() == values[ref_order].tobytes()
+
+    @pytest.mark.parametrize("chunk", [1, 3, 64, 10**6])
+    def test_infinity_sentinels(self, chunk):
+        rng = np.random.default_rng(0)
+        values = rng.random(257)
+        values[::5] = np.inf
+        values[1::7] = -np.inf
+        _, order = chunked_argsort(values, chunk)
+        assert order.tobytes() == np.argsort(values, kind="stable").tobytes()
+
+    def test_all_equal(self):
+        values = np.full(513, 0.25)
+        _, order = chunked_argsort(values, 19)
+        assert order.tobytes() == np.arange(513, dtype=np.intp).tobytes()
+
+    def test_chunk_larger_than_input_is_plain_argsort(self):
+        values = np.random.default_rng(1).random(100)
+        _, order = chunked_argsort(values, 10**6)
+        assert order.tobytes() == np.argsort(values, kind="stable").tobytes()
+
+    def test_single_record_chunks(self):
+        values = np.random.default_rng(2).random(73)
+        _, order = chunked_argsort(values, 1)
+        assert order.tobytes() == np.argsort(values, kind="stable").tobytes()
+
+
+class TestChunkedPairwiseSum:
+    @pytest.mark.parametrize("n", [1, 127, 128, 129, 1000, 100001])
+    @pytest.mark.parametrize("chunk", [1, 7, 128, 1000, 10**7])
+    def test_bitwise_matches_np_sum(self, n, chunk):
+        values = np.random.default_rng(n + chunk).random(n)
+        got = chunked_pairwise_sum(lambda lo, hi: values[lo:hi], n, chunk)
+        assert np.float64(got).tobytes() == np.float64(values.sum()).tobytes()
+
+
+# ----------------------------------------------------------------------
+# Backend-level parity on a real Dataset.
+# ----------------------------------------------------------------------
+
+
+class TestBackendParity:
+    def test_sorted_scores_and_order_bitwise(self, tmp_path):
+        data = make_dataset(size=50000)
+        disk = DiskBackend(tmp_path, chunk_records=7001)
+        memory = InMemoryBackend()
+        assert disk.sorted_scores(data).tobytes() == memory.sorted_scores(data).tobytes()
+        assert disk.score_order(data).tobytes() == memory.score_order(data).tobytes()
+        assert disk.score_order(data).dtype == memory.score_order(data).dtype
+
+    @pytest.mark.parametrize("exponent,mixing", [(0.5, 0.1), (1.0, 0.0), (0.0, 0.2), (2.0, 1.0)])
+    def test_weights_bitwise(self, tmp_path, exponent, mixing):
+        data = make_dataset(size=30000)
+        disk = DiskBackend(tmp_path, chunk_records=999)
+        ref = proxy_sampling_weights(data.proxy_scores, exponent=exponent, mixing=mixing)
+        assert disk.sampling_weights(data, exponent, mixing).tobytes() == ref.tobytes()
+
+    def test_zero_scores_without_mixing_raises_identically(self, tmp_path):
+        data = Dataset(
+            proxy_scores=np.zeros(256), labels=np.zeros(256, dtype=np.int8)
+        )
+        disk = DiskBackend(tmp_path, chunk_records=17)
+        with pytest.raises(ValueError, match="defensive mixing is disabled"):
+            disk.sampling_weights(data, 1.0, 0.0)
+        # ...and the defensive-mixing escape hatch matches too.
+        ref = proxy_sampling_weights(data.proxy_scores, exponent=1.0, mixing=0.1)
+        assert disk.sampling_weights(data, 1.0, 0.1).tobytes() == ref.tobytes()
+
+    def test_views_are_readonly_memmaps(self, tmp_path):
+        data = make_dataset()
+        data.use_backend(DiskBackend(tmp_path, chunk_records=4096))
+        assert isinstance(data.sorted_scores, np.memmap)
+        assert not data.sorted_scores.flags.writeable
+        assert data.sorted_scores is data.sorted_scores  # cached_property memoized
+        weights = data.sampling_weights(0.5, 0.1)
+        assert isinstance(weights, np.memmap)
+        assert not weights.flags.writeable
+
+    def test_warm_files_skip_construction(self, tmp_path):
+        data = make_dataset(size=40000)
+        first = DiskBackend(tmp_path, chunk_records=8192)
+        data.use_backend(first)
+        data.sorted_scores
+        data.sampling_weights(0.5, 0.1)
+        assert first.counters["sorts_performed"] == 1
+        # Fresh dataset object + fresh backend over the same directory:
+        # everything is served from the warm files, zero construction.
+        clone = make_dataset(size=40000)
+        warm = DiskBackend(tmp_path, chunk_records=8192)
+        clone.use_backend(warm)
+        assert clone.sorted_scores.tobytes() == data.sorted_scores.tobytes()
+        assert clone.score_order.tobytes() == data.score_order.tobytes()
+        assert (
+            clone.sampling_weights(0.5, 0.1).tobytes()
+            == data.sampling_weights(0.5, 0.1).tobytes()
+        )
+        assert warm.counters["sorts_performed"] == 0
+        assert warm.counters["weight_passes"] == 0
+
+    def test_select_and_count_above_paged_parity(self, tmp_path):
+        data = make_dataset()
+        dense = make_dataset()
+        data.use_backend(DiskBackend(tmp_path, chunk_records=4096))
+        for frac in (0.0005, 0.01, 0.2, 0.9):
+            tau = float(data.sorted_scores[int(data.size * (1 - frac))])
+            expected = np.flatnonzero(dense.proxy_scores >= tau)
+            got = data.select_above(tau)
+            assert got.tobytes() == expected.tobytes()
+            assert got.dtype == expected.dtype
+            assert data.count_above(tau) == expected.size
+        # Empty and total selections.
+        assert data.select_above(np.inf).size == 0
+        assert data.select_above(0.0).tobytes() == np.arange(data.size, dtype=np.intp).tobytes()
+
+    def test_paged_scan_accounts_bytes(self, tmp_path):
+        data = make_dataset()
+        backend = DiskBackend(tmp_path, chunk_records=4096)
+        data.use_backend(backend)
+        tau = float(data.sorted_scores[int(data.size * 0.999)])
+        assert backend.counters["bytes_paged"] == 0
+        data.select_above(tau)
+        paged = backend.counters["bytes_paged"]
+        assert 0 < paged < data.size * 8  # far less than one full column
+
+
+# ----------------------------------------------------------------------
+# Corruption: quarantine + rebuild, store ls/clear integration.
+# ----------------------------------------------------------------------
+
+
+class TestCorruptionRecovery:
+    @pytest.mark.parametrize("mode", ["truncate", "garbage"])
+    def test_quarantine_and_rebuild(self, tmp_path, mode):
+        data = make_dataset(size=40000)
+        DiskBackend(tmp_path, chunk_records=8192).sorted_scores(data)
+        reference = np.sort(data.proxy_scores).tobytes()
+        corrupted = corrupt_statistic(tmp_path, which=1, mode=mode)  # sorted-scores
+        assert "sorted-scores" in corrupted.name
+        backend = DiskBackend(tmp_path, chunk_records=8192)
+        rebuilt = backend.sorted_scores(make_dataset(size=40000))
+        assert rebuilt.tobytes() == reference
+        assert backend.counters["stats_quarantined"] == 1
+        assert backend.counters["sorts_performed"] == 1
+        quarantine = tmp_path / "quarantine"
+        assert (quarantine / corrupted.name).exists()
+        report = json.loads(
+            (quarantine / (corrupted.name + ".reason.json")).read_text()
+        )
+        assert report["file"] == corrupted.name
+
+    def test_stale_fingerprint_is_quarantined(self, tmp_path):
+        data = make_dataset(size=40000)
+        backend = DiskBackend(tmp_path, chunk_records=8192)
+        backend.sorted_scores(data)
+        # Forge the metadata to claim a different dataset.
+        path = backend.stat_path(data.fingerprint, "sorted-scores")
+        meta_path = path.with_name(path.name + ".meta.json")
+        meta = json.loads(meta_path.read_text())
+        meta["fingerprint"] = "f" * 64
+        meta_path.write_text(json.dumps(meta))
+        fresh = DiskBackend(tmp_path, chunk_records=8192)
+        fresh.sorted_scores(make_dataset(size=40000))
+        assert fresh.counters["stats_quarantined"] == 1
+
+    def test_statistic_entries_reports_warm_and_stale(self, tmp_path):
+        data = make_dataset(size=40000)
+        backend = DiskBackend(tmp_path, chunk_records=8192)
+        backend.sorted_scores(data)
+        backend.sampling_weights(data, 0.5, 0.1)
+        entries = statistic_entries(tmp_path)
+        assert len(entries) == 3
+        assert all(entry["state"] == "warm" for entry in entries)
+        names = {entry["stat"] for entry in entries}
+        assert names == {"sorted-scores", "score-order", weight_stat_name(0.5, 0.1)}
+        assert all(entry["fingerprint"] == data.fingerprint for entry in entries)
+        corrupt_statistic(tmp_path, which=0, mode="garbage")
+        states = {e["file"]: e["state"] for e in statistic_entries(tmp_path)}
+        assert sorted(states.values()) == ["stale", "warm", "warm"]
+
+    def test_clear_disk_removes_statistic_files(self, tmp_path):
+        data = make_dataset(size=40000)
+        backend = DiskBackend(tmp_path, chunk_records=8192)
+        backend.sorted_scores(data)
+        corrupt_statistic(tmp_path, which=0, mode="garbage")
+        DiskBackend(tmp_path).score_order(data)  # quarantines the garbage file
+        summary = SampleStore.clear_disk(tmp_path)
+        assert summary["files_removed"] > 0
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.is_file()
+        ]
+        assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Engine integration: backend selection, lazy priming, full parity.
+# ----------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_disk_requires_store_dir(self):
+        with pytest.raises(ValueError, match="store directory"):
+            SupgEngine(backend="disk")
+
+    def test_chunk_records_requires_disk(self):
+        with pytest.raises(ValueError, match="chunk_records"):
+            SupgEngine(backend="memory", chunk_records=1024)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown statistics backend"):
+            SupgEngine(backend="tape")
+
+    def test_query_results_bitwise_across_backends(self, tmp_path):
+        results = {}
+        for backend in ("memory", "disk"):
+            kwargs = {"backend": backend}
+            if backend == "disk":
+                kwargs["store_dir"] = str(tmp_path)
+                kwargs["chunk_records"] = 9973
+            engine = SupgEngine(**kwargs)
+            engine.register_table("t", make_dataset(size=60000))
+            runs = [
+                engine.execute(q, seed=5)
+                for q in (RT.format(gamma=90), RT.format(gamma=95), PT)
+            ]
+            results[backend] = [
+                (
+                    r.result.indices.tobytes(),
+                    str(r.result.indices.dtype),
+                    r.result.tau,
+                    r.result.oracle_calls,
+                )
+                for r in runs
+            ]
+        assert results["memory"] == results["disk"]
+
+    def test_jobs2_parity_over_disk_backend(self, tmp_path):
+        batch = [RT.format(gamma=90), PT, RT.format(gamma=95), PT]
+        sequential_engine = SupgEngine(store_dir=str(tmp_path / "a"), backend="disk")
+        sequential_engine.register_table("t", make_dataset(size=60000))
+        sequential = sequential_engine.execute_many(batch, seed=7, jobs=1)
+        parallel_engine = SupgEngine(store_dir=str(tmp_path / "b"), backend="disk")
+        parallel_engine.register_table("t", make_dataset(size=60000))
+        parallel = parallel_engine.execute_many(batch, seed=7, jobs=2)
+        for a, b in zip(sequential, parallel):
+            assert a.result.indices.tobytes() == b.result.indices.tobytes()
+            assert a.result.indices.dtype == b.result.indices.dtype
+            assert a.result.tau == b.result.tau
+            assert a.result.oracle_calls == b.result.oracle_calls
+
+    def test_lazy_priming_zero_redundant_sorts(self, tmp_path):
+        """The latent-issue fix: a warm store costs zero sorts.
+
+        First session pays one sort (plus the index build); a second
+        session over the same store dir answers a query without ever
+        sorting — the sidecar serves the zone map and the statistic
+        files serve the sorted arrays.
+        """
+        first = SupgEngine(store_dir=str(tmp_path), backend="disk")
+        first.register_table("t", make_dataset())
+        # Registration alone computes nothing.
+        assert first.backend_stats()["sorts_performed"] == 0
+        baseline = first.execute(RT.format(gamma=90), seed=2)
+        assert first.backend_stats()["sorts_performed"] == 1
+        second = SupgEngine(store_dir=str(tmp_path), backend="disk")
+        second.register_table("t", make_dataset())
+        warm = second.execute(RT.format(gamma=90), seed=2)
+        stats = second.session_stats()
+        assert stats["sorts_performed"] == 0
+        assert stats["weight_passes"] == 0
+        assert warm.result.indices.tobytes() == baseline.result.indices.tobytes()
+
+    def test_session_stats_carry_backend_counters(self, tmp_path):
+        engine = SupgEngine(store_dir=str(tmp_path), backend="disk")
+        engine.register_table("t", make_dataset())
+        engine.execute(RT.format(gamma=90), seed=0)
+        stats = engine.session_stats()
+        for key in (
+            "sorts_performed",
+            "weight_passes",
+            "chunks_merged",
+            "bytes_paged",
+            "peak_chunk_bytes",
+            "stats_quarantined",
+        ):
+            assert key in stats
+        assert stats["bytes_paged"] > 0
+
+
+# ----------------------------------------------------------------------
+# Shared-array plane: publish collapses into the disk backend.
+# ----------------------------------------------------------------------
+
+
+class TestPlaneInheritsDiskStatistics:
+    def test_share_hands_back_memmap_without_copy(self, tmp_path):
+        data = make_dataset()
+        data.use_backend(DiskBackend(tmp_path / "store", chunk_records=8192))
+        before = data.sorted_scores
+        assert isinstance(before, np.memmap)
+        plane = SharedArrayPlane(mode="mmap", directory=tmp_path / "plane")
+        try:
+            data.publish(plane)
+            # Publish was "hand workers the file paths": the cached view
+            # is the very same memmap object, nothing was copied.
+            assert data.sorted_scores is before
+            assert plane.counters()["stats_inherited"] > 0
+            assert plane.counters()["bytes_shm"] == 0
+        finally:
+            plane.close()
+        # Plane close must not have materialized the statistic into RAM.
+        assert isinstance(data.sorted_scores, np.memmap)
+        assert data.sorted_scores.tobytes() == np.sort(data.proxy_scores).tobytes()
+
+
+# ----------------------------------------------------------------------
+# Chaos: worker death mid-paged-scan.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestChaosKillWorkerMidPagedScan:
+    def test_worker_kill_recovery_is_bit_identical(self, tmp_path):
+        """Kill a fork worker while it runs paged scans over the disk
+        backend; the recovered results must match an unfaulted run."""
+        batch = [RT.format(gamma=90), PT, RT.format(gamma=95), PT]
+        clean_engine = SupgEngine(store_dir=str(tmp_path / "clean"), backend="disk")
+        clean_engine.register_table("t", make_dataset(size=60000))
+        clean = clean_engine.execute_many(batch, seed=7, jobs=2)
+
+        chaotic_engine = SupgEngine(store_dir=str(tmp_path / "chaos"), backend="disk")
+        chaotic_engine.register_table("t", make_dataset(size=60000))
+        with inject(FaultPlan(seed=0, kill_execution=0)):
+            recovered = chaotic_engine.execute_many(batch, seed=7, jobs=2)
+        for a, b in zip(clean, recovered):
+            assert a.result.indices.tobytes() == b.result.indices.tobytes()
+            assert a.result.tau == b.result.tau
+            assert a.result.oracle_calls == b.result.oracle_calls

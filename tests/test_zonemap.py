@@ -293,15 +293,24 @@ class TestEngineTelemetry:
         engine = SupgEngine(store_dir=str(tmp_path))
         engine.register_table("t", data)
         path = ScoreZoneMap.sidecar_path(tmp_path, data.fingerprint)
+        # Registration is lazy: it arms sidecar priming but forces
+        # neither the sort nor the index build.
+        assert not path.exists()
+        assert "zone_map" not in data.__dict__
+        assert "sorted_scores" not in data.__dict__
+        # First use builds the index and persists the sidecar.
+        assert data.zone_map is not None
         assert path.exists()
         # A second engine (fresh dataset object, same content) primes
-        # from the sidecar instead of rebuilding.
+        # from the sidecar on first access, never sorting at all.
         clone = make_beta_dataset(0.01, 1.0, size=MIN_INDEXED_SIZE, seed=9)
         assert "zone_map" not in clone.__dict__
         engine2 = SupgEngine(store_dir=str(tmp_path))
         engine2.register_table("t", clone)
-        zone_map = clone.__dict__.get("zone_map")
+        zone_map = clone.zone_map
         assert zone_map is not None
+        assert "sorted_scores" not in clone.__dict__
+        assert engine2.backend_stats()["sorts_performed"] == 0
         np.testing.assert_array_equal(zone_map.offsets, data.zone_map.offsets)
 
     def test_small_dataset_not_indexed_by_engine(self, tiny_dataset, tmp_path):
